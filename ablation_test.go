@@ -1,0 +1,139 @@
+package repro
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// parentId hash index (what makes per-tuple triggers flat on random
+// workloads), the order column (the §8 order-preserving extension's storage
+// cost), and the outer union binding phase versus per-table queries.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/outerunion"
+	"repro/internal/xmltree"
+)
+
+// BenchmarkAblationParentIndex measures a random per-tuple-trigger delete
+// with and without the parentId index. Without it, every trigger firing
+// scans the child relation — per-tuple deletes degrade to per-statement
+// behavior, confirming the index is the mechanism behind Figure 7's flat
+// curve.
+func BenchmarkAblationParentIndex(b *testing.B) {
+	doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 400, Depth: 8, Fanout: 1, Seed: 1})
+	for _, indexed := range []bool{true, false} {
+		b.Run(fmt.Sprintf("parentId-index=%v", indexed), func(b *testing.B) {
+			s, err := engine.Open(doc, engine.Options{Delete: engine.PerTupleTrigger})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !indexed {
+				for _, elem := range s.M.TableOrder {
+					s.DB.Table(s.M.Table(elem).Name).DropIndex("parentId")
+				}
+			}
+			snap := s.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DeleteSubtrees("e1", "id = 2"); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s.Restore(snap)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOrderColumn measures the storage extension's cost: the
+// same bulk delete with and without the pos column.
+func BenchmarkAblationOrderColumn(b *testing.B) {
+	doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 200, Depth: 4, Fanout: 2, Seed: 1})
+	for _, ordered := range []bool{false, true} {
+		b.Run(fmt.Sprintf("order-column=%v", ordered), func(b *testing.B) {
+			s, err := engine.Open(doc, engine.Options{Delete: engine.PerTupleTrigger, OrderColumn: ordered})
+			if err != nil {
+				b.Fatal(err)
+			}
+			snap := s.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DeleteSubtrees("e1", ""); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s.Restore(snap)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOuterUnion compares the Sorted Outer Union retrieval of a
+// subtree against issuing one query per table level — the alternative §5.2
+// rejects for requiring nested cursors or redundant wide joins.
+func BenchmarkAblationOuterUnion(b *testing.B) {
+	doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: 4, Fanout: 4, Seed: 1})
+	s, err := engine.Open(doc, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("strategy=outer-union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subs, err := outerunion.Query(s.DB, s.M, "e1", "T.id = 2")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(subs) != 1 {
+				b.Fatalf("subtrees = %d", len(subs))
+			}
+		}
+	})
+	b.Run("strategy=per-level-queries", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perLevelSubtree(s, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// perLevelSubtree retrieves a subtree with one query per level (the nested
+// cursor simulation), materializing elements level by level.
+func perLevelSubtree(s *engine.Store, rootID int64) (*xmltree.Element, error) {
+	type pending struct {
+		elem string
+		id   int64
+		node *xmltree.Element
+	}
+	rows, err := s.DB.Query(fmt.Sprintf("SELECT id FROM %s WHERE id = %d", s.M.Table("e1").Name, rootID))
+	if err != nil {
+		return nil, err
+	}
+	if len(rows.Data) != 1 {
+		return nil, fmt.Errorf("root %d not found", rootID)
+	}
+	root := xmltree.NewElement("e1")
+	frontier := []pending{{elem: "e1", id: rootID, node: root}}
+	for len(frontier) > 0 {
+		var next []pending
+		for _, p := range frontier {
+			for _, childElem := range s.M.Table(p.elem).ChildTables {
+				ctm := s.M.Table(childElem)
+				rows, err := s.DB.Query(fmt.Sprintf("SELECT id FROM %s WHERE parentId = %d", ctm.Name, p.id))
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range rows.Data {
+					ce := xmltree.NewElement(childElem)
+					p.node.AppendChild(ce)
+					next = append(next, pending{elem: childElem, id: r[0].(int64), node: ce})
+				}
+			}
+		}
+		frontier = next
+	}
+	return root, nil
+}

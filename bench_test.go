@@ -1,0 +1,312 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§7). Each benchmark reloads the store outside the
+// timer and measures only the update operation, mirroring the paper's
+// methodology (in-memory data, repeated runs). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/xbench prints the same series with explicit statement counts.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/relational"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
+)
+
+var deleteMethods = []engine.DeleteMethod{
+	engine.ASRDelete, engine.PerStatementTrigger, engine.PerTupleTrigger,
+}
+
+var insertMethods = []engine.InsertMethod{
+	engine.TupleInsert, engine.TableInsert, engine.ASRInsert,
+}
+
+// benchDelete opens the store once, snapshots it, and times one delete
+// workload execution per iteration with an untimed state reset in between.
+func benchDelete(b *testing.B, doc *xmltree.Document, m engine.DeleteMethod, workload func(*engine.Store) error) {
+	b.Helper()
+	s, err := engine.Open(doc, engine.Options{Delete: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := s.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := workload(s); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Restore(snap)
+		b.StartTimer()
+	}
+}
+
+func benchInsert(b *testing.B, doc *xmltree.Document, m engine.InsertMethod, workload func(*engine.Store) error) {
+	b.Helper()
+	s, err := engine.Open(doc, engine.Options{Insert: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := s.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := workload(s); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Restore(snap)
+		b.StartTimer()
+	}
+}
+
+func bulkDeleteAll(s *engine.Store) error {
+	_, err := s.DeleteSubtrees("e1", "")
+	return err
+}
+
+func randomDelete10(s *engine.Store) error {
+	ids, err := subtreeIDs(s, 10)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := s.DeleteSubtrees("e1", fmt.Sprintf("id = %d", id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func bulkInsertAll(s *engine.Store) error {
+	_, err := s.CopySubtrees("e1", "", 1)
+	return err
+}
+
+func randomInsert10(s *engine.Store) error {
+	ids, err := subtreeIDs(s, 10)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := s.CopySubtrees("e1", fmt.Sprintf("id = %d", id), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subtreeIDs picks n deterministic root-level subtree ids (a fixed stride
+// through the table, standing in for the paper's random choice while keeping
+// benchmark iterations comparable).
+func subtreeIDs(s *engine.Store, n int) ([]int64, error) {
+	rows, err := s.DB.Query(fmt.Sprintf("SELECT id FROM %s", s.M.Table("e1").Name))
+	if err != nil {
+		return nil, err
+	}
+	total := len(rows.Data)
+	if n > total {
+		n = total
+	}
+	out := make([]int64, 0, n)
+	stride := total / n
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, rows.Data[(i*stride)%total][0].(int64))
+	}
+	return out, nil
+}
+
+// BenchmarkFig6DeleteBulkScaling — Figure 6: delete, bulk workload, fixed
+// fanout=1, depth=8, scaling factor on the x-axis.
+func BenchmarkFig6DeleteBulkScaling(b *testing.B) {
+	for _, sf := range []int{100, 200, 400, 800} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: 8, Fanout: 1, Seed: 1})
+		for _, m := range deleteMethods {
+			b.Run(fmt.Sprintf("method=%s/sf=%d", m, sf), func(b *testing.B) {
+				benchDelete(b, doc, m, bulkDeleteAll)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7DeleteRandomScaling — Figure 7: delete, random workload (10
+// subtrees), fixed fanout=1, depth=8.
+func BenchmarkFig7DeleteRandomScaling(b *testing.B) {
+	for _, sf := range []int{100, 200, 400, 800} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: 8, Fanout: 1, Seed: 1})
+		for _, m := range deleteMethods {
+			b.Run(fmt.Sprintf("method=%s/sf=%d", m, sf), func(b *testing.B) {
+				benchDelete(b, doc, m, randomDelete10)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8DeleteBulkDepth — Figure 8: delete, bulk workload, fixed
+// scaling factor=100, fanout=4, depth on the x-axis.
+func BenchmarkFig8DeleteBulkDepth(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: d, Fanout: 4, Seed: 1})
+		for _, m := range deleteMethods {
+			b.Run(fmt.Sprintf("method=%s/depth=%d", m, d), func(b *testing.B) {
+				benchDelete(b, doc, m, bulkDeleteAll)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9DeleteRandomDepth — Figure 9: delete, random workload, fixed
+// scaling factor=100, fanout=4.
+func BenchmarkFig9DeleteRandomDepth(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: d, Fanout: 4, Seed: 1})
+		for _, m := range deleteMethods {
+			b.Run(fmt.Sprintf("method=%s/depth=%d", m, d), func(b *testing.B) {
+				benchDelete(b, doc, m, randomDelete10)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10InsertBulkDepth — Figure 10: insert (replicate all root
+// subtrees), fixed scaling factor=100, fanout=4.
+func BenchmarkFig10InsertBulkDepth(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: d, Fanout: 4, Seed: 1})
+		for _, m := range insertMethods {
+			b.Run(fmt.Sprintf("method=%s/depth=%d", m, d), func(b *testing.B) {
+				benchInsert(b, doc, m, bulkInsertAll)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11InsertRandomDepth — Figure 11: insert (replicate 10
+// subtrees), fixed scaling factor=100, fanout=4.
+func BenchmarkFig11InsertRandomDepth(b *testing.B) {
+	for _, d := range []int{2, 3, 4, 5} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: d, Fanout: 4, Seed: 1})
+		for _, m := range insertMethods {
+			b.Run(fmt.Sprintf("method=%s/depth=%d", m, d), func(b *testing.B) {
+				benchInsert(b, doc, m, randomInsert10)
+			})
+		}
+	}
+}
+
+// BenchmarkTable2DBLPDelete — Table 2, delete row: remove the year-2000
+// publications from the DBLP-like bibliography under all four methods.
+func BenchmarkTable2DBLPDelete(b *testing.B) {
+	doc := datagen.DBLP(datagen.DBLPParams{Conferences: 40, PubsPerConf: 60, Seed: 11})
+	for _, m := range []engine.DeleteMethod{engine.PerTupleTrigger, engine.PerStatementTrigger, engine.CascadingDelete, engine.ASRDelete} {
+		b.Run(fmt.Sprintf("method=%s", m), func(b *testing.B) {
+			benchDelete(b, doc, m, func(s *engine.Store) error {
+				_, err := s.DeleteSubtrees("publication", "a_year = '2000'")
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkTable2DBLPInsert — Table 2, insert row: copy the year-2000
+// publications under the first conference.
+func BenchmarkTable2DBLPInsert(b *testing.B) {
+	doc := datagen.DBLP(datagen.DBLPParams{Conferences: 40, PubsPerConf: 60, Seed: 11})
+	for _, m := range []engine.InsertMethod{engine.ASRInsert, engine.TableInsert, engine.TupleInsert} {
+		b.Run(fmt.Sprintf("method=%s", m), func(b *testing.B) {
+			benchInsert(b, doc, m, func(s *engine.Store) error {
+				rows, err := s.DB.Query(fmt.Sprintf("SELECT MIN(id) FROM %s", s.M.Table("conference").Name))
+				if err != nil {
+					return err
+				}
+				_, err = s.CopySubtrees("publication", "a_year = '2000'", rows.Data[0][0].(int64))
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkASRPathExpression — §7.2: conventional multiway join versus ASR
+// two-join path evaluation, fanout 1 and 4, path lengths 3 and 4.
+func BenchmarkASRPathExpression(b *testing.B) {
+	for _, fanout := range []int{1, 4} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 100, Depth: 5, Fanout: fanout, Seed: 9})
+		m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db := relational.NewDB()
+		if _, err := shred.Load(db, m, doc); err != nil {
+			b.Fatal(err)
+		}
+		a, err := bench.BuildASR(db, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, plen := range []int{3, 4} {
+			conv, asrSQL, err := bench.PathQueries(db, m, a, plen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("strategy=conventional/fanout=%d/pathlen=%d", fanout, plen), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(conv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("strategy=asr/fanout=%d/pathlen=%d", fanout, plen), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Query(asrSQL); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCascadeVsPerStatement — §7.3: cascading delete tracks the
+// per-statement trigger (same deletes, issued from the application).
+func BenchmarkCascadeVsPerStatement(b *testing.B) {
+	doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 200, Depth: 8, Fanout: 1, Seed: 1})
+	for _, m := range []engine.DeleteMethod{engine.PerStatementTrigger, engine.CascadingDelete} {
+		b.Run(fmt.Sprintf("method=%s", m), func(b *testing.B) {
+			benchDelete(b, doc, m, bulkDeleteAll)
+		})
+	}
+}
+
+// BenchmarkRandomizedDocDelete — §7.1.2: delete methods on randomized
+// synthetic documents.
+func BenchmarkRandomizedDocDelete(b *testing.B) {
+	doc := datagen.Randomized(datagen.RandomizedParams{ScalingFactor: 200, MaxDepth: 6, MaxFanout: 4, Seed: 3})
+	for _, m := range deleteMethods {
+		b.Run(fmt.Sprintf("method=%s", m), func(b *testing.B) {
+			benchDelete(b, doc, m, randomDelete10)
+		})
+	}
+}
+
+// BenchmarkTable1DocGen — Table 1: document generation across the full
+// parameter grid (the workloads the other benchmarks consume).
+func BenchmarkTable1DocGen(b *testing.B) {
+	grid := datagen.Table1Grid()
+	for _, p := range grid[:6] { // a representative slice; the full grid is validated in datagen tests
+		b.Run(fmt.Sprintf("sf=%d/d=%d/f=%d", p.ScalingFactor, p.Depth, p.Fanout), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				datagen.Fixed(p)
+			}
+		})
+	}
+}

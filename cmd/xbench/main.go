@@ -1,0 +1,85 @@
+// Command xbench regenerates the paper's evaluation (§7): Figures 6–11,
+// Table 2, the §7.2 ASR path study, the §7.3 cascade comparison, and the
+// §7.1.2 randomized-document replication.
+//
+// Usage:
+//
+//	xbench -exp fig6            # one experiment
+//	xbench -exp all -quick      # everything, at reduced scale
+//	xbench -exp table2 -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, or all")
+		quick = flag.Bool("quick", false, "reduced parameter grid")
+		runs  = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
+	)
+	flag.Parse()
+	cfg := bench.Config{Runs: *runs, Quick: *quick}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+}
+
+type figRunner struct {
+	id  string
+	run func(bench.Config) (*bench.Figure, error)
+}
+
+var figures = []figRunner{
+	{"fig6", bench.RunFig6},
+	{"fig7", bench.RunFig7},
+	{"fig8", bench.RunFig8},
+	{"fig9", bench.RunFig9},
+	{"fig10", bench.RunFig10},
+	{"fig11", bench.RunFig11},
+	{"cascade", bench.RunCascadeComparison},
+	{"randdoc", bench.RunRandomizedDelete},
+}
+
+func run(exp string, cfg bench.Config) error {
+	matched := false
+	for _, f := range figures {
+		if exp == "all" || exp == f.id {
+			matched = true
+			fig, err := f.run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f.id, err)
+			}
+			bench.WriteFigure(os.Stdout, fig)
+			fmt.Println()
+		}
+	}
+	if exp == "all" || exp == "table2" {
+		matched = true
+		rows, err := bench.RunTable2(cfg)
+		if err != nil {
+			return fmt.Errorf("table2: %w", err)
+		}
+		bench.WriteTable2(os.Stdout, rows)
+		fmt.Println()
+	}
+	if exp == "all" || exp == "asrpath" {
+		matched = true
+		pts, err := bench.RunASRPath(cfg)
+		if err != nil {
+			return fmt.Errorf("asrpath: %w", err)
+		}
+		bench.WriteASRPath(os.Stdout, pts)
+		fmt.Println()
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command xgen generates the paper's workloads (§7.1) as XML documents on
+// stdout, with the DTD either inline (DOCTYPE) or on a separate file.
+//
+// Usage:
+//
+//	xgen -kind fixed -sf 100 -depth 8 -fanout 1 > doc.xml
+//	xgen -kind random -sf 100 -depth 6 -fanout 4 > doc.xml
+//	xgen -kind dblp -conferences 40 -pubs 60 > dblp.xml
+//	xgen -kind fixed -sf 10 -depth 2 -fanout 2 -dtdout fixed.dtd > doc.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		kind        = flag.String("kind", "fixed", "fixed | random | dblp")
+		sf          = flag.Int("sf", 100, "scaling factor (subtrees at root level)")
+		depth       = flag.Int("depth", 4, "subtree depth (max depth for -kind random)")
+		fanout      = flag.Int("fanout", 2, "fanout (max fanout for -kind random)")
+		conferences = flag.Int("conferences", 40, "conferences (dblp)")
+		pubs        = flag.Int("pubs", 60, "mean publications per conference (dblp)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		dtdOut      = flag.String("dtdout", "", "write the DTD to this file instead of inlining a DOCTYPE")
+		indent      = flag.Bool("indent", false, "pretty-print")
+	)
+	flag.Parse()
+	if err := run(*kind, *sf, *depth, *fanout, *conferences, *pubs, *seed, *dtdOut, *indent); err != nil {
+		fmt.Fprintln(os.Stderr, "xgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, sf, depth, fanout, conferences, pubs int, seed int64, dtdOut string, indent bool) error {
+	var doc *xmltree.Document
+	var dtdText string
+	switch kind {
+	case "fixed":
+		doc = datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: depth, Fanout: fanout, Seed: seed})
+		dtdText = datagen.FixedDTD(depth)
+	case "random":
+		doc = datagen.Randomized(datagen.RandomizedParams{ScalingFactor: sf, MaxDepth: depth, MaxFanout: fanout, Seed: seed})
+		dtdText = datagen.FixedDTD(depth)
+	case "dblp":
+		doc = datagen.DBLP(datagen.DBLPParams{Conferences: conferences, PubsPerConf: pubs, Seed: seed})
+		dtdText = datagen.DBLPDTD
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if dtdOut != "" {
+		if err := os.WriteFile(dtdOut, []byte(dtdText), 0o644); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("<!DOCTYPE %s [\n%s]>\n", doc.Root.Name, dtdText)
+	}
+	if indent {
+		fmt.Println(doc.Indented())
+	} else {
+		fmt.Println(doc.String())
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command xshred shreds an XML document into the Shared Inlining relational
+// schema (§5.1), prints the generated schema and table statistics, and can
+// round-trip the document back out of the tables.
+//
+// Usage:
+//
+//	xshred -doc custdb.xml [-dtd custdb.dtd] [-dump] [-reconstruct] [-edge]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		docPath     = flag.String("doc", "", "XML document to shred (required)")
+		dtdPath     = flag.String("dtd", "", "external DTD (required unless the document has an internal subset)")
+		dump        = flag.Bool("dump", false, "dump table contents")
+		reconstruct = flag.Bool("reconstruct", false, "rebuild and print the document from the tables")
+		edge        = flag.Bool("edge", false, "use the Edge mapping instead of Shared Inlining")
+		order       = flag.Bool("order", false, "store an order column (pos)")
+	)
+	flag.Parse()
+	if err := run(*docPath, *dtdPath, *dump, *reconstruct, *edge, *order); err != nil {
+		fmt.Fprintln(os.Stderr, "xshred:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docPath, dtdPath string, dump, reconstruct, edge, order bool) error {
+	if docPath == "" {
+		return fmt.Errorf("-doc is required")
+	}
+	src, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	opts := xmltree.ParseOptions{TrimText: true}
+	if dtdPath != "" {
+		d, err := os.ReadFile(dtdPath)
+		if err != nil {
+			return err
+		}
+		dtd, err := xmltree.ParseDTD(string(d))
+		if err != nil {
+			return err
+		}
+		opts.DTD = dtd
+	}
+	doc, err := xmltree.ParseWith(string(src), opts)
+	if err != nil {
+		return err
+	}
+	db := relational.NewDB()
+
+	if edge {
+		n, err := shred.LoadEdge(db, doc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Edge mapping: %d edge tuples\n", n)
+		if dump {
+			dumpTable(db, "Edge")
+		}
+		if reconstruct {
+			re, err := shred.ReconstructEdge(db)
+			if err != nil {
+				return err
+			}
+			fmt.Println(re.Indented())
+		}
+		return nil
+	}
+
+	if doc.DTD == nil {
+		return fmt.Errorf("Shared Inlining requires a DTD (use -dtd, or -edge for the DTD-less mapping)")
+	}
+	m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{OrderColumn: order})
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- generated schema --")
+	for _, sql := range m.CreateTablesSQL() {
+		fmt.Println(sql + ";")
+	}
+	ds, err := shred.Load(db, m, doc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- loaded %d tuples --\n", ds.TupleCount())
+	for _, elem := range m.TableOrder {
+		tm := m.Table(elem)
+		fmt.Printf("%-24s %6d rows (element <%s>, parent %q)\n",
+			tm.Name, db.Table(tm.Name).RowCount(), tm.Element, tm.Parent)
+	}
+	if dump {
+		for _, elem := range m.TableOrder {
+			dumpTable(db, m.Table(elem).Name)
+		}
+	}
+	if reconstruct {
+		re, err := shred.Reconstruct(db, m)
+		if err != nil {
+			return err
+		}
+		fmt.Println(re.Indented())
+	}
+	return nil
+}
+
+func dumpTable(db *relational.DB, name string) {
+	t := db.Table(name)
+	if t == nil {
+		return
+	}
+	var cols []string
+	for _, c := range t.Schema.Columns {
+		cols = append(cols, c.Name)
+	}
+	fmt.Printf("\n-- %s (%s) --\n", name, strings.Join(cols, ", "))
+	t.Scan(func(_ int, row []relational.Value) bool {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = relational.FormatValue(v)
+		}
+		fmt.Println("  " + strings.Join(parts, ", "))
+		return true
+	})
+}

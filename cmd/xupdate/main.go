@@ -1,0 +1,111 @@
+// Command xupdate applies an XQuery update statement (the paper's §4 syntax)
+// to an XML document using the direct-DOM engine, and prints the updated
+// document.
+//
+// Usage:
+//
+//	xupdate -doc bio.xml [-dtd bio.dtd] [-name bio.xml] (-query 'FOR …' | -queryfile q.xq)
+//
+// The -name flag sets the name document("…") expressions resolve to; it
+// defaults to the -doc path's base name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/update"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xquery"
+)
+
+func main() {
+	var (
+		docPath   = flag.String("doc", "", "XML document to update (required)")
+		dtdPath   = flag.String("dtd", "", "external DTD classifying ID/IDREF/IDREFS attributes")
+		docName   = flag.String("name", "", `name for document("…") resolution (default: base name of -doc)`)
+		query     = flag.String("query", "", "update statement text")
+		queryFile = flag.String("queryfile", "", "file containing the update statement")
+		unordered = flag.Bool("unordered", false, "use the unordered execution model")
+		indent    = flag.Bool("indent", true, "pretty-print the output document")
+	)
+	flag.Parse()
+	if err := run(*docPath, *dtdPath, *docName, *query, *queryFile, *unordered, *indent); err != nil {
+		fmt.Fprintln(os.Stderr, "xupdate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(docPath, dtdPath, docName, query, queryFile string, unordered, indent bool) error {
+	if docPath == "" {
+		return fmt.Errorf("-doc is required")
+	}
+	if (query == "") == (queryFile == "") {
+		return fmt.Errorf("exactly one of -query and -queryfile is required")
+	}
+	if queryFile != "" {
+		b, err := os.ReadFile(queryFile)
+		if err != nil {
+			return err
+		}
+		query = string(b)
+	}
+	src, err := os.ReadFile(docPath)
+	if err != nil {
+		return err
+	}
+	opts := xmltree.ParseOptions{TrimText: true}
+	if dtdPath != "" {
+		d, err := os.ReadFile(dtdPath)
+		if err != nil {
+			return err
+		}
+		dtd, err := xmltree.ParseDTD(string(d))
+		if err != nil {
+			return err
+		}
+		opts.DTD = dtd
+	}
+	doc, err := xmltree.ParseWith(string(src), opts)
+	if err != nil {
+		return err
+	}
+	if docName == "" {
+		docName = filepath.Base(docPath)
+	}
+	ev := xquery.NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{docName: doc}
+	if unordered {
+		ev.Model = update.Unordered
+	}
+	stmt, err := xquery.Parse(query)
+	if err != nil {
+		return err
+	}
+	res, err := ev.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	if stmt.IsQuery() {
+		fmt.Fprintf(os.Stderr, "matched %d tuples, %d items\n", res.Tuples, len(res.Items))
+		for _, it := range res.Items {
+			switch v := it.(type) {
+			case *xmltree.Element:
+				fmt.Println(xmltree.SerializeWith(v, xmltree.SerializeOptions{Indent: "  ", SortAttrs: true}))
+			default:
+				fmt.Println(xpath.StringValue(it))
+			}
+		}
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "updated %d binding tuples\n", res.Tuples)
+	if indent {
+		fmt.Println(doc.Indented())
+	} else {
+		fmt.Println(doc.String())
+	}
+	return nil
+}

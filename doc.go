@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Updating XML"
+// (Tatarinov, Ives, Halevy, Weld — SIGMOD 2001): the XML update language
+// (primitive operations and XQuery extensions), a direct-DOM update engine,
+// an XML-to-relational storage layer with Shared Inlining, Sorted Outer
+// Union and Access Support Relations, the paper's delete and insert
+// translation strategies, and the full experimental evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The root package carries
+// the benchmark harness (bench_test.go) regenerating every figure and table.
+package repro

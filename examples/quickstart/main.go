@@ -1,0 +1,37 @@
+// Quickstart: parse an XML document, apply an XQuery update statement with
+// the direct-DOM engine, and print the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+	"repro/internal/xquery"
+)
+
+func main() {
+	// The paper's Figure 1 document: biology labs and publications.
+	doc := testdocs.Bio()
+	fmt.Println("== before ==")
+	fmt.Println(doc.Indented())
+
+	// Give biologist smith1 an age, two workplace references, and a first
+	// name (the paper's Example 2).
+	ev := xquery.NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{"bio.xml": doc}
+	res, err := ev.ExecString(`
+FOR $bio IN document("bio.xml")/db/biologist[@ID="smith1"]
+UPDATE $bio {
+    INSERT new_attribute(age, "29"),
+    INSERT new_ref(worksAt, "ucla"),
+    INSERT new_ref(worksAt, "baselab"),
+    INSERT <firstname>Jeff</firstname>
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== after (%d binding tuple(s) updated) ==\n", res.Tuples)
+	fmt.Println(doc.Indented())
+}

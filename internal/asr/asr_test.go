@@ -1,0 +1,205 @@
+package asr
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/shred"
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+func loadCust(t testing.TB) (*relational.DB, *shred.Mapping, *ASR) {
+	t.Helper()
+	dtd := xmltree.MustParseDTD(testdocs.CustDTD)
+	m, err := shred.BuildMapping(dtd, "CustDB", shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relational.NewDB()
+	if _, err := shred.Load(db, m, testdocs.Cust()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Build(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, m, a
+}
+
+func TestBuildLevels(t *testing.T) {
+	_, _, a := loadCust(t)
+	if a.Depth != 4 {
+		t.Errorf("depth = %d, want 4", a.Depth)
+	}
+	for elem, want := range map[string]int{"CustDB": 0, "Customer": 1, "Order": 2, "OrderLine": 3} {
+		if a.LevelOf[elem] != want {
+			t.Errorf("level %s = %d, want %d", elem, a.LevelOf[elem], want)
+		}
+	}
+}
+
+func TestLeftCompletePaths(t *testing.T) {
+	db, _, _ := loadCust(t)
+	asrTab := db.Table("ASR")
+	// Paths: 4 order lines (full depth) + customer 3 with no orders
+	// (truncated) = 5 paths.
+	if got := asrTab.RowCount(); got != 5 {
+		t.Fatalf("ASR rows = %d, want 5", got)
+	}
+	// The truncated path has NULLs only at the bottom.
+	rows, err := db.Query(`SELECT c0, c1, c2, c3 FROM ASR WHERE c2 IS NULL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("truncated paths = %d, want 1", len(rows.Data))
+	}
+	r := rows.Data[0]
+	if r[0] == nil || r[1] == nil || r[2] != nil || r[3] != nil {
+		t.Errorf("left-completeness violated: %v", r)
+	}
+}
+
+func TestSharedMappingRejected(t *testing.T) {
+	dtd := xmltree.MustParseDTD(testdocs.BioDTD)
+	m, err := shred.BuildMapping(dtd, "db", shred.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := relational.NewDB()
+	if _, err := shred.Load(db, m, testdocs.Bio()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(db, m); err == nil {
+		t.Error("bio mapping shares lab across depths; ASR build should fail")
+	}
+}
+
+func TestMarkAndMarkedIDs(t *testing.T) {
+	db, _, a := loadCust(t)
+	// Mark the Seattle John (customer id 2 — ids assigned in document
+	// order: 1 CustDB, 2 Customer John, 3/6 orders…). Find it by query.
+	rows, err := db.Query(`SELECT id FROM Customer WHERE Address_City_v = 'Seattle'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	johnID := rows.Data[0][0].(int64)
+	if _, err := a.MarkSubtrees(db, "Customer", []int64{johnID}); err != nil {
+		t.Fatal(err)
+	}
+	orderIDs, err := a.MarkedIDs(db, a.LevelOf["Order"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orderIDs) != 2 {
+		t.Errorf("marked orders = %d, want 2", len(orderIDs))
+	}
+	lineIDs, err := a.MarkedIDs(db, a.LevelOf["OrderLine"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lineIDs) != 3 {
+		t.Errorf("marked lines = %d, want 3", len(lineIDs))
+	}
+	if err := a.Unmark(db); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := a.MarkedIDs(db, 1); len(ids) != 0 {
+		t.Errorf("marks survive Unmark: %v", ids)
+	}
+}
+
+func TestDeleteMarkedRepairsLeftCompleteness(t *testing.T) {
+	db, _, a := loadCust(t)
+	rows, err := db.Query(`SELECT id FROM Customer WHERE Address_City_v = 'Seattle'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	johnID := rows.Data[0][0].(int64)
+	if _, err := a.MarkSubtrees(db, "Customer", []int64{johnID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteMarked(db, "Customer", []int64{johnID}); err != nil {
+		t.Fatal(err)
+	}
+	// Seattle John's 3 line-paths are gone; Mary's path and Sacramento
+	// John's truncated path remain; CustDB must NOT have lost its presence
+	// (it still has children, so no repair row needed for it).
+	asrRows := db.Table("ASR").RowCount()
+	if asrRows != 2 {
+		t.Errorf("ASR rows after delete = %d, want 2", asrRows)
+	}
+	// Now delete Mary too: her parent (CustDB) keeps Sacramento John.
+	rows, _ = db.Query(`SELECT id FROM Customer WHERE Name_v = 'Mary'`)
+	maryID := rows.Data[0][0].(int64)
+	if _, err := a.MarkSubtrees(db, "Customer", []int64{maryID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteMarked(db, "Customer", []int64{maryID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("ASR").RowCount(); got != 1 {
+		t.Errorf("ASR rows = %d, want 1", got)
+	}
+	// Delete the last customer: the root becomes a leaf and must be
+	// re-inserted as a truncated path (left-completeness repair).
+	rows, _ = db.Query(`SELECT id FROM Customer WHERE Address_State_v = 'CA'`)
+	caID := rows.Data[0][0].(int64)
+	if _, err := a.MarkSubtrees(db, "Customer", []int64{caID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteMarked(db, "Customer", []int64{caID}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = db.Query(`SELECT c0, c1 FROM ASR`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] == nil || rows.Data[0][1] != nil {
+		t.Errorf("root repair row wrong: %v", rows.Data)
+	}
+}
+
+func TestInsertPaths(t *testing.T) {
+	db, _, a := loadCust(t)
+	before := db.Table("ASR").RowCount()
+	err := a.InsertPaths(db, [][]relational.Value{
+		{int64(1), int64(900), int64(901), int64(902)},
+		{int64(1), int64(900), int64(903), nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Table("ASR").RowCount(); got != before+2 {
+		t.Errorf("ASR rows = %d, want %d", got, before+2)
+	}
+}
+
+// TestPathQueryAcceleration checks the §5.3 two-join form returns the same
+// answer as the conventional multiway join.
+func TestPathQueryAcceleration(t *testing.T) {
+	db, _, a := loadCust(t)
+	sql, err := a.PathQuerySQL("Customer", "OrderLine", "S.Name_v", "L.ItemName_v = 'tire'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asrRows, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	conventional, err := db.Query(`
+SELECT C.Name_v FROM Customer C, Order_t O, OrderLine OL
+WHERE OL.ItemName_v = 'tire' AND OL.parentId = O.id AND O.parentId = C.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asrRows.Data) != len(conventional.Data) {
+		t.Fatalf("ASR path query returned %d rows, conventional %d", len(asrRows.Data), len(conventional.Data))
+	}
+	for i := range asrRows.Data {
+		if asrRows.Data[i][0] != "John" {
+			t.Errorf("row %d = %v", i, asrRows.Data[i])
+		}
+	}
+}

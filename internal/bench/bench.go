@@ -1,0 +1,533 @@
+// Package bench reproduces the paper's experimental evaluation (§7): one
+// runner per figure and table, each regenerating the same series the paper
+// plots — delete methods across scaling factor and depth (Figures 6–9),
+// insert methods across depth (Figures 10–11), the DBLP workload (Table 2),
+// and the §7.2 ASR path-expression study.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/asr"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/relational"
+	"repro/internal/shred"
+)
+
+// Point is one measurement.
+type Point struct {
+	// X is the independent variable (scaling factor or depth).
+	X int
+	// Seconds is the mean wall time of the measured operation (first run
+	// discarded, like the paper's methodology).
+	Seconds float64
+	// Statements and RowsScanned expose the engine's cost model.
+	Statements  int64
+	RowsScanned int64
+	// Tuples is the document size in tuples.
+	Tuples int
+}
+
+// Series is one method's curve.
+type Series struct {
+	Method string
+	Points []Point
+}
+
+// Figure is a regenerated figure: series over a common x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Config controls experiment scale.
+type Config struct {
+	// Runs is the number of measured runs per point; one extra warm-up run
+	// is performed and discarded (§7: five runs, first discarded).
+	Runs int
+	// Quick shrinks the parameter grid for tests.
+	Quick bool
+}
+
+// DefaultConfig mirrors the paper's methodology.
+func DefaultConfig() Config { return Config{Runs: 4} }
+
+func (c Config) runs() int {
+	if c.Runs <= 0 {
+		return 2
+	}
+	return c.Runs
+}
+
+func (c Config) scalingFactors() []int {
+	if c.Quick {
+		return []int{25, 50, 100}
+	}
+	return []int{100, 200, 400, 800}
+}
+
+func (c Config) depths() []int {
+	if c.Quick {
+		return []int{2, 3}
+	}
+	return []int{2, 3, 4, 5}
+}
+
+// measure opens the store once, snapshots it, and times op Runs+1 times with
+// a state restore between runs, discarding the first (warm-up) run — the
+// paper's five-runs-drop-first methodology.
+func measure(runs int, setup func() (*engine.Store, error), op func(*engine.Store) error) (Point, error) {
+	var total float64
+	var pt Point
+	s, err := setup()
+	if err != nil {
+		return pt, err
+	}
+	snap := s.Snapshot()
+	pt.Tuples = s.TupleCount() // document size before the operation
+	for i := 0; i <= runs; i++ {
+		s.DB.ResetStats()
+		start := time.Now()
+		if err := op(s); err != nil {
+			return pt, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if i > 0 {
+			total += elapsed
+			st := s.DB.Stats()
+			pt.Statements = st.Statements
+			pt.RowsScanned = st.RowsScanned
+		}
+		s.Restore(snap)
+	}
+	pt.Seconds = total / float64(runs)
+	return pt, nil
+}
+
+// deleteMethodsForFigures matches the paper's plotted series (cascade is
+// omitted from the graphs because it tracks per-statement triggers within
+// ~5%; RunCascadeComparison covers that claim).
+var deleteMethodsForFigures = []engine.DeleteMethod{
+	engine.ASRDelete, engine.PerStatementTrigger, engine.PerTupleTrigger,
+}
+
+// randomSubtreeIDs picks n distinct e1 tuple ids (the root-level subtrees)
+// deterministically.
+func randomSubtreeIDs(s *engine.Store, n int, seed int64) ([]int64, error) {
+	rows, err := s.DB.Query(fmt.Sprintf("SELECT id FROM %s", s.M.Table("e1").Name))
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(rows.Data))
+	for i, r := range rows.Data {
+		ids[i] = r[0].(int64)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n], nil
+}
+
+// bulkDelete removes every subtree of the root (§7.1: "a bulk delete would
+// leave only the root element"), one SQL statement.
+func bulkDelete(s *engine.Store) error {
+	_, err := s.DeleteSubtrees("e1", "")
+	return err
+}
+
+// randomDelete removes 10 randomly chosen subtrees, one statement each.
+func randomDelete(s *engine.Store) error {
+	ids, err := randomSubtreeIDs(s, 10, 17)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := s.DeleteSubtrees("e1", fmt.Sprintf("id = %d", id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func deleteFigure(cfg Config, id, title, xlabel string, xs []int, param func(x int) datagen.FixedParams, workload func(*engine.Store) error) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel}
+	for _, m := range deleteMethodsForFigures {
+		series := Series{Method: m.String()}
+		for _, x := range xs {
+			p := param(x)
+			doc := datagen.Fixed(p)
+			method := m
+			pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+				return engine.Open(doc, engine.Options{Delete: method})
+			}, workload)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s x=%d: %w", id, m, x, err)
+			}
+			pt.X = x
+			series.Points = append(series.Points, pt)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// RunFig6 regenerates Figure 6: delete performance, bulk workload, fixed
+// fanout=1, depth=8, scaling factor on the x-axis.
+func RunFig6(cfg Config) (*Figure, error) {
+	return deleteFigure(cfg, "fig6", "Delete performance on bulk workload, fixed fanout=1, depth=8", "scaling factor",
+		cfg.scalingFactors(), func(sf int) datagen.FixedParams {
+			return datagen.FixedParams{ScalingFactor: sf, Depth: 8, Fanout: 1, Seed: 1}
+		}, bulkDelete)
+}
+
+// RunFig7 regenerates Figure 7: delete performance, random workload, fixed
+// fanout=1, depth=8.
+func RunFig7(cfg Config) (*Figure, error) {
+	return deleteFigure(cfg, "fig7", "Delete performance on random workload, fixed fanout=1, depth=8", "scaling factor",
+		cfg.scalingFactors(), func(sf int) datagen.FixedParams {
+			return datagen.FixedParams{ScalingFactor: sf, Depth: 8, Fanout: 1, Seed: 1}
+		}, randomDelete)
+}
+
+// RunFig8 regenerates Figure 8: delete performance, bulk workload, fixed
+// scaling factor=100, fanout=4, depth on the x-axis.
+func RunFig8(cfg Config) (*Figure, error) {
+	return deleteFigure(cfg, "fig8", "Delete performance on bulk workload, fixed scaling factor=100, fanout=4", "depth",
+		cfg.depths(), func(d int) datagen.FixedParams {
+			return datagen.FixedParams{ScalingFactor: sfForDepthSweep(cfg), Depth: d, Fanout: 4, Seed: 1}
+		}, bulkDelete)
+}
+
+// RunFig9 regenerates Figure 9: delete performance, random workload, fixed
+// scaling factor=100, fanout=4.
+func RunFig9(cfg Config) (*Figure, error) {
+	return deleteFigure(cfg, "fig9", "Delete performance on random workload, fixed scaling factor=100, fanout=4", "depth",
+		cfg.depths(), func(d int) datagen.FixedParams {
+			return datagen.FixedParams{ScalingFactor: sfForDepthSweep(cfg), Depth: d, Fanout: 4, Seed: 1}
+		}, randomDelete)
+}
+
+func sfForDepthSweep(cfg Config) int {
+	if cfg.Quick {
+		return 20
+	}
+	return 100
+}
+
+var insertMethodsForFigures = []engine.InsertMethod{
+	engine.TupleInsert, engine.TableInsert, engine.ASRInsert,
+}
+
+// bulkInsert replicates every subtree of the root (§7.4).
+func bulkInsert(s *engine.Store) error {
+	_, err := s.CopySubtrees("e1", "", 1)
+	return err
+}
+
+// randomInsert replicates 10 randomly chosen subtrees.
+func randomInsert(s *engine.Store) error {
+	ids, err := randomSubtreeIDs(s, 10, 23)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if _, err := s.CopySubtrees("e1", fmt.Sprintf("id = %d", id), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func insertFigure(cfg Config, id, title string, workload func(*engine.Store) error) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, XLabel: "depth"}
+	for _, m := range insertMethodsForFigures {
+		series := Series{Method: m.String()}
+		for _, d := range cfg.depths() {
+			p := datagen.FixedParams{ScalingFactor: sfForDepthSweep(cfg), Depth: d, Fanout: 4, Seed: 1}
+			doc := datagen.Fixed(p)
+			method := m
+			pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+				return engine.Open(doc, engine.Options{Insert: method})
+			}, workload)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s d=%d: %w", id, m, d, err)
+			}
+			pt.X = d
+			series.Points = append(series.Points, pt)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// RunFig10 regenerates Figure 10: insert performance, bulk workload, fixed
+// scaling factor=100, fanout=4.
+func RunFig10(cfg Config) (*Figure, error) {
+	return insertFigure(cfg, "fig10", "Insert performance, bulk workload, fixed scaling factor=100, fanout=4", bulkInsert)
+}
+
+// RunFig11 regenerates Figure 11: insert performance, random workload, fixed
+// scaling factor=100, fanout=4.
+func RunFig11(cfg Config) (*Figure, error) {
+	return insertFigure(cfg, "fig11", "Insert performance, random workload, fixed scaling factor=100, fanout=4", randomInsert)
+}
+
+// RunCascadeComparison checks the §7.3 claim that the cascading delete
+// performs within a few percent of per-statement triggers (it simulates them
+// at the application level).
+func RunCascadeComparison(cfg Config) (*Figure, error) {
+	fig := &Figure{ID: "cascade", Title: "Cascading delete vs per-statement trigger, bulk workload, fanout=1, depth=8", XLabel: "scaling factor"}
+	for _, m := range []engine.DeleteMethod{engine.PerStatementTrigger, engine.CascadingDelete} {
+		series := Series{Method: m.String()}
+		for _, sf := range cfg.scalingFactors() {
+			doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: 8, Fanout: 1, Seed: 1})
+			method := m
+			pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+				return engine.Open(doc, engine.Options{Delete: method})
+			}, bulkDelete)
+			if err != nil {
+				return nil, err
+			}
+			pt.X = sf
+			series.Points = append(series.Points, pt)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// RunRandomizedDelete repeats the delete comparison on randomized synthetic
+// documents (§7.1.2; the paper reports the results were similar and omits
+// them).
+func RunRandomizedDelete(cfg Config) (*Figure, error) {
+	fig := &Figure{ID: "randdoc", Title: "Delete performance on randomized documents, random workload", XLabel: "scaling factor"}
+	for _, m := range deleteMethodsForFigures {
+		series := Series{Method: m.String()}
+		for _, sf := range cfg.scalingFactors() {
+			doc := datagen.Randomized(datagen.RandomizedParams{ScalingFactor: sf, MaxDepth: 6, MaxFanout: 4, Seed: 3})
+			method := m
+			pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+				return engine.Open(doc, engine.Options{Delete: method})
+			}, randomDelete)
+			if err != nil {
+				return nil, err
+			}
+			pt.X = sf
+			series.Points = append(series.Points, pt)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Table2Row is one cell row of Table 2.
+type Table2Row struct {
+	Operation string
+	Method    string
+	Seconds   float64
+}
+
+// RunTable2 regenerates Table 2: delete and insert running times on the
+// DBLP-like data set. Deletes remove the year-2000 publications; inserts
+// copy them (within the document, under the first conference).
+func RunTable2(cfg Config) ([]Table2Row, error) {
+	p := datagen.DBLPParams{Conferences: 40, PubsPerConf: 60, Seed: 11}
+	if cfg.Quick {
+		// Still large enough that the year-2000 copy set is "many tuples":
+		// with a tiny copy set the tuple method legitimately wins (§6.2.1),
+		// which is the Figure 11 small-copy regime, not the Table 2 one.
+		p = datagen.DBLPParams{Conferences: 25, PubsPerConf: 40, Seed: 11}
+	}
+	doc := datagen.DBLP(p)
+	var rows []Table2Row
+	for _, m := range []engine.DeleteMethod{engine.PerTupleTrigger, engine.PerStatementTrigger, engine.CascadingDelete, engine.ASRDelete} {
+		method := m
+		pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+			return engine.Open(doc, engine.Options{Delete: method})
+		}, func(s *engine.Store) error {
+			_, err := s.DeleteSubtrees("publication", "a_year = '2000'")
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2 delete %s: %w", m, err)
+		}
+		rows = append(rows, Table2Row{Operation: "delete", Method: m.String(), Seconds: pt.Seconds})
+	}
+	for _, m := range []engine.InsertMethod{engine.ASRInsert, engine.TableInsert, engine.TupleInsert} {
+		method := m
+		pt, err := measure(cfg.runs(), func() (*engine.Store, error) {
+			return engine.Open(doc, engine.Options{Insert: method})
+		}, func(s *engine.Store) error {
+			rows, err := s.DB.Query(fmt.Sprintf("SELECT MIN(id) FROM %s", s.M.Table("conference").Name))
+			if err != nil {
+				return err
+			}
+			dst := rows.Data[0][0].(int64)
+			_, err = s.CopySubtrees("publication", "a_year = '2000'", dst)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table2 insert %s: %w", m, err)
+		}
+		rows = append(rows, Table2Row{Operation: "insert", Method: m.String(), Seconds: pt.Seconds})
+	}
+	return rows, nil
+}
+
+// ASRPathPoint is one §7.2 measurement: conventional multiway join versus
+// ASR two-join evaluation of a path expression.
+type ASRPathPoint struct {
+	Fanout       int
+	PathLen      int
+	Conventional float64
+	ASRTime      float64
+	ASRRows      int
+}
+
+// RunASRPath reproduces the §7.2 path-expression study: path expressions of
+// length 3 and 4 over documents with fanout 1 and 4.
+func RunASRPath(cfg Config) ([]ASRPathPoint, error) {
+	var out []ASRPathPoint
+	sf := 100
+	if cfg.Quick {
+		sf = 20
+	}
+	for _, fanout := range []int{1, 4} {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: 5, Fanout: fanout, Seed: 9})
+		m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{})
+		if err != nil {
+			return nil, err
+		}
+		db := relational.NewDB()
+		if _, err := shred.Load(db, m, doc); err != nil {
+			return nil, err
+		}
+		a, err := asr.Build(db, m)
+		if err != nil {
+			return nil, err
+		}
+		for _, plen := range []int{3, 4} {
+			leaf := fmt.Sprintf("e%d", plen)
+			// Pick an existing payload value so the query selects rows.
+			probe, err := db.Query(fmt.Sprintf("SELECT %s FROM %s", colV("k", plen), m.Table(leaf).Name))
+			if err != nil {
+				return nil, err
+			}
+			val := relational.FormatValue(probe.Data[len(probe.Data)/2][0])
+
+			conventional := conventionalPathSQL(m, plen, val)
+			asrSQL, err := a.PathQuerySQL("e1", leaf, "S."+colV("s", 1), fmt.Sprintf("L.%s = %s", colV("k", plen), val))
+			if err != nil {
+				return nil, err
+			}
+			convTime, err := timeQuery(db, conventional, cfg.runs())
+			if err != nil {
+				return nil, fmt.Errorf("conventional: %w", err)
+			}
+			asrTime, err := timeQuery(db, asrSQL, cfg.runs())
+			if err != nil {
+				return nil, fmt.Errorf("asr: %w", err)
+			}
+			out = append(out, ASRPathPoint{
+				Fanout:       fanout,
+				PathLen:      plen,
+				Conventional: convTime,
+				ASRTime:      asrTime,
+				ASRRows:      db.Table("ASR").RowCount(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func colV(kind string, level int) string { return fmt.Sprintf("%s%d_v", kind, level) }
+
+// BuildASR exposes ASR construction for the root benchmark harness.
+func BuildASR(db *relational.DB, m *shred.Mapping) (*asr.ASR, error) {
+	return asr.Build(db, m)
+}
+
+// PathQueries returns the conventional-join and ASR-join SQL for a §7.2 path
+// query of the given length over a loaded fixed synthetic document.
+func PathQueries(db *relational.DB, m *shred.Mapping, a *asr.ASR, plen int) (conventional, asrSQL string, err error) {
+	leaf := fmt.Sprintf("e%d", plen)
+	probe, err := db.Query(fmt.Sprintf("SELECT %s FROM %s", colV("k", plen), m.Table(leaf).Name))
+	if err != nil {
+		return "", "", err
+	}
+	if len(probe.Data) == 0 {
+		return "", "", fmt.Errorf("bench: empty leaf table %s", leaf)
+	}
+	val := relational.FormatValue(probe.Data[len(probe.Data)/2][0])
+	conventional = conventionalPathSQL(m, plen, val)
+	asrSQL, err = a.PathQuerySQL("e1", leaf, "S."+colV("s", 1), fmt.Sprintf("L.%s = %s", colV("k", plen), val))
+	return conventional, asrSQL, err
+}
+
+// conventionalPathSQL joins the data relations along the path e1→…→eL.
+func conventionalPathSQL(m *shred.Mapping, plen int, val string) string {
+	var from []string
+	var conds []string
+	for i := 1; i <= plen; i++ {
+		from = append(from, fmt.Sprintf("%s E%d", m.Table(fmt.Sprintf("e%d", i)).Name, i))
+		if i > 1 {
+			conds = append(conds, fmt.Sprintf("E%d.parentId = E%d.id", i, i-1))
+		}
+	}
+	conds = append(conds, fmt.Sprintf("E%d.%s = %s", plen, colV("k", plen), val))
+	return fmt.Sprintf("SELECT E1.%s FROM %s WHERE %s", colV("s", 1), strings.Join(from, ", "), strings.Join(conds, " AND "))
+}
+
+func timeQuery(db *relational.DB, sql string, runs int) (float64, error) {
+	var total float64
+	for i := 0; i <= runs; i++ {
+		start := time.Now()
+		if _, err := db.Query(sql); err != nil {
+			return 0, err
+		}
+		if i > 0 {
+			total += time.Since(start).Seconds()
+		}
+	}
+	return total / float64(runs), nil
+}
+
+// WriteFigure prints a figure as aligned columns, one block per series —
+// the same rows/series the paper plots.
+func WriteFigure(w io.Writer, fig *Figure) {
+	fmt.Fprintf(w, "# %s — %s\n", fig.ID, fig.Title)
+	for _, s := range fig.Series {
+		fmt.Fprintf(w, "## method: %s\n", s.Method)
+		fmt.Fprintf(w, "%-16s %12s %12s %14s %10s\n", fig.XLabel, "time (s)", "statements", "rows scanned", "tuples")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%-16d %12.6f %12d %14d %10d\n", p.X, p.Seconds, p.Statements, p.RowsScanned, p.Tuples)
+		}
+	}
+}
+
+// WriteTable2 prints Table 2 in the paper's layout.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "# table2 — Experimental results on DBLP data (seconds)")
+	fmt.Fprintf(w, "%-10s %-20s %12s\n", "operation", "method", "time (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-20s %12.6f\n", r.Operation, r.Method, r.Seconds)
+	}
+}
+
+// WriteASRPath prints the §7.2 study.
+func WriteASRPath(w io.Writer, pts []ASRPathPoint) {
+	fmt.Fprintln(w, "# asrpath — §7.2 ASR path-expression evaluation (seconds)")
+	fmt.Fprintf(w, "%-8s %-10s %14s %12s %10s\n", "fanout", "path len", "conventional", "asr", "asr rows")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-8d %-10d %14.6f %12.6f %10d\n", p.Fanout, p.PathLen, p.Conventional, p.ASRTime, p.ASRRows)
+	}
+}

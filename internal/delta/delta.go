@@ -1,0 +1,452 @@
+// Package delta implements update deltas: serializable logs of primitive
+// update operations that can be transmitted and replayed against a replica
+// of a document. The paper's introduction motivates update encapsulation for
+// exactly this — incremental changes for continuous queries, XML document
+// mirroring, caching, and replication (§1).
+//
+// A Delta records each primitive operation in execution order, locating its
+// objects with paths computed against the pre-operation state; replaying the
+// operations in order against an identical replica reproduces the update.
+package delta
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/update"
+	"repro/internal/xmltree"
+)
+
+// Locator addresses an object within a document. Elements are addressed by
+// their ID when they have one (stable under reordering), otherwise by the
+// path of child-node indexes from the root.
+type Locator struct {
+	// ID addresses an element via the document's ID registry.
+	ID string
+	// Path is the child-node index path from the root (used when ID == "").
+	Path []int
+	// Sel selects a non-element object within the element: "" (the element
+	// itself), "@name" (attribute), "ref(name,i)" (one reference entry),
+	// "refs(name)" (a whole reference list), or "text(i)" (the i-th child
+	// node, a PCDATA node).
+	Sel string
+}
+
+func (l Locator) String() string {
+	var b strings.Builder
+	if l.ID != "" {
+		fmt.Fprintf(&b, "id(%s)", l.ID)
+	} else {
+		b.WriteByte('/')
+		parts := make([]string, len(l.Path))
+		for i, p := range l.Path {
+			parts[i] = strconv.Itoa(p)
+		}
+		b.WriteString(strings.Join(parts, "/"))
+	}
+	if l.Sel != "" {
+		b.WriteByte('#')
+		b.WriteString(l.Sel)
+	}
+	return b.String()
+}
+
+// ParseLocator parses the String form.
+func ParseLocator(s string) (Locator, error) {
+	var l Locator
+	body := s
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		body, l.Sel = s[:i], s[i+1:]
+	}
+	switch {
+	case strings.HasPrefix(body, "id(") && strings.HasSuffix(body, ")"):
+		l.ID = body[3 : len(body)-1]
+		if l.ID == "" {
+			return l, fmt.Errorf("delta: empty id in locator %q", s)
+		}
+	case strings.HasPrefix(body, "/"):
+		trimmed := strings.Trim(body, "/")
+		if trimmed != "" {
+			for _, part := range strings.Split(trimmed, "/") {
+				n, err := strconv.Atoi(part)
+				if err != nil {
+					return l, fmt.Errorf("delta: bad path segment %q in %q", part, s)
+				}
+				l.Path = append(l.Path, n)
+			}
+		}
+	default:
+		return l, fmt.Errorf("delta: bad locator %q", s)
+	}
+	return l, nil
+}
+
+// OpKind names a recorded operation.
+type OpKind string
+
+// Recorded operation kinds.
+const (
+	OpDelete       OpKind = "delete"
+	OpRename       OpKind = "rename"
+	OpInsert       OpKind = "insert"
+	OpInsertBefore OpKind = "insert-before"
+	OpInsertAfter  OpKind = "insert-after"
+	OpReplace      OpKind = "replace"
+)
+
+// Content is serializable insertion content.
+type Content struct {
+	// Exactly one of the following is used, discriminated by Kind:
+	// "attribute", "ref", "element", "pcdata".
+	Kind  string
+	Name  string // attribute/reference name
+	Value string // attribute value, reference id, or PCDATA
+	XML   string // serialized element content
+}
+
+// Op is one recorded primitive operation.
+type Op struct {
+	Kind    OpKind
+	Target  Locator // the target element of the operation
+	Child   Locator // the child object (delete/rename/replace) or reference point (positional insert)
+	Name    string  // rename's new name
+	Content *Content
+}
+
+// Delta is an ordered operation log.
+type Delta struct {
+	Ops []Op
+}
+
+// Recorder captures the primitive operations an update.Executor performs.
+type Recorder struct {
+	doc   *xmltree.Document
+	delta *Delta
+	err   error
+}
+
+// NewRecorder returns a recorder for updates against doc. Install it with
+// Attach before executing.
+func NewRecorder(doc *xmltree.Document) *Recorder {
+	return &Recorder{doc: doc, delta: &Delta{}}
+}
+
+// Attach installs the recorder on an executor.
+func (r *Recorder) Attach(x *update.Executor) {
+	x.Observer = r.Observe
+}
+
+// Observe records one primitive operation; it is the callback installed on
+// executors and evaluators.
+func (r *Recorder) Observe(target *xmltree.Element, op update.Op) {
+	r.observe(target, op)
+}
+
+// Delta returns the recorded log and any recording error.
+func (r *Recorder) Delta() (*Delta, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.delta, nil
+}
+
+func (r *Recorder) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("delta: "+format, args...)
+	}
+}
+
+func (r *Recorder) observe(target *xmltree.Element, op update.Op) {
+	tl, ok := r.locateElement(target)
+	if !ok {
+		r.fail("cannot locate target <%s>", target.Name)
+		return
+	}
+	rec := Op{Target: tl}
+	switch o := op.(type) {
+	case update.Delete:
+		rec.Kind = OpDelete
+		rec.Child, ok = r.locateChild(target, o.Child)
+	case update.Rename:
+		rec.Kind = OpRename
+		rec.Name = o.Name
+		rec.Child, ok = r.locateChild(target, o.Child)
+	case update.Insert:
+		rec.Kind = OpInsert
+		rec.Content = r.content(o.Content)
+		ok = rec.Content != nil
+	case update.InsertBefore:
+		rec.Kind = OpInsertBefore
+		rec.Content = r.content(o.Content)
+		var cok bool
+		rec.Child, cok = r.locateChild(target, o.Ref)
+		ok = cok && rec.Content != nil
+	case update.InsertAfter:
+		rec.Kind = OpInsertAfter
+		rec.Content = r.content(o.Content)
+		var cok bool
+		rec.Child, cok = r.locateChild(target, o.Ref)
+		ok = cok && rec.Content != nil
+	case update.Replace:
+		rec.Kind = OpReplace
+		rec.Content = r.content(o.Content)
+		var cok bool
+		rec.Child, cok = r.locateChild(target, o.Child)
+		ok = cok && rec.Content != nil
+	default:
+		r.fail("unsupported operation %T", op)
+		return
+	}
+	if !ok {
+		r.fail("cannot record %s on <%s>", update.OpName(op), target.Name)
+		return
+	}
+	r.delta.Ops = append(r.delta.Ops, rec)
+}
+
+func (r *Recorder) locateElement(e *xmltree.Element) (Locator, bool) {
+	if id := r.doc.ID(e); id != "" && r.doc.ByID(id) == e {
+		return Locator{ID: id}, true
+	}
+	var path []int
+	for cur := e; cur.Parent() != nil; cur = cur.Parent() {
+		idx := cur.Parent().ChildIndex(cur)
+		if idx < 0 {
+			return Locator{}, false
+		}
+		path = append(path, idx)
+	}
+	// The walk built the path leaf-to-root.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	root := e
+	for root.Parent() != nil {
+		root = root.Parent()
+	}
+	if root != r.doc.Root {
+		return Locator{}, false
+	}
+	return Locator{Path: path}, true
+}
+
+func (r *Recorder) locateChild(target *xmltree.Element, child update.Target) (Locator, bool) {
+	base, ok := r.locateElement(target)
+	if !ok {
+		return Locator{}, false
+	}
+	switch c := child.(type) {
+	case *xmltree.Element:
+		return r.locateElement(c)
+	case *xmltree.Attr:
+		base.Sel = "@" + c.Name
+		return base, c.Owner() == target
+	case *xmltree.RefList:
+		base.Sel = fmt.Sprintf("refs(%s)", c.Name)
+		return base, c.Owner() == target
+	case xmltree.Ref:
+		base.Sel = fmt.Sprintf("ref(%s,%d)", c.List.Name, c.Index)
+		return base, c.List.Owner() == target
+	case *xmltree.Text:
+		idx := target.ChildIndex(c)
+		if idx < 0 {
+			return Locator{}, false
+		}
+		base.Sel = fmt.Sprintf("text(%d)", idx)
+		return base, true
+	default:
+		return Locator{}, false
+	}
+}
+
+func (r *Recorder) content(c update.Content) *Content {
+	switch x := c.(type) {
+	case update.NewAttribute:
+		return &Content{Kind: "attribute", Name: x.Name, Value: x.Value}
+	case update.NewRef:
+		return &Content{Kind: "ref", Name: x.Name, Value: x.ID}
+	case update.PCDATA:
+		return &Content{Kind: "pcdata", Value: x.Data}
+	case update.ElementContent:
+		return &Content{Kind: "element", XML: xmltree.Serialize(x.Element)}
+	default:
+		return nil
+	}
+}
+
+// Apply replays the delta against a replica document, in order. The replica
+// must be structurally identical to the pre-update original for positional
+// locators to resolve.
+func (d *Delta) Apply(doc *xmltree.Document, model update.Model) error {
+	x := update.NewExecutor(model, doc)
+	for i, op := range d.Ops {
+		target, err := resolveElement(doc, op.Target)
+		if err != nil {
+			return fmt.Errorf("delta: op %d: target: %w", i, err)
+		}
+		prim, err := op.toPrimitive(doc, target)
+		if err != nil {
+			return fmt.Errorf("delta: op %d: %w", i, err)
+		}
+		if err := x.Apply(target, []update.Op{prim}); err != nil {
+			return fmt.Errorf("delta: op %d (%s): %w", i, op.Kind, err)
+		}
+	}
+	return nil
+}
+
+func (op *Op) toPrimitive(doc *xmltree.Document, target *xmltree.Element) (update.Op, error) {
+	switch op.Kind {
+	case OpDelete:
+		child, err := resolveTarget(doc, op.Child)
+		if err != nil {
+			return nil, err
+		}
+		return update.Delete{Child: child}, nil
+	case OpRename:
+		child, err := resolveTarget(doc, op.Child)
+		if err != nil {
+			return nil, err
+		}
+		return update.Rename{Child: child, Name: op.Name}, nil
+	case OpInsert:
+		content, err := op.Content.toContent(doc)
+		if err != nil {
+			return nil, err
+		}
+		return update.Insert{Content: content}, nil
+	case OpInsertBefore, OpInsertAfter:
+		content, err := op.Content.toContent(doc)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := resolveTarget(doc, op.Child)
+		if err != nil {
+			return nil, err
+		}
+		if op.Kind == OpInsertBefore {
+			return update.InsertBefore{Ref: ref, Content: content}, nil
+		}
+		return update.InsertAfter{Ref: ref, Content: content}, nil
+	case OpReplace:
+		content, err := op.Content.toContent(doc)
+		if err != nil {
+			return nil, err
+		}
+		child, err := resolveTarget(doc, op.Child)
+		if err != nil {
+			return nil, err
+		}
+		return update.Replace{Child: child, Content: content}, nil
+	default:
+		return nil, fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+}
+
+func (c *Content) toContent(doc *xmltree.Document) (update.Content, error) {
+	if c == nil {
+		return nil, fmt.Errorf("missing content")
+	}
+	switch c.Kind {
+	case "attribute":
+		return update.NewAttribute{Name: c.Name, Value: c.Value}, nil
+	case "ref":
+		return update.NewRef{Name: c.Name, ID: c.Value}, nil
+	case "pcdata":
+		return update.PCDATA{Data: c.Value}, nil
+	case "element":
+		var dtd *xmltree.DTD
+		if doc != nil {
+			dtd = doc.DTD
+		}
+		parsed, err := xmltree.ParseWith(c.XML, xmltree.ParseOptions{TrimText: true, DTD: dtd})
+		if err != nil {
+			return nil, fmt.Errorf("content XML: %w", err)
+		}
+		return update.ElementContent{Element: parsed.Root}, nil
+	default:
+		return nil, fmt.Errorf("unknown content kind %q", c.Kind)
+	}
+}
+
+func resolveElement(doc *xmltree.Document, l Locator) (*xmltree.Element, error) {
+	if l.ID != "" {
+		e := doc.ByID(l.ID)
+		if e == nil {
+			return nil, fmt.Errorf("no element with ID %q", l.ID)
+		}
+		return e, nil
+	}
+	cur := doc.Root
+	for _, idx := range l.Path {
+		kids := cur.Children()
+		if idx < 0 || idx >= len(kids) {
+			return nil, fmt.Errorf("path index %d out of range under <%s>", idx, cur.Name)
+		}
+		ce, ok := kids[idx].(*xmltree.Element)
+		if !ok {
+			return nil, fmt.Errorf("path index %d under <%s> is not an element", idx, cur.Name)
+		}
+		cur = ce
+	}
+	return cur, nil
+}
+
+// resolveTarget resolves a locator with its Sel suffix into an update target.
+func resolveTarget(doc *xmltree.Document, l Locator) (update.Target, error) {
+	e, err := resolveElement(doc, Locator{ID: l.ID, Path: l.Path})
+	if err != nil {
+		return nil, err
+	}
+	sel := l.Sel
+	switch {
+	case sel == "":
+		return e, nil
+	case strings.HasPrefix(sel, "@"):
+		a := e.Attr(sel[1:])
+		if a == nil {
+			return nil, fmt.Errorf("no attribute %q on <%s>", sel[1:], e.Name)
+		}
+		return a, nil
+	case strings.HasPrefix(sel, "refs(") && strings.HasSuffix(sel, ")"):
+		name := sel[5 : len(sel)-1]
+		r := e.Ref(name)
+		if r == nil {
+			return nil, fmt.Errorf("no reference list %q on <%s>", name, e.Name)
+		}
+		return r, nil
+	case strings.HasPrefix(sel, "ref(") && strings.HasSuffix(sel, ")"):
+		body := sel[4 : len(sel)-1]
+		comma := strings.LastIndexByte(body, ',')
+		if comma < 0 {
+			return nil, fmt.Errorf("bad ref selector %q", sel)
+		}
+		name := body[:comma]
+		idx, err := strconv.Atoi(body[comma+1:])
+		if err != nil {
+			return nil, fmt.Errorf("bad ref index in %q", sel)
+		}
+		r := e.Ref(name)
+		if r == nil || idx < 0 || idx >= len(r.IDs) {
+			return nil, fmt.Errorf("no reference %s[%d] on <%s>", name, idx, e.Name)
+		}
+		return xmltree.Ref{List: r, Index: idx}, nil
+	case strings.HasPrefix(sel, "text(") && strings.HasSuffix(sel, ")"):
+		idx, err := strconv.Atoi(sel[5 : len(sel)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad text index in %q", sel)
+		}
+		kids := e.Children()
+		if idx < 0 || idx >= len(kids) {
+			return nil, fmt.Errorf("text index %d out of range", idx)
+		}
+		t, ok := kids[idx].(*xmltree.Text)
+		if !ok {
+			return nil, fmt.Errorf("child %d of <%s> is not PCDATA", idx, e.Name)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q", sel)
+	}
+}

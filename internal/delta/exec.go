@@ -1,0 +1,20 @@
+package delta
+
+import (
+	"repro/internal/xquery"
+)
+
+// ExecRecorded executes an update statement through the evaluator while
+// recording the primitive operations it performs into rec. The recorder's
+// observer is removed afterwards.
+func ExecRecorded(ev *xquery.Evaluator, stmt *xquery.Statement, rec *Recorder) error {
+	prev := ev.Observer
+	ev.Observer = rec.Observe
+	defer func() { ev.Observer = prev }()
+	_, err := ev.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	_, err = rec.Delta()
+	return err
+}

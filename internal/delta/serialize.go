@@ -1,0 +1,130 @@
+package delta
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// The transmission format: a delta is itself an XML document, so it can be
+// shipped through the same channels as the data it describes.
+//
+//	<delta>
+//	  <op kind="delete" target="id(Smith991231)" child="id(Smith991231)#@category"/>
+//	  <op kind="insert" target="id(smith1)">
+//	    <content kind="element"><firstname>Jeff</firstname></content>
+//	  </op>
+//	</delta>
+
+// ToXML serializes the delta.
+func (d *Delta) ToXML() string {
+	root := xmltree.NewElement("delta")
+	for _, op := range d.Ops {
+		oe := xmltree.NewElement("op")
+		oe.ReplaceAttrValue("kind", string(op.Kind))
+		oe.ReplaceAttrValue("target", op.Target.String())
+		if op.Kind != OpInsert {
+			oe.ReplaceAttrValue("child", op.Child.String())
+		}
+		if op.Name != "" {
+			oe.ReplaceAttrValue("name", op.Name)
+		}
+		if op.Content != nil {
+			ce := xmltree.NewElement("content")
+			ce.ReplaceAttrValue("kind", op.Content.Kind)
+			switch op.Content.Kind {
+			case "attribute", "ref":
+				ce.ReplaceAttrValue("name", op.Content.Name)
+				ce.ReplaceAttrValue("value", op.Content.Value)
+			case "pcdata":
+				ce.AppendChild(xmltree.NewText(op.Content.Value))
+			case "element":
+				parsed, err := xmltree.Parse(op.Content.XML)
+				if err == nil {
+					ce.AppendChild(parsed.Root)
+				}
+			}
+			oe.AppendChild(ce)
+		}
+		root.AppendChild(oe)
+	}
+	return xmltree.SerializeWith(root, xmltree.SerializeOptions{Indent: "  ", SortAttrs: true})
+}
+
+// ParseXML parses a serialized delta.
+func ParseXML(src string) (*Delta, error) {
+	doc, err := xmltree.ParseWith(src, xmltree.ParseOptions{TrimText: true})
+	if err != nil {
+		return nil, fmt.Errorf("delta: %w", err)
+	}
+	if doc.Root.Name != "delta" {
+		return nil, fmt.Errorf("delta: root element is <%s>, want <delta>", doc.Root.Name)
+	}
+	d := &Delta{}
+	for _, oe := range doc.Root.ChildElementsNamed("op") {
+		kind, _ := oe.AttrValue("kind")
+		op := Op{Kind: OpKind(kind)}
+		tgt, ok := oe.AttrValue("target")
+		if !ok {
+			return nil, fmt.Errorf("delta: op without target")
+		}
+		op.Target, err = ParseLocator(tgt)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := oe.AttrValue("child"); ok {
+			op.Child, err = ParseLocator(c)
+			if err != nil {
+				return nil, err
+			}
+		}
+		op.Name, _ = oe.AttrValue("name")
+		if ce := oe.FirstChildNamed("content"); ce != nil {
+			content := &Content{}
+			content.Kind, _ = ce.AttrValue("kind")
+			switch content.Kind {
+			case "attribute", "ref":
+				content.Name, _ = ce.AttrValue("name")
+				content.Value, _ = ce.AttrValue("value")
+			case "pcdata":
+				content.Value = ce.TextContent()
+			case "element":
+				kids := ce.ChildElements()
+				if len(kids) != 1 {
+					return nil, fmt.Errorf("delta: element content must hold exactly one element")
+				}
+				content.XML = xmltree.Serialize(kids[0])
+			default:
+				return nil, fmt.Errorf("delta: unknown content kind %q", content.Kind)
+			}
+			op.Content = content
+		}
+		switch op.Kind {
+		case OpDelete, OpRename, OpInsert, OpInsertBefore, OpInsertAfter, OpReplace:
+		default:
+			return nil, fmt.Errorf("delta: unknown op kind %q", op.Kind)
+		}
+		d.Ops = append(d.Ops, op)
+	}
+	return d, nil
+}
+
+// Summary returns a one-line-per-op human-readable description.
+func (d *Delta) Summary() string {
+	var b strings.Builder
+	for i, op := range d.Ops {
+		fmt.Fprintf(&b, "%2d. %-13s target=%s", i+1, op.Kind, op.Target)
+		if op.Kind != OpInsert {
+			fmt.Fprintf(&b, " child=%s", op.Child)
+		}
+		if op.Name != "" {
+			fmt.Fprintf(&b, " name=%s", op.Name)
+		}
+		if op.Content != nil {
+			fmt.Fprintf(&b, " content=%s", op.Content.Kind)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats counts the work a DB has performed. The paper's performance analysis
+// hinges on statements issued and rows scanned, so both are tracked.
+type Stats struct {
+	// Statements counts client-issued statements (Exec and Query calls).
+	// Trigger bodies run inside the engine and are not counted, matching
+	// the paper's distinction between application-level cascading deletes
+	// and trigger-based deletes.
+	Statements int64
+	// TriggerFirings counts trigger body executions.
+	TriggerFirings int64
+	// RowsScanned counts rows visited by scans and index probes.
+	RowsScanned  int64
+	RowsInserted int64
+	RowsDeleted  int64
+	RowsUpdated  int64
+}
+
+// DB is an embedded relational database.
+type DB struct {
+	mu       sync.Mutex
+	tables   map[string]*Table
+	triggers map[string]*trigger   // by lower-case name
+	byTable  map[string][]*trigger // firing order = creation order
+	stats    Stats
+}
+
+type trigger struct {
+	name   string
+	table  string
+	perRow bool
+	body   Stmt
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		tables:   make(map[string]*Table),
+		triggers: make(map[string]*trigger),
+		byTable:  make(map[string][]*trigger),
+	}
+}
+
+// Stats returns a snapshot of the work counters.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.stats
+}
+
+// ResetStats zeroes the work counters.
+func (db *DB) ResetStats() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats = Stats{}
+}
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var names []string
+	for _, t := range db.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exec parses and executes a statement, returning the number of affected
+// rows (inserted, deleted, or updated).
+func (db *DB) Exec(sql string) (int, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	return db.execStmt(stmt, nil)
+}
+
+// Query parses and executes a SELECT, returning its result rows.
+func (db *DB) Query(sql string) (*Rows, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires a SELECT, got %T", stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.stats.Statements++
+	return db.execSelect(sel, newEnv(nil))
+}
+
+// MustExec executes a statement and panics on error. For schema setup in
+// tests and examples.
+func (db *DB) MustExec(sql string) int {
+	n, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Cols []string
+	Data [][]Value
+}
+
+// execEnv carries named CTE results and the OLD row binding for trigger
+// bodies.
+type execEnv struct {
+	ctes   map[string]*Rows
+	old    []Value
+	oldTab *Table
+	parent *execEnv
+}
+
+func newEnv(parent *execEnv) *execEnv {
+	return &execEnv{ctes: make(map[string]*Rows), parent: parent}
+}
+
+func (e *execEnv) lookupCTE(name string) (*Rows, bool) {
+	for env := e; env != nil; env = env.parent {
+		if r, ok := env.ctes[strings.ToLower(name)]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+func (e *execEnv) oldRow() ([]Value, *Table) {
+	for env := e; env != nil; env = env.parent {
+		if env.old != nil {
+			return env.old, env.oldTab
+		}
+	}
+	return nil, nil
+}
+
+// execStmt dispatches a statement under db.mu.
+func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
+	if env == nil {
+		env = newEnv(nil)
+	}
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		return 0, db.createTable(s)
+	case *DropTableStmt:
+		key := strings.ToLower(s.Name)
+		if _, ok := db.tables[key]; !ok {
+			if s.IfExists {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("relational: no table %q", s.Name)
+		}
+		delete(db.tables, key)
+		return 0, nil
+	case *CreateIndexStmt:
+		t := db.tables[strings.ToLower(s.Table)]
+		if t == nil {
+			return 0, fmt.Errorf("relational: no table %q", s.Table)
+		}
+		return 0, t.CreateIndex(s.Column)
+	case *CreateTriggerStmt:
+		key := strings.ToLower(s.Name)
+		if _, dup := db.triggers[key]; dup {
+			return 0, fmt.Errorf("relational: trigger %q already exists", s.Name)
+		}
+		tkey := strings.ToLower(s.Table)
+		if _, ok := db.tables[tkey]; !ok {
+			return 0, fmt.Errorf("relational: no table %q for trigger %q", s.Table, s.Name)
+		}
+		tr := &trigger{name: s.Name, table: s.Table, perRow: s.PerRow, body: s.Body}
+		db.triggers[key] = tr
+		db.byTable[tkey] = append(db.byTable[tkey], tr)
+		return 0, nil
+	case *DropTriggerStmt:
+		key := strings.ToLower(s.Name)
+		tr, ok := db.triggers[key]
+		if !ok {
+			return 0, fmt.Errorf("relational: no trigger %q", s.Name)
+		}
+		delete(db.triggers, key)
+		tkey := strings.ToLower(tr.table)
+		list := db.byTable[tkey]
+		for i, x := range list {
+			if x == tr {
+				db.byTable[tkey] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		return 0, nil
+	case *InsertStmt:
+		return db.execInsert(s, env)
+	case *DeleteStmt:
+		return db.execDelete(s, env)
+	case *UpdateStmt:
+		return db.execUpdate(s, env)
+	case *SelectStmt:
+		rows, err := db.execSelect(s, env)
+		if err != nil {
+			return 0, err
+		}
+		return len(rows.Data), nil
+	default:
+		return 0, fmt.Errorf("relational: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) createTable(s *CreateTableStmt) error {
+	key := strings.ToLower(s.Name)
+	if _, dup := db.tables[key]; dup {
+		return fmt.Errorf("relational: table %q already exists", s.Name)
+	}
+	schema, err := NewSchema(s.Cols)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = NewTable(s.Name, schema)
+	return nil
+}
+
+// fireDeleteTriggers fires the table's triggers after a delete: per-row
+// triggers once per deleted row (with OLD bound), then per-statement
+// triggers once. Per-statement triggers fire only when rows were actually
+// deleted, which both matches the cascading semantics the paper builds on
+// them and guarantees termination on recursive schemas.
+func (db *DB) fireDeleteTriggers(t *Table, deletedRows [][]Value, env *execEnv) error {
+	trs := db.byTable[strings.ToLower(t.Name)]
+	if len(trs) == 0 || len(deletedRows) == 0 {
+		return nil
+	}
+	for _, tr := range trs {
+		if tr.perRow {
+			for _, old := range deletedRows {
+				db.stats.TriggerFirings++
+				tenv := newEnv(env)
+				tenv.old = old
+				tenv.oldTab = t
+				if _, err := db.execStmt(tr.body, tenv); err != nil {
+					return fmt.Errorf("relational: trigger %s: %w", tr.name, err)
+				}
+			}
+		} else {
+			db.stats.TriggerFirings++
+			tenv := newEnv(env)
+			if _, err := db.execStmt(tr.body, tenv); err != nil {
+				return fmt.Errorf("relational: trigger %s: %w", tr.name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1186 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ---- DML execution ----
+
+func (db *DB) execInsert(s *InsertStmt, env *execEnv) (int, error) {
+	t := db.tables[strings.ToLower(s.Table)]
+	if t == nil {
+		return 0, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	// Column mapping: with an explicit column list, unspecified columns get
+	// NULL; otherwise values are positional across the whole schema.
+	colIdx := make([]int, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		ci := t.Schema.ColumnIndex(c)
+		if ci < 0 {
+			return 0, fmt.Errorf("relational: table %s has no column %q", t.Name, c)
+		}
+		colIdx = append(colIdx, ci)
+	}
+	buildRow := func(vals []Value) ([]Value, error) {
+		if len(s.Cols) == 0 {
+			if len(vals) != len(t.Schema.Columns) {
+				return nil, fmt.Errorf("relational: table %s expects %d values, got %d", t.Name, len(t.Schema.Columns), len(vals))
+			}
+			return vals, nil
+		}
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("relational: %d columns but %d values", len(colIdx), len(vals))
+		}
+		row := make([]Value, len(t.Schema.Columns))
+		for i, ci := range colIdx {
+			row[ci] = vals[i]
+		}
+		return row, nil
+	}
+
+	n := 0
+	if s.Select != nil {
+		rows, err := db.execSelect(s.Select, env)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows.Data {
+			row, err := buildRow(r)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := t.Insert(row); err != nil {
+				return 0, err
+			}
+			n++
+		}
+	} else {
+		ev := &exprEval{db: db, env: env}
+		for _, exprRow := range s.Rows {
+			vals := make([]Value, len(exprRow))
+			for i, e := range exprRow {
+				v, err := ev.eval(e, nil)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			row, err := buildRow(vals)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := t.Insert(row); err != nil {
+				return 0, err
+			}
+			n++
+		}
+	}
+	db.stats.RowsInserted += int64(n)
+	return n, nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt, env *execEnv) (int, error) {
+	t := db.tables[strings.ToLower(s.Table)]
+	if t == nil {
+		return 0, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	rids, err := db.matchRows(t, s.Table, s.Where, env)
+	if err != nil {
+		return 0, err
+	}
+	deleted := make([][]Value, 0, len(rids))
+	for _, rid := range rids {
+		old, err := t.Delete(rid)
+		if err != nil {
+			return 0, err
+		}
+		deleted = append(deleted, old)
+	}
+	db.stats.RowsDeleted += int64(len(deleted))
+	if err := db.fireDeleteTriggers(t, deleted, env); err != nil {
+		return 0, err
+	}
+	return len(deleted), nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
+	t := db.tables[strings.ToLower(s.Table)]
+	if t == nil {
+		return 0, fmt.Errorf("relational: no table %q", s.Table)
+	}
+	rids, err := db.matchRows(t, s.Table, s.Where, env)
+	if err != nil {
+		return 0, err
+	}
+	cols := make([]int, len(s.Set))
+	for i, sc := range s.Set {
+		ci := t.Schema.ColumnIndex(sc.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("relational: table %s has no column %q", t.Name, sc.Col)
+		}
+		cols[i] = ci
+	}
+	ev := &exprEval{db: db, env: env}
+	for _, rid := range rids {
+		binding := singleBinding(s.Table, t, t.Row(rid))
+		vals := make([]Value, len(s.Set))
+		for i, sc := range s.Set {
+			v, err := ev.eval(sc.Val, binding)
+			if err != nil {
+				return 0, err
+			}
+			vals[i] = v
+		}
+		if err := t.Update(rid, cols, vals); err != nil {
+			return 0, err
+		}
+	}
+	db.stats.RowsUpdated += int64(len(rids))
+	return len(rids), nil
+}
+
+// matchRows returns rowids of t satisfying where. A top-level equality
+// conjunct on an indexed column is used as the access path; otherwise a
+// full scan filters every row.
+func (db *DB) matchRows(t *Table, name string, where Expr, env *execEnv) ([]int, error) {
+	ev := &exprEval{db: db, env: env}
+	if where == nil {
+		var rids []int
+		db.stats.RowsScanned += int64(t.Scan(func(rid int, _ []Value) bool {
+			rids = append(rids, rid)
+			return true
+		}))
+		return rids, nil
+	}
+	// Try an index probe: find conjunct col = constExpr where col is
+	// indexed and constExpr does not reference the table.
+	conjs := splitAnd(where)
+	for _, c := range conjs {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		col, val := equalityProbe(b, name, t)
+		if col == "" {
+			continue
+		}
+		idx := t.lookupIndex(col)
+		if idx == nil {
+			continue
+		}
+		v, err := ev.eval(val, nil)
+		if err != nil {
+			// Not a constant under this env; try the next conjunct.
+			continue
+		}
+		var rids []int
+		for _, rid := range idx.probe(v) {
+			row := t.Row(rid)
+			if row == nil {
+				continue
+			}
+			db.stats.RowsScanned++
+			keep, err := ev.evalBool(where, singleBinding(name, t, row))
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				rids = append(rids, rid)
+			}
+		}
+		sort.Ints(rids)
+		return rids, nil
+	}
+	// Full scan.
+	var rids []int
+	var scanErr error
+	visited := t.Scan(func(rid int, row []Value) bool {
+		keep, err := ev.evalBool(where, singleBinding(name, t, row))
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if keep {
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	db.stats.RowsScanned += int64(visited)
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return rids, nil
+}
+
+// equalityProbe checks whether b is `col = expr` (or mirrored) with col
+// belonging to the table and expr free of the table's columns; it returns
+// the column name and the probe expression.
+func equalityProbe(b *Binary, name string, t *Table) (string, Expr) {
+	try := func(l, r Expr) (string, Expr) {
+		cr, ok := l.(*ColumnRef)
+		if !ok {
+			return "", nil
+		}
+		if cr.Table != "" && !strings.EqualFold(cr.Table, name) {
+			return "", nil
+		}
+		if t.Schema.ColumnIndex(cr.Name) < 0 {
+			return "", nil
+		}
+		if referencesTable(r, name, t) {
+			return "", nil
+		}
+		return cr.Name, r
+	}
+	if col, e := try(b.L, b.R); col != "" {
+		return col, e
+	}
+	return try(b.R, b.L)
+}
+
+func referencesTable(e Expr, name string, t *Table) bool {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if strings.EqualFold(x.Table, "OLD") {
+			return false
+		}
+		if x.Table != "" {
+			return strings.EqualFold(x.Table, name)
+		}
+		return t.Schema.ColumnIndex(x.Name) >= 0
+	case *Binary:
+		return referencesTable(x.L, name, t) || referencesTable(x.R, name, t)
+	case *Unary:
+		return referencesTable(x.X, name, t)
+	case *IsNull:
+		return referencesTable(x.X, name, t)
+	case *InExpr:
+		if referencesTable(x.X, name, t) {
+			return true
+		}
+		for _, l := range x.List {
+			if referencesTable(l, name, t) {
+				return true
+			}
+		}
+		return false
+	case *FuncCall:
+		return x.Arg != nil && referencesTable(x.Arg, name, t)
+	default:
+		return false
+	}
+}
+
+func splitAnd(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// ---- SELECT execution ----
+
+// source is a joinable input: a base table or a materialized row set.
+type source struct {
+	name  string
+	table *Table // non-nil for base tables
+	rows  *Rows  // non-nil for CTEs
+}
+
+func (s *source) columns() []string {
+	if s.table != nil {
+		out := make([]string, len(s.table.Schema.Columns))
+		for i, c := range s.table.Schema.Columns {
+			out[i] = c.Name
+		}
+		return out
+	}
+	return s.rows.Cols
+}
+
+func (s *source) columnIndex(name string) int {
+	if s.table != nil {
+		return s.table.Schema.ColumnIndex(name)
+	}
+	for i, c := range s.rows.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// binding maps source names (lower-cased) to current rows.
+type binding struct {
+	names []string
+	srcs  []*source
+	rows  [][]Value
+}
+
+func singleBinding(name string, t *Table, row []Value) *binding {
+	return &binding{
+		names: []string{strings.ToLower(name)},
+		srcs:  []*source{{name: name, table: t}},
+		rows:  [][]Value{row},
+	}
+}
+
+// resolve finds the value of a column reference in the binding.
+func (b *binding) resolve(table, col string) (Value, bool, error) {
+	if b == nil {
+		return nil, false, nil
+	}
+	if table != "" {
+		for i, n := range b.names {
+			if strings.EqualFold(n, table) {
+				ci := b.srcs[i].columnIndex(col)
+				if ci < 0 {
+					return nil, false, fmt.Errorf("relational: source %s has no column %q", table, col)
+				}
+				if b.rows[i] == nil {
+					return nil, false, nil
+				}
+				return b.rows[i][ci], true, nil
+			}
+		}
+		return nil, false, nil
+	}
+	found := false
+	var val Value
+	for i := range b.names {
+		ci := b.srcs[i].columnIndex(col)
+		if ci < 0 {
+			continue
+		}
+		if found {
+			return nil, false, fmt.Errorf("relational: ambiguous column %q", col)
+		}
+		found = true
+		if b.rows[i] != nil {
+			val = b.rows[i][ci]
+		}
+	}
+	return val, found, nil
+}
+
+func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
+	env = newEnvFrom(env)
+	for _, cte := range s.With {
+		rows, err := db.execSelect(cte.Select, env)
+		if err != nil {
+			return nil, fmt.Errorf("relational: CTE %s: %w", cte.Name, err)
+		}
+		if len(cte.Cols) > 0 {
+			if len(cte.Cols) != len(rows.Cols) {
+				return nil, fmt.Errorf("relational: CTE %s declares %d columns, query yields %d", cte.Name, len(cte.Cols), len(rows.Cols))
+			}
+			rows = &Rows{Cols: cte.Cols, Data: rows.Data}
+		}
+		env.ctes[strings.ToLower(cte.Name)] = rows
+	}
+
+	var out *Rows
+	for _, body := range s.Body {
+		rows, err := db.execSimpleSelect(body, env)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = rows
+			continue
+		}
+		if len(rows.Cols) != len(out.Cols) {
+			return nil, fmt.Errorf("relational: UNION ALL branches have %d vs %d columns", len(out.Cols), len(rows.Cols))
+		}
+		out.Data = append(out.Data, rows.Data...)
+	}
+	if out == nil {
+		return &Rows{}, nil
+	}
+
+	if len(s.OrderBy) > 0 {
+		keyIdx := make([]int, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			switch e := k.Expr.(type) {
+			case *ColumnRef:
+				found := -1
+				for ci, c := range out.Cols {
+					if strings.EqualFold(c, e.Name) {
+						found = ci
+						break
+					}
+				}
+				if found < 0 {
+					return nil, fmt.Errorf("relational: ORDER BY column %q not in result", e.Name)
+				}
+				keyIdx[i] = found
+			case *Literal:
+				n, ok := e.Value.(int64)
+				if !ok || n < 1 || int(n) > len(out.Cols) {
+					return nil, fmt.Errorf("relational: bad positional ORDER BY")
+				}
+				keyIdx[i] = int(n) - 1
+			default:
+				return nil, fmt.Errorf("relational: ORDER BY supports column references only")
+			}
+		}
+		sort.SliceStable(out.Data, func(a, b int) bool {
+			for i, ci := range keyIdx {
+				c := compareValues(out.Data[a][ci], out.Data[b][ci])
+				if c == 0 {
+					continue
+				}
+				if s.OrderBy[i].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	return out, nil
+}
+
+func newEnvFrom(parent *execEnv) *execEnv {
+	if parent == nil {
+		return newEnv(nil)
+	}
+	return newEnv(parent)
+}
+
+func (db *DB) execSimpleSelect(s *SimpleSelect, env *execEnv) (*Rows, error) {
+	// Resolve sources.
+	srcs := make([]*source, len(s.From))
+	for i, f := range s.From {
+		if rows, ok := env.lookupCTE(f.Table); ok {
+			srcs[i] = &source{name: f.Name(), rows: rows}
+			continue
+		}
+		t := db.tables[strings.ToLower(f.Table)]
+		if t == nil {
+			return nil, fmt.Errorf("relational: no table or CTE %q", f.Table)
+		}
+		srcs[i] = &source{name: f.Name(), table: t}
+	}
+
+	// Output schema.
+	var cols []string
+	if s.Star {
+		for _, src := range srcs {
+			cols = append(cols, src.columns()...)
+		}
+	} else {
+		for i, se := range s.Exprs {
+			switch {
+			case se.Alias != "":
+				cols = append(cols, se.Alias)
+			default:
+				if cr, ok := se.Expr.(*ColumnRef); ok {
+					cols = append(cols, cr.Name)
+				} else {
+					cols = append(cols, fmt.Sprintf("c%d", i+1))
+				}
+			}
+		}
+	}
+
+	// Validate column references eagerly so errors surface even when no
+	// rows flow through the join.
+	if !s.Star {
+		for _, se := range s.Exprs {
+			if err := validateRefs(se.Expr, srcs); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Where != nil {
+		if err := validateRefs(s.Where, srcs); err != nil {
+			return nil, err
+		}
+	}
+
+	ev := &exprEval{db: db, env: env}
+	aggregate := false
+	if !s.Star {
+		for _, se := range s.Exprs {
+			if containsAggregate(se.Expr) {
+				aggregate = true
+				break
+			}
+		}
+	}
+
+	out := &Rows{Cols: cols}
+	var aggState []*aggAccumulator
+	if aggregate {
+		aggState = make([]*aggAccumulator, len(s.Exprs))
+	}
+
+	conjs := []Expr(nil)
+	if s.Where != nil {
+		conjs = splitAnd(s.Where)
+	}
+
+	// No FROM clause: evaluate expressions once.
+	if len(srcs) == 0 {
+		row := make([]Value, len(s.Exprs))
+		for i, se := range s.Exprs {
+			v, err := ev.eval(se.Expr, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Data = append(out.Data, row)
+		return out, nil
+	}
+
+	bind := &binding{
+		names: make([]string, len(srcs)),
+		srcs:  srcs,
+		rows:  make([][]Value, len(srcs)),
+	}
+	for i, src := range srcs {
+		bind.names[i] = strings.ToLower(src.name)
+	}
+
+	emit := func() error {
+		if aggregate {
+			for i, se := range s.Exprs {
+				if aggState[i] == nil {
+					aggState[i] = &aggAccumulator{}
+				}
+				if err := aggState[i].feed(ev, se.Expr, bind); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var row []Value
+		if s.Star {
+			for i := range srcs {
+				row = append(row, bind.rows[i]...)
+			}
+		} else {
+			row = make([]Value, len(s.Exprs))
+			for i, se := range s.Exprs {
+				v, err := ev.eval(se.Expr, bind)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+		}
+		out.Data = append(out.Data, row)
+		return nil
+	}
+
+	// conjApplicable reports whether a conjunct references only the first
+	// k+1 sources (by qualified name) — unqualified refs resolve against
+	// all sources, so they gate at the last source that has the column.
+	applicableAt := func(c Expr, level int) bool {
+		maxLevel := 0
+		var walk func(e Expr)
+		walk = func(e Expr) {
+			switch x := e.(type) {
+			case *ColumnRef:
+				if strings.EqualFold(x.Table, "OLD") {
+					return
+				}
+				lvl := -1
+				if x.Table != "" {
+					for i, n := range bind.names {
+						if strings.EqualFold(n, x.Table) {
+							lvl = i
+							break
+						}
+					}
+				} else {
+					for i := len(srcs) - 1; i >= 0; i-- {
+						if srcs[i].columnIndex(x.Name) >= 0 {
+							lvl = i
+							break
+						}
+					}
+				}
+				if lvl > maxLevel {
+					maxLevel = lvl
+				}
+			case *Binary:
+				walk(x.L)
+				walk(x.R)
+			case *Unary:
+				walk(x.X)
+			case *IsNull:
+				walk(x.X)
+			case *InExpr:
+				walk(x.X)
+				for _, l := range x.List {
+					walk(l)
+				}
+			case *FuncCall:
+				if x.Arg != nil {
+					walk(x.Arg)
+				}
+			}
+		}
+		walk(c)
+		return maxLevel == level
+	}
+
+	var join func(level int) error
+	join = func(level int) error {
+		if level == len(srcs) {
+			return emit()
+		}
+		src := srcs[level]
+		var levelConjs []Expr
+		for _, c := range conjs {
+			if applicableAt(c, level) {
+				levelConjs = append(levelConjs, c)
+			}
+		}
+		check := func() (bool, error) {
+			for _, c := range levelConjs {
+				ok, err := ev.evalBool(c, bind)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					return false, nil
+				}
+			}
+			return true, nil
+		}
+
+		// Index acceleration: find `src.col = expr(previous sources)`.
+		if src.table != nil {
+			for _, c := range levelConjs {
+				b, ok := c.(*Binary)
+				if !ok || b.Op != "=" {
+					continue
+				}
+				col, probeExpr := equalityProbe(b, src.name, src.table)
+				if col == "" {
+					continue
+				}
+				idx := src.table.lookupIndex(col)
+				if idx == nil {
+					continue
+				}
+				// The probe must be computable from earlier bindings.
+				v, err := ev.eval(probeExpr, bind)
+				if err != nil {
+					continue
+				}
+				for _, rid := range idx.probe(v) {
+					row := src.table.Row(rid)
+					if row == nil {
+						continue
+					}
+					db.stats.RowsScanned++
+					bind.rows[level] = row
+					ok, err := check()
+					if err != nil {
+						return err
+					}
+					if ok {
+						if err := join(level + 1); err != nil {
+							return err
+						}
+					}
+				}
+				bind.rows[level] = nil
+				return nil
+			}
+		}
+
+		// Fallback: scan.
+		iterate := func(row []Value) error {
+			db.stats.RowsScanned++
+			bind.rows[level] = row
+			ok, err := check()
+			if err != nil {
+				return err
+			}
+			if ok {
+				return join(level + 1)
+			}
+			return nil
+		}
+		if src.table != nil {
+			var scanErr error
+			src.table.Scan(func(_ int, row []Value) bool {
+				if err := iterate(row); err != nil {
+					scanErr = err
+					return false
+				}
+				return true
+			})
+			if scanErr != nil {
+				return scanErr
+			}
+		} else {
+			for _, row := range src.rows.Data {
+				if err := iterate(row); err != nil {
+					return err
+				}
+			}
+		}
+		bind.rows[level] = nil
+		return nil
+	}
+	if err := join(0); err != nil {
+		return nil, err
+	}
+
+	if aggregate {
+		row := make([]Value, len(s.Exprs))
+		for i, se := range s.Exprs {
+			if aggState[i] == nil {
+				aggState[i] = &aggAccumulator{}
+			}
+			row[i] = aggState[i].result(se.Expr)
+		}
+		out.Data = append(out.Data, row)
+	}
+	if s.Distinct {
+		seen := make(map[string]bool, len(out.Data))
+		kept := out.Data[:0]
+		for _, r := range out.Data {
+			key := rowKey(r)
+			if !seen[key] {
+				seen[key] = true
+				kept = append(kept, r)
+			}
+		}
+		out.Data = kept
+	}
+	return out, nil
+}
+
+// validateRefs checks that every non-OLD column reference resolves against
+// exactly one source. Subquery internals validate when they execute.
+func validateRefs(e Expr, srcs []*source) error {
+	switch x := e.(type) {
+	case *ColumnRef:
+		if strings.EqualFold(x.Table, "OLD") {
+			return nil
+		}
+		matches := 0
+		for _, src := range srcs {
+			if x.Table != "" && !strings.EqualFold(src.name, x.Table) {
+				continue
+			}
+			if src.columnIndex(x.Name) >= 0 {
+				matches++
+			}
+		}
+		if matches == 0 {
+			if x.Table != "" {
+				return fmt.Errorf("relational: unknown column %s.%s", x.Table, x.Name)
+			}
+			return fmt.Errorf("relational: unknown column %q", x.Name)
+		}
+		if matches > 1 && x.Table == "" {
+			return fmt.Errorf("relational: ambiguous column %q", x.Name)
+		}
+		return nil
+	case *Binary:
+		if err := validateRefs(x.L, srcs); err != nil {
+			return err
+		}
+		return validateRefs(x.R, srcs)
+	case *Unary:
+		return validateRefs(x.X, srcs)
+	case *IsNull:
+		return validateRefs(x.X, srcs)
+	case *InExpr:
+		if err := validateRefs(x.X, srcs); err != nil {
+			return err
+		}
+		for _, l := range x.List {
+			if err := validateRefs(l, srcs); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *FuncCall:
+		if x.Arg != nil {
+			return validateRefs(x.Arg, srcs)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func rowKey(r []Value) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(FormatValue(v))
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func containsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		return true
+	case *Binary:
+		return containsAggregate(x.L) || containsAggregate(x.R)
+	case *Unary:
+		return containsAggregate(x.X)
+	default:
+		return false
+	}
+}
+
+// aggAccumulator folds MIN/MAX/COUNT across joined tuples. The top-level
+// expression may combine aggregates arithmetically (e.g. MAX(id)-MIN(id)+1);
+// accumulation happens at the FuncCall leaves.
+type aggAccumulator struct {
+	leaves map[*FuncCall]*aggLeaf
+}
+
+type aggLeaf struct {
+	count int64
+	min   Value
+	max   Value
+}
+
+func (a *aggAccumulator) feed(ev *exprEval, e Expr, bind *binding) error {
+	if a.leaves == nil {
+		a.leaves = make(map[*FuncCall]*aggLeaf)
+	}
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		switch x := e.(type) {
+		case *FuncCall:
+			leaf := a.leaves[x]
+			if leaf == nil {
+				leaf = &aggLeaf{}
+				a.leaves[x] = leaf
+			}
+			if x.Star {
+				leaf.count++
+				return nil
+			}
+			v, err := ev.eval(x.Arg, bind)
+			if err != nil {
+				return err
+			}
+			if v == nil {
+				return nil // NULLs are ignored by aggregates
+			}
+			leaf.count++
+			if leaf.min == nil || compareValues(v, leaf.min) < 0 {
+				leaf.min = v
+			}
+			if leaf.max == nil || compareValues(v, leaf.max) > 0 {
+				leaf.max = v
+			}
+			return nil
+		case *Binary:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			return walk(x.R)
+		case *Unary:
+			return walk(x.X)
+		default:
+			return nil
+		}
+	}
+	return walk(e)
+}
+
+func (a *aggAccumulator) result(e Expr) Value {
+	var eval func(e Expr) Value
+	eval = func(e Expr) Value {
+		switch x := e.(type) {
+		case *FuncCall:
+			leaf := a.leaves[x]
+			if leaf == nil {
+				leaf = &aggLeaf{}
+			}
+			switch x.Name {
+			case "COUNT":
+				return leaf.count
+			case "MIN":
+				return leaf.min
+			case "MAX":
+				return leaf.max
+			}
+			return nil
+		case *Binary:
+			l := eval(x.L)
+			r := eval(x.R)
+			v, _ := arith(x.Op, l, r)
+			return v
+		case *Unary:
+			v := eval(x.X)
+			if x.Op == "-" {
+				if n, ok := v.(int64); ok {
+					return -n
+				}
+			}
+			return v
+		case *Literal:
+			return x.Value
+		default:
+			return nil
+		}
+	}
+	return eval(e)
+}
+
+// ---- expression evaluation ----
+
+type exprEval struct {
+	db  *DB
+	env *execEnv
+	// inCache memoizes uncorrelated IN-subquery result sets per statement.
+	inCache map[*SelectStmt]map[string]bool
+}
+
+func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+	case *ColumnRef:
+		if strings.EqualFold(x.Table, "OLD") {
+			old, t := ev.env.oldRow()
+			if old == nil {
+				return nil, fmt.Errorf("relational: OLD reference outside a row trigger")
+			}
+			ci := t.Schema.ColumnIndex(x.Name)
+			if ci < 0 {
+				return nil, fmt.Errorf("relational: OLD has no column %q", x.Name)
+			}
+			return old[ci], nil
+		}
+		v, ok, err := bind.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if x.Table != "" {
+				return nil, fmt.Errorf("relational: unknown column %s.%s", x.Table, x.Name)
+			}
+			return nil, fmt.Errorf("relational: unknown column %q", x.Name)
+		}
+		return v, nil
+	case *Binary:
+		switch x.Op {
+		case "AND", "OR":
+			l, err := ev.evalBool(x.L, bind)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == "AND" && !l {
+				return int64(0), nil
+			}
+			if x.Op == "OR" && l {
+				return int64(1), nil
+			}
+			r, err := ev.evalBool(x.R, bind)
+			if err != nil {
+				return nil, err
+			}
+			return boolValue(r), nil
+		case "=", "!=", "<", "<=", ">", ">=":
+			l, err := ev.eval(x.L, bind)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.eval(x.R, bind)
+			if err != nil {
+				return nil, err
+			}
+			if l == nil || r == nil {
+				return int64(0), nil // SQL UNKNOWN behaves as false here
+			}
+			return boolValue(cmpSQL(x.Op, l, r)), nil
+		case "+", "-", "*", "/":
+			l, err := ev.eval(x.L, bind)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ev.eval(x.R, bind)
+			if err != nil {
+				return nil, err
+			}
+			return arith(x.Op, l, r)
+		default:
+			return nil, fmt.Errorf("relational: unknown operator %q", x.Op)
+		}
+	case *Unary:
+		switch x.Op {
+		case "NOT":
+			b, err := ev.evalBool(x.X, bind)
+			if err != nil {
+				return nil, err
+			}
+			return boolValue(!b), nil
+		case "-":
+			v, err := ev.eval(x.X, bind)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, nil
+			}
+			n, ok := v.(int64)
+			if !ok {
+				return nil, fmt.Errorf("relational: unary minus on %T", v)
+			}
+			return -n, nil
+		default:
+			return nil, fmt.Errorf("relational: unknown unary %q", x.Op)
+		}
+	case *IsNull:
+		v, err := ev.eval(x.X, bind)
+		if err != nil {
+			return nil, err
+		}
+		isNull := v == nil
+		if x.Negate {
+			isNull = !isNull
+		}
+		return boolValue(isNull), nil
+	case *InExpr:
+		v, err := ev.eval(x.X, bind)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return boolValue(x.Negate), nil
+		}
+		if x.Select != nil {
+			set, err := ev.subquerySet(x.Select)
+			if err != nil {
+				return nil, err
+			}
+			found := set[FormatValue(v)]
+			return boolValue(found != x.Negate), nil
+		}
+		found := false
+		for _, le := range x.List {
+			lv, err := ev.eval(le, bind)
+			if err != nil {
+				return nil, err
+			}
+			if eq, known := valuesEqual(v, lv); known && eq {
+				found = true
+				break
+			}
+		}
+		return boolValue(found != x.Negate), nil
+	case *FuncCall:
+		return nil, fmt.Errorf("relational: aggregate %s outside SELECT list", x.Name)
+	default:
+		return nil, fmt.Errorf("relational: unknown expression %T", e)
+	}
+}
+
+// subquerySet evaluates an uncorrelated IN-subquery once per statement and
+// memoizes the result set. This is what makes `NOT IN (SELECT id FROM
+// parent)` scans linear in the child table rather than quadratic — the cost
+// model behind the per-statement-trigger curves.
+func (ev *exprEval) subquerySet(sel *SelectStmt) (map[string]bool, error) {
+	if ev.inCache == nil {
+		ev.inCache = make(map[*SelectStmt]map[string]bool)
+	}
+	if set, ok := ev.inCache[sel]; ok {
+		return set, nil
+	}
+	rows, err := ev.db.execSelect(sel, ev.env)
+	if err != nil {
+		return nil, err
+	}
+	if len(rows.Cols) != 1 {
+		return nil, fmt.Errorf("relational: IN subquery must return one column, got %d", len(rows.Cols))
+	}
+	set := make(map[string]bool, len(rows.Data))
+	for _, r := range rows.Data {
+		if r[0] != nil {
+			set[FormatValue(r[0])] = true
+		}
+	}
+	ev.inCache[sel] = set
+	return set, nil
+}
+
+func (ev *exprEval) evalBool(e Expr, bind *binding) (bool, error) {
+	v, err := ev.eval(e, bind)
+	if err != nil {
+		return false, err
+	}
+	switch x := v.(type) {
+	case nil:
+		return false, nil
+	case int64:
+		return x != 0, nil
+	case string:
+		return x != "", nil
+	default:
+		return false, fmt.Errorf("relational: non-boolean predicate value %T", v)
+	}
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return int64(1)
+	}
+	return int64(0)
+}
+
+func cmpSQL(op string, l, r Value) bool {
+	c := compareValues(l, r)
+	switch op {
+	case "=":
+		return c == 0
+	case "!=":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+func arith(op string, l, r Value) (Value, error) {
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	ln, lok := l.(int64)
+	rn, rok := r.(int64)
+	if !lok || !rok {
+		return nil, fmt.Errorf("relational: arithmetic on non-integers (%T %s %T)", l, op, r)
+	}
+	switch op {
+	case "+":
+		return ln + rn, nil
+	case "-":
+		return ln - rn, nil
+	case "*":
+		return ln * rn, nil
+	case "/":
+		if rn == 0 {
+			return nil, fmt.Errorf("relational: division by zero")
+		}
+		return ln / rn, nil
+	default:
+		return nil, fmt.Errorf("relational: unknown arithmetic operator %q", op)
+	}
+}

@@ -1,0 +1,129 @@
+package relational
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // upper-cased for idents' keyword matching happens via equalFold
+	num  int64
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lexSQL tokenizes a SQL string.
+func lexSQL(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			l.pos++
+			var b strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("relational: unterminated string literal at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						b.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+		case c >= '0' && c <= '9':
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relational: bad number at %d: %v", start, err)
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, num: n, text: l.src[start:l.pos], pos: start})
+		case isSQLIdentStart(rune(c)):
+			for l.pos < len(l.src) {
+				r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+				if !isSQLIdentChar(r) {
+					break
+				}
+				l.pos += size
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		default:
+			// Multi-char operators first.
+			for _, op := range []string{"<>", "!=", "<=", ">="} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', ';':
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			default:
+				return nil, fmt.Errorf("relational: unexpected character %q at %d", c, start)
+			}
+		next:
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isSQLIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isSQLIdentChar(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

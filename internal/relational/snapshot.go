@@ -1,0 +1,77 @@
+package relational
+
+import "strings"
+
+// DBSnapshot is a copy-on-write-free snapshot of a database's table
+// contents. Benchmarks use it to reset state between iterations without
+// re-shredding documents; values are immutable (int64/string), so copying
+// row slices suffices.
+type DBSnapshot struct {
+	tables map[string]tableSnap
+}
+
+type tableSnap struct {
+	rows [][]Value
+	live int
+}
+
+// Snapshot captures the current contents of every table. Schema objects
+// (tables, indexes, triggers) are shared, not copied: Restore assumes the
+// schema is unchanged since the snapshot.
+func (db *DB) Snapshot() *DBSnapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables))}
+	for key, t := range db.tables {
+		rows := make([][]Value, len(t.rows))
+		for i, r := range t.rows {
+			if r == nil {
+				continue
+			}
+			cp := make([]Value, len(r))
+			copy(cp, r)
+			rows[i] = cp
+		}
+		s.tables[key] = tableSnap{rows: rows, live: t.live}
+	}
+	return s
+}
+
+// Restore resets every snapshotted table to its captured contents and
+// rebuilds its indexes. Tables created after the snapshot are dropped.
+func (db *DB) Restore(s *DBSnapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for key := range db.tables {
+		if _, ok := s.tables[key]; !ok {
+			delete(db.tables, key)
+		}
+	}
+	for key, snap := range s.tables {
+		t := db.tables[key]
+		if t == nil {
+			continue // table was dropped since the snapshot; leave dropped
+		}
+		rows := make([][]Value, len(snap.rows))
+		for i, r := range snap.rows {
+			if r == nil {
+				continue
+			}
+			cp := make([]Value, len(r))
+			copy(cp, r)
+			rows[i] = cp
+		}
+		t.rows = rows
+		t.live = snap.live
+		for col, idx := range t.index {
+			rebuilt := &hashIndex{col: idx.col, entries: make(map[Value][]int, len(idx.entries))}
+			for rid, row := range t.rows {
+				if row == nil || row[idx.col] == nil {
+					continue
+				}
+				rebuilt.entries[row[idx.col]] = append(rebuilt.entries[row[idx.col]], rid)
+			}
+			t.index[strings.ToLower(col)] = rebuilt
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered column list.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema, rejecting duplicate column names
+// (case-insensitively, like SQL identifiers).
+func NewSchema(cols []Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("relational: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Table is a heap table: a row slice with tombstoned deletions and hash
+// indexes. Row identity (rowid) is positional and stable for the lifetime of
+// the row.
+type Table struct {
+	Name   string
+	Schema *Schema
+
+	rows  [][]Value // nil entry = deleted
+	live  int
+	index map[string]*hashIndex // keyed by lower-case column name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, index: make(map[string]*hashIndex)}
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.live }
+
+// hashIndex maps a column value to the rowids holding it. NULLs are not
+// indexed (SQL equality never matches them).
+type hashIndex struct {
+	col     int
+	entries map[Value][]int
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op, matching repeated schema setup.
+func (t *Table) CreateIndex(col string) error {
+	key := strings.ToLower(col)
+	if _, ok := t.index[key]; ok {
+		return nil
+	}
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relational: no column %q in table %s", col, t.Name)
+	}
+	idx := &hashIndex{col: ci, entries: make(map[Value][]int)}
+	for rid, row := range t.rows {
+		if row == nil || row[ci] == nil {
+			continue
+		}
+		idx.entries[row[ci]] = append(idx.entries[row[ci]], rid)
+	}
+	t.index[key] = idx
+	return nil
+}
+
+// DropIndex removes the hash index on the named column, if present. It is
+// used by ablation benchmarks to measure what the parentId index buys each
+// delete strategy.
+func (t *Table) DropIndex(col string) bool {
+	key := strings.ToLower(col)
+	if _, ok := t.index[key]; !ok {
+		return false
+	}
+	delete(t.index, key)
+	return true
+}
+
+// lookupIndex returns the index on the column, if any.
+func (t *Table) lookupIndex(col string) *hashIndex {
+	return t.index[strings.ToLower(col)]
+}
+
+// Insert appends a row, coercing values to column types, and returns its
+// rowid.
+func (t *Table) Insert(vals []Value) (int, error) {
+	if len(vals) != len(t.Schema.Columns) {
+		return 0, fmt.Errorf("relational: table %s expects %d values, got %d", t.Name, len(t.Schema.Columns), len(vals))
+	}
+	row := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := coerce(v, t.Schema.Columns[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[i].Name, err)
+		}
+		row[i] = cv
+	}
+	rid := len(t.rows)
+	t.rows = append(t.rows, row)
+	t.live++
+	for _, idx := range t.index {
+		if v := row[idx.col]; v != nil {
+			idx.entries[v] = append(idx.entries[v], rid)
+		}
+	}
+	return rid, nil
+}
+
+// Delete tombstones a row and unindexes it. It returns the deleted row's
+// values for trigger OLD bindings.
+func (t *Table) Delete(rid int) ([]Value, error) {
+	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+		return nil, fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
+	}
+	row := t.rows[rid]
+	for _, idx := range t.index {
+		if v := row[idx.col]; v != nil {
+			idx.remove(v, rid)
+		}
+	}
+	t.rows[rid] = nil
+	t.live--
+	return row, nil
+}
+
+// Update overwrites the given columns of a row, maintaining indexes.
+func (t *Table) Update(rid int, cols []int, vals []Value) error {
+	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+		return fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
+	}
+	row := t.rows[rid]
+	for i, ci := range cols {
+		cv, err := coerce(vals[i], t.Schema.Columns[ci].Type)
+		if err != nil {
+			return fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[ci].Name, err)
+		}
+		for _, idx := range t.index {
+			if idx.col != ci {
+				continue
+			}
+			if old := row[ci]; old != nil {
+				idx.remove(old, rid)
+			}
+			if cv != nil {
+				idx.entries[cv] = append(idx.entries[cv], rid)
+			}
+		}
+		row[ci] = cv
+	}
+	return nil
+}
+
+// Row returns the values of a live row, or nil.
+func (t *Table) Row(rid int) []Value {
+	if rid < 0 || rid >= len(t.rows) {
+		return nil
+	}
+	return t.rows[rid]
+}
+
+// Scan calls fn for every live row in rowid order; fn returning false stops
+// the scan. It reports the number of rows visited.
+func (t *Table) Scan(fn func(rid int, row []Value) bool) int {
+	visited := 0
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		visited++
+		if !fn(rid, row) {
+			break
+		}
+	}
+	return visited
+}
+
+func (idx *hashIndex) remove(v Value, rid int) {
+	rids := idx.entries[v]
+	for i, r := range rids {
+		if r == rid {
+			rids[i] = rids[len(rids)-1]
+			rids = rids[:len(rids)-1]
+			break
+		}
+	}
+	if len(rids) == 0 {
+		delete(idx.entries, v)
+	} else {
+		idx.entries[v] = rids
+	}
+}
+
+// probe returns rowids of live rows whose indexed column equals v.
+func (idx *hashIndex) probe(v Value) []int {
+	if v == nil {
+		return nil
+	}
+	return idx.entries[v]
+}

@@ -1,0 +1,223 @@
+package shred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/xmltree"
+)
+
+// Reconstruct rebuilds the XML document from the stored tuples. Without an
+// order column, children appear in schema order (inlined children in DTD
+// order, then child-table rows by tuple id); with Options.OrderColumn they
+// appear by stored position, interleaving table children faithfully.
+func Reconstruct(db *relational.DB, m *Mapping) (*xmltree.Document, error) {
+	rootRows, err := tableRows(db, m, m.Root)
+	if err != nil {
+		return nil, err
+	}
+	roots := rootRows[nilKey]
+	if len(roots) != 1 {
+		return nil, fmt.Errorf("shred: expected 1 root tuple, found %d", len(roots))
+	}
+	// Pre-fetch all tables grouped by parentId.
+	byParent := map[string]map[int64][]storedRow{m.Root: regroup(rootRows)}
+	for _, elem := range m.TableOrder {
+		if elem == m.Root {
+			continue
+		}
+		rows, err := tableRows(db, m, elem)
+		if err != nil {
+			return nil, err
+		}
+		byParent[elem] = regroup(rows)
+	}
+	root, err := m.buildElement(m.Root, roots[0], byParent)
+	if err != nil {
+		return nil, err
+	}
+	doc := xmltree.NewDocument(root)
+	doc.DTD = m.DTD
+	return doc, nil
+}
+
+// storedRow pairs a tuple with its id and position.
+type storedRow struct {
+	id   int64
+	pos  int64
+	vals map[string]relational.Value // keyed by lower-case column name
+}
+
+const nilKey = int64(-1)
+
+// tableRows loads an entire table grouped by parentId (nilKey for NULL).
+func tableRows(db *relational.DB, m *Mapping, elem string) (map[int64][]storedRow, error) {
+	tm := m.Tables[elem]
+	t := db.Table(tm.Name)
+	if t == nil {
+		return nil, fmt.Errorf("shred: table %s missing", tm.Name)
+	}
+	out := make(map[int64][]storedRow)
+	idIdx := t.Schema.ColumnIndex("id")
+	pidIdx := t.Schema.ColumnIndex("parentId")
+	posIdx := t.Schema.ColumnIndex("pos")
+	t.Scan(func(_ int, row []relational.Value) bool {
+		sr := storedRow{vals: make(map[string]relational.Value, len(row))}
+		for i, c := range t.Schema.Columns {
+			sr.vals[strings.ToLower(c.Name)] = row[i]
+		}
+		if v, ok := row[idIdx].(int64); ok {
+			sr.id = v
+		}
+		if posIdx >= 0 {
+			if v, ok := row[posIdx].(int64); ok {
+				sr.pos = v
+			}
+		}
+		key := nilKey
+		if v, ok := row[pidIdx].(int64); ok {
+			key = v
+		}
+		out[key] = append(out[key], sr)
+		return true
+	})
+	for k := range out {
+		rows := out[k]
+		sort.Slice(rows, func(i, j int) bool {
+			if m.Opts.OrderColumn && rows[i].pos != rows[j].pos {
+				return rows[i].pos < rows[j].pos
+			}
+			return rows[i].id < rows[j].id
+		})
+	}
+	return out, nil
+}
+
+func regroup(rows map[int64][]storedRow) map[int64][]storedRow { return rows }
+
+func (m *Mapping) buildElement(elem string, row storedRow, byParent map[string]map[int64][]storedRow) (*xmltree.Element, error) {
+	tm := m.Tables[elem]
+	e := xmltree.NewElement(elem)
+	if err := m.applyInlined(tm, e, nil, row); err != nil {
+		return nil, err
+	}
+	// Children in schema order: the DTD's declared order interleaves
+	// inlined children (already applied above, as elements) and table
+	// children.
+	for _, childElem := range tm.ChildTables {
+		for _, childRow := range byParent[childElem][row.id] {
+			ce, err := m.buildElement(childElem, childRow, byParent)
+			if err != nil {
+				return nil, err
+			}
+			e.AppendChild(ce)
+		}
+	}
+	return e, nil
+}
+
+// applyInlined populates e with the attributes, text, and inlined child
+// elements stored at the given path prefix.
+func (m *Mapping) applyInlined(tm *TableMap, e *xmltree.Element, path []string, row storedRow) error {
+	prefix := strings.Join(path, "/")
+	// Attributes and text at this path.
+	for _, c := range tm.Columns {
+		if strings.Join(c.Path, "/") != prefix {
+			continue
+		}
+		v := row.vals[strings.ToLower(c.Name)]
+		if v == nil {
+			continue
+		}
+		switch c.Kind {
+		case AttrColumn:
+			s := valueAsString(v)
+			switch c.RefKind {
+			case xmltree.AttrIDREF, xmltree.AttrIDREFS:
+				ids := strings.Fields(s)
+				if len(ids) > 0 {
+					if err := e.AttachRefList(&xmltree.RefList{Name: c.Attr, IDs: ids}); err != nil {
+						return err
+					}
+				}
+			default:
+				if _, err := e.SetAttr(c.Attr, s); err != nil {
+					return err
+				}
+			}
+		case TextColumn:
+			if s := valueAsString(v); s != "" {
+				e.AppendChild(xmltree.NewText(s))
+			}
+		}
+	}
+	// Inlined child elements one level deeper.
+	elemName := tm.Element
+	if len(path) > 0 {
+		elemName = path[len(path)-1]
+	}
+	for _, child := range m.DTD.ChildNamesOrdered(elemName) {
+		childPath := append(append([]string(nil), path...), child)
+		if !m.pathPresent(tm, childPath, row) {
+			continue
+		}
+		ce := xmltree.NewElement(child)
+		if err := m.applyInlined(tm, ce, childPath, row); err != nil {
+			return err
+		}
+		e.AppendChild(ce)
+	}
+	return nil
+}
+
+// pathPresent reports whether the inlined element at path exists in the
+// tuple: its flag is set, or any of its (or its descendants') columns are
+// non-NULL.
+func (m *Mapping) pathPresent(tm *TableMap, path []string, row storedRow) bool {
+	prefix := strings.Join(path, "/")
+	found := false
+	for _, c := range tm.Columns {
+		p := strings.Join(c.Path, "/")
+		if p != prefix && !strings.HasPrefix(p, prefix+"/") {
+			continue
+		}
+		found = true
+		if row.vals[strings.ToLower(c.Name)] != nil {
+			return true
+		}
+	}
+	// The path belongs to this table but every column is NULL → absent.
+	// A path with no columns at all (pure structural element that has
+	// table children only) cannot be inlined, so found=false means absent.
+	_ = found
+	return false
+}
+
+// ElementFromRow materializes the element a single tuple stores — its
+// attributes, text, and inlined children — without descending into child
+// tables. vals maps lower-case column names to values. The Sorted Outer
+// Union reconstructor attaches child-table elements afterwards.
+func (m *Mapping) ElementFromRow(tableElem string, vals map[string]relational.Value) (*xmltree.Element, error) {
+	tm := m.Tables[tableElem]
+	if tm == nil {
+		return nil, fmt.Errorf("shred: element %q has no table", tableElem)
+	}
+	e := xmltree.NewElement(tableElem)
+	if err := m.applyInlined(tm, e, nil, storedRow{vals: vals}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func valueAsString(v relational.Value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return fmt.Sprint(x)
+	default:
+		return fmt.Sprint(x)
+	}
+}

@@ -1,0 +1,135 @@
+// Package testdocs provides the paper's running example documents as shared
+// fixtures: the bio-lab document of Figure 1 and the customer database of
+// Figure 4. It is used by tests, examples, and benchmarks across packages.
+package testdocs
+
+import "repro/internal/xmltree"
+
+// BioDTD declares the Figure 1 document, classifying its ID/IDREF/IDREFS
+// attributes.
+const BioDTD = `
+<!ELEMENT db (university | lab | paper | biologist)*>
+<!ELEMENT university (lab*)>
+<!ELEMENT lab (name, street?, city?, location?, country?)>
+<!ELEMENT location (city, country)>
+<!ELEMENT paper (title)>
+<!ELEMENT biologist (lastname, firstname?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT firstname (#PCDATA)>
+<!ATTLIST db lab IDREF #IMPLIED>
+<!ATTLIST university ID ID #REQUIRED labs CDATA #IMPLIED>
+<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED worksAt IDREF #IMPLIED>
+<!ATTLIST paper ID ID #REQUIRED source IDREF #IMPLIED category CDATA #IMPLIED biologist IDREF #IMPLIED>
+<!ATTLIST biologist ID ID #REQUIRED age CDATA #IMPLIED worksAt IDREFS #IMPLIED>
+`
+
+// BioXML is the paper's Figure 1 sample document (biology labs and
+// publications).
+const BioXML = `<?xml version="1.0"?>
+<db lab="lalab">
+  <university ID="ucla">
+    <lab ID="lalab" managers="smith1 jones1">
+      <name>UCLA Bio Lab</name>
+      <city>Los Angeles</city>
+    </lab>
+  </university>
+  <lab ID="baselab" managers="smith1">
+    <name>Seattle Bio Lab</name>
+    <location>
+      <city>Seattle</city>
+      <country>USA</country>
+    </location>
+  </lab>
+  <lab ID="lab2">
+    <name>PMBL</name>
+    <city>Philadelphia</city>
+    <country>USA</country>
+  </lab>
+  <paper ID="Smith991231" source="lab2" category="spectral" biologist="smith1">
+    <title>Autocatalysis of Spectral...</title>
+  </paper>
+  <biologist ID="smith1">
+    <lastname>Smith</lastname>
+  </biologist>
+  <biologist ID="jones1" age="32">
+    <lastname>Jones</lastname>
+  </biologist>
+</db>`
+
+// Bio parses the Figure 1 document with its DTD. It panics on error; the
+// fixture is constant.
+func Bio() *xmltree.Document {
+	dtd := xmltree.MustParseDTD(BioDTD)
+	doc, err := xmltree.ParseWith(BioXML, xmltree.ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// CustDTD is the Figure 4 customer-database DTD (a simplified TPC-W schema).
+// The paper's prose mentions an Order Status element used in the Outer Union
+// example (Figure 5) and Example 8, so Status is included alongside Date.
+const CustDTD = `
+<!ELEMENT CustDB (Customer*)>
+<!ELEMENT Customer (Name, Address, Order*)>
+<!ELEMENT Address (City, State)>
+<!ELEMENT Order (Date, Status?, OrderLine*)>
+<!ELEMENT OrderLine (ItemName, Qty, comment?)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+<!ELEMENT State (#PCDATA)>
+<!ELEMENT Date (#PCDATA)>
+<!ELEMENT Status (#PCDATA)>
+<!ELEMENT ItemName (#PCDATA)>
+<!ELEMENT Qty (#PCDATA)>
+<!ELEMENT comment (#PCDATA)>
+`
+
+// CustXML is a small customer database instance exercising every element of
+// the Figure 4 DTD, including the orders of Example 8.
+const CustXML = `<CustDB>
+  <Customer>
+    <Name>John</Name>
+    <Address><City>Seattle</City><State>WA</State></Address>
+    <Order>
+      <Date>2000-05-01</Date>
+      <Status>ready</Status>
+      <OrderLine><ItemName>tire</ItemName><Qty>4</Qty></OrderLine>
+      <OrderLine><ItemName>wrench</ItemName><Qty>1</Qty></OrderLine>
+    </Order>
+    <Order>
+      <Date>2000-06-12</Date>
+      <Status>shipped</Status>
+      <OrderLine><ItemName>tire</ItemName><Qty>2</Qty></OrderLine>
+    </Order>
+  </Customer>
+  <Customer>
+    <Name>Mary</Name>
+    <Address><City>Portland</City><State>OR</State></Address>
+    <Order>
+      <Date>2000-07-04</Date>
+      <Status>ready</Status>
+      <OrderLine><ItemName>hammer</ItemName><Qty>1</Qty></OrderLine>
+    </Order>
+  </Customer>
+  <Customer>
+    <Name>John</Name>
+    <Address><City>Sacramento</City><State>CA</State></Address>
+  </Customer>
+</CustDB>`
+
+// Cust parses the customer database with its DTD. It panics on error.
+func Cust() *xmltree.Document {
+	dtd := xmltree.MustParseDTD(CustDTD)
+	doc, err := xmltree.ParseWith(CustXML, xmltree.ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}

@@ -1,0 +1,497 @@
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Executor applies sequences of primitive operations to a document with the
+// paper's semantics: all Sub-Update bindings are made over the input before
+// any updates take place, content is evaluated per target before the sequence
+// executes, and a binding that has been deleted cannot be used by later
+// operations in the sequence (except as content).
+type Executor struct {
+	Model Model
+	// Doc, when non-nil, has its ID registry maintained across element
+	// insertions and deletions.
+	Doc *xmltree.Document
+	// Observer, when non-nil, is invoked immediately before each primitive
+	// operation executes, with the tree still in its pre-operation state.
+	// The delta package uses this to record update logs for transmission
+	// (change deltas, §1).
+	Observer func(target *xmltree.Element, op Op)
+
+	deleted map[any]bool
+	// deletedRefs records removed (list, id) reference entries.
+	deletedRefs map[refKey]bool
+	// refSnapshot pins the ID each bound reference entry had at binding
+	// time, so later index shifts in the same list do not retarget it.
+	refSnapshot map[refKey]string
+}
+
+type refKey struct {
+	list  *xmltree.RefList
+	index int
+}
+
+// NewExecutor returns an executor for the given model. doc may be nil.
+func NewExecutor(model Model, doc *xmltree.Document) *Executor {
+	return &Executor{
+		Model:       model,
+		Doc:         doc,
+		deleted:     make(map[any]bool),
+		deletedRefs: make(map[refKey]bool),
+		refSnapshot: make(map[refKey]string),
+	}
+}
+
+// Apply executes the operation sequence against target. The sequence is
+// first resolved — Sub-Update bindings are computed bottom-up over the
+// unmodified input — and then executed consecutively.
+func (x *Executor) Apply(target *xmltree.Element, ops []Op) error {
+	plan, err := x.resolve(target, ops)
+	if err != nil {
+		return err
+	}
+	return x.execute(plan)
+}
+
+// resolvedUpdate is a fully bound update: a target plus primitive operations
+// and nested resolved updates in sequence order.
+type resolvedUpdate struct {
+	target *xmltree.Element
+	ops    []resolvedOp
+}
+
+type resolvedOp struct {
+	prim Op              // non-nil for a primitive operation
+	sub  *resolvedUpdate // non-nil for a resolved Sub-Update
+}
+
+func (x *Executor) resolve(target *xmltree.Element, ops []Op) (*resolvedUpdate, error) {
+	ru := &resolvedUpdate{target: target}
+	for _, op := range ops {
+		switch o := op.(type) {
+		case SubUpdate:
+			if o.Bind == nil || o.Ops == nil {
+				return nil, fmt.Errorf("update: sub-update missing Bind or Ops")
+			}
+			subs, err := o.Bind(target)
+			if err != nil {
+				return nil, fmt.Errorf("update: sub-update binding: %w", err)
+			}
+			for _, s := range subs {
+				subOps, err := o.Ops(s)
+				if err != nil {
+					return nil, fmt.Errorf("update: sub-update operations: %w", err)
+				}
+				nested, err := x.resolve(s, subOps)
+				if err != nil {
+					return nil, err
+				}
+				ru.ops = append(ru.ops, resolvedOp{sub: nested})
+			}
+		default:
+			x.snapshotOpRefs(op)
+			ru.ops = append(ru.ops, resolvedOp{prim: op})
+		}
+	}
+	return ru, nil
+}
+
+// snapshotOpRefs pins the IDs of reference bindings mentioned by an op.
+func (x *Executor) snapshotOpRefs(op Op) {
+	pin := func(t Target) {
+		if r, ok := t.(xmltree.Ref); ok {
+			k := refKey{r.List, r.Index}
+			if _, done := x.refSnapshot[k]; !done && r.Index >= 0 && r.Index < len(r.List.IDs) {
+				x.refSnapshot[k] = r.List.IDs[r.Index]
+			}
+		}
+	}
+	switch o := op.(type) {
+	case Delete:
+		pin(o.Child)
+	case Rename:
+		pin(o.Child)
+	case InsertBefore:
+		pin(o.Ref)
+	case InsertAfter:
+		pin(o.Ref)
+	case Replace:
+		pin(o.Child)
+	}
+}
+
+func (x *Executor) execute(ru *resolvedUpdate) error {
+	for _, rop := range ru.ops {
+		if rop.sub != nil {
+			if x.isDeletedElement(rop.sub.target) {
+				return fmt.Errorf("update: sub-update target was deleted by an earlier operation")
+			}
+			if err := x.execute(rop.sub); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := x.executePrim(ru.target, rop.prim); err != nil {
+			return fmt.Errorf("update: %s: %w", OpName(rop.prim), err)
+		}
+	}
+	return nil
+}
+
+func (x *Executor) executePrim(target *xmltree.Element, op Op) error {
+	if x.isDeletedElement(target) {
+		return fmt.Errorf("target element was deleted by an earlier operation")
+	}
+	if x.Observer != nil {
+		x.Observer(target, op)
+	}
+	switch o := op.(type) {
+	case Delete:
+		return x.execDelete(target, o.Child)
+	case Rename:
+		return x.execRename(target, o.Child, o.Name)
+	case Insert:
+		return x.execInsert(target, o.Content)
+	case InsertBefore:
+		return x.execPositional(target, o.Ref, o.Content, true)
+	case InsertAfter:
+		return x.execPositional(target, o.Ref, o.Content, false)
+	case Replace:
+		return x.execReplace(target, o.Child, o.Content)
+	default:
+		return fmt.Errorf("unsupported operation %T", op)
+	}
+}
+
+// isDeletedElement reports whether e or any ancestor was deleted earlier in
+// this update's execution.
+func (x *Executor) isDeletedElement(e *xmltree.Element) bool {
+	for n := e; n != nil; n = n.Parent() {
+		if x.deleted[n] {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *Executor) checkUsable(t Target) error {
+	switch v := t.(type) {
+	case *xmltree.Element:
+		if x.isDeletedElement(v) {
+			return fmt.Errorf("binding refers to deleted element <%s>", v.Name)
+		}
+	case *xmltree.Attr:
+		if x.deleted[v] || (v.Owner() != nil && x.isDeletedElement(v.Owner())) {
+			return fmt.Errorf("binding refers to deleted attribute %q", v.Name)
+		}
+	case *xmltree.RefList:
+		if x.deleted[v] || (v.Owner() != nil && x.isDeletedElement(v.Owner())) {
+			return fmt.Errorf("binding refers to deleted reference list %q", v.Name)
+		}
+	case *xmltree.Text:
+		if x.deleted[v] || (v.Parent() != nil && x.isDeletedElement(v.Parent())) {
+			return fmt.Errorf("binding refers to deleted PCDATA")
+		}
+	case xmltree.Ref:
+		if x.deleted[v.List] {
+			return fmt.Errorf("binding refers to deleted reference list %q", v.List.Name)
+		}
+		if id, ok := x.refSnapshot[refKey{v.List, v.Index}]; ok {
+			if x.deletedRefs[refKey{v.List, v.Index}] {
+				return fmt.Errorf("binding refers to deleted reference %q", id)
+			}
+		}
+		if v.List.Owner() != nil && x.isDeletedElement(v.List.Owner()) {
+			return fmt.Errorf("binding refers to reference on deleted element")
+		}
+	}
+	return nil
+}
+
+// resolveRefIndex returns the current index of a bound reference entry,
+// preferring the snapshot ID captured at binding time.
+func (x *Executor) resolveRefIndex(r xmltree.Ref) (int, error) {
+	want, pinned := x.refSnapshot[refKey{r.List, r.Index}]
+	if !pinned {
+		if r.Index >= 0 && r.Index < len(r.List.IDs) {
+			return r.Index, nil
+		}
+		return -1, fmt.Errorf("reference index %d out of range", r.Index)
+	}
+	if r.Index >= 0 && r.Index < len(r.List.IDs) && r.List.IDs[r.Index] == want {
+		return r.Index, nil
+	}
+	for i, id := range r.List.IDs {
+		if id == want {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("reference %q no longer present in list %q", want, r.List.Name)
+}
+
+func (x *Executor) execDelete(target *xmltree.Element, child Target) error {
+	if err := x.checkUsable(child); err != nil {
+		return err
+	}
+	switch c := child.(type) {
+	case *xmltree.Element:
+		if c.Parent() != target {
+			return fmt.Errorf("element <%s> is not a child of target <%s>", c.Name, target.Name)
+		}
+		target.RemoveChild(c)
+		x.deleted[c] = true
+		x.unregisterSubtree(c)
+		return nil
+	case *xmltree.Text:
+		if c.Parent() != target {
+			return fmt.Errorf("PCDATA is not a child of target <%s>", target.Name)
+		}
+		target.RemoveChild(c)
+		x.deleted[c] = true
+		return nil
+	case *xmltree.Attr:
+		if c.Owner() != target {
+			return fmt.Errorf("attribute %q does not belong to target <%s>", c.Name, target.Name)
+		}
+		target.RemoveAttr(c)
+		x.deleted[c] = true
+		return nil
+	case *xmltree.RefList:
+		if c.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", c.Name, target.Name)
+		}
+		target.RemoveRefList(c)
+		x.deleted[c] = true
+		return nil
+	case xmltree.Ref:
+		if c.List.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", c.List.Name, target.Name)
+		}
+		idx, err := x.resolveRefIndex(c)
+		if err != nil {
+			return err
+		}
+		if !target.RemoveRefEntry(xmltree.Ref{List: c.List, Index: idx}) {
+			return fmt.Errorf("reference entry not removable")
+		}
+		x.deletedRefs[refKey{c.List, c.Index}] = true
+		return nil
+	default:
+		return fmt.Errorf("cannot delete object of type %T", child)
+	}
+}
+
+func (x *Executor) execRename(target *xmltree.Element, child Target, name string) error {
+	if err := x.checkUsable(child); err != nil {
+		return err
+	}
+	switch c := child.(type) {
+	case *xmltree.Element:
+		if c.Parent() != target {
+			return fmt.Errorf("element <%s> is not a child of target <%s>", c.Name, target.Name)
+		}
+	case *xmltree.Attr:
+		if c.Owner() != target {
+			return fmt.Errorf("attribute %q does not belong to target <%s>", c.Name, target.Name)
+		}
+	case *xmltree.RefList:
+		if c.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", c.Name, target.Name)
+		}
+	case xmltree.Ref:
+		// Renaming an individual IDREF renames the entire IDREFS (§3.2).
+		if c.List.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", c.List.Name, target.Name)
+		}
+		return xmltree.Rename(c.List, name)
+	}
+	return xmltree.Rename(child, name)
+}
+
+func (x *Executor) execInsert(target *xmltree.Element, content Content) error {
+	switch c := content.(type) {
+	case NewAttribute:
+		_, err := target.SetAttr(c.Name, c.Value)
+		return err
+	case NewRef:
+		target.AddRef(c.Name, c.ID)
+		return nil
+	case ElementContent:
+		e := x.materialize(c.Element)
+		target.AppendChild(e)
+		x.registerSubtree(e)
+		return nil
+	case PCDATA:
+		target.AppendChild(xmltree.NewText(c.Data))
+		return nil
+	default:
+		return fmt.Errorf("unsupported content type %T", content)
+	}
+}
+
+// materialize returns content ready for attachment: attached elements are
+// deep-copied (copy semantics), detached ones are used directly.
+func (x *Executor) materialize(e *xmltree.Element) *xmltree.Element {
+	if e.Parent() != nil {
+		return e.Clone()
+	}
+	return e
+}
+
+func (x *Executor) execPositional(target *xmltree.Element, ref Target, content Content, before bool) error {
+	if x.Model != Ordered {
+		return fmt.Errorf("positional insertion is defined only for the ordered execution model")
+	}
+	if err := x.checkUsable(ref); err != nil {
+		return err
+	}
+	switch r := ref.(type) {
+	case *xmltree.Element, *xmltree.Text:
+		node := r.(xmltree.Node)
+		if node.Parent() != target {
+			return fmt.Errorf("reference node is not a child of target <%s>", target.Name)
+		}
+		var n xmltree.Node
+		switch c := content.(type) {
+		case ElementContent:
+			e := x.materialize(c.Element)
+			x.registerSubtree(e)
+			n = e
+		case PCDATA:
+			n = xmltree.NewText(c.Data)
+		default:
+			return fmt.Errorf("positional insertion relative to a node requires element or PCDATA content, got %T", content)
+		}
+		if before {
+			return target.InsertBefore(node, n)
+		}
+		return target.InsertAfter(node, n)
+	case xmltree.Ref:
+		if r.List.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", r.List.Name, target.Name)
+		}
+		id, err := contentAsID(content, r.List.Name)
+		if err != nil {
+			return err
+		}
+		idx, err := x.resolveRefIndex(r)
+		if err != nil {
+			return err
+		}
+		if !before {
+			idx++
+		}
+		r.List.InsertRefAt(idx, id)
+		return nil
+	default:
+		return fmt.Errorf("positional insertion relative to %T is not defined", ref)
+	}
+}
+
+// contentAsID extracts an ID for insertion into the reference list named
+// label. Example 3 passes a bare string; new_ref(label, id) is also accepted
+// when its label matches.
+func contentAsID(content Content, label string) (string, error) {
+	switch c := content.(type) {
+	case PCDATA:
+		return c.Data, nil
+	case NewRef:
+		if c.Name != label {
+			return "", fmt.Errorf("reference label %q does not match list %q", c.Name, label)
+		}
+		return c.ID, nil
+	case NewAttribute:
+		// Example 4 uses new_attribute(managers, "jones1") for a reference;
+		// accept it when the label matches.
+		if c.Name != label {
+			return "", fmt.Errorf("reference label %q does not match list %q", c.Name, label)
+		}
+		return c.Value, nil
+	default:
+		return "", fmt.Errorf("insertion into an IDREFS requires an ID, got %T", content)
+	}
+}
+
+func (x *Executor) execReplace(target *xmltree.Element, child Target, content Content) error {
+	if err := x.checkUsable(child); err != nil {
+		return err
+	}
+	switch c := child.(type) {
+	case *xmltree.Element, *xmltree.Text:
+		if x.Model == Ordered {
+			if err := x.execPositional(target, child, content, true); err != nil {
+				return err
+			}
+			return x.execDelete(target, child)
+		}
+		if err := x.execInsert(target, content); err != nil {
+			return err
+		}
+		return x.execDelete(target, child)
+	case *xmltree.Attr:
+		switch nc := content.(type) {
+		case NewAttribute:
+			if err := x.execDelete(target, child); err != nil {
+				return err
+			}
+			_, err := target.SetAttr(nc.Name, nc.Value)
+			return err
+		default:
+			return fmt.Errorf("an attribute can only be replaced with an attribute, got %T", content)
+		}
+	case xmltree.Ref:
+		// A reference binding can only be replaced with another reference of
+		// the same label (§4.2.3).
+		id, err := contentAsID(content, c.List.Name)
+		if err != nil {
+			return err
+		}
+		idx, err := x.resolveRefIndex(c)
+		if err != nil {
+			return err
+		}
+		c.List.IDs[idx] = id
+		x.deletedRefs[refKey{c.List, c.Index}] = true
+		return nil
+	case *xmltree.RefList:
+		id, err := contentAsID(content, c.Name)
+		if err != nil {
+			return err
+		}
+		if c.Owner() != target {
+			return fmt.Errorf("reference list %q does not belong to target <%s>", c.Name, target.Name)
+		}
+		c.IDs = []string{id}
+		return nil
+	default:
+		return fmt.Errorf("cannot replace object of type %T", child)
+	}
+}
+
+func (x *Executor) registerSubtree(e *xmltree.Element) {
+	if x.Doc == nil {
+		return
+	}
+	xmltree.Walk(e, func(el *xmltree.Element) bool {
+		if id := x.Doc.ID(el); id != "" {
+			x.Doc.RegisterID(id, el)
+		}
+		return true
+	})
+}
+
+func (x *Executor) unregisterSubtree(e *xmltree.Element) {
+	if x.Doc == nil {
+		return
+	}
+	xmltree.Walk(e, func(el *xmltree.Element) bool {
+		if id := x.Doc.ID(el); id != "" {
+			x.Doc.UnregisterID(id, el)
+		}
+		return true
+	})
+}

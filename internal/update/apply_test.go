@@ -1,0 +1,478 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+func ordered(doc *xmltree.Document) *Executor { return NewExecutor(Ordered, doc) }
+
+// TestExample1Delete reproduces Example 1: delete the paper's category
+// attribute, its biologist reference to smith1, and its title subelement.
+func TestExample1Delete(t *testing.T) {
+	doc := testdocs.Bio()
+	paper := doc.ByID("Smith991231")
+	cat := paper.Attr("category")
+	bio := xmltree.Ref{List: paper.Ref("biologist"), Index: 0}
+	title := paper.FirstChildNamed("title")
+
+	x := ordered(doc)
+	err := x.Apply(paper, []Op{
+		Delete{Child: cat},
+		Delete{Child: bio},
+		Delete{Child: title},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.Attr("category") != nil {
+		t.Error("category still present")
+	}
+	if paper.Ref("biologist") != nil {
+		t.Error("biologist reference still present")
+	}
+	if paper.FirstChildNamed("title") != nil {
+		t.Error("title still present")
+	}
+	// The source reference must be untouched.
+	if paper.Ref("source") == nil {
+		t.Error("source reference was disturbed")
+	}
+}
+
+// TestExample2Insert reproduces Example 2: insert an age attribute, two
+// worksAt references, and a firstname subelement into biologist smith1.
+func TestExample2Insert(t *testing.T) {
+	doc := testdocs.Bio()
+	smith := doc.ByID("smith1")
+	first := xmltree.NewElement("firstname")
+	first.AppendChild(xmltree.NewText("Jeff"))
+
+	x := ordered(doc)
+	err := x.Apply(smith, []Op{
+		Insert{Content: NewAttribute{Name: "age", Value: "29"}},
+		Insert{Content: NewRef{Name: "worksAt", ID: "ucla"}},
+		Insert{Content: NewRef{Name: "worksAt", ID: "baselab"}},
+		Insert{Content: ElementContent{Element: first}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := smith.AttrValue("age"); v != "29" {
+		t.Errorf("age = %q", v)
+	}
+	// Ordered model: each successive reference appends to the worksAt list.
+	w := smith.Ref("worksAt")
+	if w == nil || len(w.IDs) != 2 || w.IDs[0] != "ucla" || w.IDs[1] != "baselab" {
+		t.Errorf("worksAt = %+v", w)
+	}
+	// firstname appears after existing subelements.
+	kids := smith.ChildElements()
+	if kids[len(kids)-1].Name != "firstname" {
+		t.Errorf("firstname not appended: %v", kids[len(kids)-1].Name)
+	}
+}
+
+// TestExample3PositionalInsert reproduces Example 3: add a street after the
+// name element and "jones1" as the first managers reference.
+func TestExample3PositionalInsert(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	sref := xmltree.Ref{List: lab.Ref("managers"), Index: 0}
+	street := xmltree.NewElement("street")
+	street.AppendChild(xmltree.NewText("Oak"))
+
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{
+		InsertBefore{Ref: sref, Content: PCDATA{Data: "jones1"}},
+		InsertAfter{Ref: name, Content: ElementContent{Element: street}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lab.Ref("managers")
+	if len(m.IDs) != 2 || m.IDs[0] != "jones1" || m.IDs[1] != "smith1" {
+		t.Errorf("managers = %v, want [jones1 smith1]", m.IDs)
+	}
+	kids := lab.ChildElements()
+	if kids[0].Name != "name" || kids[1].Name != "street" {
+		t.Errorf("children = %v %v", kids[0].Name, kids[1].Name)
+	}
+}
+
+// TestExample4Replace reproduces Example 4: replace lab names and manager
+// references.
+func TestExample4Replace(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	mgr := xmltree.Ref{List: lab.Ref("managers"), Index: 0}
+	app := xmltree.NewElement("appellation")
+	app.AppendChild(xmltree.NewText("Fancy Lab"))
+
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{
+		Replace{Child: name, Content: ElementContent{Element: app}},
+		Replace{Child: mgr, Content: NewAttribute{Name: "managers", Value: "jones1"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.FirstChildNamed("name") != nil {
+		t.Error("old name still present")
+	}
+	got := lab.FirstChildNamed("appellation")
+	if got == nil || got.TextContent() != "Fancy Lab" {
+		t.Error("appellation missing")
+	}
+	// Replacement keeps the element's position (ordered model).
+	if lab.ChildElements()[0].Name != "appellation" {
+		t.Error("replacement did not preserve position")
+	}
+	if ids := lab.Ref("managers").IDs; len(ids) != 1 || ids[0] != "jones1" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+// TestReplaceRefWrongLabelFails enforces §4.2.3: a reference binding can only
+// be replaced with another reference of the same label.
+func TestReplaceRefWrongLabelFails(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	mgr := xmltree.Ref{List: lab.Ref("managers"), Index: 0}
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{
+		Replace{Child: mgr, Content: NewRef{Name: "owners", ID: "jones1"}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "label") {
+		t.Errorf("expected label mismatch error, got %v", err)
+	}
+}
+
+// TestExample5NestedUpdate reproduces Example 5: multi-level nested update of
+// university ucla, checked against the Figure 3 output.
+func TestExample5NestedUpdate(t *testing.T) {
+	doc := testdocs.Bio()
+	u := doc.ByID("ucla")
+	firstLabName := u.ChildElements()[0].FirstChildNamed("name")
+	_ = firstLabName
+
+	newLab := xmltree.NewElement("lab")
+	if _, err := newLab.SetAttr("ID", "newlab"); err != nil {
+		t.Fatal(err)
+	}
+	nm := xmltree.NewElement("name")
+	nm.AppendChild(xmltree.NewText("UCLA Secondary Lab"))
+	newLab.AppendChild(nm)
+
+	// WHERE $lab.index() = 0 binds the first lab child.
+	firstLab := u.ChildElements()[0]
+
+	x := ordered(doc)
+	err := x.Apply(u, []Op{
+		Insert{Content: NewAttribute{Name: "labs", Value: "2"}},
+		InsertBefore{Ref: firstLab, Content: ElementContent{Element: newLab}},
+		SubUpdate{
+			Bind: func(target *xmltree.Element) ([]*xmltree.Element, error) {
+				// FOR $l1 IN $u/lab — bound over the INPUT, before the
+				// insertion of newlab.
+				return target.ChildElementsNamed("lab"), nil
+			},
+			Ops: func(l1 *xmltree.Element) ([]Op, error) {
+				labname := l1.FirstChildNamed("name")
+				ci := l1.FirstChildNamed("city")
+				repl := xmltree.NewElement("name")
+				repl.AppendChild(xmltree.NewText("UCLA Primary Lab"))
+				return []Op{
+					Replace{Child: labname, Content: ElementContent{Element: repl}},
+					Delete{Child: ci},
+				}, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Figure 3: university has labs="2", newlab first, then lalab with the
+	// replaced name and no city.
+	if v, _ := u.AttrValue("labs"); v != "2" {
+		t.Errorf("labs attribute = %q", v)
+	}
+	labs := u.ChildElementsNamed("lab")
+	if len(labs) != 2 {
+		t.Fatalf("university has %d labs, want 2", len(labs))
+	}
+	if id, _ := labs[0].AttrValue("ID"); id != "newlab" {
+		t.Errorf("first lab = %q, want newlab", id)
+	}
+	if got := labs[0].FirstChildNamed("name").TextContent(); got != "UCLA Secondary Lab" {
+		t.Errorf("newlab name = %q", got)
+	}
+	lalab := labs[1]
+	if got := lalab.FirstChildNamed("name").TextContent(); got != "UCLA Primary Lab" {
+		t.Errorf("lalab name = %q", got)
+	}
+	if lalab.FirstChildNamed("city") != nil {
+		t.Error("lalab city should be deleted")
+	}
+	// Sub-update was bound over the input: newlab must NOT have been
+	// rewritten even though it is now a lab child of ucla.
+	if got := labs[0].FirstChildNamed("name").TextContent(); got == "UCLA Primary Lab" {
+		t.Error("sub-update bound over modified document, not the input")
+	}
+	// managers reference list of lalab untouched.
+	if m := lalab.Ref("managers"); m == nil || len(m.IDs) != 2 {
+		t.Error("lalab managers disturbed")
+	}
+}
+
+// TestDeletedBindingUnusable enforces the §3.2 rule that a deleted binding
+// cannot be used by later operations in the sequence.
+func TestDeletedBindingUnusable(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{
+		Delete{Child: name},
+		Rename{Child: name, Name: "title"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "deleted") {
+		t.Errorf("expected deleted-binding error, got %v", err)
+	}
+}
+
+// TestDeletedSubtreeBindingUnusable: a binding inside a deleted subtree is
+// also unusable.
+func TestDeletedSubtreeBindingUnusable(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	loc := lab.FirstChildNamed("location")
+	city := loc.FirstChildNamed("city")
+
+	x := ordered(doc)
+	if err := x.Apply(lab, []Op{Delete{Child: loc}}); err != nil {
+		t.Fatal(err)
+	}
+	err := x.Apply(loc, []Op{Delete{Child: city}})
+	if err == nil {
+		t.Error("operating inside a deleted subtree should fail")
+	}
+}
+
+// TestDeletedElementUsableAsContent: the exception — deleted bindings may be
+// used as content.
+func TestDeletedElementUsableAsContent(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	loc := lab.FirstChildNamed("location")
+	lab2 := doc.ByID("lab2")
+
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{Delete{Child: loc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loc is detached now; inserting it as content is allowed.
+	err = x.Apply(lab2, []Op{Insert{Content: ElementContent{Element: loc}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab2.FirstChildNamed("location") == nil {
+		t.Error("deleted element not insertable as content")
+	}
+}
+
+func TestInsertDuplicateAttributeFails(t *testing.T) {
+	doc := testdocs.Bio()
+	jones := doc.ByID("jones1")
+	x := ordered(doc)
+	err := x.Apply(jones, []Op{Insert{Content: NewAttribute{Name: "age", Value: "33"}}})
+	if err == nil {
+		t.Error("inserting duplicate attribute should fail (§3.2)")
+	}
+}
+
+func TestInsertRefIntoExistingListAppends(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	x := ordered(doc)
+	err := x.Apply(lalab, []Op{Insert{Content: NewRef{Name: "managers", ID: "x9"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := lalab.Ref("managers").IDs
+	if len(ids) != 3 || ids[2] != "x9" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+func TestUnorderedRejectsPositional(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	x := NewExecutor(Unordered, doc)
+	err := x.Apply(lab, []Op{
+		InsertBefore{Ref: name, Content: PCDATA{Data: "x"}},
+	})
+	if err == nil {
+		t.Error("unordered model must reject positional insertion")
+	}
+}
+
+func TestUnorderedReplace(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	repl := xmltree.NewElement("name")
+	repl.AppendChild(xmltree.NewText("New Name"))
+	x := NewExecutor(Unordered, doc)
+	err := x.Apply(lab, []Op{Replace{Child: name, Content: ElementContent{Element: repl}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := lab.ChildElementsNamed("name")
+	if len(names) != 1 || names[0].TextContent() != "New Name" {
+		t.Errorf("replace result = %v", names)
+	}
+}
+
+func TestCopySemanticsOnInsert(t *testing.T) {
+	doc := testdocs.Bio()
+	lab2 := doc.ByID("lab2")
+	base := doc.ByID("baselab")
+	srcName := base.FirstChildNamed("name")
+
+	x := ordered(doc)
+	// Inserting an attached element copies it (§6.2 copy semantics).
+	err := x.Apply(lab2, []Op{Insert{Content: ElementContent{Element: srcName}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.FirstChildNamed("name") == nil {
+		t.Error("source element was moved, not copied")
+	}
+	names := lab2.ChildElementsNamed("name")
+	if len(names) != 2 {
+		t.Fatalf("lab2 has %d name children, want 2", len(names))
+	}
+	// Mutating the copy does not affect the source.
+	names[1].Children()[0].(*xmltree.Text).Data = "MUTATED"
+	if srcName.TextContent() != "Seattle Bio Lab" {
+		t.Error("copy shares storage with source")
+	}
+}
+
+func TestIDRegistryMaintainedAcrossUpdates(t *testing.T) {
+	doc := testdocs.Bio()
+	x := ordered(doc)
+
+	// Delete biologist jones1: its ID must be unregistered.
+	jones := doc.ByID("jones1")
+	if err := x.Apply(doc.Root, []Op{Delete{Child: jones}}); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ByID("jones1") != nil {
+		t.Error("jones1 still registered after delete")
+	}
+
+	// Insert a new element with an ID: it must be registered.
+	nb := xmltree.NewElement("biologist")
+	if _, err := nb.SetAttr("ID", "doe1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Apply(doc.Root, []Op{Insert{Content: ElementContent{Element: nb}}}); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ByID("doe1") == nil {
+		t.Error("doe1 not registered after insert")
+	}
+}
+
+func TestRenameRefEntryRenamesWholeList(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	entry := xmltree.Ref{List: lalab.Ref("managers"), Index: 1}
+	x := ordered(doc)
+	if err := x.Apply(lalab, []Op{Rename{Child: entry, Name: "supervisors"}}); err != nil {
+		t.Fatal(err)
+	}
+	if lalab.Ref("managers") != nil {
+		t.Error("managers still present")
+	}
+	if r := lalab.Ref("supervisors"); r == nil || len(r.IDs) != 2 {
+		t.Error("whole-list rename did not preserve entries")
+	}
+}
+
+func TestRefSnapshotSurvivesShifts(t *testing.T) {
+	// Two operations target entries of the same list; the first insert
+	// shifts indices, the second delete must still remove the right entry.
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	m := lalab.Ref("managers") // [smith1 jones1]
+	smith := xmltree.Ref{List: m, Index: 0}
+	jones := xmltree.Ref{List: m, Index: 1}
+
+	x := ordered(doc)
+	err := x.Apply(lalab, []Op{
+		InsertBefore{Ref: smith, Content: PCDATA{Data: "zeroth"}},
+		Delete{Child: jones}, // index 1 now holds smith1; snapshot says jones1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := lalab.Ref("managers").IDs
+	if len(ids) != 2 || ids[0] != "zeroth" || ids[1] != "smith1" {
+		t.Errorf("managers = %v, want [zeroth smith1]", ids)
+	}
+}
+
+func TestDeleteNonChildFails(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	other := doc.ByID("lab2").FirstChildNamed("name")
+	x := ordered(doc)
+	if err := x.Apply(lab, []Op{Delete{Child: other}}); err == nil {
+		t.Error("deleting a non-child should fail")
+	}
+}
+
+func TestDeletePCDATA(t *testing.T) {
+	doc := xmltree.MustParse(`<a>hello<b/>world</a>`)
+	txt := doc.Root.Children()[0].(*xmltree.Text)
+	x := ordered(doc)
+	if err := x.Apply(doc.Root, []Op{Delete{Child: txt}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.TextContent(); got != "world" {
+		t.Errorf("text after delete = %q", got)
+	}
+}
+
+func TestSubUpdateOnDeletedTargetFails(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	loc := lab.FirstChildNamed("location")
+
+	x := ordered(doc)
+	err := x.Apply(lab, []Op{
+		Delete{Child: loc},
+		SubUpdate{
+			Bind: func(*xmltree.Element) ([]*xmltree.Element, error) {
+				return []*xmltree.Element{loc}, nil
+			},
+			Ops: func(s *xmltree.Element) ([]Op, error) {
+				return []Op{Delete{Child: s.FirstChildNamed("city")}}, nil
+			},
+		},
+	})
+	if err == nil {
+		t.Error("sub-update on deleted binding should fail")
+	}
+}

@@ -1,0 +1,228 @@
+package update
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+// Tests focused on the ordered/unordered model distinction and the less
+// common operation/content combinations of §3.2.
+
+func TestOrderedInsertionAppends(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("lab2")
+	x := NewExecutor(Ordered, doc)
+	a := xmltree.NewElement("note")
+	a.AppendChild(xmltree.NewText("first"))
+	b := xmltree.NewElement("note")
+	b.AppendChild(xmltree.NewText("second"))
+	if err := x.Apply(lab, []Op{
+		Insert{Content: ElementContent{Element: a}},
+		Insert{Content: ElementContent{Element: b}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kids := lab.ChildElements()
+	n := len(kids)
+	if kids[n-2].TextContent() != "first" || kids[n-1].TextContent() != "second" {
+		t.Errorf("ordered insertions not appended in sequence: %q, %q",
+			kids[n-2].TextContent(), kids[n-1].TextContent())
+	}
+}
+
+func TestOrderedRefInsertionAppendsToList(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(lalab, []Op{
+		Insert{Content: NewRef{Name: "managers", ID: "a1"}},
+		Insert{Content: NewRef{Name: "managers", ID: "a2"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids := lalab.Ref("managers").IDs
+	if len(ids) != 4 || ids[2] != "a1" || ids[3] != "a2" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Ordered.String() != "ordered" || Unordered.String() != "unordered" {
+		t.Error("Model.String wrong")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Delete{}, "DELETE"},
+		{Rename{}, "RENAME"},
+		{Insert{}, "INSERT"},
+		{InsertBefore{}, "INSERT BEFORE"},
+		{InsertAfter{}, "INSERT AFTER"},
+		{Replace{}, "REPLACE"},
+		{SubUpdate{}, "sub-update"},
+	}
+	for _, c := range cases {
+		if got := OpName(c.op); got != c.want {
+			t.Errorf("OpName(%T) = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestReplaceWholeRefList(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	m := lalab.Ref("managers")
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(lalab, []Op{
+		Replace{Child: m, Content: NewRef{Name: "managers", ID: "solo"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := lalab.Ref("managers").IDs; len(ids) != 1 || ids[0] != "solo" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+func TestReplaceAttrWithElementFails(t *testing.T) {
+	doc := testdocs.Bio()
+	jones := doc.ByID("jones1")
+	age := jones.Attr("age")
+	x := NewExecutor(Ordered, doc)
+	e := xmltree.NewElement("age")
+	err := x.Apply(jones, []Op{Replace{Child: age, Content: ElementContent{Element: e}}})
+	if err == nil {
+		t.Error("replacing an attribute with an element should fail")
+	}
+}
+
+func TestReplaceAttrWithAttr(t *testing.T) {
+	doc := testdocs.Bio()
+	jones := doc.ByID("jones1")
+	age := jones.Attr("age")
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(jones, []Op{
+		Replace{Child: age, Content: NewAttribute{Name: "age", Value: "33"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := jones.AttrValue("age"); v != "33" {
+		t.Errorf("age = %q", v)
+	}
+}
+
+func TestInsertAfterRefEntry(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	first := xmltree.Ref{List: lalab.Ref("managers"), Index: 0}
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(lalab, []Op{
+		InsertAfter{Ref: first, Content: PCDATA{Data: "mid"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids := lalab.Ref("managers").IDs
+	if len(ids) != 3 || ids[1] != "mid" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+func TestPositionalInsertElementBetweenText(t *testing.T) {
+	doc := xmltree.MustParse(`<p>alpha<b/>omega</p>`)
+	omega := doc.Root.Children()[2].(*xmltree.Text)
+	x := NewExecutor(Ordered, doc)
+	mid := xmltree.NewElement("i")
+	if err := x.Apply(doc.Root, []Op{
+		InsertBefore{Ref: omega, Content: ElementContent{Element: mid}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := xmltree.Serialize(doc.Root)
+	if got != `<p>alpha<b/><i/>omega</p>` {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestInsertAttributeRelativeFails(t *testing.T) {
+	doc := testdocs.Bio()
+	lab := doc.ByID("baselab")
+	name := lab.FirstChildNamed("name")
+	x := NewExecutor(Ordered, doc)
+	err := x.Apply(lab, []Op{
+		InsertBefore{Ref: name, Content: NewAttribute{Name: "a", Value: "1"}},
+	})
+	if err == nil {
+		t.Error("positional insertion of an attribute should fail")
+	}
+}
+
+func TestSubUpdateErrorsPropagate(t *testing.T) {
+	doc := testdocs.Bio()
+	x := NewExecutor(Ordered, doc)
+	err := x.Apply(doc.Root, []Op{SubUpdate{}})
+	if err == nil || !strings.Contains(err.Error(), "Bind") {
+		t.Errorf("empty SubUpdate error = %v", err)
+	}
+}
+
+func TestRenameAttrCollisionFails(t *testing.T) {
+	doc := xmltree.MustParse(`<a x="1" y="2"/>`)
+	x := NewExecutor(Ordered, doc)
+	attr := doc.Root.Attr("x")
+	err := x.Apply(doc.Root, []Op{Rename{Child: attr, Name: "y"}})
+	if err == nil {
+		t.Error("renaming onto an existing attribute should fail")
+	}
+}
+
+func TestDeleteWholeRefList(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	m := lalab.Ref("managers")
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(lalab, []Op{Delete{Child: m}}); err != nil {
+		t.Fatal(err)
+	}
+	if lalab.Ref("managers") != nil {
+		t.Error("reference list still present")
+	}
+}
+
+func TestContentEvaluatedBeforeSequence(t *testing.T) {
+	// "content is evaluated for each target before the sequence of updates
+	// is executed": inserting a copy of a node that a later op deletes must
+	// capture the pre-delete content.
+	doc := testdocs.Bio()
+	lab2 := doc.ByID("lab2")
+	name := lab2.FirstChildNamed("name")
+	x := NewExecutor(Ordered, doc)
+	if err := x.Apply(lab2, []Op{
+		Insert{Content: ElementContent{Element: name}}, // copy (attached → clone)
+		Delete{Child: name},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	names := lab2.ChildElementsNamed("name")
+	if len(names) != 1 || names[0].TextContent() != "PMBL" {
+		t.Errorf("names = %d", len(names))
+	}
+}
+
+func TestExecutorWithoutDoc(t *testing.T) {
+	// An executor may run without a document (no ID maintenance).
+	root := xmltree.NewElement("r")
+	x := NewExecutor(Ordered, nil)
+	c := xmltree.NewElement("c")
+	if err := x.Apply(root, []Op{Insert{Content: ElementContent{Element: c}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(root.ChildElements()) != 1 {
+		t.Error("insert without doc failed")
+	}
+}

@@ -1,0 +1,171 @@
+// Package update implements the primitive XML update operations of
+// Tatarinov et al. (SIGMOD 2001, §3.2): Delete, Rename, Insert, InsertBefore,
+// InsertAfter, Replace, and Sub-Update, under both the ordered and unordered
+// execution models, with the paper's snapshot-binding semantics.
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Model selects the execution model of §3.2.
+type Model int
+
+// Execution models.
+const (
+	// Ordered: non-attribute insertions append at the end; InsertBefore and
+	// InsertAfter are available; Replace is InsertBefore+Delete.
+	Ordered Model = iota
+	// Unordered: insertion position is unspecified (this implementation
+	// appends); InsertBefore/InsertAfter are rejected; Replace is
+	// Insert+Delete.
+	Unordered
+)
+
+func (m Model) String() string {
+	if m == Unordered {
+		return "unordered"
+	}
+	return "ordered"
+}
+
+// Target is an object an operation manipulates: *xmltree.Element,
+// *xmltree.Attr, xmltree.Ref, *xmltree.RefList, or *xmltree.Text.
+type Target = any
+
+// Content is what an Insert or Replace produces: one of the constructor
+// types below, a *xmltree.Element (copied if attached), or plain PCDATA.
+type Content interface{ isContent() }
+
+// NewAttribute constructs an attribute to insert — the paper's
+// new_attribute(name, value).
+type NewAttribute struct {
+	Name  string
+	Value string
+}
+
+func (NewAttribute) isContent() {}
+
+// NewRef constructs a reference to insert — the paper's new_ref(label, id).
+type NewRef struct {
+	Name string
+	ID   string
+}
+
+func (NewRef) isContent() {}
+
+// ElementContent inserts an element subtree. If the element is attached to a
+// document it is deep-copied first (copy semantics, §6.2).
+type ElementContent struct {
+	Element *xmltree.Element
+}
+
+func (ElementContent) isContent() {}
+
+// PCDATA inserts a text node — or, when inserted relative to an IDREF entry,
+// a bare ID (Example 3 inserts "jones1" before a managers reference).
+type PCDATA struct {
+	Data string
+}
+
+func (PCDATA) isContent() {}
+
+// Op is one primitive sub-operation within an update.
+type Op interface{ isOp() }
+
+// Delete removes child from the target object. Valid child types: PCDATA,
+// attribute, IDREF within an IDREFS (removing only the single entry), a whole
+// reference list, and element.
+type Delete struct {
+	Child Target
+}
+
+func (Delete) isOp() {}
+
+// Rename gives a non-PCDATA child of the target a new name. An individual
+// IDREF within an IDREFS cannot be renamed; renaming applies to the entire
+// IDREFS.
+type Rename struct {
+	Child Target
+	Name  string
+}
+
+func (Rename) isOp() {}
+
+// Insert adds new content to the target. Inserting an attribute whose name
+// already exists fails; inserting a reference whose name matches an existing
+// IDREFS appends an entry to it.
+type Insert struct {
+	Content Content
+}
+
+func (Insert) isOp() {}
+
+// InsertBefore inserts content directly before Ref within the target
+// (ordered model only). If Ref is a child element or PCDATA, Content must be
+// an element or PCDATA; if Ref is an entry in an IDREFS, Content must be an
+// ID and is inserted ahead of it in the list.
+type InsertBefore struct {
+	Ref     Target
+	Content Content
+}
+
+func (InsertBefore) isOp() {}
+
+// InsertAfter is defined analogously to InsertBefore.
+type InsertAfter struct {
+	Ref     Target
+	Content Content
+}
+
+func (InsertAfter) isOp() {}
+
+// Replace atomically replaces child with content: InsertBefore+Delete in the
+// ordered model, Insert+Delete in the unordered model. A reference binding
+// can only be replaced by a reference with the same label.
+type Replace struct {
+	Child   Target
+	Content Content
+}
+
+func (Replace) isOp() {}
+
+// SubUpdate recursively invokes an update at a deeper level: starting at the
+// target element it binds Pattern's matches (filtered by the predicates
+// compiled into the pattern), and applies Ops to each binding. All bindings
+// are made over the input before any updates take place (§3.2); the executor
+// realizes this by pre-binding before executing the sequence.
+type SubUpdate struct {
+	// Bind computes the sub-targets from the current target. It is invoked
+	// during the binding phase, before any mutation.
+	Bind func(target *xmltree.Element) ([]*xmltree.Element, error)
+	// Ops builds the operation list for one bound sub-target. It is also
+	// invoked during the binding phase.
+	Ops func(sub *xmltree.Element) ([]Op, error)
+}
+
+func (SubUpdate) isOp() {}
+
+// OpName names an operation for error messages.
+func OpName(op Op) string {
+	switch op.(type) {
+	case Delete:
+		return "DELETE"
+	case Rename:
+		return "RENAME"
+	case Insert:
+		return "INSERT"
+	case InsertBefore:
+		return "INSERT BEFORE"
+	case InsertAfter:
+		return "INSERT AFTER"
+	case Replace:
+		return "REPLACE"
+	case SubUpdate:
+		return "sub-update"
+	default:
+		return fmt.Sprintf("%T", op)
+	}
+}

@@ -1,0 +1,653 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// AttrType classifies a declared attribute.
+type AttrType int
+
+// Attribute types from the XML 1.0 ATTLIST production (the subset the paper
+// needs; NMTOKEN and enumerations are treated as CDATA for storage purposes).
+const (
+	AttrCDATA AttrType = iota
+	AttrID
+	AttrIDREF
+	AttrIDREFS
+)
+
+func (t AttrType) String() string {
+	switch t {
+	case AttrCDATA:
+		return "CDATA"
+	case AttrID:
+		return "ID"
+	case AttrIDREF:
+		return "IDREF"
+	case AttrIDREFS:
+		return "IDREFS"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// Occurrence describes how many times a particle may appear.
+type Occurrence int
+
+// Occurrence indicators.
+const (
+	OccurOnce       Occurrence = iota // no indicator
+	OccurOptional                     // ?
+	OccurZeroOrMore                   // *
+	OccurOneOrMore                    // +
+)
+
+func (o Occurrence) String() string {
+	switch o {
+	case OccurOnce:
+		return ""
+	case OccurOptional:
+		return "?"
+	case OccurZeroOrMore:
+		return "*"
+	case OccurOneOrMore:
+		return "+"
+	default:
+		return "?"
+	}
+}
+
+// AtMostOnce reports whether the occurrence admits at most one instance.
+func (o Occurrence) AtMostOnce() bool { return o == OccurOnce || o == OccurOptional }
+
+// ContentKind classifies an element declaration's content model.
+type ContentKind int
+
+// Content model kinds.
+const (
+	ContentEmpty    ContentKind = iota // EMPTY
+	ContentAny                         // ANY
+	ContentPCDATA                      // (#PCDATA)
+	ContentChildren                    // element content: sequences/choices
+	ContentMixed                       // (#PCDATA | a | b)*
+)
+
+// Particle is a node in a content-model expression tree.
+type Particle struct {
+	// Name is set for a leaf (an element reference); empty for groups.
+	Name string
+	// Seq and Choice hold group members; at most one is non-nil.
+	Seq    []*Particle
+	Choice []*Particle
+	Occur  Occurrence
+}
+
+// ElementDecl is a parsed <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name    string
+	Kind    ContentKind
+	Content *Particle // nil unless Kind == ContentChildren
+	// MixedNames lists the element names admitted by a mixed model.
+	MixedNames []string
+}
+
+// AttrDecl is one attribute definition from an <!ATTLIST> declaration.
+type AttrDecl struct {
+	Element  string
+	Name     string
+	Type     AttrType
+	Required bool
+	Default  string
+}
+
+// DTD is a parsed document type definition: the element and attribute
+// declarations the Shared Inlining mapper (internal/shred) consumes.
+type DTD struct {
+	Elements map[string]*ElementDecl
+	// Attrs maps element name → attribute name → declaration.
+	Attrs map[string]map[string]*AttrDecl
+	// order preserves declaration order of elements for deterministic
+	// schema generation.
+	order []string
+}
+
+// ElementNames returns element names in declaration order.
+func (d *DTD) ElementNames() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// AttrKind returns the declared type of (element, attr), defaulting to CDATA.
+func (d *DTD) AttrKind(element, attr string) AttrType {
+	if m := d.Attrs[element]; m != nil {
+		if a := m[attr]; a != nil {
+			return a.Type
+		}
+	}
+	return AttrCDATA
+}
+
+// IDAttr returns the name of the element's declared ID attribute, if any.
+func (d *DTD) IDAttr(element string) (string, bool) {
+	for _, a := range d.Attrs[element] {
+		if a.Type == AttrID {
+			return a.Name, true
+		}
+	}
+	return "", false
+}
+
+// AttrDecls returns the attribute declarations for an element, in a
+// deterministic (name-sorted at parse time) order.
+func (d *DTD) AttrDecls(element string) []*AttrDecl {
+	m := d.Attrs[element]
+	if m == nil {
+		return nil
+	}
+	var names []string
+	for n := range m {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*AttrDecl, 0, len(names))
+	for _, n := range names {
+		out = append(out, m[n])
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// ChildOccurrences flattens an element's content model into the set of child
+// element names with the loosest occurrence bound seen for each. A child that
+// can appear more than once (through *, +, or repetition in the model) maps
+// to OccurZeroOrMore/OccurOneOrMore; this is what decides inlining (§5.1).
+func (d *DTD) ChildOccurrences(element string) map[string]Occurrence {
+	decl := d.Elements[element]
+	if decl == nil {
+		return nil
+	}
+	out := make(map[string]Occurrence)
+	switch decl.Kind {
+	case ContentChildren:
+		flattenParticle(decl.Content, false, out)
+	case ContentMixed:
+		for _, n := range decl.MixedNames {
+			out[n] = OccurZeroOrMore
+		}
+	}
+	return out
+}
+
+// flattenParticle walks a content particle. underStar forces multiplicity.
+func flattenParticle(p *Particle, underStar bool, out map[string]Occurrence) {
+	if p == nil {
+		return
+	}
+	multi := underStar || p.Occur == OccurZeroOrMore || p.Occur == OccurOneOrMore
+	if p.Name != "" {
+		occ := p.Occur
+		if underStar {
+			occ = OccurZeroOrMore
+		}
+		if prev, ok := out[p.Name]; ok {
+			// Seen twice → repeatable regardless of indicators.
+			_ = prev
+			out[p.Name] = OccurZeroOrMore
+		} else {
+			out[p.Name] = occ
+		}
+		return
+	}
+	members := p.Seq
+	inChoice := false
+	if members == nil {
+		members = p.Choice
+		inChoice = true
+	}
+	for _, m := range members {
+		child := multi
+		// Inside a choice, each alternative is optional; occurrence for
+		// inlining only cares about "can it repeat".
+		flattenParticle(m, child, out)
+		if inChoice && !child {
+			// A child of a non-repeating choice is optional-at-most-once:
+			// downgraded below.
+			if m.Name != "" && out[m.Name] == OccurOnce {
+				out[m.Name] = OccurOptional
+			}
+		}
+	}
+}
+
+// ChildNamesOrdered returns the distinct child element names of an element's
+// content model in first-appearance order. Schema generation uses this so
+// column and table order is deterministic and mirrors the DTD.
+func (d *DTD) ChildNamesOrdered(element string) []string {
+	decl := d.Elements[element]
+	if decl == nil {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	switch decl.Kind {
+	case ContentChildren:
+		var walk func(p *Particle)
+		walk = func(p *Particle) {
+			if p == nil {
+				return
+			}
+			if p.Name != "" {
+				add(p.Name)
+				return
+			}
+			for _, m := range p.Seq {
+				walk(m)
+			}
+			for _, m := range p.Choice {
+				walk(m)
+			}
+		}
+		walk(decl.Content)
+	case ContentMixed:
+		for _, n := range decl.MixedNames {
+			add(n)
+		}
+	}
+	return out
+}
+
+// ParseDTD parses the markup declarations of a DTD (the internal-subset
+// syntax): <!ELEMENT …> and <!ATTLIST …>. Comments and parameter entities it
+// does not understand are skipped; unknown declarations are errors.
+func ParseDTD(src string) (*DTD, error) {
+	d := &DTD{
+		Elements: make(map[string]*ElementDecl),
+		Attrs:    make(map[string]map[string]*AttrDecl),
+	}
+	p := &dtdParser{src: src}
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return d, nil
+		}
+		switch {
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<!ELEMENT"):
+			decl, err := p.parseElementDecl()
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: dtd: %s", err)
+			}
+			if _, dup := d.Elements[decl.Name]; !dup {
+				d.order = append(d.order, decl.Name)
+			}
+			d.Elements[decl.Name] = decl
+		case p.hasPrefix("<!ATTLIST"):
+			decls, err := p.parseAttlist()
+			if err != nil {
+				return nil, fmt.Errorf("xmltree: dtd: %s", err)
+			}
+			for _, a := range decls {
+				if d.Attrs[a.Element] == nil {
+					d.Attrs[a.Element] = make(map[string]*AttrDecl)
+				}
+				d.Attrs[a.Element][a.Name] = a
+			}
+		case p.hasPrefix("<?"):
+			end := strings.Index(p.src[p.pos:], "?>")
+			if end < 0 {
+				return nil, fmt.Errorf("xmltree: dtd: unterminated processing instruction")
+			}
+			p.pos += end + 2
+		default:
+			return nil, fmt.Errorf("xmltree: dtd: unexpected content at offset %d: %.20q", p.pos, p.src[p.pos:])
+		}
+	}
+}
+
+// MustParseDTD parses a DTD and panics on failure. For tests and examples.
+func MustParseDTD(src string) *DTD {
+	d, err := ParseDTD(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type dtdParser struct {
+	src string
+	pos int
+}
+
+func (p *dtdParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *dtdParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *dtdParser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *dtdParser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *dtdParser) skipComment() error {
+	end := strings.Index(p.src[p.pos+4:], "-->")
+	if end < 0 {
+		return fmt.Errorf("xmltree: dtd: unterminated comment")
+	}
+	p.pos += 4 + end + 3
+	return nil
+}
+
+func (p *dtdParser) expect(s string) error {
+	if !p.hasPrefix(s) {
+		return fmt.Errorf("expected %q at offset %d", s, p.pos)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *dtdParser) parseName() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !isNameStart(r) {
+		return "", fmt.Errorf("expected name at offset %d", p.pos)
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *dtdParser) parseElementDecl() (*ElementDecl, error) {
+	if err := p.expect("<!ELEMENT"); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	decl := &ElementDecl{Name: name}
+	switch {
+	case p.hasPrefix("EMPTY"):
+		p.pos += len("EMPTY")
+		decl.Kind = ContentEmpty
+	case p.hasPrefix("ANY"):
+		p.pos += len("ANY")
+		decl.Kind = ContentAny
+	case p.peek() == '(':
+		if err := p.parseContentModel(decl); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("element %s: expected content model", name)
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, fmt.Errorf("element %s: %s", name, err)
+	}
+	return decl, nil
+}
+
+func (p *dtdParser) parseContentModel(decl *ElementDecl) error {
+	// Look ahead for #PCDATA.
+	save := p.pos
+	p.pos++ // consume '('
+	p.skipSpace()
+	if p.hasPrefix("#PCDATA") {
+		p.pos += len("#PCDATA")
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			// Optional trailing '*' on (#PCDATA)* is allowed.
+			if p.peek() == '*' {
+				p.pos++
+			}
+			decl.Kind = ContentPCDATA
+			return nil
+		}
+		// Mixed content: (#PCDATA | a | b)*
+		decl.Kind = ContentMixed
+		for {
+			p.skipSpace()
+			if p.peek() == '|' {
+				p.pos++
+				p.skipSpace()
+				n, err := p.parseName()
+				if err != nil {
+					return err
+				}
+				decl.MixedNames = append(decl.MixedNames, n)
+				continue
+			}
+			if p.peek() == ')' {
+				p.pos++
+				if p.peek() != '*' {
+					return fmt.Errorf("element %s: mixed content must end with )*", decl.Name)
+				}
+				p.pos++
+				return nil
+			}
+			return fmt.Errorf("element %s: bad mixed content model", decl.Name)
+		}
+	}
+	p.pos = save
+	particle, err := p.parseParticleGroup()
+	if err != nil {
+		return fmt.Errorf("element %s: %s", decl.Name, err)
+	}
+	decl.Kind = ContentChildren
+	decl.Content = particle
+	return nil
+}
+
+// parseParticleGroup parses '(' cp (',' cp)* ')' or '(' cp ('|' cp)* ')'
+// followed by an optional occurrence indicator.
+func (p *dtdParser) parseParticleGroup() (*Particle, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var members []*Particle
+	sep := byte(0)
+	for {
+		p.skipSpace()
+		m, err := p.parseParticle()
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+		p.skipSpace()
+		switch p.peek() {
+		case ',', '|':
+			c := p.peek()
+			if sep != 0 && sep != c {
+				return nil, fmt.Errorf("mixed ',' and '|' in one group")
+			}
+			sep = c
+			p.pos++
+		case ')':
+			p.pos++
+			g := &Particle{}
+			if sep == '|' {
+				g.Choice = members
+			} else {
+				g.Seq = members
+			}
+			g.Occur = p.parseOccur()
+			return g, nil
+		default:
+			return nil, fmt.Errorf("expected ',', '|' or ')' at offset %d", p.pos)
+		}
+	}
+}
+
+func (p *dtdParser) parseParticle() (*Particle, error) {
+	if p.peek() == '(' {
+		return p.parseParticleGroup()
+	}
+	n, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	return &Particle{Name: n, Occur: p.parseOccur()}, nil
+}
+
+func (p *dtdParser) parseOccur() Occurrence {
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return OccurOptional
+	case '*':
+		p.pos++
+		return OccurZeroOrMore
+	case '+':
+		p.pos++
+		return OccurOneOrMore
+	default:
+		return OccurOnce
+	}
+}
+
+func (p *dtdParser) parseAttlist() ([]*AttrDecl, error) {
+	if err := p.expect("<!ATTLIST"); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	element, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	var out []*AttrDecl
+	for {
+		p.skipSpace()
+		if p.peek() == '>' {
+			p.pos++
+			return out, nil
+		}
+		name, err := p.parseName()
+		if err != nil {
+			return nil, fmt.Errorf("attlist %s: %s", element, err)
+		}
+		p.skipSpace()
+		a := &AttrDecl{Element: element, Name: name}
+		switch {
+		case p.hasPrefix("IDREFS"):
+			p.pos += len("IDREFS")
+			a.Type = AttrIDREFS
+		case p.hasPrefix("IDREF"):
+			p.pos += len("IDREF")
+			a.Type = AttrIDREF
+		case p.hasPrefix("ID"):
+			p.pos += len("ID")
+			a.Type = AttrID
+		case p.hasPrefix("CDATA"):
+			p.pos += len("CDATA")
+			a.Type = AttrCDATA
+		case p.hasPrefix("NMTOKENS"):
+			p.pos += len("NMTOKENS")
+			a.Type = AttrCDATA
+		case p.hasPrefix("NMTOKEN"):
+			p.pos += len("NMTOKEN")
+			a.Type = AttrCDATA
+		case p.peek() == '(':
+			// Enumerated type: (a | b | c) — stored as CDATA.
+			depth := 0
+			for !p.eof() {
+				if p.peek() == '(' {
+					depth++
+				}
+				if p.peek() == ')' {
+					depth--
+					p.pos++
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				p.pos++
+			}
+			a.Type = AttrCDATA
+		default:
+			return nil, fmt.Errorf("attlist %s/%s: unknown attribute type", element, name)
+		}
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("#REQUIRED"):
+			p.pos += len("#REQUIRED")
+			a.Required = true
+		case p.hasPrefix("#IMPLIED"):
+			p.pos += len("#IMPLIED")
+		case p.hasPrefix("#FIXED"):
+			p.pos += len("#FIXED")
+			p.skipSpace()
+			def, err := p.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			a.Default = def
+		case p.peek() == '"' || p.peek() == '\'':
+			def, err := p.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			a.Default = def
+		default:
+			return nil, fmt.Errorf("attlist %s/%s: expected default declaration", element, name)
+		}
+		out = append(out, a)
+	}
+}
+
+func (p *dtdParser) parseQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected quoted string at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", fmt.Errorf("unterminated quoted string")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}

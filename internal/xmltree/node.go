@@ -1,0 +1,559 @@
+// Package xmltree implements the XML data model of Tatarinov et al.
+// (SIGMOD 2001, §3.1): a node-labeled tree in which an element is a tuple of
+// a name, a set of attributes, a set of ordered reference lists (IDREFS), and
+// an ordered list of child elements and PCDATA nodes.
+//
+// The package provides a mutable DOM, a from-scratch XML parser and
+// serializer, and a DTD parser. encoding/xml is deliberately not used: its
+// token API cannot represent in-place mutation of a document, which is the
+// whole point of an update language.
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind identifies the dynamic type of a Node.
+type NodeKind int
+
+// The node kinds of the data model.
+const (
+	ElementNode NodeKind = iota
+	TextNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// Node is a child of an element: either an *Element or a *Text.
+type Node interface {
+	// Kind reports the node's kind.
+	Kind() NodeKind
+	// Parent returns the element containing this node, or nil for a root.
+	Parent() *Element
+	// setParent is internal; only the tree mutators may re-parent nodes.
+	setParent(*Element)
+}
+
+// Element is an XML element: a name, unordered attributes, unordered
+// reference lists (each internally ordered), and an ordered child list.
+type Element struct {
+	Name     string
+	parent   *Element
+	attrs    []*Attr
+	refs     []*RefList
+	children []Node
+}
+
+// NewElement returns a detached element with the given tag name.
+func NewElement(name string) *Element {
+	return &Element{Name: name}
+}
+
+// Kind implements Node.
+func (e *Element) Kind() NodeKind { return ElementNode }
+
+// Parent implements Node.
+func (e *Element) Parent() *Element { return e.parent }
+
+func (e *Element) setParent(p *Element) { e.parent = p }
+
+// Attrs returns the element's attributes. The returned slice must not be
+// mutated directly; use SetAttr and RemoveAttr.
+func (e *Element) Attrs() []*Attr { return e.attrs }
+
+// Refs returns the element's IDREFS lists. The returned slice must not be
+// mutated directly; use SetRef, AddRef and RemoveRef.
+func (e *Element) Refs() []*RefList { return e.refs }
+
+// Children returns the element's ordered child list. The returned slice must
+// not be mutated directly; use the Append/Insert/Remove mutators.
+func (e *Element) Children() []Node { return e.children }
+
+// Attr is a named string-valued attribute. Following §3.1, attributes are
+// unordered with respect to one another.
+type Attr struct {
+	Name  string
+	Value string
+	owner *Element
+}
+
+// Owner returns the element the attribute belongs to, or nil if detached.
+func (a *Attr) Owner() *Element { return a.owner }
+
+// RefList is a named, ordered list of IDs — the model's representation of an
+// IDREFS attribute. An IDREF is a singleton RefList (§3.1).
+type RefList struct {
+	Name  string
+	IDs   []string
+	owner *Element
+}
+
+// Owner returns the element the reference list belongs to, or nil if detached.
+func (r *RefList) Owner() *Element { return r.owner }
+
+// Ref identifies a single entry inside a RefList: the pair (list, index).
+// Update operations such as Delete and InsertBefore may target an individual
+// reference rather than the whole list.
+type Ref struct {
+	List  *RefList
+	Index int
+}
+
+// ID returns the referenced ID value.
+func (r Ref) ID() string { return r.List.IDs[r.Index] }
+
+// Text is a PCDATA node.
+type Text struct {
+	Data   string
+	parent *Element
+}
+
+// NewText returns a detached PCDATA node.
+func NewText(data string) *Text { return &Text{Data: data} }
+
+// Kind implements Node.
+func (t *Text) Kind() NodeKind { return TextNode }
+
+// Parent implements Node.
+func (t *Text) Parent() *Element { return t.parent }
+
+func (t *Text) setParent(p *Element) { t.parent = p }
+
+// Document is a parsed XML document: a root element plus the optional DTD it
+// was validated against and a registry of ID-attributed elements.
+type Document struct {
+	Root *Element
+	DTD  *DTD
+
+	ids map[string]*Element
+}
+
+// NewDocument wraps a root element into a document and indexes its IDs.
+func NewDocument(root *Element) *Document {
+	d := &Document{Root: root, ids: make(map[string]*Element)}
+	if root != nil {
+		d.reindexIDs()
+	}
+	return d
+}
+
+// ByID returns the element whose ID attribute equals id, or nil.
+func (d *Document) ByID(id string) *Element {
+	return d.ids[id]
+}
+
+// RegisterID records id as naming e. It overwrites silently; well-formed
+// documents have unique IDs, and updates that duplicate an ID are the
+// caller's responsibility to validate.
+func (d *Document) RegisterID(id string, e *Element) {
+	if d.ids == nil {
+		d.ids = make(map[string]*Element)
+	}
+	d.ids[id] = e
+}
+
+// UnregisterID removes id from the registry if it currently names e.
+func (d *Document) UnregisterID(id string, e *Element) {
+	if d.ids[id] == e {
+		delete(d.ids, id)
+	}
+}
+
+// reindexIDs rebuilds the ID registry by walking the tree. An attribute named
+// "ID" (or declared of type ID in the DTD) registers its element.
+func (d *Document) reindexIDs() {
+	d.ids = make(map[string]*Element)
+	Walk(d.Root, func(e *Element) bool {
+		if id := elementID(e, d.DTD); id != "" {
+			d.ids[id] = e
+		}
+		return true
+	})
+}
+
+// elementID returns the value of e's ID attribute under dtd (which may be
+// nil, in which case an attribute literally named "ID" is used, matching the
+// paper's examples).
+func elementID(e *Element, dtd *DTD) string {
+	if dtd != nil {
+		if name, ok := dtd.IDAttr(e.Name); ok {
+			if a := e.Attr(name); a != nil {
+				return a.Value
+			}
+			return ""
+		}
+	}
+	if a := e.Attr("ID"); a != nil {
+		return a.Value
+	}
+	return ""
+}
+
+// ID returns the element's ID value using the document's DTD conventions.
+func (d *Document) ID(e *Element) string { return elementID(e, d.DTD) }
+
+// Walk performs a pre-order, document-order traversal starting at e, calling
+// fn for every element. If fn returns false the element's subtree is skipped.
+func Walk(e *Element, fn func(*Element) bool) {
+	if e == nil {
+		return
+	}
+	if !fn(e) {
+		return
+	}
+	for _, c := range e.children {
+		if ce, ok := c.(*Element); ok {
+			Walk(ce, fn)
+		}
+	}
+}
+
+// Attr returns the attribute with the given name, or nil.
+func (e *Element) Attr(name string) *Attr {
+	for _, a := range e.attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// AttrValue returns the value of the named attribute and whether it exists.
+func (e *Element) AttrValue(name string) (string, bool) {
+	if a := e.Attr(name); a != nil {
+		return a.Value, true
+	}
+	return "", false
+}
+
+// Ref returns the reference list with the given name, or nil.
+func (e *Element) Ref(name string) *RefList {
+	for _, r := range e.refs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// SetAttr adds a new attribute. Per §3.2, an attempt to insert an attribute
+// with the same name as an existing attribute fails.
+func (e *Element) SetAttr(name, value string) (*Attr, error) {
+	if e.Attr(name) != nil {
+		return nil, fmt.Errorf("xmltree: element <%s> already has attribute %q", e.Name, name)
+	}
+	if e.Ref(name) != nil {
+		return nil, fmt.Errorf("xmltree: element <%s> already has reference list %q", e.Name, name)
+	}
+	a := &Attr{Name: name, Value: value, owner: e}
+	e.attrs = append(e.attrs, a)
+	return a, nil
+}
+
+// ReplaceAttrValue overwrites the value of an existing attribute, creating it
+// if absent. This is the "assignment" convenience used by Replace semantics.
+func (e *Element) ReplaceAttrValue(name, value string) *Attr {
+	if a := e.Attr(name); a != nil {
+		a.Value = value
+		return a
+	}
+	a := &Attr{Name: name, Value: value, owner: e}
+	e.attrs = append(e.attrs, a)
+	return a
+}
+
+// RemoveAttr deletes the attribute if it belongs to e, reporting whether a
+// removal happened.
+func (e *Element) RemoveAttr(a *Attr) bool {
+	for i, x := range e.attrs {
+		if x == a {
+			e.attrs = append(e.attrs[:i], e.attrs[i+1:]...)
+			a.owner = nil
+			return true
+		}
+	}
+	return false
+}
+
+// AddRef inserts a reference named name pointing at id. Per §3.2, inserting a
+// reference whose name matches an existing IDREFS appends an extra entry to
+// that list; otherwise a new singleton list is created.
+func (e *Element) AddRef(name, id string) *RefList {
+	if r := e.Ref(name); r != nil {
+		r.IDs = append(r.IDs, id)
+		return r
+	}
+	r := &RefList{Name: name, IDs: []string{id}, owner: e}
+	e.refs = append(e.refs, r)
+	return r
+}
+
+// AttachRefList adds a complete reference list. It fails if a list or
+// attribute of the same name exists.
+func (e *Element) AttachRefList(r *RefList) error {
+	if e.Ref(r.Name) != nil {
+		return fmt.Errorf("xmltree: element <%s> already has reference list %q", e.Name, r.Name)
+	}
+	if e.Attr(r.Name) != nil {
+		return fmt.Errorf("xmltree: element <%s> already has attribute %q", e.Name, r.Name)
+	}
+	r.owner = e
+	e.refs = append(e.refs, r)
+	return nil
+}
+
+// RemoveRefList deletes an entire reference list from e.
+func (e *Element) RemoveRefList(r *RefList) bool {
+	for i, x := range e.refs {
+		if x == r {
+			e.refs = append(e.refs[:i], e.refs[i+1:]...)
+			r.owner = nil
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRefEntry deletes the single entry ref.Index from its list, preserving
+// the remainder of the IDREFS (§3.2 Delete). If the list becomes empty it is
+// removed from the element entirely.
+func (e *Element) RemoveRefEntry(ref Ref) bool {
+	r := ref.List
+	if r.owner != e || ref.Index < 0 || ref.Index >= len(r.IDs) {
+		return false
+	}
+	r.IDs = append(r.IDs[:ref.Index], r.IDs[ref.Index+1:]...)
+	if len(r.IDs) == 0 {
+		e.RemoveRefList(r)
+	}
+	return true
+}
+
+// InsertRefAt inserts id into list r at position i (0 ≤ i ≤ len).
+func (r *RefList) InsertRefAt(i int, id string) {
+	r.IDs = append(r.IDs, "")
+	copy(r.IDs[i+1:], r.IDs[i:])
+	r.IDs[i] = id
+}
+
+// AppendChild attaches n as the last child of e. In the ordered execution
+// model all non-attribute insertions occur at the end (§3.2).
+func (e *Element) AppendChild(n Node) {
+	if n.Parent() != nil {
+		panic("xmltree: AppendChild of attached node; detach or clone first")
+	}
+	n.setParent(e)
+	e.children = append(e.children, n)
+}
+
+// InsertChildAt inserts n at index i within e's child list.
+func (e *Element) InsertChildAt(i int, n Node) {
+	if n.Parent() != nil {
+		panic("xmltree: InsertChildAt of attached node; detach or clone first")
+	}
+	if i < 0 || i > len(e.children) {
+		panic(fmt.Sprintf("xmltree: InsertChildAt index %d out of range [0,%d]", i, len(e.children)))
+	}
+	n.setParent(e)
+	e.children = append(e.children, nil)
+	copy(e.children[i+1:], e.children[i:])
+	e.children[i] = n
+}
+
+// ChildIndex returns the index of n within e's child list, or -1.
+func (e *Element) ChildIndex(n Node) int {
+	for i, c := range e.children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// RemoveChild detaches n from e, reporting whether n was a child of e.
+func (e *Element) RemoveChild(n Node) bool {
+	i := e.ChildIndex(n)
+	if i < 0 {
+		return false
+	}
+	e.children = append(e.children[:i], e.children[i+1:]...)
+	n.setParent(nil)
+	return true
+}
+
+// InsertBefore inserts content directly before ref in e's child list (§3.2
+// InsertBefore, ordered model only).
+func (e *Element) InsertBefore(ref Node, content Node) error {
+	i := e.ChildIndex(ref)
+	if i < 0 {
+		return fmt.Errorf("xmltree: InsertBefore reference node is not a child of <%s>", e.Name)
+	}
+	e.InsertChildAt(i, content)
+	return nil
+}
+
+// InsertAfter inserts content directly after ref in e's child list.
+func (e *Element) InsertAfter(ref Node, content Node) error {
+	i := e.ChildIndex(ref)
+	if i < 0 {
+		return fmt.Errorf("xmltree: InsertAfter reference node is not a child of <%s>", e.Name)
+	}
+	e.InsertChildAt(i+1, content)
+	return nil
+}
+
+// ChildElements returns the element children of e, in document order.
+func (e *Element) ChildElements() []*Element {
+	var out []*Element
+	for _, c := range e.children {
+		if ce, ok := c.(*Element); ok {
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+// ChildElementsNamed returns child elements with the given tag, in order.
+func (e *Element) ChildElementsNamed(name string) []*Element {
+	var out []*Element
+	for _, c := range e.children {
+		if ce, ok := c.(*Element); ok && ce.Name == name {
+			out = append(out, ce)
+		}
+	}
+	return out
+}
+
+// FirstChildNamed returns the first child element with the tag, or nil.
+func (e *Element) FirstChildNamed(name string) *Element {
+	for _, c := range e.children {
+		if ce, ok := c.(*Element); ok && ce.Name == name {
+			return ce
+		}
+	}
+	return nil
+}
+
+// TextContent concatenates all PCDATA in e's subtree in document order.
+func (e *Element) TextContent() string {
+	var b strings.Builder
+	e.appendText(&b)
+	return b.String()
+}
+
+func (e *Element) appendText(b *strings.Builder) {
+	for _, c := range e.children {
+		switch n := c.(type) {
+		case *Text:
+			b.WriteString(n.Data)
+		case *Element:
+			n.appendText(b)
+		}
+	}
+}
+
+// Clone deep-copies the element's subtree. The copy is detached.
+func (e *Element) Clone() *Element {
+	cp := &Element{Name: e.Name}
+	for _, a := range e.attrs {
+		cp.attrs = append(cp.attrs, &Attr{Name: a.Name, Value: a.Value, owner: cp})
+	}
+	for _, r := range e.refs {
+		ids := make([]string, len(r.IDs))
+		copy(ids, r.IDs)
+		cp.refs = append(cp.refs, &RefList{Name: r.Name, IDs: ids, owner: cp})
+	}
+	for _, c := range e.children {
+		switch n := c.(type) {
+		case *Element:
+			child := n.Clone()
+			child.parent = cp
+			cp.children = append(cp.children, child)
+		case *Text:
+			t := &Text{Data: n.Data, parent: cp}
+			cp.children = append(cp.children, t)
+		}
+	}
+	return cp
+}
+
+// Depth returns the number of ancestors of e (the root has depth 0).
+func (e *Element) Depth() int {
+	d := 0
+	for p := e.parent; p != nil; p = p.parent {
+		d++
+	}
+	return d
+}
+
+// Size returns the number of elements in e's subtree, including e.
+func (e *Element) Size() int {
+	n := 0
+	Walk(e, func(*Element) bool { n++; return true })
+	return n
+}
+
+// Contains reports whether other is e or a descendant of e.
+func (e *Element) Contains(other *Element) bool {
+	for x := other; x != nil; x = x.parent {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Path returns a /-separated tag path from the root to e (for diagnostics).
+func (e *Element) Path() string {
+	var parts []string
+	for x := e; x != nil; x = x.parent {
+		parts = append(parts, x.Name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Rename gives a child object a new name (§3.2 Rename). Valid for elements,
+// attributes, and whole reference lists; an individual IDREF inside an IDREFS
+// cannot be renamed.
+func Rename(obj any, name string) error {
+	switch o := obj.(type) {
+	case *Element:
+		o.Name = name
+		return nil
+	case *Attr:
+		if o.owner != nil {
+			if o.owner.Attr(name) != nil {
+				return fmt.Errorf("xmltree: rename: attribute %q already exists on <%s>", name, o.owner.Name)
+			}
+		}
+		o.Name = name
+		return nil
+	case *RefList:
+		if o.owner != nil {
+			if o.owner.Ref(name) != nil {
+				return fmt.Errorf("xmltree: rename: reference list %q already exists on <%s>", name, o.owner.Name)
+			}
+		}
+		o.Name = name
+		return nil
+	case Ref:
+		return fmt.Errorf("xmltree: cannot rename an individual IDREF within an IDREFS; rename the whole list")
+	case *Text:
+		return fmt.Errorf("xmltree: cannot rename PCDATA")
+	default:
+		return fmt.Errorf("xmltree: rename: unsupported object type %T", obj)
+	}
+}

@@ -1,0 +1,443 @@
+package xmltree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseOptions controls document parsing.
+type ParseOptions struct {
+	// TrimText drops whitespace-only PCDATA nodes and trims surrounding
+	// whitespace from mixed content. Defaults to true via Parse.
+	TrimText bool
+	// DTD supplies an external DTD used to classify ID/IDREF/IDREFS
+	// attributes. A DOCTYPE internal subset in the document overrides it.
+	DTD *DTD
+}
+
+// Parse parses src as an XML document with whitespace trimming enabled.
+func Parse(src string) (*Document, error) {
+	return ParseWith(src, ParseOptions{TrimText: true})
+}
+
+// ParseWith parses src using the given options.
+func ParseWith(src string, opts ParseOptions) (*Document, error) {
+	p := &parser{src: src, opts: opts, dtd: opts.DTD}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %s at offset %d (line %d)", err, p.pos, p.line())
+	}
+	return doc, nil
+}
+
+// MustParse parses src and panics on error. For tests and examples.
+func MustParse(src string) *Document {
+	d, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	src  string
+	pos  int
+	opts ParseOptions
+	dtd  *DTD
+}
+
+func (p *parser) line() int {
+	return 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) expect(s string) error {
+	if !p.hasPrefix(s) {
+		return fmt.Errorf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *parser) parseDocument() (*Document, error) {
+	var dtd *DTD
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, fmt.Errorf("no root element")
+		}
+		switch {
+		case p.hasPrefix("<?"):
+			if err := p.skipPI(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<!DOCTYPE"):
+			d, err := p.parseDoctype()
+			if err != nil {
+				return nil, err
+			}
+			dtd = d
+		case p.peek() == '<':
+			if dtd == nil {
+				dtd = p.opts.DTD
+			}
+			p.dtd = dtd
+			root, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			// Trailing misc.
+			for {
+				p.skipSpace()
+				switch {
+				case p.eof():
+					doc := &Document{Root: root, DTD: dtd}
+					doc.reindexIDs()
+					return doc, nil
+				case p.hasPrefix("<!--"):
+					if err := p.skipComment(); err != nil {
+						return nil, err
+					}
+				case p.hasPrefix("<?"):
+					if err := p.skipPI(); err != nil {
+						return nil, err
+					}
+				default:
+					return nil, fmt.Errorf("unexpected content after root element")
+				}
+			}
+		default:
+			return nil, fmt.Errorf("unexpected character %q", p.peek())
+		}
+	}
+}
+
+func (p *parser) skipPI() error {
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return fmt.Errorf("unterminated processing instruction")
+	}
+	p.pos += end + 2
+	return nil
+}
+
+func (p *parser) skipComment() error {
+	end := strings.Index(p.src[p.pos+4:], "-->")
+	if end < 0 {
+		return fmt.Errorf("unterminated comment")
+	}
+	p.pos += 4 + end + 3
+	return nil
+}
+
+func (p *parser) parseDoctype() (*DTD, error) {
+	if err := p.expect("<!DOCTYPE"); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if _, err := p.parseName(); err != nil {
+		return nil, fmt.Errorf("doctype: %s", err)
+	}
+	p.skipSpace()
+	// Optional SYSTEM/PUBLIC external id — recorded but not fetched.
+	if p.hasPrefix("SYSTEM") || p.hasPrefix("PUBLIC") {
+		for !p.eof() && p.peek() != '[' && p.peek() != '>' {
+			if p.peek() == '"' || p.peek() == '\'' {
+				if _, err := p.parseQuoted(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			p.pos++
+		}
+	}
+	var dtd *DTD
+	if p.peek() == '[' {
+		p.pos++
+		start := p.pos
+		depth := 1
+		for !p.eof() && depth > 0 {
+			switch p.peek() {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			if depth > 0 {
+				p.pos++
+			}
+		}
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated DOCTYPE internal subset")
+		}
+		subset := p.src[start:p.pos]
+		p.pos++ // consume ']'
+		d, err := ParseDTD(subset)
+		if err != nil {
+			return nil, err
+		}
+		dtd = d
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, fmt.Errorf("doctype: %s", err)
+	}
+	return dtd, nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !isNameStart(r) {
+		return "", fmt.Errorf("expected name")
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected quoted string")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", fmt.Errorf("unterminated quoted string")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+func (p *parser) parseElement() (*Element, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	e := NewElement(name)
+	// Attributes.
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated start tag <%s", name)
+		}
+		if p.hasPrefix("/>") {
+			p.pos += 2
+			return e, nil
+		}
+		if p.peek() == '>' {
+			p.pos++
+			break
+		}
+		aname, err := p.parseName()
+		if err != nil {
+			return nil, fmt.Errorf("in <%s>: %s", name, err)
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return nil, fmt.Errorf("attribute %q in <%s>: %s", aname, name, err)
+		}
+		p.skipSpace()
+		raw, err := p.parseQuoted()
+		if err != nil {
+			return nil, fmt.Errorf("attribute %q in <%s>: %s", aname, name, err)
+		}
+		val, err := unescape(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.attachAttribute(e, aname, val); err != nil {
+			return nil, err
+		}
+	}
+	// Content.
+	for {
+		if p.eof() {
+			return nil, fmt.Errorf("unterminated element <%s>", name)
+		}
+		switch {
+		case p.hasPrefix("</"):
+			p.pos += 2
+			end, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			if end != name {
+				return nil, fmt.Errorf("mismatched end tag </%s> for <%s>", end, name)
+			}
+			p.skipSpace()
+			if err := p.expect(">"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case p.hasPrefix("<!--"):
+			if err := p.skipComment(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<![CDATA["):
+			end := strings.Index(p.src[p.pos+9:], "]]>")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated CDATA section")
+			}
+			data := p.src[p.pos+9 : p.pos+9+end]
+			p.pos += 9 + end + 3
+			if data != "" {
+				e.AppendChild(NewText(data))
+			}
+		case p.hasPrefix("<?"):
+			if err := p.skipPI(); err != nil {
+				return nil, err
+			}
+		case p.peek() == '<':
+			child, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			e.AppendChild(child)
+		default:
+			start := p.pos
+			for !p.eof() && p.peek() != '<' {
+				p.pos++
+			}
+			raw := p.src[start:p.pos]
+			text, err := unescape(raw)
+			if err != nil {
+				return nil, err
+			}
+			if p.opts.TrimText {
+				text = strings.TrimSpace(text)
+			}
+			if text != "" {
+				e.AppendChild(NewText(text))
+			}
+		}
+	}
+}
+
+// attachAttribute classifies a parsed attribute as a plain attribute or a
+// reference list, using the DTD when available and the paper's naming
+// convention otherwise: "managers", "source", "biologist"-style reference
+// attributes are only recognized via DTD or heuristics supplied by callers,
+// so without a DTD every attribute except multi-token ones stays a plain
+// attribute. A whitespace-separated multi-token value for a declared IDREFS
+// attribute becomes an ordered reference list.
+func (p *parser) attachAttribute(e *Element, name, val string) error {
+	kind := AttrCDATA
+	if p.dtd != nil {
+		kind = p.dtd.AttrKind(e.Name, name)
+	}
+	switch kind {
+	case AttrIDREF:
+		e.AddRef(name, strings.TrimSpace(val))
+		return nil
+	case AttrIDREFS:
+		ids := strings.Fields(val)
+		r := &RefList{Name: name, IDs: ids}
+		return e.AttachRefList(r)
+	default:
+		_, err := e.SetAttr(name, val)
+		return err
+	}
+}
+
+// unescape expands the five predefined entities plus numeric character
+// references.
+func unescape(s string) (string, error) {
+	if !strings.Contains(s, "&") {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 {
+			return "", fmt.Errorf("unterminated entity reference")
+		}
+		ent := s[i+1 : i+semi]
+		switch {
+		case ent == "lt":
+			b.WriteByte('<')
+		case ent == "gt":
+			b.WriteByte('>')
+		case ent == "amp":
+			b.WriteByte('&')
+		case ent == "quot":
+			b.WriteByte('"')
+		case ent == "apos":
+			b.WriteByte('\'')
+		case strings.HasPrefix(ent, "#x") || strings.HasPrefix(ent, "#X"):
+			n, err := strconv.ParseInt(ent[2:], 16, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		case strings.HasPrefix(ent, "#"):
+			n, err := strconv.ParseInt(ent[1:], 10, 32)
+			if err != nil {
+				return "", fmt.Errorf("bad character reference &%s;", ent)
+			}
+			b.WriteRune(rune(n))
+		default:
+			return "", fmt.Errorf("unknown entity &%s;", ent)
+		}
+		i += semi + 1
+	}
+	return b.String(), nil
+}

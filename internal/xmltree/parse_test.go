@@ -1,0 +1,601 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// bioDTD declares the paper's Figure 1 document so reference attributes are
+// classified as IDREF/IDREFS.
+const bioDTD = `
+<!ELEMENT db (university | lab | paper | biologist)*>
+<!ELEMENT university (lab*)>
+<!ELEMENT lab (name, city?, location?, country?)>
+<!ELEMENT location (city, country)>
+<!ELEMENT paper (title)>
+<!ELEMENT biologist (lastname, firstname?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT firstname (#PCDATA)>
+<!ATTLIST db lab IDREF #IMPLIED>
+<!ATTLIST university ID ID #REQUIRED>
+<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED>
+<!ATTLIST paper ID ID #REQUIRED source IDREF #IMPLIED category CDATA #IMPLIED biologist IDREF #IMPLIED>
+<!ATTLIST biologist ID ID #REQUIRED age CDATA #IMPLIED>
+`
+
+// bioDoc is the paper's Figure 1 sample document.
+const bioDoc = `<?xml version="1.0"?>
+<db lab="lalab">
+  <university ID="ucla">
+    <lab ID="lalab" managers="smith1 jones1">
+      <name>UCLA Bio Lab</name>
+      <city>Los Angeles</city>
+    </lab>
+  </university>
+  <lab ID="baselab" managers="smith1">
+    <name>Seattle Bio Lab</name>
+    <location>
+      <city>Seattle</city>
+      <country>USA</country>
+    </location>
+  </lab>
+  <lab ID="lab2">
+    <name>PMBL</name>
+    <city>Philadelphia</city>
+    <country>USA</country>
+  </lab>
+  <paper ID="Smith991231" source="lab2" category="spectral" biologist="smith1">
+    <title>Autocatalysis of Spectral...</title>
+  </paper>
+  <biologist ID="smith1">
+    <lastname>Smith</lastname>
+  </biologist>
+  <biologist ID="jones1" age="32">
+    <lastname>Jones</lastname>
+  </biologist>
+</db>`
+
+// BioDocument parses the Figure 1 document with its DTD. Shared by tests in
+// several packages via copy; here it is the canonical definition.
+func BioDocument(t *testing.T) *Document {
+	t.Helper()
+	dtd, err := ParseDTD(bioDTD)
+	if err != nil {
+		t.Fatalf("ParseDTD: %v", err)
+	}
+	doc, err := ParseWith(bioDoc, ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		t.Fatalf("ParseWith: %v", err)
+	}
+	return doc
+}
+
+func TestParseBioDocumentStructure(t *testing.T) {
+	doc := BioDocument(t)
+	if doc.Root.Name != "db" {
+		t.Fatalf("root = %q, want db", doc.Root.Name)
+	}
+	kids := doc.Root.ChildElements()
+	if len(kids) != 6 {
+		t.Fatalf("root has %d child elements, want 6", len(kids))
+	}
+	wantNames := []string{"university", "lab", "lab", "paper", "biologist", "biologist"}
+	for i, k := range kids {
+		if k.Name != wantNames[i] {
+			t.Errorf("child %d = %q, want %q", i, k.Name, wantNames[i])
+		}
+	}
+}
+
+func TestParseClassifiesReferences(t *testing.T) {
+	doc := BioDocument(t)
+	// db's lab attribute is a declared IDREF → singleton RefList.
+	if doc.Root.Attr("lab") != nil {
+		t.Errorf("db lab should be a reference, not a plain attribute")
+	}
+	r := doc.Root.Ref("lab")
+	if r == nil || len(r.IDs) != 1 || r.IDs[0] != "lalab" {
+		t.Fatalf("db ref lab = %+v, want [lalab]", r)
+	}
+	// lalab's managers is IDREFS with two ordered entries.
+	lalab := doc.ByID("lalab")
+	if lalab == nil {
+		t.Fatal("ByID(lalab) = nil")
+	}
+	m := lalab.Ref("managers")
+	if m == nil || len(m.IDs) != 2 || m.IDs[0] != "smith1" || m.IDs[1] != "jones1" {
+		t.Fatalf("managers = %+v, want [smith1 jones1]", m)
+	}
+	// category is CDATA → plain attribute.
+	paper := doc.ByID("Smith991231")
+	if paper == nil {
+		t.Fatal("ByID(Smith991231) = nil")
+	}
+	if v, ok := paper.AttrValue("category"); !ok || v != "spectral" {
+		t.Errorf("paper category = %q, %v", v, ok)
+	}
+	if paper.Ref("biologist") == nil {
+		t.Errorf("paper biologist should be a reference")
+	}
+}
+
+func TestParseIDRegistry(t *testing.T) {
+	doc := BioDocument(t)
+	for _, id := range []string{"ucla", "lalab", "baselab", "lab2", "Smith991231", "smith1", "jones1"} {
+		if doc.ByID(id) == nil {
+			t.Errorf("ByID(%q) = nil", id)
+		}
+	}
+	if doc.ByID("nosuch") != nil {
+		t.Errorf("ByID(nosuch) should be nil")
+	}
+}
+
+func TestParseTextContent(t *testing.T) {
+	doc := BioDocument(t)
+	lab2 := doc.ByID("lab2")
+	name := lab2.FirstChildNamed("name")
+	if got := name.TextContent(); got != "PMBL" {
+		t.Errorf("lab2 name = %q, want PMBL", got)
+	}
+	base := doc.ByID("baselab")
+	loc := base.FirstChildNamed("location")
+	if got := loc.FirstChildNamed("city").TextContent(); got != "Seattle" {
+		t.Errorf("baselab city = %q", got)
+	}
+}
+
+func TestParseEntitiesAndCDATA(t *testing.T) {
+	doc, err := Parse(`<a x="1 &lt; 2 &amp; 3">&#65;&#x42;<![CDATA[<raw>&amp;]]></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := doc.Root.AttrValue("x"); v != "1 < 2 & 3" {
+		t.Errorf("attr = %q", v)
+	}
+	if got := doc.Root.TextContent(); got != "AB<raw>&amp;" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a x=1></a>`,
+		`<a x="1" x="2"></a>`,
+		`<a>&nosuch;</a>`,
+		`<a><!-- unterminated </a>`,
+		`text only`,
+		`<a/><b/>`,
+		`<a></a>trailing`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSelfClosingAndEmpty(t *testing.T) {
+	doc, err := Parse(`<root><empty/><alsoempty></alsoempty></root>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids := doc.Root.ChildElements()
+	if len(kids) != 2 {
+		t.Fatalf("got %d children", len(kids))
+	}
+	for _, k := range kids {
+		if len(k.Children()) != 0 {
+			t.Errorf("<%s> should have no children", k.Name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := BioDocument(t)
+	out := doc.String()
+	dtd := MustParseDTD(bioDTD)
+	doc2, err := ParseWith(out, ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		t.Fatalf("re-parse: %v\noutput was:\n%s", err, out)
+	}
+	if doc2.String() != out {
+		t.Errorf("round trip not stable:\nfirst:  %s\nsecond: %s", out, doc2.String())
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	e := NewElement("a")
+	if _, err := e.SetAttr("q", `he said "1<2"`); err != nil {
+		t.Fatal(err)
+	}
+	e.AppendChild(NewText("x < y & z"))
+	got := Serialize(e)
+	want := `<a q="he said &quot;1&lt;2&quot;">x &lt; y &amp; z</a>`
+	if got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestMutators(t *testing.T) {
+	doc := BioDocument(t)
+	base := doc.ByID("baselab")
+
+	// Insert an attribute; duplicate insert must fail (§3.2).
+	if _, err := base.SetAttr("founded", "1990"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.SetAttr("founded", "1991"); err == nil {
+		t.Error("duplicate attribute insert should fail")
+	}
+
+	// Insert a reference with an existing name appends to the IDREFS.
+	base.AddRef("managers", "jones1")
+	if got := base.Ref("managers").IDs; len(got) != 2 || got[1] != "jones1" {
+		t.Errorf("managers after AddRef = %v", got)
+	}
+
+	// Remove a single ref entry preserves the remainder.
+	m := base.Ref("managers")
+	if !base.RemoveRefEntry(Ref{List: m, Index: 0}) {
+		t.Fatal("RemoveRefEntry failed")
+	}
+	if got := base.Ref("managers").IDs; len(got) != 1 || got[0] != "jones1" {
+		t.Errorf("managers after removal = %v", got)
+	}
+	// Removing the last entry removes the list.
+	if !base.RemoveRefEntry(Ref{List: m, Index: 0}) {
+		t.Fatal("RemoveRefEntry failed")
+	}
+	if base.Ref("managers") != nil {
+		t.Error("empty reference list should be removed")
+	}
+
+	// Positional child insertion.
+	name := base.FirstChildNamed("name")
+	street := NewElement("street")
+	street.AppendChild(NewText("Oak"))
+	if err := base.InsertAfter(name, street); err != nil {
+		t.Fatal(err)
+	}
+	kids := base.ChildElements()
+	if kids[1].Name != "street" {
+		t.Errorf("street not after name: %v", kids[1].Name)
+	}
+
+	// InsertBefore with a non-child errors.
+	if err := base.InsertBefore(NewElement("x"), NewElement("y")); err == nil {
+		t.Error("InsertBefore with non-child should error")
+	}
+}
+
+func TestRemoveChildDetaches(t *testing.T) {
+	doc := BioDocument(t)
+	base := doc.ByID("baselab")
+	loc := base.FirstChildNamed("location")
+	if !base.RemoveChild(loc) {
+		t.Fatal("RemoveChild failed")
+	}
+	if loc.Parent() != nil {
+		t.Error("removed child still has parent")
+	}
+	if base.FirstChildNamed("location") != nil {
+		t.Error("location still present")
+	}
+	if base.RemoveChild(loc) {
+		t.Error("second removal should report false")
+	}
+}
+
+func TestCloneIsDeepAndDetached(t *testing.T) {
+	doc := BioDocument(t)
+	base := doc.ByID("baselab")
+	cp := base.Clone()
+	if cp.Parent() != nil {
+		t.Error("clone should be detached")
+	}
+	// Mutating the clone must not affect the original.
+	cp.FirstChildNamed("name").Children()[0].(*Text).Data = "CHANGED"
+	if got := base.FirstChildNamed("name").TextContent(); got != "Seattle Bio Lab" {
+		t.Errorf("original mutated through clone: %q", got)
+	}
+	cp.Ref("managers").IDs[0] = "CHANGED"
+	if base.Ref("managers").IDs[0] != "smith1" {
+		t.Error("refs shared between clone and original")
+	}
+}
+
+func TestRenameSemantics(t *testing.T) {
+	doc := BioDocument(t)
+	base := doc.ByID("baselab")
+
+	if err := Rename(base.FirstChildNamed("name"), "appellation"); err != nil {
+		t.Fatal(err)
+	}
+	if base.FirstChildNamed("appellation") == nil {
+		t.Error("element rename did not apply")
+	}
+
+	// Renaming an individual IDREF within an IDREFS is forbidden (§3.2).
+	m := base.Ref("managers")
+	if err := Rename(Ref{List: m, Index: 0}, "x"); err == nil {
+		t.Error("renaming an IDREF entry should fail")
+	}
+	// Renaming the whole IDREFS is allowed.
+	if err := Rename(m, "supervisors"); err != nil {
+		t.Fatal(err)
+	}
+	if base.Ref("supervisors") == nil {
+		t.Error("reference list rename did not apply")
+	}
+	// PCDATA cannot be renamed.
+	txt := base.FirstChildNamed("appellation").Children()[0]
+	if err := Rename(txt, "x"); err == nil {
+		t.Error("renaming PCDATA should fail")
+	}
+}
+
+func TestDepthSizeContains(t *testing.T) {
+	doc := BioDocument(t)
+	base := doc.ByID("baselab")
+	loc := base.FirstChildNamed("location")
+	city := loc.FirstChildNamed("city")
+	if city.Depth() != 3 {
+		t.Errorf("city depth = %d, want 3", city.Depth())
+	}
+	if loc.Size() != 3 {
+		t.Errorf("location size = %d, want 3", loc.Size())
+	}
+	if !base.Contains(city) {
+		t.Error("baselab should contain city")
+	}
+	if city.Contains(base) {
+		t.Error("city should not contain baselab")
+	}
+	if doc.Root.Size() != 20 {
+		t.Errorf("document has %d elements, want 20", doc.Root.Size())
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	doc := MustParse(`<a><b><c/></b><d/></a>`)
+	var names []string
+	Walk(doc.Root, func(e *Element) bool {
+		names = append(names, e.Name)
+		return true
+	})
+	want := "a,b,c,d"
+	if got := strings.Join(names, ","); got != want {
+		t.Errorf("walk order = %s, want %s", got, want)
+	}
+	// Pruning skips a subtree.
+	names = nil
+	Walk(doc.Root, func(e *Element) bool {
+		names = append(names, e.Name)
+		return e.Name != "b"
+	})
+	if got := strings.Join(names, ","); got != "a,b,d" {
+		t.Errorf("pruned walk = %s, want a,b,d", got)
+	}
+}
+
+func TestIDRegistryMaintenance(t *testing.T) {
+	doc := BioDocument(t)
+	e := NewElement("biologist")
+	if _, err := e.SetAttr("ID", "newbie"); err != nil {
+		t.Fatal(err)
+	}
+	doc.Root.AppendChild(e)
+	doc.RegisterID("newbie", e)
+	if doc.ByID("newbie") != e {
+		t.Error("RegisterID did not take effect")
+	}
+	doc.UnregisterID("newbie", e)
+	if doc.ByID("newbie") != nil {
+		t.Error("UnregisterID did not take effect")
+	}
+	// Unregister with wrong element is a no-op.
+	doc.RegisterID("newbie", e)
+	doc.UnregisterID("newbie", NewElement("x"))
+	if doc.ByID("newbie") != e {
+		t.Error("UnregisterID removed a mapping it does not own")
+	}
+}
+
+// TestPropertyEscapeRoundTrip checks that any string survives a
+// text-serialize/parse round trip.
+func TestPropertyEscapeRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control characters: XML forbids most control chars, and
+		// the parser normalizes nothing else.
+		clean := strings.Map(func(r rune) rune {
+			if r < 0x20 && r != '\t' && r != '\n' {
+				return -1
+			}
+			if r == 0xFFFD { // skip invalid-UTF8 artifacts from quick
+				return -1
+			}
+			return r
+		}, s)
+		e := NewElement("t")
+		if clean != "" {
+			e.AppendChild(NewText(clean))
+		}
+		out := Serialize(e)
+		doc, err := Parse(out)
+		if err != nil {
+			t.Logf("parse error for %q: %v", out, err)
+			return false
+		}
+		return doc.Root.TextContent() == strings.TrimSpace(clean)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCloneEquality checks Clone produces an identical serialization
+// for arbitrary generated trees.
+func TestPropertyCloneEquality(t *testing.T) {
+	f := func(seed uint32) bool {
+		e := genTree(seed, 3)
+		return Serialize(e) == Serialize(e.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// genTree builds a small deterministic pseudo-random tree from a seed.
+func genTree(seed uint32, depth int) *Element {
+	state := seed
+	next := func(n uint32) uint32 {
+		state = state*1664525 + 1013904223
+		return state % n
+	}
+	var build func(d int) *Element
+	build = func(d int) *Element {
+		e := NewElement([]string{"a", "b", "c"}[next(3)])
+		if next(2) == 0 {
+			e.ReplaceAttrValue("k", []string{"v1", "v2"}[next(2)])
+		}
+		if d == 0 {
+			e.AppendChild(NewText("leaf"))
+			return e
+		}
+		n := int(next(3))
+		for i := 0; i < n; i++ {
+			e.AppendChild(build(d - 1))
+		}
+		return e
+	}
+	return build(depth)
+}
+
+func TestDTDChildOccurrences(t *testing.T) {
+	dtd := MustParseDTD(`
+<!ELEMENT CustDB (Customer*)>
+<!ELEMENT Customer (Name, Address, Order*)>
+<!ELEMENT Address (City, State)>
+<!ELEMENT Order (Date, OrderLine*)>
+<!ELEMENT OrderLine (ItemName, Qty)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+<!ELEMENT State (#PCDATA)>
+<!ELEMENT Date (#PCDATA)>
+<!ELEMENT ItemName (#PCDATA)>
+<!ELEMENT Qty (#PCDATA)>
+`)
+	occ := dtd.ChildOccurrences("Customer")
+	if occ["Name"] != OccurOnce {
+		t.Errorf("Name occurrence = %v, want once", occ["Name"])
+	}
+	if occ["Order"] != OccurZeroOrMore {
+		t.Errorf("Order occurrence = %v, want zero-or-more", occ["Order"])
+	}
+	if !occ["Name"].AtMostOnce() || occ["Order"].AtMostOnce() {
+		t.Error("AtMostOnce misclassifies")
+	}
+	if got := dtd.ChildOccurrences("Name"); len(got) != 0 {
+		t.Errorf("PCDATA element has children: %v", got)
+	}
+}
+
+func TestDTDOptionalAndChoice(t *testing.T) {
+	dtd := MustParseDTD(`
+<!ELEMENT a (b?, (c | d), e+)>
+<!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)>
+<!ELEMENT e (#PCDATA)>
+`)
+	occ := dtd.ChildOccurrences("a")
+	if occ["b"] != OccurOptional {
+		t.Errorf("b = %v, want optional", occ["b"])
+	}
+	if occ["e"] != OccurOneOrMore {
+		t.Errorf("e = %v, want one-or-more", occ["e"])
+	}
+	if !occ["c"].AtMostOnce() {
+		t.Errorf("c = %v, want at-most-once", occ["c"])
+	}
+}
+
+func TestDTDRepeatedNameForcesMulti(t *testing.T) {
+	dtd := MustParseDTD(`<!ELEMENT a (b, b)> <!ELEMENT b (#PCDATA)>`)
+	if occ := dtd.ChildOccurrences("a"); occ["b"].AtMostOnce() {
+		t.Errorf("b appears twice; occurrence = %v", occ["b"])
+	}
+}
+
+func TestDTDMixedAndErrors(t *testing.T) {
+	dtd := MustParseDTD(`<!ELEMENT p (#PCDATA | em | strong)*> <!ELEMENT em (#PCDATA)> <!ELEMENT strong (#PCDATA)>`)
+	occ := dtd.ChildOccurrences("p")
+	if occ["em"] != OccurZeroOrMore || occ["strong"] != OccurZeroOrMore {
+		t.Errorf("mixed content occurrences = %v", occ)
+	}
+	for _, bad := range []string{
+		`<!ELEMENT a (b,>`,
+		`<!ELEMENT a (b | c, d)>`,
+		`<!ATTLIST a x WEIRD #IMPLIED>`,
+		`<!BOGUS a>`,
+	} {
+		if _, err := ParseDTD(bad); err == nil {
+			t.Errorf("ParseDTD(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDTDAttrDecls(t *testing.T) {
+	dtd := MustParseDTD(bioDTD)
+	if name, ok := dtd.IDAttr("lab"); !ok || name != "ID" {
+		t.Errorf("IDAttr(lab) = %q, %v", name, ok)
+	}
+	if _, ok := dtd.IDAttr("db"); ok {
+		t.Error("db has no ID attribute")
+	}
+	if k := dtd.AttrKind("lab", "managers"); k != AttrIDREFS {
+		t.Errorf("managers kind = %v", k)
+	}
+	if k := dtd.AttrKind("paper", "category"); k != AttrCDATA {
+		t.Errorf("category kind = %v", k)
+	}
+	if k := dtd.AttrKind("nosuch", "nosuch"); k != AttrCDATA {
+		t.Errorf("unknown attr kind = %v", k)
+	}
+	decls := dtd.AttrDecls("paper")
+	if len(decls) != 4 {
+		t.Errorf("paper has %d attr decls, want 4", len(decls))
+	}
+}
+
+func TestDoctypeInlineSubset(t *testing.T) {
+	src := `<!DOCTYPE db [
+<!ELEMENT db (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item ID ID #REQUIRED ref IDREF #IMPLIED>
+]>
+<db><item ID="a" ref="b">x</item><item ID="b">y</item></db>`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.DTD == nil {
+		t.Fatal("internal subset not parsed")
+	}
+	a := doc.ByID("a")
+	if a == nil {
+		t.Fatal("ID registry not built from DTD declarations")
+	}
+	if a.Ref("ref") == nil {
+		t.Error("IDREF attribute not classified from internal subset")
+	}
+}

@@ -1,0 +1,136 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+)
+
+// SerializeOptions controls XML output.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints with the given indent unit.
+	Indent string
+	// SortAttrs emits attributes and reference lists in name order, which
+	// makes output deterministic for comparison in tests. Document order of
+	// children is always preserved.
+	SortAttrs bool
+}
+
+// String serializes the document compactly with sorted attributes.
+func (d *Document) String() string {
+	return SerializeWith(d.Root, SerializeOptions{SortAttrs: true})
+}
+
+// Indented serializes the document pretty-printed with two-space indents.
+func (d *Document) Indented() string {
+	return SerializeWith(d.Root, SerializeOptions{Indent: "  ", SortAttrs: true})
+}
+
+// Serialize renders the element subtree compactly.
+func Serialize(e *Element) string {
+	return SerializeWith(e, SerializeOptions{SortAttrs: true})
+}
+
+// SerializeWith renders the element subtree with the given options.
+func SerializeWith(e *Element, opts SerializeOptions) string {
+	var b strings.Builder
+	writeElement(&b, e, opts, 0)
+	return b.String()
+}
+
+func writeElement(b *strings.Builder, e *Element, opts SerializeOptions, depth int) {
+	if e == nil {
+		return
+	}
+	indent := func(d int) {
+		if opts.Indent != "" {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			for i := 0; i < d; i++ {
+				b.WriteString(opts.Indent)
+			}
+		}
+	}
+	indent(depth)
+	b.WriteByte('<')
+	b.WriteString(e.Name)
+
+	type namedValue struct {
+		name, value string
+	}
+	var nvs []namedValue
+	for _, a := range e.attrs {
+		nvs = append(nvs, namedValue{a.Name, a.Value})
+	}
+	for _, r := range e.refs {
+		nvs = append(nvs, namedValue{r.Name, strings.Join(r.IDs, " ")})
+	}
+	if opts.SortAttrs {
+		sort.Slice(nvs, func(i, j int) bool { return nvs[i].name < nvs[j].name })
+	}
+	for _, nv := range nvs {
+		b.WriteByte(' ')
+		b.WriteString(nv.name)
+		b.WriteString(`="`)
+		b.WriteString(escapeAttr(nv.value))
+		b.WriteByte('"')
+	}
+	if len(e.children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	// An element whose only child is a single text node renders inline.
+	inline := len(e.children) == 1 && e.children[0].Kind() == TextNode
+	for _, c := range e.children {
+		switch n := c.(type) {
+		case *Text:
+			if !inline {
+				indent(depth + 1)
+			}
+			b.WriteString(escapeText(n.Data))
+		case *Element:
+			writeElement(b, n, opts, depth+1)
+		}
+	}
+	if !inline {
+		indent(depth)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Name)
+	b.WriteByte('>')
+}
+
+func escapeText(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '&':
+			b.WriteString("&amp;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func escapeAttr(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			b.WriteString("&lt;")
+		case '&':
+			b.WriteString("&amp;")
+		case '"':
+			b.WriteString("&quot;")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}

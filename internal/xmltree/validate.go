@@ -1,0 +1,320 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper's update algorithms "assume a valid operation is being
+// performed" and defer validation to future work (§6, §8 "typechecking
+// updates"). This file supplies that missing piece: structural validation of
+// a document against its DTD, so updates can be checked before or after
+// execution.
+
+// ValidationError describes one constraint violation.
+type ValidationError struct {
+	Element *Element
+	Msg     string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Element != nil {
+		return fmt.Sprintf("xmltree: validate: <%s> at %s: %s", e.Element.Name, e.Element.Path(), e.Msg)
+	}
+	return "xmltree: validate: " + e.Msg
+}
+
+// Validate checks the document against dtd (or its own DTD when dtd is nil):
+// element content models, attribute declarations (#REQUIRED, declared
+// types), ID uniqueness, and IDREF/IDREFS resolution. It returns all
+// violations found.
+func (d *Document) Validate(dtd *DTD) []*ValidationError {
+	if dtd == nil {
+		dtd = d.DTD
+	}
+	if dtd == nil {
+		return []*ValidationError{{Msg: "no DTD to validate against"}}
+	}
+	v := &validator{dtd: dtd}
+	if d.Root == nil {
+		return []*ValidationError{{Msg: "document has no root element"}}
+	}
+	v.element(d.Root)
+	v.checkIDs(d.Root)
+	return v.errs
+}
+
+type validator struct {
+	dtd  *DTD
+	errs []*ValidationError
+}
+
+func (v *validator) errorf(e *Element, format string, args ...any) {
+	v.errs = append(v.errs, &ValidationError{Element: e, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (v *validator) element(e *Element) {
+	decl := v.dtd.Elements[e.Name]
+	if decl == nil {
+		v.errorf(e, "element is not declared")
+	} else {
+		v.content(e, decl)
+	}
+	v.attributes(e)
+	for _, c := range e.Children() {
+		if ce, ok := c.(*Element); ok {
+			v.element(ce)
+		}
+	}
+}
+
+func (v *validator) attributes(e *Element) {
+	decls := v.dtd.Attrs[e.Name]
+	for _, a := range e.Attrs() {
+		d := decls[a.Name]
+		if d == nil {
+			v.errorf(e, "attribute %q is not declared", a.Name)
+			continue
+		}
+		switch d.Type {
+		case AttrIDREF, AttrIDREFS:
+			v.errorf(e, "attribute %q is declared %s but stored as a plain attribute", a.Name, d.Type)
+		}
+	}
+	for _, r := range e.Refs() {
+		d := decls[r.Name]
+		if d == nil {
+			v.errorf(e, "reference list %q is not declared", r.Name)
+			continue
+		}
+		switch d.Type {
+		case AttrIDREF:
+			if len(r.IDs) != 1 {
+				v.errorf(e, "attribute %q is IDREF but holds %d references", r.Name, len(r.IDs))
+			}
+		case AttrIDREFS:
+			if len(r.IDs) == 0 {
+				v.errorf(e, "attribute %q is IDREFS but holds no references", r.Name)
+			}
+		default:
+			v.errorf(e, "attribute %q is declared %s but stored as references", r.Name, d.Type)
+		}
+	}
+	// Required attributes must be present in either form.
+	for name, d := range decls {
+		if !d.Required {
+			continue
+		}
+		if e.Attr(name) == nil && e.Ref(name) == nil {
+			v.errorf(e, "required attribute %q is missing", name)
+		}
+	}
+}
+
+// content checks e's child sequence against the declared content model.
+func (v *validator) content(e *Element, decl *ElementDecl) {
+	switch decl.Kind {
+	case ContentEmpty:
+		if len(e.Children()) != 0 {
+			v.errorf(e, "declared EMPTY but has content")
+		}
+	case ContentAny:
+		// anything goes
+	case ContentPCDATA:
+		for _, c := range e.Children() {
+			if _, ok := c.(*Element); ok {
+				v.errorf(e, "declared (#PCDATA) but has element children")
+				return
+			}
+		}
+	case ContentMixed:
+		allowed := make(map[string]bool, len(decl.MixedNames))
+		for _, n := range decl.MixedNames {
+			allowed[n] = true
+		}
+		for _, c := range e.Children() {
+			if ce, ok := c.(*Element); ok && !allowed[ce.Name] {
+				v.errorf(e, "mixed content does not admit <%s>", ce.Name)
+			}
+		}
+	case ContentChildren:
+		var names []string
+		for _, c := range e.Children() {
+			switch n := c.(type) {
+			case *Text:
+				if strings.TrimSpace(n.Data) != "" {
+					v.errorf(e, "element content does not admit PCDATA %q", abbreviateText(n.Data))
+				}
+			case *Element:
+				names = append(names, n.Name)
+			}
+		}
+		if !matchModel(decl.Content, names) {
+			v.errorf(e, "children %v do not match content model %s", names, particleString(decl.Content))
+		}
+	}
+}
+
+func abbreviateText(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 20 {
+		return s[:20] + "…"
+	}
+	return s
+}
+
+// matchModel checks a name sequence against a content-model particle using
+// memoized recursive matching (the models in play are small).
+func matchModel(p *Particle, names []string) bool {
+	ok, rest := matchParticle(p, names)
+	return ok && len(rest) == 0
+}
+
+// matchParticle greedily matches with backtracking: it returns every
+// possible remainder; to bound work it returns the set of distinct suffix
+// lengths.
+func matchParticle(p *Particle, names []string) (bool, []string) {
+	results := matchSet(p, names)
+	if len(results) == 0 {
+		return false, nil
+	}
+	// Prefer the longest match (smallest remainder).
+	best := results[0]
+	for _, r := range results {
+		if len(r) < len(best) {
+			best = r
+		}
+	}
+	return true, best
+}
+
+// matchSet returns all distinct remainders after matching p at the head of
+// names. Empty result set means no match.
+func matchSet(p *Particle, names []string) [][]string {
+	base := matchOnceSet(p, names)
+	switch p.Occur {
+	case OccurOnce:
+		return base
+	case OccurOptional:
+		return dedupeRemainders(append(base, names))
+	case OccurZeroOrMore, OccurOneOrMore:
+		out := [][]string{}
+		if p.Occur == OccurZeroOrMore {
+			out = append(out, names)
+		}
+		frontier := base
+		seen := map[int]bool{}
+		for len(frontier) > 0 {
+			var next [][]string
+			for _, rem := range frontier {
+				if seen[len(rem)] {
+					continue
+				}
+				seen[len(rem)] = true
+				out = append(out, rem)
+				next = append(next, matchOnceSet(p, rem)...)
+			}
+			frontier = next
+		}
+		return dedupeRemainders(out)
+	default:
+		return base
+	}
+}
+
+// matchOnceSet matches exactly one occurrence of the particle body.
+func matchOnceSet(p *Particle, names []string) [][]string {
+	if p.Name != "" {
+		if len(names) > 0 && names[0] == p.Name {
+			return [][]string{names[1:]}
+		}
+		return nil
+	}
+	if p.Choice != nil {
+		var out [][]string
+		for _, alt := range p.Choice {
+			out = append(out, matchSet(alt, names)...)
+		}
+		return dedupeRemainders(out)
+	}
+	// Sequence.
+	current := [][]string{names}
+	for _, m := range p.Seq {
+		var next [][]string
+		for _, rem := range current {
+			next = append(next, matchSet(m, rem)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		current = dedupeRemainders(next)
+	}
+	return current
+}
+
+func dedupeRemainders(rems [][]string) [][]string {
+	seen := make(map[int]bool, len(rems))
+	var out [][]string
+	for _, r := range rems {
+		if seen[len(r)] {
+			continue
+		}
+		seen[len(r)] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func particleString(p *Particle) string {
+	if p == nil {
+		return "()"
+	}
+	if p.Name != "" {
+		return p.Name + p.Occur.String()
+	}
+	var parts []string
+	sep := ", "
+	members := p.Seq
+	if p.Choice != nil {
+		members = p.Choice
+		sep = " | "
+	}
+	for _, m := range members {
+		parts = append(parts, particleString(m))
+	}
+	return "(" + strings.Join(parts, sep) + ")" + p.Occur.String()
+}
+
+// checkIDs verifies ID uniqueness and reference resolution. Dangling
+// references are reported as warnings-by-convention: the paper allows
+// deletes to leave dangling references (§4.2.1), so they are returned with a
+// distinguishable message but still as errors for callers that care.
+func (v *validator) checkIDs(root *Element) {
+	ids := make(map[string]*Element)
+	Walk(root, func(e *Element) bool {
+		if id := elementID(e, v.dtd); id != "" {
+			if prev, dup := ids[id]; dup {
+				v.errorf(e, "duplicate ID %q (also on <%s>)", id, prev.Name)
+			} else {
+				ids[id] = e
+			}
+		}
+		return true
+	})
+	Walk(root, func(e *Element) bool {
+		for _, r := range e.Refs() {
+			for _, id := range r.IDs {
+				if ids[id] == nil {
+					v.errorf(e, "dangling reference %s=%q", r.Name, id)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// IsDangling reports whether a validation error is a dangling-reference
+// report, which §4.2.1 permits after deletions.
+func (e *ValidationError) IsDangling() bool {
+	return strings.Contains(e.Msg, "dangling reference")
+}

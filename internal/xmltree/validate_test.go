@@ -1,0 +1,170 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func validateSrc(t *testing.T, dtdSrc, docSrc string) []*ValidationError {
+	t.Helper()
+	dtd := MustParseDTD(dtdSrc)
+	doc, err := ParseWith(docSrc, ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc.Validate(nil)
+}
+
+const vDTD = `
+<!ELEMENT db (person*, note?)>
+<!ELEMENT person (name, (email | phone)*, pet?)>
+<!ELEMENT pet EMPTY>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT note (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+<!ATTLIST person ID ID #REQUIRED friend IDREF #IMPLIED knows IDREFS #IMPLIED nick CDATA #IMPLIED>
+`
+
+func TestValidateCleanDocument(t *testing.T) {
+	errs := validateSrc(t, vDTD, `
+<db>
+  <person ID="p1" knows="p2 p1"><name>A</name><email>a@x</email><phone>1</phone><pet/></person>
+  <person ID="p2" friend="p1" nick="bee"><name>B</name></person>
+  <note>hello <em>world</em></note>
+</db>`)
+	if len(errs) != 0 {
+		t.Fatalf("clean document has %d errors: %v", len(errs), errs)
+	}
+}
+
+func TestValidateContentModelViolations(t *testing.T) {
+	cases := []struct {
+		doc  string
+		frag string
+	}{
+		{`<db><person ID="p"><email>x</email></person></db>`, "content model"},             // missing name
+		{`<db><person ID="p"><name>A</name><name>A</name></person></db>`, "content model"}, // name twice
+		{`<db><person ID="p"><name>A</name><pet>dog</pet></person></db>`, "EMPTY"},         // EMPTY with content
+		{`<db><person ID="p"><name>A</name></person>text</db>`, "PCDATA"},                  // PCDATA in element content
+		{`<db><bogus/></db>`, "not declared"},
+		{`<db><note><name>x</name></note></db>`, "mixed content"},
+	}
+	for _, c := range cases {
+		errs := validateSrc(t, vDTD, c.doc)
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.frag) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("doc %s: expected error containing %q, got %v", c.doc, c.frag, errs)
+		}
+	}
+}
+
+func TestValidateChoiceAndRepetition(t *testing.T) {
+	// (email | phone)* admits any interleaving.
+	errs := validateSrc(t, vDTD, `
+<db><person ID="p"><name>A</name><phone>1</phone><email>e</email><phone>2</phone></person></db>`)
+	if len(errs) != 0 {
+		t.Fatalf("valid interleaving rejected: %v", errs)
+	}
+}
+
+func TestValidateAttributeViolations(t *testing.T) {
+	// Missing required ID.
+	errs := validateSrc(t, vDTD, `<db><person><name>A</name></person></db>`)
+	if !hasErr(errs, "required attribute") {
+		t.Errorf("missing #REQUIRED not reported: %v", errs)
+	}
+	// Undeclared attribute.
+	errs = validateSrc(t, vDTD, `<db><person ID="p" zap="1"><name>A</name></person></db>`)
+	if !hasErr(errs, "not declared") {
+		t.Errorf("undeclared attribute not reported: %v", errs)
+	}
+}
+
+func TestValidateIDsAndReferences(t *testing.T) {
+	// Duplicate IDs.
+	errs := validateSrc(t, vDTD, `
+<db><person ID="p"><name>A</name></person><person ID="p"><name>B</name></person></db>`)
+	if !hasErr(errs, "duplicate ID") {
+		t.Errorf("duplicate ID not reported: %v", errs)
+	}
+	// Dangling reference is reported and classified.
+	errs = validateSrc(t, vDTD, `<db><person ID="p" friend="ghost"><name>A</name></person></db>`)
+	found := false
+	for _, e := range errs {
+		if e.IsDangling() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dangling reference not classified: %v", errs)
+	}
+}
+
+func TestValidateAfterUpdateAllowsDangling(t *testing.T) {
+	dtd := MustParseDTD(vDTD)
+	doc, err := ParseWith(`
+<db>
+  <person ID="p1" friend="p2"><name>A</name></person>
+  <person ID="p2"><name>B</name></person>
+</db>`, ParseOptions{TrimText: true, DTD: dtd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete p2: p1's reference dangles, which §4.2.1 permits.
+	p2 := doc.ByID("p2")
+	doc.Root.RemoveChild(p2)
+	doc.UnregisterID("p2", p2)
+	var hard []*ValidationError
+	for _, e := range doc.Validate(nil) {
+		if !e.IsDangling() {
+			hard = append(hard, e)
+		}
+	}
+	if len(hard) != 0 {
+		t.Errorf("post-delete document has non-dangling errors: %v", hard)
+	}
+}
+
+func TestValidateNoDTD(t *testing.T) {
+	doc := MustParse(`<a/>`)
+	errs := doc.Validate(nil)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "no DTD") {
+		t.Errorf("errs = %v", errs)
+	}
+}
+
+func TestValidateNestedGroups(t *testing.T) {
+	dtd := `
+<!ELEMENT a ((b, c) | (c, b+))?>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+`
+	valid := []string{`<a/>`, `<a><b/><c/></a>`, `<a><c/><b/></a>`, `<a><c/><b/><b/><b/></a>`}
+	invalid := []string{`<a><b/></a>`, `<a><c/></a>`, `<a><b/><c/><b/></a>`, `<a><b/><b/><c/></a>`}
+	for _, src := range valid {
+		if errs := validateSrc(t, dtd, src); len(errs) != 0 {
+			t.Errorf("%s: unexpected errors %v", src, errs)
+		}
+	}
+	for _, src := range invalid {
+		if errs := validateSrc(t, dtd, src); len(errs) == 0 {
+			t.Errorf("%s: expected content model violation", src)
+		}
+	}
+}
+
+func hasErr(errs []*ValidationError, frag string) bool {
+	for _, e := range errs {
+		if strings.Contains(e.Error(), frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+// Package xpath implements the path-expression subset used by the update
+// language of Tatarinov et al. (SIGMOD 2001, §4): child and descendant steps,
+// wildcards, attribute selection (binding the attribute object itself, not
+// just its value), the ref(label, target) constructor for binding individual
+// IDREF entries, the -> dereference operator, and predicates.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Item is a value a path expression can produce: *xmltree.Element,
+// *xmltree.Attr, xmltree.Ref (one entry in an IDREFS list), or *xmltree.Text.
+type Item any
+
+// StepKind discriminates the step types of a path.
+type StepKind int
+
+// Step kinds.
+const (
+	// ChildStep selects child elements by name test ("lab", "*").
+	ChildStep StepKind = iota
+	// DescendantStep selects descendant-or-self elements by name ("//Order").
+	DescendantStep
+	// AttrStep selects an attribute object ("@category"). Per §4.2 a
+	// variable bound to an attribute represents a reference to the
+	// attribute within the document, not simply its value.
+	AttrStep
+	// RefStep selects individual reference entries: ref(label, target).
+	// label and target may each be "*".
+	RefStep
+	// DerefStep follows a reference to the element it identifies ("->").
+	// The optional name test restricts the target element's tag.
+	DerefStep
+	// TextStep selects PCDATA children ("text()").
+	TextStep
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case ChildStep:
+		return "child"
+	case DescendantStep:
+		return "descendant"
+	case AttrStep:
+		return "attribute"
+	case RefStep:
+		return "ref"
+	case DerefStep:
+		return "deref"
+	case TextStep:
+		return "text"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Step is one location step.
+type Step struct {
+	Kind StepKind
+	// Name is the name test: tag for ChildStep/DescendantStep/DerefStep,
+	// attribute name for AttrStep, reference label for RefStep. "*" matches
+	// anything.
+	Name string
+	// RefTarget is the target ID for RefStep ("*" matches any).
+	RefTarget string
+	// Preds are the step's predicates, applied in order.
+	Preds []Expr
+}
+
+// Path is a parsed path expression.
+type Path struct {
+	// Doc is the argument of a document("…") prefix, or "".
+	Doc string
+	// Steps are the location steps, applied left to right.
+	Steps []*Step
+}
+
+// String reconstructs a canonical form of the path for diagnostics.
+func (p *Path) String() string {
+	var b strings.Builder
+	if p.Doc != "" {
+		fmt.Fprintf(&b, "document(%q)", p.Doc)
+	}
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case ChildStep:
+			b.WriteByte('/')
+			b.WriteString(s.Name)
+		case DescendantStep:
+			b.WriteString("//")
+			b.WriteString(s.Name)
+		case AttrStep:
+			b.WriteString("/@")
+			b.WriteString(s.Name)
+		case RefStep:
+			if s.RefTarget == "*" {
+				fmt.Fprintf(&b, "/ref(%s, *)", s.Name)
+			} else {
+				fmt.Fprintf(&b, "/ref(%s, %q)", s.Name, s.RefTarget)
+			}
+		case DerefStep:
+			b.WriteString("->")
+			b.WriteString(s.Name)
+		case TextStep:
+			b.WriteString("/text()")
+		}
+		for _, pr := range s.Preds {
+			fmt.Fprintf(&b, "[%s]", exprString(pr))
+		}
+	}
+	return b.String()
+}
+
+// Expr is a predicate expression node.
+type Expr interface{ isExpr() }
+
+// BinaryExpr applies a binary operator: "and", "or", "=", "!=", "<", "<=",
+// ">", ">=".
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*BinaryExpr) isExpr() {}
+
+// PathExpr embeds a relative path inside a predicate; its truth value is
+// non-emptiness, and in comparisons its items' string values are used.
+type PathExpr struct{ Path *Path }
+
+func (*PathExpr) isExpr() {}
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (*StringLit) isExpr() {}
+
+// NumberLit is a numeric literal (integers suffice for the paper's queries).
+type NumberLit struct{ Value int64 }
+
+func (*NumberLit) isExpr() {}
+
+// IndexCall is the paper's index() function: the 0-based position of the
+// context element among its parent's child elements.
+type IndexCall struct{}
+
+func (*IndexCall) isExpr() {}
+
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		return fmt.Sprintf("%s %s %s", exprString(x.L), x.Op, exprString(x.R))
+	case *PathExpr:
+		s := x.Path.String()
+		return strings.TrimPrefix(s, "/")
+	case *StringLit:
+		return fmt.Sprintf("%q", x.Value)
+	case *NumberLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *IndexCall:
+		return "index()"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// StringValue returns the comparison value of an item: text content for
+// elements and PCDATA, the value for attributes, and the ID for references.
+func StringValue(it Item) string {
+	switch v := it.(type) {
+	case *xmltree.Element:
+		return v.TextContent()
+	case *xmltree.Attr:
+		return v.Value
+	case xmltree.Ref:
+		return v.ID()
+	case *xmltree.Text:
+		return v.Data
+	default:
+		return ""
+	}
+}
+
+// ItemKind names an item's dynamic type for error messages.
+func ItemKind(it Item) string {
+	switch it.(type) {
+	case *xmltree.Element:
+		return "element"
+	case *xmltree.Attr:
+		return "attribute"
+	case xmltree.Ref:
+		return "reference"
+	case *xmltree.Text:
+		return "pcdata"
+	default:
+		return fmt.Sprintf("%T", it)
+	}
+}

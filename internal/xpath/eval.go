@@ -1,0 +1,443 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/xmltree"
+)
+
+// Context carries the evaluation environment: the document (for ID lookups
+// and document() resolution).
+type Context struct {
+	Doc *xmltree.Document
+	// Documents resolves document("name") prefixes when updates span
+	// multiple documents (Example 10). Keys are the names used in queries.
+	Documents map[string]*xmltree.Document
+}
+
+// Resolve returns the document a path's document() prefix names, defaulting
+// to ctx.Doc.
+func (ctx *Context) Resolve(name string) (*xmltree.Document, error) {
+	if name == "" {
+		if ctx.Doc == nil {
+			return nil, fmt.Errorf("xpath: no current document")
+		}
+		return ctx.Doc, nil
+	}
+	if d, ok := ctx.Documents[name]; ok {
+		return d, nil
+	}
+	if ctx.Doc != nil {
+		return ctx.Doc, nil
+	}
+	return nil, fmt.Errorf("xpath: unknown document %q", name)
+}
+
+// Eval evaluates the path starting from start (nil means the document root's
+// parent, so the first child step matches the root element itself, XPath
+// style: /db matches the root <db>). Results preserve document order.
+func (p *Path) Eval(ctx *Context, start Item) ([]Item, error) {
+	doc, err := ctx.Resolve(p.Doc)
+	if err != nil {
+		return nil, err
+	}
+	evalCtx := &evalContext{doc: doc, outer: ctx}
+	var current []Item
+	if start == nil {
+		current = []Item{rootHolder{doc.Root}}
+	} else {
+		current = []Item{start}
+	}
+	for _, step := range p.Steps {
+		next, err := evalCtx.applyStep(step, current)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+		if len(current) == 0 {
+			return nil, nil
+		}
+	}
+	// A bare document("x") path with no steps yields the root.
+	if len(p.Steps) == 0 {
+		return []Item{doc.Root}, nil
+	}
+	return current, nil
+}
+
+// rootHolder is a virtual document node whose only element child is the root;
+// it lets absolute paths address the root element by name.
+type rootHolder struct{ root *xmltree.Element }
+
+type evalContext struct {
+	doc   *xmltree.Document
+	outer *Context
+}
+
+func (ec *evalContext) applyStep(step *Step, input []Item) ([]Item, error) {
+	var out []Item
+	seen := make(map[Item]bool)
+	emit := func(it Item) {
+		// References (struct values) are deduplicated by value; pointers by
+		// identity. Document order is preserved by construction.
+		if _, dup := it.(xmltree.Ref); !dup {
+			if seen[it] {
+				return
+			}
+			seen[it] = true
+		}
+		out = append(out, it)
+	}
+	for _, in := range input {
+		items, err := ec.stepFrom(step, in)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range items {
+			ok, err := ec.predicatesHold(step.Preds, it)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				emit(it)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (ec *evalContext) stepFrom(step *Step, in Item) ([]Item, error) {
+	switch step.Kind {
+	case ChildStep:
+		switch v := in.(type) {
+		case rootHolder:
+			if step.Name == "*" || v.root.Name == step.Name {
+				return []Item{v.root}, nil
+			}
+			return nil, nil
+		case *xmltree.Element:
+			var out []Item
+			for _, c := range v.Children() {
+				if ce, ok := c.(*xmltree.Element); ok {
+					if step.Name == "*" || ce.Name == step.Name {
+						out = append(out, ce)
+					}
+				}
+			}
+			return out, nil
+		default:
+			return nil, nil
+		}
+	case DescendantStep:
+		var root *xmltree.Element
+		switch v := in.(type) {
+		case rootHolder:
+			root = v.root
+		case *xmltree.Element:
+			root = v
+		default:
+			return nil, nil
+		}
+		var out []Item
+		xmltree.Walk(root, func(e *xmltree.Element) bool {
+			if step.Name == "*" || e.Name == step.Name {
+				out = append(out, e)
+			}
+			return true
+		})
+		return out, nil
+	case AttrStep:
+		e, ok := in.(*xmltree.Element)
+		if !ok {
+			return nil, nil
+		}
+		var out []Item
+		for _, a := range e.Attrs() {
+			if step.Name == "*" || a.Name == step.Name {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	case RefStep:
+		e, ok := in.(*xmltree.Element)
+		if !ok {
+			return nil, nil
+		}
+		var out []Item
+		for _, r := range e.Refs() {
+			if step.Name != "*" && r.Name != step.Name {
+				continue
+			}
+			for i, id := range r.IDs {
+				if step.RefTarget == "*" || id == step.RefTarget {
+					out = append(out, xmltree.Ref{List: r, Index: i})
+				}
+			}
+		}
+		return out, nil
+	case DerefStep:
+		var ids []string
+		switch v := in.(type) {
+		case xmltree.Ref:
+			ids = []string{v.ID()}
+		case *xmltree.Attr:
+			ids = []string{v.Value}
+		case *xmltree.RefList:
+			ids = v.IDs
+		default:
+			return nil, nil
+		}
+		var out []Item
+		for _, id := range ids {
+			target := ec.doc.ByID(id)
+			if target == nil {
+				continue // dangling references are allowed (§4.2.1)
+			}
+			if step.Name == "*" || target.Name == step.Name {
+				out = append(out, target)
+			}
+		}
+		return out, nil
+	case TextStep:
+		e, ok := in.(*xmltree.Element)
+		if !ok {
+			return nil, nil
+		}
+		var out []Item
+		for _, c := range e.Children() {
+			if t, ok := c.(*xmltree.Text); ok {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("xpath: unknown step kind %v", step.Kind)
+	}
+}
+
+func (ec *evalContext) predicatesHold(preds []Expr, it Item) (bool, error) {
+	for _, p := range preds {
+		v, err := ec.evalExpr(p, it)
+		if err != nil {
+			return false, err
+		}
+		if !truthy(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// exprValue is a predicate value: bool, string, int64, or []Item.
+type exprValue any
+
+func truthy(v exprValue) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case string:
+		return x != ""
+	case int64:
+		return x != 0
+	case []Item:
+		return len(x) > 0
+	case nil:
+		return false
+	default:
+		return true
+	}
+}
+
+func (ec *evalContext) evalExpr(e Expr, context Item) (exprValue, error) {
+	switch x := e.(type) {
+	case *StringLit:
+		return x.Value, nil
+	case *NumberLit:
+		return x.Value, nil
+	case *IndexCall:
+		el, ok := context.(*xmltree.Element)
+		if !ok {
+			return nil, fmt.Errorf("xpath: index() on non-element %s", ItemKind(context))
+		}
+		return int64(ElementIndex(el)), nil
+	case *PathExpr:
+		items, err := x.Path.Eval(&Context{Doc: ec.doc, Documents: ec.outer.Documents}, context)
+		if err != nil {
+			return nil, err
+		}
+		return items, nil
+	case *BinaryExpr:
+		switch x.Op {
+		case "and":
+			l, err := ec.evalExpr(x.L, context)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(l) {
+				return false, nil
+			}
+			r, err := ec.evalExpr(x.R, context)
+			if err != nil {
+				return nil, err
+			}
+			return truthy(r), nil
+		case "or":
+			l, err := ec.evalExpr(x.L, context)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(l) {
+				return true, nil
+			}
+			r, err := ec.evalExpr(x.R, context)
+			if err != nil {
+				return nil, err
+			}
+			return truthy(r), nil
+		default:
+			l, err := ec.evalExpr(x.L, context)
+			if err != nil {
+				return nil, err
+			}
+			r, err := ec.evalExpr(x.R, context)
+			if err != nil {
+				return nil, err
+			}
+			return compare(x.Op, l, r)
+		}
+	default:
+		return nil, fmt.Errorf("xpath: unknown expression %T", e)
+	}
+}
+
+// compare implements existential comparison semantics: if either side is a
+// node set, the comparison holds when it holds for some member.
+func compare(op string, l, r exprValue) (bool, error) {
+	ls, lok := l.([]Item)
+	rs, rok := r.([]Item)
+	switch {
+	case lok && rok:
+		for _, a := range ls {
+			for _, b := range rs {
+				if cmpAtom(op, StringValue(a), StringValue(b)) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	case lok:
+		for _, a := range ls {
+			ok, err := cmpScalar(op, StringValue(a), r)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case rok:
+		inv := map[string]string{"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}[op]
+		return compare(inv, r, l)
+	default:
+		switch lv := l.(type) {
+		case string:
+			return cmpScalar(op, lv, r)
+		case int64:
+			switch rv := r.(type) {
+			case int64:
+				return cmpInt(op, lv, rv), nil
+			case string:
+				return cmpAtom(op, fmt.Sprint(lv), rv), nil
+			}
+		case bool:
+			if rv, ok := r.(bool); ok && op == "=" {
+				return lv == rv, nil
+			}
+		}
+		return false, fmt.Errorf("xpath: cannot compare %T %s %T", l, op, r)
+	}
+}
+
+func cmpScalar(op, a string, r exprValue) (bool, error) {
+	switch rv := r.(type) {
+	case string:
+		return cmpAtom(op, a, rv), nil
+	case int64:
+		// Numeric comparison when the node value parses as an integer.
+		var n int64
+		if _, err := fmt.Sscanf(a, "%d", &n); err == nil {
+			return cmpInt(op, n, rv), nil
+		}
+		return cmpAtom(op, a, fmt.Sprint(rv)), nil
+	default:
+		return false, fmt.Errorf("xpath: cannot compare string %s %T", op, r)
+	}
+}
+
+func cmpAtom(op, a, b string) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	default:
+		return false
+	}
+}
+
+func cmpInt(op string, a, b int64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// CompareValues applies a comparison operator to two predicate values, each
+// a bool, string, int64, or []Item, with existential node-set semantics. It
+// is shared with the xquery WHERE-clause evaluator.
+func CompareValues(op string, l, r any) (bool, error) {
+	return compare(op, l, r)
+}
+
+// Truthy reports the boolean interpretation of a predicate value.
+func Truthy(v any) bool { return truthy(v) }
+
+// ElementIndex returns e's 0-based position among its parent's child
+// elements; a root element has index 0.
+func ElementIndex(e *xmltree.Element) int {
+	p := e.Parent()
+	if p == nil {
+		return 0
+	}
+	i := 0
+	for _, c := range p.Children() {
+		if ce, ok := c.(*xmltree.Element); ok {
+			if ce == e {
+				return i
+			}
+			i++
+		}
+	}
+	return -1
+}

@@ -1,0 +1,211 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+// Additional evaluator coverage: comparison semantics, wildcard attributes,
+// mixed item kinds, and resolution edge cases.
+
+func TestAttrWildcard(t *testing.T) {
+	items := evalBio(t, `/db/paper/@*`)
+	// category is the paper's only plain attribute besides ID.
+	if len(items) != 2 {
+		t.Fatalf("paper attributes = %d, want 2 (ID, category)", len(items))
+	}
+	for _, it := range items {
+		if _, ok := it.(*xmltree.Attr); !ok {
+			t.Errorf("bound %s, want attribute", ItemKind(it))
+		}
+	}
+}
+
+func TestStringValueKinds(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	if got := StringValue(lalab); got != "UCLA Bio LabLos Angeles" {
+		t.Errorf("element value = %q", got)
+	}
+	if got := StringValue(lalab.Attr("ID")); got != "lalab" {
+		t.Errorf("attr value = %q", got)
+	}
+	ref := xmltree.Ref{List: lalab.Ref("managers"), Index: 1}
+	if got := StringValue(ref); got != "jones1" {
+		t.Errorf("ref value = %q", got)
+	}
+	if got := StringValue(42); got != "" {
+		t.Errorf("unknown item value = %q", got)
+	}
+}
+
+func TestItemKindNames(t *testing.T) {
+	doc := testdocs.Bio()
+	lalab := doc.ByID("lalab")
+	cases := []struct {
+		item Item
+		want string
+	}{
+		{lalab, "element"},
+		{lalab.Attr("ID"), "attribute"},
+		{xmltree.Ref{List: lalab.Ref("managers"), Index: 0}, "reference"},
+		{xmltree.NewText("x"), "pcdata"},
+	}
+	for _, c := range cases {
+		if got := ItemKind(c.item); got != c.want {
+			t.Errorf("ItemKind = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCompareValuesExported(t *testing.T) {
+	ok, err := CompareValues("=", "a", "a")
+	if err != nil || !ok {
+		t.Errorf("= comparison failed: %v %v", ok, err)
+	}
+	ok, err = CompareValues("<", int64(3), int64(5))
+	if err != nil || !ok {
+		t.Errorf("< comparison failed")
+	}
+	// Node-set comparisons are existential.
+	doc := testdocs.Bio()
+	p := MustParse(`/db/lab/name`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = CompareValues("=", items, "PMBL")
+	if err != nil || !ok {
+		t.Error("existential node-set comparison failed")
+	}
+	ok, _ = CompareValues("=", items, "Nonexistent Lab")
+	if ok {
+		t.Error("node-set comparison matched nothing")
+	}
+	// Reversed operand order.
+	ok, err = CompareValues(">", "zzz", items)
+	if err != nil || !ok {
+		t.Error("reversed node-set comparison failed")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	cases := []struct {
+		v    any
+		want bool
+	}{
+		{true, true}, {false, false},
+		{"", false}, {"x", true},
+		{int64(0), false}, {int64(2), true},
+		{[]Item{}, false}, {[]Item{nil}, true},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Truthy(c.v); got != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, got)
+		}
+	}
+}
+
+func TestPredicateOnDerefTarget(t *testing.T) {
+	// Filter the dereferenced element.
+	items := evalBio(t, `/db/paper/ref(source, *)->lab[name="PMBL"]`)
+	if len(items) != 1 {
+		t.Fatalf("matched %d, want 1", len(items))
+	}
+	items = evalBio(t, `/db/paper/ref(source, *)->lab[name="Wrong"]`)
+	if len(items) != 0 {
+		t.Fatalf("matched %d, want 0", len(items))
+	}
+}
+
+func TestChainedDerefs(t *testing.T) {
+	// db's lab reference → lalab; lalab's managers → biologists.
+	items := evalBio(t, `/db/ref(lab, *)->lab/ref(managers, *)->biologist/lastname`)
+	if len(items) != 2 {
+		t.Fatalf("matched %d lastnames, want 2", len(items))
+	}
+	got := map[string]bool{}
+	for _, it := range items {
+		got[StringValue(it)] = true
+	}
+	if !got["Smith"] || !got["Jones"] {
+		t.Errorf("lastnames = %v", got)
+	}
+}
+
+func TestDescendantFromMidTree(t *testing.T) {
+	doc := testdocs.Bio()
+	base := doc.ByID("baselab")
+	p := MustParse(`//city`)
+	items, err := p.Eval(&Context{Doc: doc}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || StringValue(items[0]) != "Seattle" {
+		t.Errorf("descendant from subtree = %v", items)
+	}
+}
+
+func TestStepsFromNonElementYieldNothing(t *testing.T) {
+	doc := testdocs.Bio()
+	paper := doc.ByID("Smith991231")
+	attr := paper.Attr("category")
+	p := MustParse(`title`)
+	items, err := p.Eval(&Context{Doc: doc}, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Errorf("child step from attribute yielded %d items", len(items))
+	}
+}
+
+func TestResolveUnknownDocumentFallsBack(t *testing.T) {
+	doc := testdocs.Bio()
+	ctx := &Context{Doc: doc}
+	// Unknown document names fall back to the current document (the paper's
+	// queries name files loosely).
+	p := MustParse(`document("unknown.xml")/db`)
+	items, err := p.Eval(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Errorf("fallback resolution failed")
+	}
+	// With no document at all, evaluation errors.
+	empty := &Context{}
+	if _, err := p.Eval(empty, nil); err == nil {
+		t.Error("evaluation without documents should fail")
+	}
+}
+
+func TestBareDocumentPath(t *testing.T) {
+	doc := testdocs.Bio()
+	p := MustParse(`document("bio.xml")`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].(*xmltree.Element).Name != "db" {
+		t.Errorf("bare document() = %v", items)
+	}
+}
+
+func TestIndexOnNonElementErrors(t *testing.T) {
+	doc := testdocs.Bio()
+	p := MustParse(`/db/paper/@category[index()=0]`)
+	if _, err := p.Eval(&Context{Doc: doc}, nil); err == nil {
+		t.Error("index() on attribute should error")
+	}
+}
+
+func TestOrPredicateShortCircuit(t *testing.T) {
+	items := evalBio(t, `/db/lab[@ID="baselab" or nosuchchild="x"]`)
+	if len(items) != 1 {
+		t.Fatalf("or short-circuit matched %d", len(items))
+	}
+}

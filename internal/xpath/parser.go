@@ -1,0 +1,479 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Parse parses a path expression such as
+//
+//	document("bio.xml")/db/lab[@ID="baselab"]/name
+//	$p/ref(biologist, "smith1")
+//	//Order[status="ready" and OrderLine/ItemName="tire"]
+//
+// A leading variable reference ($x) is not part of this package's grammar —
+// the xquery package strips it and supplies the binding as the start item.
+// Both "/" and "." are accepted as child-step separators, matching the
+// paper's mixed usage (Example 7 writes CustDb.Customer).
+func Parse(src string) (*Path, error) {
+	p := &pathParser{src: src}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %s in %q", err, src)
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("xpath: trailing input at offset %d in %q", p.pos, src)
+	}
+	return path, nil
+}
+
+// MustParse parses a path and panics on failure. For tests and examples.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type pathParser struct {
+	src string
+	pos int
+}
+
+func (p *pathParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *pathParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *pathParser) hasPrefix(s string) bool { return strings.HasPrefix(p.src[p.pos:], s) }
+
+func (p *pathParser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *pathParser) expect(s string) error {
+	if !p.hasPrefix(s) {
+		return fmt.Errorf("expected %q at offset %d", s, p.pos)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *pathParser) parseName() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !(r == '_' || unicode.IsLetter(r)) {
+		return "", fmt.Errorf("expected name at offset %d", p.pos)
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !(r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *pathParser) parseQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected string literal at offset %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", fmt.Errorf("unterminated string literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// parsePath parses [document("...")] step*. A bare name with no leading
+// separator is treated as a child step (relative paths inside predicates).
+func (p *pathParser) parsePath() (*Path, error) {
+	path := &Path{}
+	p.skipSpace()
+	if p.hasPrefix("document") {
+		save := p.pos
+		p.pos += len("document")
+		p.skipSpace()
+		if p.peek() == '(' {
+			p.pos++
+			p.skipSpace()
+			doc, err := p.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			p.skipSpace()
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			path.Doc = doc
+		} else {
+			p.pos = save
+		}
+	}
+	first := true
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("//"):
+			p.pos += 2
+			step, err := p.parseStepBody(DescendantStep)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+		case p.peek() == '/' || p.peek() == '.':
+			// '.' is only a separator when followed by a step start; this
+			// keeps "index()" in predicates unambiguous.
+			if p.peek() == '.' && !p.dotIsSeparator() {
+				return path, nil
+			}
+			p.pos++
+			step, err := p.parseStepBody(ChildStep)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+		case p.hasPrefix("->"):
+			p.pos += 2
+			name := "*"
+			if p.peek() == '*' {
+				p.pos++
+			} else if n, err := p.parseName(); err == nil {
+				name = n
+			}
+			step := &Step{Kind: DerefStep, Name: name}
+			if err := p.parsePredicates(step); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, step)
+		default:
+			if first && path.Doc == "" {
+				// Relative path: leading bare step.
+				if startsStep(p.peek()) {
+					step, err := p.parseStepBody(ChildStep)
+					if err != nil {
+						return nil, err
+					}
+					path.Steps = append(path.Steps, step)
+					first = false
+					continue
+				}
+			}
+			if len(path.Steps) == 0 && path.Doc == "" {
+				return nil, fmt.Errorf("empty path")
+			}
+			return path, nil
+		}
+		first = false
+	}
+}
+
+func startsStep(c byte) bool {
+	return c == '@' || c == '*' || c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *pathParser) dotIsSeparator() bool {
+	if p.pos+1 >= len(p.src) {
+		return false
+	}
+	return startsStep(p.src[p.pos+1])
+}
+
+// parseStepBody parses what follows a separator: @name | ref(l, t) | text()
+// | nametest, plus predicates.
+func (p *pathParser) parseStepBody(kind StepKind) (*Step, error) {
+	p.skipSpace()
+	var step *Step
+	switch {
+	case p.peek() == '@':
+		p.pos++
+		name := "*"
+		if p.peek() == '*' {
+			p.pos++
+		} else {
+			n, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			name = n
+		}
+		step = &Step{Kind: AttrStep, Name: name}
+	case p.hasPrefix("ref") && p.refFollows():
+		p.pos += len("ref")
+		p.skipSpace()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		label := "*"
+		if p.peek() == '*' {
+			p.pos++
+		} else {
+			n, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			label = n
+		}
+		p.skipSpace()
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		target := "*"
+		if p.peek() == '*' {
+			p.pos++
+		} else if p.peek() == '"' || p.peek() == '\'' {
+			s, err := p.parseQuoted()
+			if err != nil {
+				return nil, err
+			}
+			target = s
+		} else {
+			// Unquoted target, as in ref(lab, lalab).
+			n, err := p.parseName()
+			if err != nil {
+				return nil, err
+			}
+			target = n
+		}
+		p.skipSpace()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		step = &Step{Kind: RefStep, Name: label, RefTarget: target}
+	case p.hasPrefix("text()"):
+		p.pos += len("text()")
+		step = &Step{Kind: TextStep}
+	case p.peek() == '*':
+		p.pos++
+		step = &Step{Kind: kind, Name: "*"}
+	default:
+		n, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		step = &Step{Kind: kind, Name: n}
+	}
+	if step.Kind != kind && kind == DescendantStep {
+		return nil, fmt.Errorf("// must be followed by a name test")
+	}
+	if err := p.parsePredicates(step); err != nil {
+		return nil, err
+	}
+	return step, nil
+}
+
+// refFollows distinguishes the ref(...) constructor from an element named
+// "ref…".
+func (p *pathParser) refFollows() bool {
+	i := p.pos + len("ref")
+	for i < len(p.src) && (p.src[i] == ' ' || p.src[i] == '\t' || p.src[i] == '\n' || p.src[i] == '\r') {
+		i++
+	}
+	return i < len(p.src) && p.src[i] == '('
+}
+
+func (p *pathParser) parsePredicates(step *Step) error {
+	for {
+		p.skipSpace()
+		if p.peek() != '[' {
+			return nil
+		}
+		p.pos++
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if err := p.expect("]"); err != nil {
+			return err
+		}
+		step.Preds = append(step.Preds, e)
+	}
+}
+
+func (p *pathParser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.keywordFollows("or") {
+			return l, nil
+		}
+		p.pos += 2
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "or", L: l, R: r}
+	}
+}
+
+func (p *pathParser) parseAndExpr() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if !p.keywordFollows("and") {
+			return l, nil
+		}
+		p.pos += 3
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "and", L: l, R: r}
+	}
+}
+
+func (p *pathParser) keywordFollows(kw string) bool {
+	if !p.hasPrefix(kw) {
+		return false
+	}
+	after := p.pos + len(kw)
+	if after >= len(p.src) {
+		return false
+	}
+	c := p.src[after]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == '"' || c == '\''
+}
+
+func (p *pathParser) parseComparison() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if p.hasPrefix(op) {
+			p.pos += len(op)
+			r, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *pathParser) parsePrimary() (Expr, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '"' || p.peek() == '\'':
+		s, err := p.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		return &StringLit{Value: s}, nil
+	case p.peek() >= '0' && p.peek() <= '9', p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9':
+		start := p.pos
+		if p.peek() == '-' {
+			p.pos++
+		}
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return &NumberLit{Value: n}, nil
+	case p.hasPrefix("index()"):
+		p.pos += len("index()")
+		return &IndexCall{}, nil
+	case p.peek() == '(':
+		p.pos++
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		// A relative path expression.
+		sub, err := p.parseRelPath()
+		if err != nil {
+			return nil, err
+		}
+		return &PathExpr{Path: sub}, nil
+	}
+}
+
+// parseRelPath parses a relative path inside a predicate (no document()).
+func (p *pathParser) parseRelPath() (*Path, error) {
+	path := &Path{}
+	step, err := p.parseStepBody(ChildStep)
+	if err != nil {
+		return nil, err
+	}
+	path.Steps = append(path.Steps, step)
+	for {
+		p.skipSpace()
+		switch {
+		case p.hasPrefix("//"):
+			p.pos += 2
+			s, err := p.parseStepBody(DescendantStep)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, s)
+		case p.peek() == '/':
+			p.pos++
+			s, err := p.parseStepBody(ChildStep)
+			if err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, s)
+		case p.hasPrefix("->"):
+			p.pos += 2
+			name := "*"
+			if p.peek() == '*' {
+				p.pos++
+			} else if n, err := p.parseName(); err == nil {
+				name = n
+			}
+			s := &Step{Kind: DerefStep, Name: name}
+			if err := p.parsePredicates(s); err != nil {
+				return nil, err
+			}
+			path.Steps = append(path.Steps, s)
+		default:
+			return path, nil
+		}
+	}
+}

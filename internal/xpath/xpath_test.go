@@ -1,0 +1,373 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+func evalBio(t *testing.T, path string) []Item {
+	t.Helper()
+	doc := testdocs.Bio()
+	p, err := Parse(path)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", path, err)
+	}
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", path, err)
+	}
+	return items
+}
+
+func elementNames(items []Item) []string {
+	var out []string
+	for _, it := range items {
+		if e, ok := it.(*xmltree.Element); ok {
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+func TestAbsoluteChildSteps(t *testing.T) {
+	items := evalBio(t, `/db/lab`)
+	if len(items) != 2 {
+		t.Fatalf("got %d labs at root level, want 2", len(items))
+	}
+	for _, it := range items {
+		e := it.(*xmltree.Element)
+		if id, _ := e.AttrValue("ID"); id != "baselab" && id != "lab2" {
+			t.Errorf("unexpected lab %q", id)
+		}
+	}
+}
+
+func TestDocumentPrefix(t *testing.T) {
+	items := evalBio(t, `document("bio.xml")/db/biologist`)
+	if len(items) != 2 {
+		t.Fatalf("got %d biologists, want 2", len(items))
+	}
+}
+
+func TestDescendantStep(t *testing.T) {
+	items := evalBio(t, `//lab`)
+	if len(items) != 3 {
+		t.Fatalf("//lab found %d, want 3", len(items))
+	}
+	items = evalBio(t, `//city`)
+	if len(items) != 3 {
+		t.Fatalf("//city found %d, want 3", len(items))
+	}
+	// Document order: Los Angeles, Seattle, Philadelphia.
+	want := []string{"Los Angeles", "Seattle", "Philadelphia"}
+	for i, it := range items {
+		if got := StringValue(it); got != want[i] {
+			t.Errorf("city %d = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	items := evalBio(t, `/db/*`)
+	if len(items) != 6 {
+		t.Fatalf("/db/* found %d, want 6", len(items))
+	}
+}
+
+func TestAttributePredicates(t *testing.T) {
+	items := evalBio(t, `/db/biologist[@ID="smith1"]`)
+	if len(items) != 1 {
+		t.Fatalf("got %d, want 1", len(items))
+	}
+	items = evalBio(t, `/db/biologist[@age="32"]`)
+	if len(items) != 1 || StringValue(items[0]) != "Jones" {
+		t.Fatalf("age predicate matched %v", elementNames(items))
+	}
+	items = evalBio(t, `/db/biologist[@age]`)
+	if len(items) != 1 {
+		t.Fatalf("existence predicate matched %d, want 1", len(items))
+	}
+}
+
+func TestValuePredicates(t *testing.T) {
+	items := evalBio(t, `/db/lab[name="PMBL"]`)
+	if len(items) != 1 {
+		t.Fatalf("got %d, want 1", len(items))
+	}
+	if id, _ := items[0].(*xmltree.Element).AttrValue("ID"); id != "lab2" {
+		t.Errorf("matched %q", id)
+	}
+	// Nested relative path in predicate.
+	items = evalBio(t, `/db/lab[location/city="Seattle"]`)
+	if len(items) != 1 {
+		t.Fatalf("nested predicate matched %d, want 1", len(items))
+	}
+}
+
+func TestAndOrPredicates(t *testing.T) {
+	items := evalBio(t, `/db/lab[name="PMBL" and country="USA"]`)
+	if len(items) != 1 {
+		t.Fatalf("and: got %d, want 1", len(items))
+	}
+	items = evalBio(t, `/db/lab[name="PMBL" or name="Seattle Bio Lab"]`)
+	if len(items) != 2 {
+		t.Fatalf("or: got %d, want 2", len(items))
+	}
+	items = evalBio(t, `/db/lab[name="PMBL" and name="Seattle Bio Lab"]`)
+	if len(items) != 0 {
+		t.Fatalf("contradiction matched %d", len(items))
+	}
+}
+
+func TestNumericComparison(t *testing.T) {
+	items := evalBio(t, `/db/biologist[@age>30]`)
+	if len(items) != 1 {
+		t.Fatalf("age>30 matched %d, want 1", len(items))
+	}
+	items = evalBio(t, `/db/biologist[@age<30]`)
+	if len(items) != 0 {
+		t.Fatalf("age<30 matched %d, want 0", len(items))
+	}
+	items = evalBio(t, `/db/biologist[@age!=32]`)
+	if len(items) != 0 {
+		// Only jones1 has an age attribute at all; smith1 has no age so the
+		// predicate's path is empty and the comparison is false.
+		t.Fatalf("age!=32 matched %d, want 0", len(items))
+	}
+}
+
+func TestAttrStepBindsAttributeObject(t *testing.T) {
+	items := evalBio(t, `/db/paper/@category`)
+	if len(items) != 1 {
+		t.Fatalf("got %d, want 1", len(items))
+	}
+	a, ok := items[0].(*xmltree.Attr)
+	if !ok {
+		t.Fatalf("bound %s, want attribute object", ItemKind(items[0]))
+	}
+	if a.Value != "spectral" || a.Owner() == nil {
+		t.Errorf("attr = %+v", a)
+	}
+}
+
+func TestRefStepBindsIndividualEntries(t *testing.T) {
+	// ref(managers, "smith1") on lalab: one entry out of two.
+	items := evalBio(t, `/db/university/lab/ref(managers, "smith1")`)
+	if len(items) != 1 {
+		t.Fatalf("got %d, want 1", len(items))
+	}
+	r, ok := items[0].(xmltree.Ref)
+	if !ok {
+		t.Fatalf("bound %s, want reference", ItemKind(items[0]))
+	}
+	if r.ID() != "smith1" || r.Index != 0 {
+		t.Errorf("ref = %+v", r)
+	}
+	// Wildcard target matches all entries in order.
+	items = evalBio(t, `/db/university/lab/ref(managers, *)`)
+	if len(items) != 2 {
+		t.Fatalf("wildcard target matched %d, want 2", len(items))
+	}
+	if StringValue(items[0]) != "smith1" || StringValue(items[1]) != "jones1" {
+		t.Errorf("order wrong: %v, %v", items[0], items[1])
+	}
+	// Wildcard label.
+	items = evalBio(t, `/db/paper/ref(*, *)`)
+	if len(items) != 2 { // source and biologist
+		t.Fatalf("paper refs matched %d, want 2", len(items))
+	}
+}
+
+func TestDerefStep(t *testing.T) {
+	// Follow paper's source reference to the lab element.
+	items := evalBio(t, `/db/paper/ref(source, *)->lab`)
+	if len(items) != 1 {
+		t.Fatalf("deref matched %d, want 1", len(items))
+	}
+	e := items[0].(*xmltree.Element)
+	if id, _ := e.AttrValue("ID"); id != "lab2" {
+		t.Errorf("deref target = %q, want lab2", id)
+	}
+	// Name test filters the target.
+	items = evalBio(t, `/db/paper/ref(source, *)->biologist`)
+	if len(items) != 0 {
+		t.Fatalf("mistyped deref matched %d, want 0", len(items))
+	}
+	// Dereference through an attribute-step-like ref path with wildcard.
+	items = evalBio(t, `/db/ref(lab, *)->*`)
+	if len(items) != 1 {
+		t.Fatalf("db lab deref matched %d, want 1", len(items))
+	}
+}
+
+func TestDanglingReferenceAllowed(t *testing.T) {
+	doc := testdocs.Bio()
+	// Remove the referenced biologist; the paper allows dangling refs.
+	smith := doc.ByID("smith1")
+	doc.Root.RemoveChild(smith)
+	doc.UnregisterID("smith1", smith)
+	p := MustParse(`/db/paper/ref(biologist, *)->*`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 0 {
+		t.Errorf("dangling deref yielded %d items, want 0", len(items))
+	}
+}
+
+func TestTextStep(t *testing.T) {
+	items := evalBio(t, `/db/lab[@ID="lab2"]/name/text()`)
+	if len(items) != 1 {
+		t.Fatalf("got %d, want 1", len(items))
+	}
+	if _, ok := items[0].(*xmltree.Text); !ok {
+		t.Fatalf("bound %s, want pcdata", ItemKind(items[0]))
+	}
+	if StringValue(items[0]) != "PMBL" {
+		t.Errorf("text = %q", StringValue(items[0]))
+	}
+}
+
+func TestIndexPredicate(t *testing.T) {
+	items := evalBio(t, `/db/*[index()=0]`)
+	if len(items) != 1 || items[0].(*xmltree.Element).Name != "university" {
+		t.Fatalf("index()=0 matched %v", elementNames(items))
+	}
+	items = evalBio(t, `/db/lab[index()=2]`)
+	if len(items) != 1 {
+		t.Fatalf("index()=2 matched %d, want 1 (lab2 is third child)", len(items))
+	}
+}
+
+func TestDottedSeparator(t *testing.T) {
+	// Example 7 writes CustDb.Customer — '.' is accepted as separator.
+	doc := testdocs.Cust()
+	p := MustParse(`/CustDB.Customer[Name="John"]`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("got %d Johns, want 2", len(items))
+	}
+}
+
+func TestRelativeEvalFromElement(t *testing.T) {
+	doc := testdocs.Bio()
+	base := doc.ByID("baselab")
+	p := MustParse(`location/city`)
+	items, err := p.Eval(&Context{Doc: doc}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || StringValue(items[0]) != "Seattle" {
+		t.Fatalf("relative eval = %v", items)
+	}
+}
+
+func TestMultiDocumentResolution(t *testing.T) {
+	bio := testdocs.Bio()
+	cust := testdocs.Cust()
+	ctx := &Context{
+		Doc:       bio,
+		Documents: map[string]*xmltree.Document{"bio.xml": bio, "custdb.xml": cust},
+	}
+	p := MustParse(`document("custdb.xml")/CustDB/Customer`)
+	items, err := p.Eval(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("cross-document eval got %d customers, want 3", len(items))
+	}
+}
+
+func TestExample8Selection(t *testing.T) {
+	// The Example 8 order selection: ready orders containing a tire line.
+	doc := testdocs.Cust()
+	p := MustParse(`//Order[Status="ready" and OrderLine/ItemName="tire"]`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Fatalf("matched %d orders, want 1", len(items))
+	}
+	if got := items[0].(*xmltree.Element).FirstChildNamed("Date").TextContent(); got != "2000-05-01" {
+		t.Errorf("wrong order selected: %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`/db/[x]`,
+		`/db/lab[`,
+		`/db/lab[name=]`,
+		`/db/ref(managers)`,
+		`/db/ref(,x)`,
+		`document("x"`,
+		`/db/lab[name="x" and ]`,
+		`//`,
+		`/db/lab]`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	for _, src := range []string{
+		`/db/lab`,
+		`//Order`,
+		`/db/paper/@category`,
+	} {
+		p := MustParse(src)
+		re, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("String() of %q is unparseable: %v (%q)", src, err, p.String())
+			continue
+		}
+		if re.String() != p.String() {
+			t.Errorf("String round trip unstable: %q vs %q", p.String(), re.String())
+		}
+	}
+}
+
+func TestElementIndex(t *testing.T) {
+	doc := xmltree.MustParse(`<a>t1<b/>t2<c/><d/></a>`)
+	kids := doc.Root.ChildElements()
+	for i, k := range kids {
+		if got := ElementIndex(k); got != i {
+			t.Errorf("ElementIndex(%s) = %d, want %d", k.Name, got, i)
+		}
+	}
+	if ElementIndex(doc.Root) != 0 {
+		t.Errorf("root index = %d", ElementIndex(doc.Root))
+	}
+}
+
+func TestEvalEmptyIntermediate(t *testing.T) {
+	items := evalBio(t, `/db/nosuch/child`)
+	if len(items) != 0 {
+		t.Errorf("empty intermediate should yield no items")
+	}
+}
+
+func TestRefNamedElementNotConfused(t *testing.T) {
+	// An element literally named "ref" must still be addressable.
+	doc := xmltree.MustParse(`<a><ref>x</ref></a>`)
+	p := MustParse(`/a/ref`)
+	items, err := p.Eval(&Context{Doc: doc}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].(*xmltree.Element).Name != "ref" {
+		t.Fatalf("element named ref not matched: %v", items)
+	}
+}

@@ -1,0 +1,228 @@
+// Package xquery implements the update extensions to XQuery proposed by
+// Tatarinov et al. (SIGMOD 2001, §4): a FOR…LET…WHERE…UPDATE statement whose
+// UPDATE clause contains a sequence of sub-operations (DELETE, RENAME,
+// INSERT [BEFORE|AFTER], REPLACE…WITH, and nested FOR…WHERE…UPDATE), plus a
+// FOR…WHERE…RETURN query form used by the storage experiments.
+//
+// The package provides the parser and a direct-DOM evaluator; translation to
+// SQL over shredded storage lives in internal/engine.
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// Statement is a parsed top-level statement: either an update or a query.
+type Statement struct {
+	For    []ForBinding
+	Let    []LetBinding
+	Where  []WhereExpr
+	Update *UpdateOp // exactly one of Update / Return is set
+	Return *VarPath
+}
+
+// IsQuery reports whether the statement is a FOR…RETURN query.
+func (s *Statement) IsQuery() bool { return s.Return != nil }
+
+// ForBinding is one `$var IN path` clause member.
+type ForBinding struct {
+	Var  string
+	Path VarPath
+}
+
+// LetBinding is one `$var := path` clause member.
+type LetBinding struct {
+	Var  string
+	Path VarPath
+}
+
+// VarPath is a path expression optionally rooted at a variable:
+// `$p/title` has Var "p"; `document("bio.xml")/db` has Var "".
+// A bare `$p` has Var "p" and a Path with no steps.
+type VarPath struct {
+	Var  string
+	Path *xpath.Path
+}
+
+func (vp VarPath) String() string {
+	var b strings.Builder
+	if vp.Var != "" {
+		b.WriteByte('$')
+		b.WriteString(vp.Var)
+	}
+	if vp.Path != nil {
+		b.WriteString(vp.Path.String())
+	}
+	return b.String()
+}
+
+// UpdateOp is `UPDATE $binding { subOp, … }`.
+type UpdateOp struct {
+	Binding string
+	Ops     []SubOp
+}
+
+// SubOp is one sub-operation inside an UPDATE clause.
+type SubOp interface{ isSubOp() }
+
+// DeleteOp is `DELETE $child`.
+type DeleteOp struct {
+	Child string // variable name
+}
+
+func (DeleteOp) isSubOp() {}
+
+// RenameOp is `RENAME $child TO name`.
+type RenameOp struct {
+	Child string
+	Name  string
+}
+
+func (RenameOp) isSubOp() {}
+
+// InsertOp is `INSERT content [BEFORE|AFTER $ref]`.
+type InsertOp struct {
+	Content ContentExpr
+	// Position is "" (append), "before", or "after".
+	Position string
+	Ref      string // variable name when Position != ""
+}
+
+func (InsertOp) isSubOp() {}
+
+// ReplaceOp is `REPLACE $child WITH content`.
+type ReplaceOp struct {
+	Child   string
+	Content ContentExpr
+}
+
+func (ReplaceOp) isSubOp() {}
+
+// NestedUpdate is `FOR $v IN path, … [WHERE pred, …] UPDATE $b { … }`:
+// a new pattern match starting at the enclosing bindings, recursively
+// invoking an update operation (§3.2 Sub-Update).
+type NestedUpdate struct {
+	For    []ForBinding
+	Where  []WhereExpr
+	Update *UpdateOp
+}
+
+func (NestedUpdate) isSubOp() {}
+
+// ContentExpr constructs insertion content.
+type ContentExpr interface{ isContent() }
+
+// NewAttributeExpr is `new_attribute(name, "value")`.
+type NewAttributeExpr struct {
+	Name  string
+	Value string
+}
+
+func (NewAttributeExpr) isContent() {}
+
+// NewRefExpr is `new_ref(label, "id")`.
+type NewRefExpr struct {
+	Name string
+	ID   string
+}
+
+func (NewRefExpr) isContent() {}
+
+// ElementLiteral is inline XML content such as `<firstname>Jeff</firstname>`.
+// The paper's `</>` shorthand closes the innermost open tag.
+type ElementLiteral struct {
+	XML string // normalized serialized form
+}
+
+func (ElementLiteral) isContent() {}
+
+// StringContent is a bare string literal (an ID when inserted relative to a
+// reference, PCDATA otherwise).
+type StringContent struct {
+	Value string
+}
+
+func (StringContent) isContent() {}
+
+// VarContent inserts the value of a binding (Example 10: INSERT $source).
+type VarContent struct {
+	Var string
+}
+
+func (VarContent) isContent() {}
+
+// WhereExpr is a predicate in a WHERE clause.
+type WhereExpr interface{ isWhere() }
+
+// Comparison compares two value expressions with =, !=, <, <=, >, >=.
+type Comparison struct {
+	Op   string
+	L, R ValExpr
+}
+
+func (Comparison) isWhere() {}
+
+// BoolOp combines predicates with "and" / "or".
+type BoolOp struct {
+	Op   string
+	L, R WhereExpr
+}
+
+func (BoolOp) isWhere() {}
+
+// ExistsExpr is a bare path used as a predicate: true when non-empty.
+type ExistsExpr struct {
+	Path VarPath
+}
+
+func (ExistsExpr) isWhere() {}
+
+// ValExpr is a scalar-valued expression inside a comparison.
+type ValExpr interface{ isVal() }
+
+// PathVal evaluates a variable-rooted path; in comparisons its items'
+// string values participate existentially.
+type PathVal struct {
+	Path VarPath
+}
+
+func (PathVal) isVal() {}
+
+// IndexVal is `$var.index()` — the 0-based position of the bound element
+// among its parent's child elements (Example 5).
+type IndexVal struct {
+	Var string
+}
+
+func (IndexVal) isVal() {}
+
+// StringVal is a string literal.
+type StringVal struct{ Value string }
+
+func (StringVal) isVal() {}
+
+// NumberVal is an integer literal.
+type NumberVal struct{ Value int64 }
+
+func (NumberVal) isVal() {}
+
+// contentName describes a content expression for error messages.
+func contentName(c ContentExpr) string {
+	switch c.(type) {
+	case NewAttributeExpr:
+		return "new_attribute(…)"
+	case NewRefExpr:
+		return "new_ref(…)"
+	case ElementLiteral:
+		return "element literal"
+	case StringContent:
+		return "string literal"
+	case VarContent:
+		return "variable"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}

@@ -1,0 +1,449 @@
+package xquery
+
+import (
+	"fmt"
+
+	"repro/internal/update"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Evaluator executes parsed statements directly against the DOM — the "XML
+// repository" execution path. The relational execution path lives in
+// internal/engine.
+type Evaluator struct {
+	Ctx   *xpath.Context
+	Model update.Model
+	// Observer, when non-nil, is installed on the update executor so each
+	// primitive operation is reported before it executes (delta recording).
+	Observer func(target *xmltree.Element, op update.Op)
+}
+
+// NewEvaluator returns an ordered-model evaluator over doc.
+func NewEvaluator(doc *xmltree.Document) *Evaluator {
+	return &Evaluator{Ctx: &xpath.Context{Doc: doc}, Model: update.Ordered}
+}
+
+// Result reports what a statement did.
+type Result struct {
+	// Tuples is the number of variable-binding tuples the statement matched.
+	Tuples int
+	// Items holds the query results for a FOR…RETURN statement.
+	Items []xpath.Item
+}
+
+// env is one tuple of variable bindings. Values are xpath.Item for FOR
+// bindings and []xpath.Item for LET bindings.
+type env map[string]any
+
+func (e env) clone() env {
+	c := make(env, len(e)+1)
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+// ExecString parses and executes src.
+func (ev *Evaluator) ExecString(src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ev.Exec(stmt)
+}
+
+// Exec executes a parsed statement. For updates, all variable bindings —
+// including nested sub-update bindings — are computed over the input before
+// any mutation (§3.2), then the per-tuple operation sequences execute
+// consecutively.
+func (ev *Evaluator) Exec(stmt *Statement) (*Result, error) {
+	envs, err := ev.bindTuples(stmt.For, stmt.Let, stmt.Where, env{})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tuples: len(envs)}
+
+	if stmt.IsQuery() {
+		for _, e := range envs {
+			items, err := ev.evalVarPath(*stmt.Return, e)
+			if err != nil {
+				return nil, err
+			}
+			res.Items = append(res.Items, items...)
+		}
+		return res, nil
+	}
+
+	// Binding phase: build fully bound plans for every tuple before
+	// executing anything.
+	type boundPlan struct {
+		target *xmltree.Element
+		ops    []update.Op
+	}
+	var plans []boundPlan
+	for _, e := range envs {
+		target, ops, err := ev.buildUpdate(stmt.Update, e)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, boundPlan{target, ops})
+	}
+
+	// Execution phase.
+	var doc *xmltree.Document
+	if len(plans) > 0 {
+		doc = ev.docOf(plans[0].target)
+	}
+	if doc == nil {
+		doc = ev.Ctx.Doc
+	}
+	x := update.NewExecutor(ev.Model, doc)
+	x.Observer = ev.Observer
+	for _, p := range plans {
+		if err := x.Apply(p.target, p.ops); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// docOf finds the document containing e among the evaluator's documents.
+func (ev *Evaluator) docOf(e *xmltree.Element) *xmltree.Document {
+	root := e
+	for root.Parent() != nil {
+		root = root.Parent()
+	}
+	if ev.Ctx.Doc != nil && ev.Ctx.Doc.Root == root {
+		return ev.Ctx.Doc
+	}
+	for _, d := range ev.Ctx.Documents {
+		if d.Root == root {
+			return d
+		}
+	}
+	return nil
+}
+
+// bindTuples expands FOR clauses into binding tuples, applies LET bindings,
+// and filters by WHERE predicates.
+func (ev *Evaluator) bindTuples(fors []ForBinding, lets []LetBinding, where []WhereExpr, base env) ([]env, error) {
+	envs := []env{base}
+	for _, fb := range fors {
+		var next []env
+		for _, e := range envs {
+			items, err := ev.evalVarPath(fb.Path, e)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range items {
+				ne := e.clone()
+				ne[fb.Var] = it
+				next = append(next, ne)
+			}
+		}
+		envs = next
+	}
+	for _, lb := range lets {
+		for _, e := range envs {
+			items, err := ev.evalVarPath(lb.Path, e)
+			if err != nil {
+				return nil, err
+			}
+			e[lb.Var] = items
+		}
+	}
+	if len(where) > 0 {
+		var kept []env
+		for _, e := range envs {
+			ok := true
+			for _, w := range where {
+				hold, err := ev.evalWhere(w, e)
+				if err != nil {
+					return nil, err
+				}
+				if !hold {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, e)
+			}
+		}
+		envs = kept
+	}
+	return envs, nil
+}
+
+// evalVarPath evaluates a variable-rooted or absolute path under an
+// environment.
+func (ev *Evaluator) evalVarPath(vp VarPath, e env) ([]xpath.Item, error) {
+	if vp.Var == "" {
+		if vp.Path == nil {
+			return nil, fmt.Errorf("xquery: empty path expression")
+		}
+		return vp.Path.Eval(ev.Ctx, nil)
+	}
+	bound, ok := e[vp.Var]
+	if !ok {
+		return nil, fmt.Errorf("xquery: unbound variable $%s", vp.Var)
+	}
+	starts, err := itemsOf(bound, vp.Var)
+	if err != nil {
+		return nil, err
+	}
+	if vp.Path == nil || len(vp.Path.Steps) == 0 {
+		return starts, nil
+	}
+	var out []xpath.Item
+	for _, s := range starts {
+		items, err := vp.Path.Eval(ev.Ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, items...)
+	}
+	return out, nil
+}
+
+// itemsOf converts an environment value into an item list.
+func itemsOf(v any, name string) ([]xpath.Item, error) {
+	switch x := v.(type) {
+	case []xpath.Item:
+		return x, nil
+	case nil:
+		return nil, fmt.Errorf("xquery: variable $%s is nil", name)
+	default:
+		return []xpath.Item{x}, nil
+	}
+}
+
+// singleItem resolves a variable to exactly one item.
+func singleItem(e env, name string) (xpath.Item, error) {
+	v, ok := e[name]
+	if !ok {
+		return nil, fmt.Errorf("xquery: unbound variable $%s", name)
+	}
+	items, err := itemsOf(v, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) != 1 {
+		return nil, fmt.Errorf("xquery: variable $%s binds %d items where exactly one is required", name, len(items))
+	}
+	return items[0], nil
+}
+
+func (ev *Evaluator) evalWhere(w WhereExpr, e env) (bool, error) {
+	switch x := w.(type) {
+	case BoolOp:
+		l, err := ev.evalWhere(x.L, e)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == "and" && !l {
+			return false, nil
+		}
+		if x.Op == "or" && l {
+			return true, nil
+		}
+		return ev.evalWhere(x.R, e)
+	case Comparison:
+		l, err := ev.evalVal(x.L, e)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.evalVal(x.R, e)
+		if err != nil {
+			return false, err
+		}
+		return xpath.CompareValues(x.Op, l, r)
+	case ExistsExpr:
+		items, err := ev.evalVarPath(x.Path, e)
+		if err != nil {
+			return false, err
+		}
+		return len(items) > 0, nil
+	default:
+		return false, fmt.Errorf("xquery: unknown predicate %T", w)
+	}
+}
+
+func (ev *Evaluator) evalVal(v ValExpr, e env) (any, error) {
+	switch x := v.(type) {
+	case StringVal:
+		return x.Value, nil
+	case NumberVal:
+		return x.Value, nil
+	case IndexVal:
+		it, err := singleItem(e, x.Var)
+		if err != nil {
+			return nil, err
+		}
+		el, ok := it.(*xmltree.Element)
+		if !ok {
+			return nil, fmt.Errorf("xquery: $%s.index() requires an element binding", x.Var)
+		}
+		return int64(xpath.ElementIndex(el)), nil
+	case PathVal:
+		items, err := ev.evalVarPath(x.Path, e)
+		if err != nil {
+			return nil, err
+		}
+		return items, nil
+	default:
+		return nil, fmt.Errorf("xquery: unknown value expression %T", v)
+	}
+}
+
+// buildUpdate resolves an UPDATE clause against one binding tuple into a
+// target element and a primitive-operation sequence. Nested updates are
+// bound immediately (over the current, pre-update document state) and
+// embedded as pre-resolved Sub-Updates.
+func (ev *Evaluator) buildUpdate(up *UpdateOp, e env) (*xmltree.Element, []update.Op, error) {
+	it, err := singleItem(e, up.Binding)
+	if err != nil {
+		return nil, nil, err
+	}
+	target, ok := it.(*xmltree.Element)
+	if !ok {
+		return nil, nil, fmt.Errorf("xquery: UPDATE target $%s is a %s, not an element", up.Binding, xpath.ItemKind(it))
+	}
+	ops, err := ev.buildOps(up.Ops, e)
+	if err != nil {
+		return nil, nil, err
+	}
+	return target, ops, nil
+}
+
+func (ev *Evaluator) buildOps(subOps []SubOp, e env) ([]update.Op, error) {
+	var ops []update.Op
+	for _, so := range subOps {
+		switch o := so.(type) {
+		case DeleteOp:
+			child, err := singleItem(e, o.Child)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, update.Delete{Child: child})
+		case RenameOp:
+			child, err := singleItem(e, o.Child)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, update.Rename{Child: child, Name: o.Name})
+		case InsertOp:
+			content, err := ev.buildContent(o.Content, e)
+			if err != nil {
+				return nil, err
+			}
+			switch o.Position {
+			case "":
+				ops = append(ops, update.Insert{Content: content})
+			case "before", "after":
+				ref, err := singleItem(e, o.Ref)
+				if err != nil {
+					return nil, err
+				}
+				if o.Position == "before" {
+					ops = append(ops, update.InsertBefore{Ref: ref, Content: content})
+				} else {
+					ops = append(ops, update.InsertAfter{Ref: ref, Content: content})
+				}
+			}
+		case ReplaceOp:
+			child, err := singleItem(e, o.Child)
+			if err != nil {
+				return nil, err
+			}
+			content, err := ev.buildContent(o.Content, e)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, update.Replace{Child: child, Content: content})
+		case NestedUpdate:
+			sub, err := ev.buildNested(o, e)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, sub)
+		default:
+			return nil, fmt.Errorf("xquery: unknown sub-operation %T", so)
+		}
+	}
+	return ops, nil
+}
+
+// buildNested binds a nested FOR…WHERE…UPDATE immediately and packages the
+// resulting per-tuple updates as a pre-resolved Sub-Update.
+func (ev *Evaluator) buildNested(n NestedUpdate, outer env) (update.Op, error) {
+	envs, err := ev.bindTuples(n.For, nil, n.Where, outer)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*xmltree.Element
+	var opLists [][]update.Op
+	for _, e := range envs {
+		target, ops, err := ev.buildUpdate(n.Update, e)
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target)
+		opLists = append(opLists, ops)
+	}
+	i := 0
+	return update.SubUpdate{
+		Bind: func(*xmltree.Element) ([]*xmltree.Element, error) {
+			return targets, nil
+		},
+		Ops: func(*xmltree.Element) ([]update.Op, error) {
+			if i >= len(opLists) {
+				return nil, fmt.Errorf("xquery: internal: sub-update op list exhausted")
+			}
+			ops := opLists[i]
+			i++
+			return ops, nil
+		},
+	}, nil
+}
+
+func (ev *Evaluator) buildContent(c ContentExpr, e env) (update.Content, error) {
+	switch x := c.(type) {
+	case NewAttributeExpr:
+		return update.NewAttribute{Name: x.Name, Value: x.Value}, nil
+	case NewRefExpr:
+		return update.NewRef{Name: x.Name, ID: x.ID}, nil
+	case StringContent:
+		return update.PCDATA{Data: x.Value}, nil
+	case ElementLiteral:
+		var dtd *xmltree.DTD
+		if ev.Ctx.Doc != nil {
+			dtd = ev.Ctx.Doc.DTD
+		}
+		doc, err := xmltree.ParseWith(x.XML, xmltree.ParseOptions{TrimText: true, DTD: dtd})
+		if err != nil {
+			return nil, fmt.Errorf("xquery: element literal: %w", err)
+		}
+		return update.ElementContent{Element: doc.Root}, nil
+	case VarContent:
+		it, err := singleItem(e, x.Var)
+		if err != nil {
+			return nil, err
+		}
+		switch v := it.(type) {
+		case *xmltree.Element:
+			return update.ElementContent{Element: v}, nil
+		case *xmltree.Attr:
+			return update.NewAttribute{Name: v.Name, Value: v.Value}, nil
+		case xmltree.Ref:
+			return update.NewRef{Name: v.List.Name, ID: v.ID()}, nil
+		case *xmltree.Text:
+			return update.PCDATA{Data: v.Data}, nil
+		default:
+			return nil, fmt.Errorf("xquery: $%s is not usable as content", x.Var)
+		}
+	default:
+		return nil, fmt.Errorf("xquery: unsupported content %s", contentName(c))
+	}
+}

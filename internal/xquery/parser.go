@@ -1,0 +1,770 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/xpath"
+)
+
+// Parse parses an update statement or a FOR…RETURN query in the paper's
+// syntax, e.g.
+//
+//	FOR $p IN document("bio.xml")/db/paper,
+//	    $cat IN $p/@category
+//	UPDATE $p {
+//	    DELETE $cat
+//	}
+//
+// Keywords are recognized case-insensitively.
+func Parse(src string) (*Statement, error) {
+	p := &parser{src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, fmt.Errorf("xquery: %s (at offset %d, line %d)", err, p.pos, p.line())
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("xquery: trailing input at offset %d (line %d): %.30q", p.pos, p.line(), p.src[p.pos:])
+	}
+	return stmt, nil
+}
+
+// MustParse parses a statement and panics on failure. For tests and examples.
+func MustParse(src string) *Statement {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) line() int { return 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n") }
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r', '\n':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// keyword reports whether the case-insensitive keyword kw occurs at the
+// cursor as a whole word, and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	p.skipSpace()
+	if p.peekKeyword(kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *parser) peekKeyword(kw string) bool {
+	end := p.pos + len(kw)
+	if end > len(p.src) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:end], kw) {
+		return false
+	}
+	if end == len(p.src) {
+		return true
+	}
+	r, _ := utf8.DecodeRuneInString(p.src[end:])
+	return !(r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r))
+}
+
+func (p *parser) expect(s string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.src[p.pos:], s) {
+		return fmt.Errorf("expected %q", s)
+	}
+	p.pos += len(s)
+	return nil
+}
+
+func (p *parser) parseVar() (string, error) {
+	p.skipSpace()
+	if p.peek() != '$' {
+		return "", fmt.Errorf("expected variable reference ($name)")
+	}
+	p.pos++
+	return p.parseIdent()
+}
+
+func (p *parser) parseIdent() (string, error) {
+	start := p.pos
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if size == 0 || !(r == '_' || unicode.IsLetter(r)) {
+		return "", fmt.Errorf("expected identifier")
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size = utf8.DecodeRuneInString(p.src[p.pos:])
+		if !(r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseQuoted() (string, error) {
+	p.skipSpace()
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", fmt.Errorf("expected string literal")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", fmt.Errorf("unterminated string literal")
+	}
+	s := p.src[start:p.pos]
+	p.pos++
+	return s, nil
+}
+
+// stopKeywords end a path expression at nesting depth 0.
+var stopKeywords = []string{"WHERE", "UPDATE", "LET", "FOR", "RETURN", "TO", "WITH", "BEFORE", "AFTER", "AND", "OR"}
+
+// scanPathText extracts the raw text of a path expression: everything up to
+// a top-level ',', '{', '}', comparison operator (when inWhere), or stop
+// keyword. Parentheses, brackets and quotes nest.
+func (p *parser) scanPathText(inWhere bool) (string, error) {
+	p.skipSpace()
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		c := p.src[p.pos]
+		switch c {
+		case '"', '\'':
+			q := c
+			p.pos++
+			for !p.eof() && p.src[p.pos] != q {
+				p.pos++
+			}
+			if p.eof() {
+				return "", fmt.Errorf("unterminated string in path expression")
+			}
+			p.pos++
+			continue
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+			if depth < 0 {
+				return p.src[start:p.pos], nil
+			}
+		case ',', '{', '}':
+			if depth == 0 {
+				return p.src[start:p.pos], nil
+			}
+		case '=', '!', '<', '>':
+			if inWhere && depth == 0 {
+				return p.src[start:p.pos], nil
+			}
+		case ' ', '\t', '\r', '\n':
+			if depth == 0 {
+				// Peek the following word for a stop keyword.
+				save := p.pos
+				p.skipSpace()
+				for _, kw := range stopKeywords {
+					if p.peekKeyword(kw) {
+						text := p.src[start:save]
+						return text, nil
+					}
+				}
+				continue
+			}
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseVarPath parses `$var[path]` or an absolute/document() path.
+func (p *parser) parseVarPath(inWhere bool) (VarPath, error) {
+	p.skipSpace()
+	var vp VarPath
+	if p.peek() == '$' {
+		p.pos++
+		name, err := p.parseIdent()
+		if err != nil {
+			return vp, err
+		}
+		vp.Var = name
+	}
+	text, err := p.scanPathText(inWhere)
+	if err != nil {
+		return vp, err
+	}
+	text = strings.TrimSpace(text)
+	if text == "" {
+		if vp.Var == "" {
+			return vp, fmt.Errorf("empty path expression")
+		}
+		return vp, nil // bare $var
+	}
+	if vp.Var != "" {
+		// $v/title → relative path; strip one leading separator.
+		text = strings.TrimPrefix(text, "/")
+		// `.index()` is handled by the WHERE value parser, not here.
+	}
+	path, err := xpath.Parse(text)
+	if err != nil {
+		return vp, err
+	}
+	vp.Path = path
+	return vp, nil
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	stmt := &Statement{}
+	if !p.keyword("FOR") {
+		return nil, fmt.Errorf("statement must begin with FOR")
+	}
+	fors, err := p.parseForBindings()
+	if err != nil {
+		return nil, err
+	}
+	stmt.For = fors
+
+	if p.keyword("LET") {
+		for {
+			v, err := p.parseVar()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":="); err != nil {
+				return nil, err
+			}
+			vp, err := p.parseVarPath(false)
+			if err != nil {
+				return nil, err
+			}
+			stmt.Let = append(stmt.Let, LetBinding{Var: v, Path: vp})
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				// A comma may precede the next LET binding or (illegally)
+				// nothing; FOR-style lookahead is not needed here.
+				continue
+			}
+			break
+		}
+	}
+
+	if p.keyword("WHERE") {
+		preds, err := p.parseWhereList()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = preds
+	}
+
+	p.skipSpace()
+	switch {
+	case p.peekKeyword("UPDATE"):
+		up, err := p.parseUpdateOp()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Update = up
+	case p.peekKeyword("RETURN"):
+		p.keyword("RETURN")
+		vp, err := p.parseVarPath(false)
+		if err != nil {
+			return nil, err
+		}
+		stmt.Return = &vp
+	default:
+		return nil, fmt.Errorf("expected UPDATE or RETURN clause")
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseForBindings() ([]ForBinding, error) {
+	var out []ForBinding
+	for {
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if !p.keyword("IN") {
+			return nil, fmt.Errorf("expected IN after $%s", v)
+		}
+		vp, err := p.parseVarPath(false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ForBinding{Var: v, Path: vp})
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		return out, nil
+	}
+}
+
+// parseWhereList parses comma-separated predicates (each a conjunction of
+// and/or comparisons). The comma acts as AND.
+func (p *parser) parseWhereList() ([]WhereExpr, error) {
+	var out []WhereExpr
+	for {
+		e, err := p.parseWhereOr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		p.skipSpace()
+		if p.peek() == ',' {
+			// Lookahead: the comma might belong to an enclosing FOR list in
+			// a nested update — the caller handles that; here a comma is
+			// only consumed when a new predicate follows. Predicates start
+			// with $, ", ', a digit, or a path.
+			save := p.pos
+			p.pos++
+			p.skipSpace()
+			if p.eof() || p.peekKeyword("UPDATE") || p.peekKeyword("RETURN") || p.peekKeyword("FOR") {
+				p.pos = save
+				return out, nil
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) parseWhereOr() (WhereExpr, error) {
+	l, err := p.parseWhereAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		r, err := p.parseWhereAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BoolOp{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseWhereAnd() (WhereExpr, error) {
+	l, err := p.parseWherePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		r, err := p.parseWherePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = BoolOp{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseWherePrimary() (WhereExpr, error) {
+	p.skipSpace()
+	if p.peek() == '(' {
+		p.pos++
+		e, err := p.parseWhereOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	l, err := p.parseValExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">"} {
+		if strings.HasPrefix(p.src[p.pos:], op) {
+			p.pos += len(op)
+			r, err := p.parseValExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Comparison{Op: op, L: l, R: r}, nil
+		}
+	}
+	// Bare path predicate: existence.
+	pv, ok := l.(PathVal)
+	if !ok {
+		return nil, fmt.Errorf("predicate must be a comparison or a path")
+	}
+	return ExistsExpr{Path: pv.Path}, nil
+}
+
+func (p *parser) parseValExpr() (ValExpr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '"' || c == '\'':
+		s, err := p.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		return StringVal{Value: s}, nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		if c == '-' {
+			p.pos++
+		}
+		for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+			p.pos++
+		}
+		n, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p.src[start:p.pos])
+		}
+		return NumberVal{Value: n}, nil
+	case c == '$':
+		// $var, optionally followed by .index() or a path.
+		save := p.pos
+		p.pos++
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasPrefix(p.src[p.pos:], ".index()") {
+			p.pos += len(".index()")
+			return IndexVal{Var: name}, nil
+		}
+		p.pos = save
+		vp, err := p.parseVarPath(true)
+		if err != nil {
+			return nil, err
+		}
+		return PathVal{Path: vp}, nil
+	default:
+		vp, err := p.parseVarPath(true)
+		if err != nil {
+			return nil, err
+		}
+		return PathVal{Path: vp}, nil
+	}
+}
+
+func (p *parser) parseUpdateOp() (*UpdateOp, error) {
+	if !p.keyword("UPDATE") {
+		return nil, fmt.Errorf("expected UPDATE")
+	}
+	v, err := p.parseVar()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	up := &UpdateOp{Binding: v}
+	for {
+		p.skipSpace()
+		if p.peek() == '}' {
+			p.pos++
+			if len(up.Ops) == 0 {
+				return nil, fmt.Errorf("empty UPDATE clause")
+			}
+			return up, nil
+		}
+		op, err := p.parseSubOp()
+		if err != nil {
+			return nil, err
+		}
+		up.Ops = append(up.Ops, op)
+		p.skipSpace()
+		if p.peek() == ',' {
+			p.pos++
+		}
+	}
+}
+
+func (p *parser) parseSubOp() (SubOp, error) {
+	p.skipSpace()
+	switch {
+	case p.peekKeyword("DELETE"):
+		p.keyword("DELETE")
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		return DeleteOp{Child: v}, nil
+	case p.peekKeyword("RENAME"):
+		p.keyword("RENAME")
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		if !p.keyword("TO") {
+			return nil, fmt.Errorf("expected TO in RENAME")
+		}
+		p.skipSpace()
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return RenameOp{Child: v, Name: name}, nil
+	case p.peekKeyword("INSERT"):
+		p.keyword("INSERT")
+		content, err := p.parseContent()
+		if err != nil {
+			return nil, err
+		}
+		op := InsertOp{Content: content}
+		if p.keyword("BEFORE") {
+			op.Position = "before"
+		} else if p.keyword("AFTER") {
+			op.Position = "after"
+		}
+		if op.Position != "" {
+			ref, err := p.parseVar()
+			if err != nil {
+				return nil, err
+			}
+			op.Ref = ref
+		}
+		return op, nil
+	case p.peekKeyword("REPLACE"):
+		p.keyword("REPLACE")
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		if !p.keyword("WITH") {
+			return nil, fmt.Errorf("expected WITH in REPLACE")
+		}
+		content, err := p.parseContent()
+		if err != nil {
+			return nil, err
+		}
+		return ReplaceOp{Child: v, Content: content}, nil
+	case p.peekKeyword("FOR"):
+		p.keyword("FOR")
+		fors, err := p.parseForBindings()
+		if err != nil {
+			return nil, err
+		}
+		nested := NestedUpdate{For: fors}
+		if p.keyword("WHERE") {
+			preds, err := p.parseWhereList()
+			if err != nil {
+				return nil, err
+			}
+			nested.Where = preds
+		}
+		up, err := p.parseUpdateOp()
+		if err != nil {
+			return nil, err
+		}
+		nested.Update = up
+		return nested, nil
+	default:
+		return nil, fmt.Errorf("expected DELETE, RENAME, INSERT, REPLACE or nested FOR")
+	}
+}
+
+func (p *parser) parseContent() (ContentExpr, error) {
+	p.skipSpace()
+	switch {
+	case p.peekKeyword("new_attribute"):
+		p.keyword("new_attribute")
+		name, value, err := p.parseConstructorArgs()
+		if err != nil {
+			return nil, err
+		}
+		return NewAttributeExpr{Name: name, Value: value}, nil
+	case p.peekKeyword("new_ref"):
+		p.keyword("new_ref")
+		name, id, err := p.parseConstructorArgs()
+		if err != nil {
+			return nil, err
+		}
+		return NewRefExpr{Name: name, ID: id}, nil
+	case p.peek() == '<':
+		xml, err := p.scanElementLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return ElementLiteral{XML: xml}, nil
+	case p.peek() == '"' || p.peek() == '\'':
+		s, err := p.parseQuoted()
+		if err != nil {
+			return nil, err
+		}
+		return StringContent{Value: s}, nil
+	case p.peek() == '$':
+		v, err := p.parseVar()
+		if err != nil {
+			return nil, err
+		}
+		return VarContent{Var: v}, nil
+	default:
+		return nil, fmt.Errorf("expected content expression (constructor, element literal, string, or variable)")
+	}
+}
+
+// parseConstructorArgs parses `(name, "value")` where the first argument is
+// an unquoted name and the second may be quoted or a bare token.
+func (p *parser) parseConstructorArgs() (string, string, error) {
+	if err := p.expect("("); err != nil {
+		return "", "", err
+	}
+	p.skipSpace()
+	name, err := p.parseIdent()
+	if err != nil {
+		return "", "", err
+	}
+	if err := p.expect(","); err != nil {
+		return "", "", err
+	}
+	p.skipSpace()
+	var value string
+	if p.peek() == '"' || p.peek() == '\'' {
+		value, err = p.parseQuoted()
+		if err != nil {
+			return "", "", err
+		}
+	} else {
+		value, err = p.parseIdent()
+		if err != nil {
+			return "", "", err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return "", "", err
+	}
+	return name, value, nil
+}
+
+// scanElementLiteral consumes a complete inline XML element, normalizing the
+// paper's `</>` shorthand into an explicit closing tag.
+func (p *parser) scanElementLiteral() (string, error) {
+	var b strings.Builder
+	var stack []string
+	for {
+		if p.eof() {
+			return "", fmt.Errorf("unterminated element literal (open tags: %v)", stack)
+		}
+		c := p.src[p.pos]
+		if c != '<' {
+			// Text content up to the next tag.
+			start := p.pos
+			for !p.eof() && p.src[p.pos] != '<' {
+				p.pos++
+			}
+			b.WriteString(p.src[start:p.pos])
+			continue
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "</>"):
+			if len(stack) == 0 {
+				return "", fmt.Errorf("</> with no open tag")
+			}
+			name := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			b.WriteString("</")
+			b.WriteString(name)
+			b.WriteByte('>')
+			p.pos += 3
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			p.pos += 2
+			name, err := p.parseIdent()
+			if err != nil {
+				return "", fmt.Errorf("bad closing tag: %s", err)
+			}
+			p.skipSpace()
+			if p.peek() != '>' {
+				return "", fmt.Errorf("bad closing tag </%s", name)
+			}
+			p.pos++
+			if len(stack) == 0 || stack[len(stack)-1] != name {
+				return "", fmt.Errorf("mismatched closing tag </%s>", name)
+			}
+			stack = stack[:len(stack)-1]
+			b.WriteString("</")
+			b.WriteString(name)
+			b.WriteByte('>')
+		default:
+			// Opening or self-closing tag: copy verbatim through '>',
+			// respecting quoted attribute values.
+			p.pos++
+			name, err := p.parseIdent()
+			if err != nil {
+				return "", fmt.Errorf("bad start tag: %s", err)
+			}
+			b.WriteByte('<')
+			b.WriteString(name)
+			selfClose := false
+			for {
+				if p.eof() {
+					return "", fmt.Errorf("unterminated start tag <%s", name)
+				}
+				ch := p.src[p.pos]
+				if ch == '"' || ch == '\'' {
+					q := ch
+					start := p.pos
+					p.pos++
+					for !p.eof() && p.src[p.pos] != q {
+						p.pos++
+					}
+					if p.eof() {
+						return "", fmt.Errorf("unterminated attribute value in <%s", name)
+					}
+					p.pos++
+					b.WriteString(p.src[start:p.pos])
+					continue
+				}
+				if strings.HasPrefix(p.src[p.pos:], "/>") {
+					selfClose = true
+					b.WriteString("/>")
+					p.pos += 2
+					break
+				}
+				if ch == '>' {
+					b.WriteByte('>')
+					p.pos++
+					break
+				}
+				b.WriteByte(ch)
+				p.pos++
+			}
+			if !selfClose {
+				stack = append(stack, name)
+			}
+		}
+		if len(stack) == 0 {
+			return b.String(), nil
+		}
+	}
+}

@@ -1,0 +1,507 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func bioEval(t *testing.T) (*Evaluator, *xmltree.Document) {
+	t.Helper()
+	doc := testdocs.Bio()
+	ev := NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{"bio.xml": doc}
+	return ev, doc
+}
+
+// TestExample1 runs the paper's Example 1 verbatim: deleting an attribute,
+// an IDREF, and a subelement.
+func TestExample1(t *testing.T) {
+	ev, doc := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $p IN document("bio.xml")/db/paper,
+    $cat IN $p/@category,
+    $bio IN $p/ref(biologist,"smith1"),
+    $ti IN $p/title
+UPDATE $p {
+    DELETE $cat,
+    DELETE $bio,
+    DELETE $ti
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 1 {
+		t.Errorf("tuples = %d, want 1", res.Tuples)
+	}
+	paper := doc.ByID("Smith991231")
+	if paper.Attr("category") != nil || paper.Ref("biologist") != nil || paper.FirstChildNamed("title") != nil {
+		t.Error("Example 1 deletions incomplete")
+	}
+	if paper.Ref("source") == nil {
+		t.Error("source reference disturbed")
+	}
+}
+
+// TestExample2 runs Example 2: inserting an attribute, two references, and a
+// subelement.
+func TestExample2(t *testing.T) {
+	ev, doc := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+UPDATE $bio {
+    INSERT new_attribute(age,"29"),
+    INSERT new_ref(worksAt,"ucla"),
+    INSERT new_ref(worksAt,"baselab"),
+    INSERT <firstname>Jeff</firstname>
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smith := doc.ByID("smith1")
+	if v, _ := smith.AttrValue("age"); v != "29" {
+		t.Errorf("age = %q", v)
+	}
+	w := smith.Ref("worksAt")
+	if w == nil || len(w.IDs) != 2 || w.IDs[0] != "ucla" || w.IDs[1] != "baselab" {
+		t.Errorf("worksAt = %+v", w)
+	}
+	if smith.FirstChildNamed("firstname") == nil {
+		t.Error("firstname not inserted")
+	}
+}
+
+// TestExample3 runs Example 3: positional insertion of a subelement and a
+// reference.
+func TestExample3(t *testing.T) {
+	ev, doc := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+    $n IN $lab/name,
+    $sref IN $lab/ref(managers,"smith1")
+UPDATE $lab {
+    INSERT "jones1" BEFORE $sref,
+    INSERT <street>Oak</street> AFTER $n
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := doc.ByID("baselab")
+	m := lab.Ref("managers")
+	if len(m.IDs) != 2 || m.IDs[0] != "jones1" || m.IDs[1] != "smith1" {
+		t.Errorf("managers = %v", m.IDs)
+	}
+	kids := lab.ChildElements()
+	if kids[0].Name != "name" || kids[1].Name != "street" {
+		t.Errorf("order = %s, %s", kids[0].Name, kids[1].Name)
+	}
+	if kids[1].TextContent() != "Oak" {
+		t.Errorf("street = %q", kids[1].TextContent())
+	}
+}
+
+// TestExample4 runs Example 4: replacing an element and a reference, using
+// the paper's `</>`-shorthand element literal and wildcard ref().
+func TestExample4(t *testing.T) {
+	ev, doc := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+    $name IN $lab/name,
+    $mgr IN $lab/ref(managers, *)
+UPDATE $lab {
+    REPLACE $name WITH <appellation>Fancy Lab</>,
+    REPLACE $mgr WITH new_attribute(managers,"jones1")
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := doc.ByID("baselab")
+	if lab.FirstChildNamed("name") != nil {
+		t.Error("name not replaced")
+	}
+	if app := lab.FirstChildNamed("appellation"); app == nil || app.TextContent() != "Fancy Lab" {
+		t.Error("appellation wrong")
+	}
+	if ids := lab.Ref("managers").IDs; len(ids) != 1 || ids[0] != "jones1" {
+		t.Errorf("managers = %v", ids)
+	}
+}
+
+// TestExample5 runs the multi-level nested update and verifies the Figure 3
+// output shape.
+func TestExample5(t *testing.T) {
+	ev, doc := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+    $lab IN $u/lab
+WHERE $lab.index() = 0
+UPDATE $u {
+    INSERT new_attribute(labs,"2"),
+    INSERT <lab ID="newlab">
+        <name>UCLA Secondary Lab</name>
+    </lab> BEFORE $lab,
+    FOR $l1 IN $u/lab,
+        $labname IN $l1/name,
+        $ci IN $l1/city
+    UPDATE $l1 {
+        REPLACE $labname WITH <name>UCLA Primary Lab</>,
+        DELETE $ci
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 1 {
+		t.Errorf("tuples = %d, want 1", res.Tuples)
+	}
+	u := doc.ByID("ucla")
+	if v, _ := u.AttrValue("labs"); v != "2" {
+		t.Errorf("labs = %q", v)
+	}
+	labs := u.ChildElementsNamed("lab")
+	if len(labs) != 2 {
+		t.Fatalf("%d labs, want 2", len(labs))
+	}
+	if id, _ := labs[0].AttrValue("ID"); id != "newlab" {
+		t.Errorf("first lab = %q", id)
+	}
+	if got := labs[0].FirstChildNamed("name").TextContent(); got != "UCLA Secondary Lab" {
+		t.Errorf("newlab name = %q (sub-update must bind over the input)", got)
+	}
+	if got := labs[1].FirstChildNamed("name").TextContent(); got != "UCLA Primary Lab" {
+		t.Errorf("lalab name = %q", got)
+	}
+	if labs[1].FirstChildNamed("city") != nil {
+		t.Error("lalab city not deleted")
+	}
+}
+
+// TestExample6Query runs the Example 6 query form.
+func TestExample6Query(t *testing.T) {
+	doc := testdocs.Cust()
+	ev := NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{"custdb.xml": doc}
+	res, err := ev.ExecString(`
+FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"]
+RETURN $c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 {
+		t.Fatalf("returned %d items, want 2 Johns", len(res.Items))
+	}
+	for _, it := range res.Items {
+		e := it.(*xmltree.Element)
+		if e.FirstChildNamed("Name").TextContent() != "John" {
+			t.Errorf("wrong customer returned")
+		}
+	}
+}
+
+// TestExample8OrderSuspend runs Example 8 and checks the correctness issue
+// the paper highlights: the nested tire-line update must still apply even
+// though the outer update changes the status the selection depends on.
+func TestExample8OrderSuspend(t *testing.T) {
+	doc := testdocs.Cust()
+	ev := NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{"custdb.xml": doc}
+	_, err := ev.ExecString(`
+FOR $o IN document("custdb.xml")//Order[Status="ready" and OrderLine/ItemName="tire"]
+UPDATE $o {
+    INSERT <Status>suspended</Status>,
+    FOR $i IN $o/OrderLine[ItemName="tire"]
+    UPDATE $i {
+        INSERT <comment>recalled</comment>
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ready+tire order belongs to John (2000-05-01).
+	var target *xmltree.Element
+	xmltree.Walk(doc.Root, func(e *xmltree.Element) bool {
+		if e.Name == "Order" && e.FirstChildNamed("Date") != nil &&
+			e.FirstChildNamed("Date").TextContent() == "2000-05-01" {
+			target = e
+		}
+		return true
+	})
+	if target == nil {
+		t.Fatal("order not found")
+	}
+	stats := target.ChildElementsNamed("Status")
+	if len(stats) != 2 || stats[1].TextContent() != "suspended" {
+		t.Errorf("status insert wrong: %d statuses", len(stats))
+	}
+	// The tire line got its comment despite the status change.
+	var tireLines, commented int
+	for _, ol := range target.ChildElementsNamed("OrderLine") {
+		if ol.FirstChildNamed("ItemName").TextContent() == "tire" {
+			tireLines++
+			if c := ol.FirstChildNamed("comment"); c != nil && c.TextContent() == "recalled" {
+				commented++
+			}
+		}
+	}
+	if tireLines != 1 || commented != 1 {
+		t.Errorf("tire lines = %d, commented = %d", tireLines, commented)
+	}
+	// The shipped tire order (not ready) must be untouched.
+	xmltree.Walk(doc.Root, func(e *xmltree.Element) bool {
+		if e.Name == "Order" && e.FirstChildNamed("Date").TextContent() == "2000-06-12" {
+			if len(e.ChildElementsNamed("Status")) != 1 {
+				t.Error("non-matching order was modified")
+			}
+		}
+		return true
+	})
+}
+
+// TestExample9DeleteJohns runs the Example 9 whole-subtree delete.
+func TestExample9DeleteJohns(t *testing.T) {
+	doc := testdocs.Cust()
+	ev := NewEvaluator(doc)
+	ev.Ctx.Documents = map[string]*xmltree.Document{"custdb.xml": doc}
+	res, err := ev.ExecString(`
+FOR $d IN document("custdb.xml")/CustDB,
+    $c IN $d/Customer[Name="John"]
+UPDATE $d {
+    DELETE $c
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 2 {
+		t.Errorf("tuples = %d, want 2", res.Tuples)
+	}
+	remaining := doc.Root.ChildElementsNamed("Customer")
+	if len(remaining) != 1 {
+		t.Fatalf("%d customers remain, want 1", len(remaining))
+	}
+	if remaining[0].FirstChildNamed("Name").TextContent() != "Mary" {
+		t.Error("wrong customer survived")
+	}
+}
+
+// TestExample10CrossDocumentCopy runs Example 10: copying Californian
+// customers into a second document, with copy semantics.
+func TestExample10CrossDocumentCopy(t *testing.T) {
+	src := testdocs.Cust()
+	dst, err := xmltree.ParseWith(`<CustDB/>`,
+		xmltree.ParseOptions{TrimText: true, DTD: xmltree.MustParseDTD(testdocs.CustDTD)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(src)
+	ev.Ctx.Documents = map[string]*xmltree.Document{
+		"custDB.xml":       src,
+		"CA-customers.xml": dst,
+	}
+	_, err = ev.ExecString(`
+FOR $source IN document("custDB.xml")/CustDB/Customer[Address/State="CA"],
+    $target IN document("CA-customers.xml")/CustDB
+UPDATE $target {
+    INSERT $source
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := dst.Root.ChildElementsNamed("Customer")
+	if len(copied) != 1 {
+		t.Fatalf("copied %d customers, want 1", len(copied))
+	}
+	if got := copied[0].FirstChildNamed("Address").FirstChildNamed("City").TextContent(); got != "Sacramento" {
+		t.Errorf("copied city = %q", got)
+	}
+	// Copy semantics: source document still has the customer.
+	if len(src.Root.ChildElementsNamed("Customer")) != 3 {
+		t.Error("source document lost its customer (move instead of copy)")
+	}
+	// And the copy is independent storage.
+	copied[0].FirstChildNamed("Name").Children()[0].(*xmltree.Text).Data = "CHANGED"
+	for _, c := range src.Root.ChildElementsNamed("Customer") {
+		if c.FirstChildNamed("Name").TextContent() == "CHANGED" {
+			t.Error("copy shares storage with source")
+		}
+	}
+}
+
+func TestRenameStatement(t *testing.T) {
+	ev, doc := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+    $n IN $lab/name
+UPDATE $lab {
+    RENAME $n TO title
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab2 := doc.ByID("lab2")
+	if lab2.FirstChildNamed("title") == nil || lab2.FirstChildNamed("name") != nil {
+		t.Error("rename did not apply")
+	}
+}
+
+func TestLetBinding(t *testing.T) {
+	ev, _ := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $db IN document("bio.xml")/db
+LET $labs := $db/lab
+RETURN $labs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 2 {
+		t.Errorf("LET query returned %d items, want 2", len(res.Items))
+	}
+}
+
+func TestWhereFiltering(t *testing.T) {
+	ev, _ := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $b IN document("bio.xml")/db/biologist
+WHERE $b/@age = "32"
+RETURN $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("%d items, want 1", len(res.Items))
+	}
+	if got, _ := res.Items[0].(*xmltree.Element).AttrValue("ID"); got != "jones1" {
+		t.Errorf("matched %q", got)
+	}
+}
+
+func TestWhereAndOrComma(t *testing.T) {
+	ev, _ := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $lab IN document("bio.xml")/db/lab
+WHERE $lab/country = "USA", $lab/name = "PMBL" OR $lab/name = "Seattle Bio Lab"
+RETURN $lab`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 1 {
+		t.Fatalf("%d items, want 1 (only PMBL has country directly)", len(res.Items))
+	}
+}
+
+func TestNoMatchIsNoop(t *testing.T) {
+	ev, doc := bioEval(t)
+	before := doc.String()
+	res, err := ev.ExecString(`
+FOR $p IN document("bio.xml")/db/paper[@ID="nonexistent"],
+    $t IN $p/title
+UPDATE $p { DELETE $t }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 0 {
+		t.Errorf("tuples = %d, want 0", res.Tuples)
+	}
+	if doc.String() != before {
+		t.Error("document changed with no matching tuples")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`UPDATE $x { DELETE $y }`, // no FOR
+		`FOR $x document("a")/b UPDATE $x { DELETE $y }`, // missing IN
+		`FOR $x IN /a/b`,                               // no UPDATE/RETURN
+		`FOR $x IN /a/b UPDATE $x { }`,                 // empty update
+		`FOR $x IN /a/b UPDATE $x { FROB $y }`,         // unknown op
+		`FOR $x IN /a/b UPDATE $x { RENAME $y }`,       // missing TO
+		`FOR $x IN /a/b UPDATE $x { REPLACE $y <a/> }`, // missing WITH
+		`FOR $x IN /a/b UPDATE $x { INSERT <a> }`,      // unterminated literal
+		`FOR $x IN /a/b UPDATE $x { DELETE $y`,         // missing brace
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse succeeded for %q, want error", src)
+		}
+	}
+}
+
+func TestElementLiteralShorthand(t *testing.T) {
+	stmt := MustParse(`FOR $x IN /a UPDATE $x { INSERT <b attr="1"><c>t</> x</b> }`)
+	ins := stmt.Update.Ops[0].(InsertOp)
+	lit := ins.Content.(ElementLiteral)
+	want := `<b attr="1"><c>t</c> x</b>`
+	if lit.XML != want {
+		t.Errorf("literal = %q, want %q", lit.XML, want)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	ev, doc := bioEval(t)
+	_, err := ev.ExecString(`
+for $lab in document("bio.xml")/db/lab[@ID="lab2"],
+    $c in $lab/city
+update $lab {
+    delete $c
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ByID("lab2").FirstChildNamed("city") != nil {
+		t.Error("lowercase keywords not accepted")
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	ev, _ := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $p IN document("bio.xml")/db/paper
+UPDATE $p { DELETE $nosuch }`)
+	if err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("expected unbound-variable error, got %v", err)
+	}
+}
+
+func TestDeletedBindingInLaterOpFails(t *testing.T) {
+	ev, _ := bioEval(t)
+	_, err := ev.ExecString(`
+FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+    $n IN $lab/name
+UPDATE $lab {
+    DELETE $n,
+    RENAME $n TO gone
+}`)
+	if err == nil || !strings.Contains(err.Error(), "deleted") {
+		t.Errorf("expected deleted-binding error, got %v", err)
+	}
+}
+
+func TestMultipleTuplesExecuteConsecutively(t *testing.T) {
+	ev, doc := bioEval(t)
+	res, err := ev.ExecString(`
+FOR $lab IN document("bio.xml")//lab,
+    $n IN $lab/name
+UPDATE $lab {
+    INSERT new_attribute(visited, "yes")
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuples != 3 {
+		t.Errorf("tuples = %d, want 3", res.Tuples)
+	}
+	count := 0
+	xmltree.Walk(doc.Root, func(e *xmltree.Element) bool {
+		if v, _ := e.AttrValue("visited"); v == "yes" {
+			count++
+		}
+		return true
+	})
+	if count != 3 {
+		t.Errorf("%d labs visited, want 3", count)
+	}
+	_ = xpath.Item(nil)
+}
