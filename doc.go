@@ -5,7 +5,7 @@
 // Union and Access Support Relations, the paper's delete and insert
 // translation strategies, and the full experimental evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record. The root package carries
+// See README.md for a tour and DESIGN.md for the system inventory and the
+// relational layer's three-layer query pipeline. The root package carries
 // the benchmark harness (bench_test.go) regenerating every figure and table.
 package repro

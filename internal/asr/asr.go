@@ -186,13 +186,18 @@ func (a *ASR) DeleteMarked(db *relational.DB, elem string, ids []int64) error {
 	if prefixes == nil {
 		return nil
 	}
+	// One prepared survivor-count probe, bound per ancestor prefix; the
+	// parent-level column is indexed, so each check is a probe.
+	count, err := db.Prepare(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = ?", a.Name, a.Col(level-1)))
+	if err != nil {
+		return err
+	}
 	for _, pre := range prefixes.Data {
 		parentID := pre[level-1]
 		if parentID == nil {
 			continue
 		}
-		rows, err := db.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %s",
-			a.Name, a.Col(level-1), relational.FormatValue(parentID)))
+		rows, err := count.Query(parentID)
 		if err != nil {
 			return err
 		}

@@ -467,9 +467,18 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		}
 		tm := s.M.Table(target.Elem)
 		ids := append([]int64(nil), targetIDs...)
+		// Prepared once at planning time, probed per target id.
+		sel, err := s.DB.Prepare(fmt.Sprintf("SELECT %s FROM %s WHERE id = ?", col.Name, tm.Name))
+		if err != nil {
+			return nil, err
+		}
+		upd, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET %s = ? WHERE id = ?", tm.Name, col.Name))
+		if err != nil {
+			return nil, err
+		}
 		return func() error {
 			for _, id := range ids {
-				rows, err := s.DB.Query(fmt.Sprintf("SELECT %s FROM %s WHERE id = %d", col.Name, tm.Name, id))
+				rows, err := sel.Query(id)
 				if err != nil {
 					return err
 				}
@@ -483,8 +492,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 				if cur != "" {
 					nv = cur + " " + c.ID
 				}
-				if _, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET %s = %s WHERE id = %d",
-					tm.Name, col.Name, relational.FormatValue(nv), id)); err != nil {
+				if _, err := upd.Exec(nv, id); err != nil {
 					return err
 				}
 			}

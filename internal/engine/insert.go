@@ -43,6 +43,9 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 		return 0, err
 	}
 	idMap := make(map[int64]int64)
+	// One prepared INSERT per relation: the per-tuple loop binds values
+	// instead of re-formatting and re-parsing SQL for every tuple.
+	inserts := make(map[string]*relational.Prepared)
 	roots := 0
 	for _, row := range rows.Data {
 		elem, oldID, ok := planRowTable(plan, row)
@@ -67,15 +70,28 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 			}
 			parent = np
 		}
-		vals := []string{fmt.Sprint(newID), relational.FormatValue(parent)}
-		var cols []string
-		cols = append(cols, "id", "parentId")
-		for i, c := range tm.Columns {
-			cols = append(cols, c.Name)
-			vals = append(vals, relational.FormatValue(row[plan.DataCols[elem][i]]))
+		p := inserts[elem]
+		if p == nil {
+			cols := []string{"id", "parentId"}
+			marks := []string{"?", "?"}
+			for _, c := range tm.Columns {
+				cols = append(cols, c.Name)
+				marks = append(marks, "?")
+			}
+			var err error
+			p, err = s.DB.Prepare(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+				tm.Name, strings.Join(cols, ", "), strings.Join(marks, ", ")))
+			if err != nil {
+				return roots, err
+			}
+			inserts[elem] = p
 		}
-		sql := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)", tm.Name, strings.Join(cols, ", "), strings.Join(vals, ", "))
-		if _, err := s.DB.Exec(sql); err != nil {
+		args := make([]relational.Value, 0, len(tm.Columns)+2)
+		args = append(args, newID, parent)
+		for i := range tm.Columns {
+			args = append(args, row[plan.DataCols[elem][i]])
+		}
+		if _, err := p.Exec(args...); err != nil {
 			return roots, err
 		}
 	}

@@ -66,6 +66,8 @@ func (*InsertStmt) isStmt() {}
 type DeleteStmt struct {
 	Table string
 	Where Expr
+
+	plan *levelPlan // compiled access path, set on first execution
 }
 
 func (*DeleteStmt) isStmt() {}
@@ -75,6 +77,8 @@ type UpdateStmt struct {
 	Table string
 	Set   []SetClause
 	Where Expr
+
+	plan *levelPlan // compiled access path, set on first execution
 }
 
 func (*UpdateStmt) isStmt() {}
@@ -115,6 +119,8 @@ type SimpleSelect struct {
 	Exprs    []SelectExpr
 	From     []FromItem
 	Where    Expr
+
+	plan *simplePlan // compiled plan, set on first execution
 }
 
 // SelectExpr is one output expression with an optional alias.
@@ -198,3 +204,10 @@ type FuncCall struct {
 }
 
 func (*FuncCall) isExpr() {}
+
+// Param is a positional placeholder (`?`) bound to a value at execution
+// time. The prepared-statement layer replaces literals with params so one
+// parsed AST and one plan serve every statement of the same shape.
+type Param struct{ Index int }
+
+func (*Param) isExpr() {}

@@ -17,11 +17,24 @@ type Stats struct {
 	Statements int64
 	// TriggerFirings counts trigger body executions.
 	TriggerFirings int64
-	// RowsScanned counts rows visited by scans and index probes.
+	// RowsScanned counts rows visited by scans, index probes, and hash
+	// builds.
 	RowsScanned  int64
 	RowsInserted int64
 	RowsDeleted  int64
 	RowsUpdated  int64
+	// IndexProbes counts persistent-index probe operations; FullScans
+	// counts full relation scan passes. Together they expose which access
+	// path the executor chose.
+	IndexProbes int64
+	FullScans   int64
+	// HashJoinBuilds counts transient hash tables built for equality joins
+	// with no supporting index.
+	HashJoinBuilds int64
+	// PlanCacheHits/Misses count shape-cache lookups: a hit reuses a parsed
+	// and planned statement template, a miss pays parse + plan.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // DB is an embedded relational database.
@@ -31,6 +44,13 @@ type DB struct {
 	triggers map[string]*trigger   // by lower-case name
 	byTable  map[string][]*trigger // firing order = creation order
 	stats    Stats
+
+	// stmts caches parsed statement templates by shape (prepare.go).
+	// Compiled plans live on the AST nodes themselves (plan.go), so they
+	// share the template's lifetime; schemaVer invalidates them when DDL
+	// changes what names resolve to.
+	stmts     map[string]*cachedStmt
+	schemaVer int64
 }
 
 type trigger struct {
@@ -46,6 +66,7 @@ func NewDB() *DB {
 		tables:   make(map[string]*Table),
 		triggers: make(map[string]*trigger),
 		byTable:  make(map[string][]*trigger),
+		stmts:    make(map[string]*cachedStmt),
 	}
 }
 
@@ -82,22 +103,29 @@ func (db *DB) TableNames() []string {
 	return names
 }
 
-// Exec parses and executes a statement, returning the number of affected
-// rows (inserted, deleted, or updated).
+// Exec executes a statement, returning the number of affected rows
+// (inserted, deleted, or updated). Statements are resolved through the
+// shape-keyed prepared-plan cache: repeated statement templates differing
+// only in literal values parse and plan once.
 func (db *DB) Exec(sql string) (int, error) {
-	stmt, err := ParseSQL(sql)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, args, err := db.preparedLocked(sql)
 	if err != nil {
 		return 0, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.stats.Statements++
-	return db.execStmt(stmt, nil)
+	env := newEnv(nil)
+	env.args = args
+	return db.execStmt(stmt, env)
 }
 
-// Query parses and executes a SELECT, returning its result rows.
+// Query executes a SELECT, returning its result rows. Like Exec, it reuses
+// cached statement templates by shape.
 func (db *DB) Query(sql string) (*Rows, error) {
-	stmt, err := ParseSQL(sql)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, args, err := db.preparedLocked(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -105,10 +133,10 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("relational: Query requires a SELECT, got %T", stmt)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.stats.Statements++
-	return db.execSelect(sel, newEnv(nil))
+	env := newEnv(nil)
+	env.args = args
+	return db.execSelect(sel, env)
 }
 
 // MustExec executes a statement and panics on error. For schema setup in
@@ -127,17 +155,30 @@ type Rows struct {
 	Data [][]Value
 }
 
-// execEnv carries named CTE results and the OLD row binding for trigger
-// bodies.
+// execEnv carries named CTE results, the OLD row binding for trigger
+// bodies, and the prepared-statement arguments of the enclosing execution.
 type execEnv struct {
 	ctes   map[string]*Rows
 	old    []Value
 	oldTab *Table
+	args   []Value
 	parent *execEnv
 }
 
 func newEnv(parent *execEnv) *execEnv {
 	return &execEnv{ctes: make(map[string]*Rows), parent: parent}
+}
+
+// lookupArgs returns the nearest bound argument vector up the environment
+// chain. Trigger bodies inherit their invoker's environment but contain no
+// Param nodes, so inheritance is harmless.
+func (e *execEnv) lookupArgs() []Value {
+	for env := e; env != nil; env = env.parent {
+		if env.args != nil {
+			return env.args
+		}
+	}
+	return nil
 }
 
 func (e *execEnv) lookupCTE(name string) (*Rows, bool) {
@@ -165,6 +206,7 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 	}
 	switch s := stmt.(type) {
 	case *CreateTableStmt:
+		db.schemaVer++
 		return 0, db.createTable(s)
 	case *DropTableStmt:
 		key := strings.ToLower(s.Name)
@@ -174,6 +216,7 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 			}
 			return 0, fmt.Errorf("relational: no table %q", s.Name)
 		}
+		db.schemaVer++
 		delete(db.tables, key)
 		return 0, nil
 	case *CreateIndexStmt:
@@ -181,6 +224,9 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		if t == nil {
 			return 0, fmt.Errorf("relational: no table %q", s.Table)
 		}
+		// New indexes change the preferred join order; bump so plans
+		// reorder on next use.
+		db.schemaVer++
 		return 0, t.CreateIndex(s.Column)
 	case *CreateTriggerStmt:
 		key := strings.ToLower(s.Name)
@@ -237,7 +283,15 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 	if err != nil {
 		return err
 	}
-	db.tables[key] = NewTable(s.Name, schema)
+	t := NewTable(s.Name, schema)
+	// Key/parent-ID columns are what Shared Inlining always joins on; index
+	// them from the start so generated joins probe instead of scan. Temp
+	// work areas (table-based insert, §6.2.2) are written once, offset, and
+	// drained — index maintenance there is pure overhead.
+	if !s.Temp {
+		t.autoIndex()
+	}
+	db.tables[key] = t
 	return nil
 }
 

@@ -57,7 +57,7 @@ func (db *DB) execInsert(s *InsertStmt, env *execEnv) (int, error) {
 			n++
 		}
 	} else {
-		ev := &exprEval{db: db, env: env}
+		ev := newEval(db, env)
 		for _, exprRow := range s.Rows {
 			vals := make([]Value, len(exprRow))
 			for i, e := range exprRow {
@@ -86,7 +86,7 @@ func (db *DB) execDelete(s *DeleteStmt, env *execEnv) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("relational: no table %q", s.Table)
 	}
-	rids, err := db.matchRows(t, s.Table, s.Where, env)
+	rids, err := db.matchRows(&s.plan, t, s.Table, s.Where, env)
 	if err != nil {
 		return 0, err
 	}
@@ -110,7 +110,7 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 	if t == nil {
 		return 0, fmt.Errorf("relational: no table %q", s.Table)
 	}
-	rids, err := db.matchRows(t, s.Table, s.Where, env)
+	rids, err := db.matchRows(&s.plan, t, s.Table, s.Where, env)
 	if err != nil {
 		return 0, err
 	}
@@ -122,7 +122,7 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 		}
 		cols[i] = ci
 	}
-	ev := &exprEval{db: db, env: env}
+	ev := newEval(db, env)
 	for _, rid := range rids {
 		binding := singleBinding(s.Table, t, t.Row(rid))
 		vals := make([]Value, len(s.Set))
@@ -141,48 +141,41 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 	return len(rids), nil
 }
 
-// matchRows returns rowids of t satisfying where. A top-level equality
-// conjunct on an indexed column is used as the access path; otherwise a
-// full scan filters every row.
-func (db *DB) matchRows(t *Table, name string, where Expr, env *execEnv) ([]int, error) {
-	ev := &exprEval{db: db, env: env}
-	if where == nil {
-		var rids []int
-		db.stats.RowsScanned += int64(t.Scan(func(rid int, _ []Value) bool {
-			rids = append(rids, rid)
-			return true
-		}))
-		return rids, nil
+// matchRows returns rowids of t satisfying where, in ascending order. The
+// access path — index probe on an equality conjunct or full scan — is
+// chosen by the same chooseAccess the SELECT pipeline uses; the plan is
+// compiled into the statement node. The loop itself is direct rather than
+// an iterator chain: trigger bodies run it once per firing, so it stays
+// lean.
+func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr, env *execEnv) ([]int, error) {
+	lp := db.matchPlanFor(planSlot, name, t, where)
+	ev := newEval(db, env)
+	bind := singleBinding(name, t, nil)
+	check := func(row []Value) (bool, error) {
+		bind.rows[0] = row
+		for _, c := range lp.conds {
+			ok, err := ev.evalBool(c, bind)
+			if err != nil || !ok {
+				return false, err
+			}
+		}
+		return true, nil
 	}
-	// Try an index probe: find conjunct col = constExpr where col is
-	// indexed and constExpr does not reference the table.
-	conjs := splitAnd(where)
-	for _, c := range conjs {
-		b, ok := c.(*Binary)
-		if !ok || b.Op != "=" {
-			continue
-		}
-		col, val := equalityProbe(b, name, t)
-		if col == "" {
-			continue
-		}
-		idx := t.lookupIndex(col)
-		if idx == nil {
-			continue
-		}
-		v, err := ev.eval(val, nil)
+	var rids []int
+	access, probe, idx := chooseAccess(lp, bind.srcs[0], 0)
+	if access == accessIndexProbe {
+		db.stats.IndexProbes++
+		v, err := ev.eval(probe.expr, bind)
 		if err != nil {
-			// Not a constant under this env; try the next conjunct.
-			continue
+			return nil, err
 		}
-		var rids []int
 		for _, rid := range idx.probe(v) {
 			row := t.Row(rid)
 			if row == nil {
 				continue
 			}
 			db.stats.RowsScanned++
-			keep, err := ev.evalBool(where, singleBinding(name, t, row))
+			keep, err := check(row)
 			if err != nil {
 				return nil, err
 			}
@@ -193,84 +186,21 @@ func (db *DB) matchRows(t *Table, name string, where Expr, env *execEnv) ([]int,
 		sort.Ints(rids)
 		return rids, nil
 	}
-	// Full scan.
-	var rids []int
-	var scanErr error
-	visited := t.Scan(func(rid int, row []Value) bool {
-		keep, err := ev.evalBool(where, singleBinding(name, t, row))
+	db.stats.FullScans++
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		db.stats.RowsScanned++
+		keep, err := check(row)
 		if err != nil {
-			scanErr = err
-			return false
+			return nil, err
 		}
 		if keep {
 			rids = append(rids, rid)
 		}
-		return true
-	})
-	db.stats.RowsScanned += int64(visited)
-	if scanErr != nil {
-		return nil, scanErr
 	}
 	return rids, nil
-}
-
-// equalityProbe checks whether b is `col = expr` (or mirrored) with col
-// belonging to the table and expr free of the table's columns; it returns
-// the column name and the probe expression.
-func equalityProbe(b *Binary, name string, t *Table) (string, Expr) {
-	try := func(l, r Expr) (string, Expr) {
-		cr, ok := l.(*ColumnRef)
-		if !ok {
-			return "", nil
-		}
-		if cr.Table != "" && !strings.EqualFold(cr.Table, name) {
-			return "", nil
-		}
-		if t.Schema.ColumnIndex(cr.Name) < 0 {
-			return "", nil
-		}
-		if referencesTable(r, name, t) {
-			return "", nil
-		}
-		return cr.Name, r
-	}
-	if col, e := try(b.L, b.R); col != "" {
-		return col, e
-	}
-	return try(b.R, b.L)
-}
-
-func referencesTable(e Expr, name string, t *Table) bool {
-	switch x := e.(type) {
-	case *ColumnRef:
-		if strings.EqualFold(x.Table, "OLD") {
-			return false
-		}
-		if x.Table != "" {
-			return strings.EqualFold(x.Table, name)
-		}
-		return t.Schema.ColumnIndex(x.Name) >= 0
-	case *Binary:
-		return referencesTable(x.L, name, t) || referencesTable(x.R, name, t)
-	case *Unary:
-		return referencesTable(x.X, name, t)
-	case *IsNull:
-		return referencesTable(x.X, name, t)
-	case *InExpr:
-		if referencesTable(x.X, name, t) {
-			return true
-		}
-		for _, l := range x.List {
-			if referencesTable(l, name, t) {
-				return true
-			}
-		}
-		return false
-	case *FuncCall:
-		return x.Arg != nil && referencesTable(x.Arg, name, t)
-	default:
-		return false
-	}
 }
 
 func splitAnd(e Expr) []Expr {
@@ -365,6 +295,9 @@ func (b *binding) resolve(table, col string) (Value, bool, error) {
 	return val, found, nil
 }
 
+// execSelect materializes a SELECT: CTEs are evaluated into the
+// environment, each body branch compiles into a streaming pipeline, and the
+// drained rows form the result.
 func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
 	env = newEnvFrom(env)
 	for _, cte := range s.With {
@@ -381,66 +314,25 @@ func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
 		env.ctes[strings.ToLower(cte.Name)] = rows
 	}
 
-	var out *Rows
-	for _, body := range s.Body {
-		rows, err := db.execSimpleSelect(body, env)
+	it, cols, err := db.buildSelectIter(s, env)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := &Rows{Cols: cols}
+	for {
+		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err
 		}
-		if out == nil {
-			out = rows
-			continue
+		if !ok {
+			return out, nil
 		}
-		if len(rows.Cols) != len(out.Cols) {
-			return nil, fmt.Errorf("relational: UNION ALL branches have %d vs %d columns", len(out.Cols), len(rows.Cols))
-		}
-		out.Data = append(out.Data, rows.Data...)
+		out.Data = append(out.Data, row)
 	}
-	if out == nil {
-		return &Rows{}, nil
-	}
-
-	if len(s.OrderBy) > 0 {
-		keyIdx := make([]int, len(s.OrderBy))
-		for i, k := range s.OrderBy {
-			switch e := k.Expr.(type) {
-			case *ColumnRef:
-				found := -1
-				for ci, c := range out.Cols {
-					if strings.EqualFold(c, e.Name) {
-						found = ci
-						break
-					}
-				}
-				if found < 0 {
-					return nil, fmt.Errorf("relational: ORDER BY column %q not in result", e.Name)
-				}
-				keyIdx[i] = found
-			case *Literal:
-				n, ok := e.Value.(int64)
-				if !ok || n < 1 || int(n) > len(out.Cols) {
-					return nil, fmt.Errorf("relational: bad positional ORDER BY")
-				}
-				keyIdx[i] = int(n) - 1
-			default:
-				return nil, fmt.Errorf("relational: ORDER BY supports column references only")
-			}
-		}
-		sort.SliceStable(out.Data, func(a, b int) bool {
-			for i, ci := range keyIdx {
-				c := compareValues(out.Data[a][ci], out.Data[b][ci])
-				if c == 0 {
-					continue
-				}
-				if s.OrderBy[i].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-	}
-	return out, nil
 }
 
 func newEnvFrom(parent *execEnv) *execEnv {
@@ -448,317 +340,6 @@ func newEnvFrom(parent *execEnv) *execEnv {
 		return newEnv(nil)
 	}
 	return newEnv(parent)
-}
-
-func (db *DB) execSimpleSelect(s *SimpleSelect, env *execEnv) (*Rows, error) {
-	// Resolve sources.
-	srcs := make([]*source, len(s.From))
-	for i, f := range s.From {
-		if rows, ok := env.lookupCTE(f.Table); ok {
-			srcs[i] = &source{name: f.Name(), rows: rows}
-			continue
-		}
-		t := db.tables[strings.ToLower(f.Table)]
-		if t == nil {
-			return nil, fmt.Errorf("relational: no table or CTE %q", f.Table)
-		}
-		srcs[i] = &source{name: f.Name(), table: t}
-	}
-
-	// Output schema.
-	var cols []string
-	if s.Star {
-		for _, src := range srcs {
-			cols = append(cols, src.columns()...)
-		}
-	} else {
-		for i, se := range s.Exprs {
-			switch {
-			case se.Alias != "":
-				cols = append(cols, se.Alias)
-			default:
-				if cr, ok := se.Expr.(*ColumnRef); ok {
-					cols = append(cols, cr.Name)
-				} else {
-					cols = append(cols, fmt.Sprintf("c%d", i+1))
-				}
-			}
-		}
-	}
-
-	// Validate column references eagerly so errors surface even when no
-	// rows flow through the join.
-	if !s.Star {
-		for _, se := range s.Exprs {
-			if err := validateRefs(se.Expr, srcs); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if s.Where != nil {
-		if err := validateRefs(s.Where, srcs); err != nil {
-			return nil, err
-		}
-	}
-
-	ev := &exprEval{db: db, env: env}
-	aggregate := false
-	if !s.Star {
-		for _, se := range s.Exprs {
-			if containsAggregate(se.Expr) {
-				aggregate = true
-				break
-			}
-		}
-	}
-
-	out := &Rows{Cols: cols}
-	var aggState []*aggAccumulator
-	if aggregate {
-		aggState = make([]*aggAccumulator, len(s.Exprs))
-	}
-
-	conjs := []Expr(nil)
-	if s.Where != nil {
-		conjs = splitAnd(s.Where)
-	}
-
-	// No FROM clause: evaluate expressions once.
-	if len(srcs) == 0 {
-		row := make([]Value, len(s.Exprs))
-		for i, se := range s.Exprs {
-			v, err := ev.eval(se.Expr, nil)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = v
-		}
-		out.Data = append(out.Data, row)
-		return out, nil
-	}
-
-	bind := &binding{
-		names: make([]string, len(srcs)),
-		srcs:  srcs,
-		rows:  make([][]Value, len(srcs)),
-	}
-	for i, src := range srcs {
-		bind.names[i] = strings.ToLower(src.name)
-	}
-
-	emit := func() error {
-		if aggregate {
-			for i, se := range s.Exprs {
-				if aggState[i] == nil {
-					aggState[i] = &aggAccumulator{}
-				}
-				if err := aggState[i].feed(ev, se.Expr, bind); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		var row []Value
-		if s.Star {
-			for i := range srcs {
-				row = append(row, bind.rows[i]...)
-			}
-		} else {
-			row = make([]Value, len(s.Exprs))
-			for i, se := range s.Exprs {
-				v, err := ev.eval(se.Expr, bind)
-				if err != nil {
-					return err
-				}
-				row[i] = v
-			}
-		}
-		out.Data = append(out.Data, row)
-		return nil
-	}
-
-	// conjApplicable reports whether a conjunct references only the first
-	// k+1 sources (by qualified name) — unqualified refs resolve against
-	// all sources, so they gate at the last source that has the column.
-	applicableAt := func(c Expr, level int) bool {
-		maxLevel := 0
-		var walk func(e Expr)
-		walk = func(e Expr) {
-			switch x := e.(type) {
-			case *ColumnRef:
-				if strings.EqualFold(x.Table, "OLD") {
-					return
-				}
-				lvl := -1
-				if x.Table != "" {
-					for i, n := range bind.names {
-						if strings.EqualFold(n, x.Table) {
-							lvl = i
-							break
-						}
-					}
-				} else {
-					for i := len(srcs) - 1; i >= 0; i-- {
-						if srcs[i].columnIndex(x.Name) >= 0 {
-							lvl = i
-							break
-						}
-					}
-				}
-				if lvl > maxLevel {
-					maxLevel = lvl
-				}
-			case *Binary:
-				walk(x.L)
-				walk(x.R)
-			case *Unary:
-				walk(x.X)
-			case *IsNull:
-				walk(x.X)
-			case *InExpr:
-				walk(x.X)
-				for _, l := range x.List {
-					walk(l)
-				}
-			case *FuncCall:
-				if x.Arg != nil {
-					walk(x.Arg)
-				}
-			}
-		}
-		walk(c)
-		return maxLevel == level
-	}
-
-	var join func(level int) error
-	join = func(level int) error {
-		if level == len(srcs) {
-			return emit()
-		}
-		src := srcs[level]
-		var levelConjs []Expr
-		for _, c := range conjs {
-			if applicableAt(c, level) {
-				levelConjs = append(levelConjs, c)
-			}
-		}
-		check := func() (bool, error) {
-			for _, c := range levelConjs {
-				ok, err := ev.evalBool(c, bind)
-				if err != nil {
-					return false, err
-				}
-				if !ok {
-					return false, nil
-				}
-			}
-			return true, nil
-		}
-
-		// Index acceleration: find `src.col = expr(previous sources)`.
-		if src.table != nil {
-			for _, c := range levelConjs {
-				b, ok := c.(*Binary)
-				if !ok || b.Op != "=" {
-					continue
-				}
-				col, probeExpr := equalityProbe(b, src.name, src.table)
-				if col == "" {
-					continue
-				}
-				idx := src.table.lookupIndex(col)
-				if idx == nil {
-					continue
-				}
-				// The probe must be computable from earlier bindings.
-				v, err := ev.eval(probeExpr, bind)
-				if err != nil {
-					continue
-				}
-				for _, rid := range idx.probe(v) {
-					row := src.table.Row(rid)
-					if row == nil {
-						continue
-					}
-					db.stats.RowsScanned++
-					bind.rows[level] = row
-					ok, err := check()
-					if err != nil {
-						return err
-					}
-					if ok {
-						if err := join(level + 1); err != nil {
-							return err
-						}
-					}
-				}
-				bind.rows[level] = nil
-				return nil
-			}
-		}
-
-		// Fallback: scan.
-		iterate := func(row []Value) error {
-			db.stats.RowsScanned++
-			bind.rows[level] = row
-			ok, err := check()
-			if err != nil {
-				return err
-			}
-			if ok {
-				return join(level + 1)
-			}
-			return nil
-		}
-		if src.table != nil {
-			var scanErr error
-			src.table.Scan(func(_ int, row []Value) bool {
-				if err := iterate(row); err != nil {
-					scanErr = err
-					return false
-				}
-				return true
-			})
-			if scanErr != nil {
-				return scanErr
-			}
-		} else {
-			for _, row := range src.rows.Data {
-				if err := iterate(row); err != nil {
-					return err
-				}
-			}
-		}
-		bind.rows[level] = nil
-		return nil
-	}
-	if err := join(0); err != nil {
-		return nil, err
-	}
-
-	if aggregate {
-		row := make([]Value, len(s.Exprs))
-		for i, se := range s.Exprs {
-			if aggState[i] == nil {
-				aggState[i] = &aggAccumulator{}
-			}
-			row[i] = aggState[i].result(se.Expr)
-		}
-		out.Data = append(out.Data, row)
-	}
-	if s.Distinct {
-		seen := make(map[string]bool, len(out.Data))
-		kept := out.Data[:0]
-		for _, r := range out.Data {
-			key := rowKey(r)
-			if !seen[key] {
-				seen[key] = true
-				kept = append(kept, r)
-			}
-		}
-		out.Data = kept
-	}
-	return out, nil
 }
 
 // validateRefs checks that every non-OLD column reference resolves against
@@ -898,7 +479,7 @@ func (a *aggAccumulator) feed(ev *exprEval, e Expr, bind *binding) error {
 	return walk(e)
 }
 
-func (a *aggAccumulator) result(e Expr) Value {
+func (a *aggAccumulator) result(ev *exprEval, e Expr) Value {
 	var eval func(e Expr) Value
 	eval = func(e Expr) Value {
 		switch x := e.(type) {
@@ -931,6 +512,11 @@ func (a *aggAccumulator) result(e Expr) Value {
 			return v
 		case *Literal:
 			return x.Value
+		case *Param:
+			if ev != nil && x.Index >= 0 && x.Index < len(ev.args) {
+				return ev.args[x.Index]
+			}
+			return nil
 		default:
 			return nil
 		}
@@ -941,16 +527,28 @@ func (a *aggAccumulator) result(e Expr) Value {
 // ---- expression evaluation ----
 
 type exprEval struct {
-	db  *DB
-	env *execEnv
+	db   *DB
+	env  *execEnv
+	args []Value
 	// inCache memoizes uncorrelated IN-subquery result sets per statement.
 	inCache map[*SelectStmt]map[string]bool
+}
+
+// newEval builds an evaluator for one statement execution, binding the
+// environment's prepared-statement arguments.
+func newEval(db *DB, env *execEnv) *exprEval {
+	return &exprEval{db: db, env: env, args: env.lookupArgs()}
 }
 
 func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 	switch x := e.(type) {
 	case *Literal:
 		return x.Value, nil
+	case *Param:
+		if x.Index < 0 || x.Index >= len(ev.args) {
+			return nil, fmt.Errorf("relational: unbound parameter ?%d", x.Index+1)
+		}
+		return ev.args[x.Index], nil
 	case *ColumnRef:
 		if strings.EqualFold(x.Table, "OLD") {
 			old, t := ev.env.oldRow()

@@ -1,0 +1,193 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain returns the physical plan the executor would run for a statement,
+// as an indented operator tree. The access-path choice goes through the
+// same chooseAccess the executor uses, so what Explain prints is what runs.
+func (db *DB) Explain(sql string) (string, error) {
+	stmt, err := ParseSQL(sql)
+	if err != nil {
+		return "", err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var b strings.Builder
+	if err := db.explainStmt(&b, stmt, 0); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(b.String(), "\n"), nil
+}
+
+func indentLine(b *strings.Builder, depth int, line string) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(line)
+	b.WriteByte('\n')
+}
+
+func (db *DB) explainStmt(b *strings.Builder, stmt Stmt, depth int) error {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return db.explainSelect(b, s, newEnv(nil), depth)
+	case *DeleteStmt:
+		t := db.tables[strings.ToLower(s.Table)]
+		if t == nil {
+			return fmt.Errorf("relational: no table %q", s.Table)
+		}
+		indentLine(b, depth, fmt.Sprintf("Delete %s", t.Name))
+		db.explainMatch(b, s.Table, t, s.Where, depth+1)
+		return nil
+	case *UpdateStmt:
+		t := db.tables[strings.ToLower(s.Table)]
+		if t == nil {
+			return fmt.Errorf("relational: no table %q", s.Table)
+		}
+		sets := make([]string, len(s.Set))
+		for i, sc := range s.Set {
+			sets[i] = fmt.Sprintf("%s = %s", sc.Col, exprString(sc.Val))
+		}
+		indentLine(b, depth, fmt.Sprintf("Update %s [%s]", t.Name, strings.Join(sets, ", ")))
+		db.explainMatch(b, s.Table, t, s.Where, depth+1)
+		return nil
+	case *InsertStmt:
+		if s.Select != nil {
+			indentLine(b, depth, fmt.Sprintf("Insert %s", s.Table))
+			return db.explainSelect(b, s.Select, newEnv(nil), depth+1)
+		}
+		indentLine(b, depth, fmt.Sprintf("Insert %s (%d rows of values)", s.Table, len(s.Rows)))
+		return nil
+	default:
+		indentLine(b, depth, fmt.Sprintf("%T", stmt))
+		return nil
+	}
+}
+
+// explainMatch renders the DML row-matching access path.
+func (db *DB) explainMatch(b *strings.Builder, name string, t *Table, where Expr, depth int) {
+	lp := planMatch(name, t, where)
+	src := &source{name: name, table: t}
+	indentLine(b, depth, levelLine(lp, src, 0))
+}
+
+func (db *DB) explainSelect(b *strings.Builder, s *SelectStmt, env *execEnv, depth int) error {
+	env = newEnvFrom(env)
+	// CTE result sets are not materialized for EXPLAIN; schema stubs stand
+	// in so planning resolves their columns.
+	for _, cte := range s.With {
+		env.ctes[strings.ToLower(cte.Name)] = &Rows{Cols: cteColumns(cte)}
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			keys[i] = exprString(k.Expr)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		indentLine(b, depth, fmt.Sprintf("Sort [%s]", strings.Join(keys, ", ")))
+		depth++
+	}
+	if len(s.Body) > 1 {
+		indentLine(b, depth, "UnionAll")
+		depth++
+	}
+	for _, body := range s.Body {
+		if err := db.explainSimple(b, body, env, depth); err != nil {
+			return err
+		}
+	}
+	for _, cte := range s.With {
+		indentLine(b, depth, fmt.Sprintf("CTE %s", cte.Name))
+		if err := db.explainSelect(b, cte.Select, env, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) explainSimple(b *strings.Builder, s *SimpleSelect, env *execEnv, depth int) error {
+	srcs, err := db.resolveSources(s, env)
+	if err != nil {
+		return err
+	}
+	if s.Distinct {
+		indentLine(b, depth, "Distinct")
+		depth++
+	}
+	aggregate := false
+	if !s.Star {
+		for _, se := range s.Exprs {
+			if containsAggregate(se.Expr) {
+				aggregate = true
+				break
+			}
+		}
+	}
+	var exprs []string
+	if s.Star {
+		exprs = []string{"*"}
+	} else {
+		for _, se := range s.Exprs {
+			exprs = append(exprs, exprString(se.Expr))
+		}
+	}
+	head := "Project"
+	if aggregate {
+		head = "Aggregate"
+	}
+	indentLine(b, depth, fmt.Sprintf("%s [%s]", head, strings.Join(exprs, ", ")))
+	depth++
+	if len(srcs) == 0 {
+		indentLine(b, depth, "Values")
+		return nil
+	}
+	plan := db.planFor(s, srcs)
+	for pos := len(plan.levels) - 1; pos >= 0; pos-- {
+		lp := plan.levels[pos]
+		indentLine(b, depth, levelLine(lp, srcs[lp.slot], pos))
+		depth++
+	}
+	return nil
+}
+
+// levelLine renders one join level: its access path and gated filters.
+func levelLine(lp levelPlan, src *source, pos int) string {
+	access, probe, _ := chooseAccess(lp, src, pos)
+	label := src.name
+	if src.table != nil && !strings.EqualFold(src.table.Name, src.name) {
+		label = src.table.Name + " AS " + src.name
+	}
+	var line string
+	switch access {
+	case accessIndexProbe:
+		line = fmt.Sprintf("IndexProbe %s (%s = %s)", label, probe.col, exprString(probe.expr))
+	case accessHashJoin:
+		line = fmt.Sprintf("HashJoin %s (%s = %s)", label, probe.col, exprString(probe.expr))
+	default:
+		line = fmt.Sprintf("Scan %s", label)
+	}
+	if len(lp.conds) > 0 {
+		parts := make([]string, len(lp.conds))
+		for i, c := range lp.conds {
+			parts[i] = exprString(c)
+		}
+		line += fmt.Sprintf(" filter [%s]", strings.Join(parts, " AND "))
+	}
+	return line
+}
+
+// cteColumns derives a CTE's output columns without executing it.
+func cteColumns(cte CTE) []string {
+	if len(cte.Cols) > 0 {
+		return cte.Cols
+	}
+	if len(cte.Select.Body) > 0 && !cte.Select.Body[0].Star {
+		return outputColumns(cte.Select.Body[0], nil)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Secondary hash indexes. Shared Inlining joins every child relation to its
+// parent on (id, parentId), so those key columns are indexed automatically
+// at CREATE TABLE; additional indexes come from CREATE INDEX. Indexes are
+// maintained incrementally by Insert/Delete/Update (see table.go), which is
+// what turns the paper's update translations and ASR lookups into probes
+// instead of scans.
+
+// hashIndex maps a column value to the rowids holding it. NULLs are not
+// indexed (SQL equality never matches them).
+type hashIndex struct {
+	col     int
+	entries map[Value][]int
+}
+
+// autoIndexColumns are the declared key/parent-ID column names that get a
+// hash index the moment their table is created.
+var autoIndexColumns = []string{"id", "parentId"}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op, matching repeated schema setup.
+func (t *Table) CreateIndex(col string) error {
+	key := strings.ToLower(col)
+	if _, ok := t.index[key]; ok {
+		return nil
+	}
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relational: no column %q in table %s", col, t.Name)
+	}
+	idx := &hashIndex{col: ci, entries: make(map[Value][]int)}
+	for rid, row := range t.rows {
+		if row == nil || row[ci] == nil {
+			continue
+		}
+		idx.entries[row[ci]] = append(idx.entries[row[ci]], rid)
+	}
+	t.index[key] = idx
+	return nil
+}
+
+// DropIndex removes the hash index on the named column, if present. It is
+// used by ablation benchmarks to measure what the parentId index buys each
+// delete strategy. A dropped auto-index is not recreated.
+func (t *Table) DropIndex(col string) bool {
+	key := strings.ToLower(col)
+	if _, ok := t.index[key]; !ok {
+		return false
+	}
+	delete(t.index, key)
+	return true
+}
+
+// IndexedColumns returns the names of the table's indexed columns, sorted by
+// schema position. Plan introspection and tests use it.
+func (t *Table) IndexedColumns() []string {
+	var cols []string
+	for i, c := range t.Schema.Columns {
+		if idx := t.index[strings.ToLower(c.Name)]; idx != nil && idx.col == i {
+			cols = append(cols, c.Name)
+		}
+	}
+	return cols
+}
+
+// lookupIndex returns the index on the column, if any.
+func (t *Table) lookupIndex(col string) *hashIndex {
+	return t.index[strings.ToLower(col)]
+}
+
+// autoIndex creates the automatic key-column indexes on a fresh table.
+func (t *Table) autoIndex() {
+	for _, col := range autoIndexColumns {
+		if t.Schema.ColumnIndex(col) >= 0 {
+			// Cannot fail: the column exists and the table is new.
+			_ = t.CreateIndex(col)
+		}
+	}
+}
+
+func (idx *hashIndex) remove(v Value, rid int) {
+	rids := idx.entries[v]
+	for i, r := range rids {
+		if r == rid {
+			rids[i] = rids[len(rids)-1]
+			rids = rids[:len(rids)-1]
+			break
+		}
+	}
+	if len(rids) == 0 {
+		delete(idx.entries, v)
+	} else {
+		idx.entries[v] = rids
+	}
+}
+
+// probe returns rowids of live rows whose indexed column equals v.
+func (idx *hashIndex) probe(v Value) []int {
+	if v == nil {
+		return nil
+	}
+	return idx.entries[v]
+}

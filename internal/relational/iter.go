@@ -1,0 +1,669 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Volcano-style streaming execution. A SELECT body compiles into a pipeline
+// of Open/Next/Close operators: binding-space iterators advance a shared
+// binding through join tuples (table scan, index probe, hash join), and
+// row-space iterators above them produce output rows (projection, streaming
+// aggregation, distinct, union, sort). Nothing below a sort materializes.
+
+type accessKind int
+
+const (
+	accessScan accessKind = iota
+	accessIndexProbe
+	accessHashJoin
+)
+
+// bindIter advances a shared binding through successive join tuples.
+type bindIter interface {
+	Open() error
+	Next() (bool, error)
+	Close()
+}
+
+// oneIter emits a single empty outer tuple: the input of the first join
+// level.
+type oneIter struct{ done bool }
+
+func (o *oneIter) Open() error { o.done = false; return nil }
+func (o *oneIter) Next() (bool, error) {
+	if o.done {
+		return false, nil
+	}
+	o.done = true
+	return true, nil
+}
+func (o *oneIter) Close() {}
+
+// levelIter binds one FROM slot per input tuple: for every tuple of its
+// input it enumerates the matching rows of its own source — via index
+// probe, transient hash join, or scan — and yields each combination that
+// passes the level's gated conjuncts.
+type levelIter struct {
+	db    *DB
+	ev    *exprEval
+	bind  *binding
+	src   *source
+	lp    levelPlan
+	pos   int // execution position in the pipeline (0 = first bound)
+	input bindIter
+
+	access accessKind
+	probe  probeCand
+	idx    *hashIndex
+	ht     map[string][]int // transient hash table (rowids / row indexes)
+
+	outerLive bool
+	scanPos   int
+	bucket    []int
+	bucketPos int
+}
+
+// chooseAccess picks the physical access path for a level against the live
+// database: the first candidate with a persistent index wins; otherwise a
+// correlated equality on a non-first level builds a hash join; otherwise
+// the source is scanned. Shared with EXPLAIN so the displayed plan is the
+// executed plan.
+func chooseAccess(lp levelPlan, src *source, pos int) (accessKind, probeCand, *hashIndex) {
+	for _, c := range lp.cands {
+		if src.table != nil {
+			if idx := src.table.lookupIndex(c.col); idx != nil {
+				return accessIndexProbe, c, idx
+			}
+		}
+	}
+	if pos > 0 {
+		for _, c := range lp.cands {
+			if c.correlated {
+				return accessHashJoin, c, nil
+			}
+		}
+	}
+	return accessScan, probeCand{}, nil
+}
+
+func (li *levelIter) Open() error {
+	li.access, li.probe, li.idx = chooseAccess(li.lp, li.src, li.pos)
+	li.ht = nil
+	li.outerLive = false
+	li.bind.rows[li.lp.slot] = nil
+	return li.input.Open()
+}
+
+func (li *levelIter) Close() { li.input.Close() }
+
+func (li *levelIter) Next() (bool, error) {
+	for {
+		if !li.outerLive {
+			ok, err := li.input.Next()
+			if err != nil || !ok {
+				li.bind.rows[li.lp.slot] = nil
+				return false, err
+			}
+			li.outerLive = true
+			if err := li.startInner(); err != nil {
+				return false, err
+			}
+		}
+		ok, err := li.advanceInner()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		li.outerLive = false
+	}
+}
+
+// startInner begins enumerating the level's own source for the current
+// input tuple.
+func (li *levelIter) startInner() error {
+	switch li.access {
+	case accessIndexProbe:
+		li.db.stats.IndexProbes++
+		v, err := li.ev.eval(li.probe.expr, li.bind)
+		if err != nil {
+			return err
+		}
+		li.bucket = li.idx.probe(v)
+		li.bucketPos = 0
+	case accessHashJoin:
+		if li.ht == nil {
+			if err := li.buildHash(); err != nil {
+				return err
+			}
+		}
+		v, err := li.ev.eval(li.probe.expr, li.bind)
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			li.bucket = nil
+		} else {
+			li.bucket = li.ht[valueString(v)]
+		}
+		li.bucketPos = 0
+	default:
+		li.db.stats.FullScans++
+		li.scanPos = 0
+	}
+	return nil
+}
+
+// buildHash drains the level's source once into a transient hash table on
+// the probe column. Keys use valueString so hash equality matches SQL
+// equality across the int/string comparison the engine supports.
+func (li *levelIter) buildHash() error {
+	li.ht = make(map[string][]int)
+	ci := li.src.columnIndex(li.probe.col)
+	if ci < 0 {
+		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.probe.col)
+	}
+	if t := li.src.table; t != nil {
+		for rid, row := range t.rows {
+			if row == nil || row[ci] == nil {
+				continue
+			}
+			li.db.stats.RowsScanned++
+			k := valueString(row[ci])
+			li.ht[k] = append(li.ht[k], rid)
+		}
+	} else {
+		for i, row := range li.src.rows.Data {
+			if row[ci] == nil {
+				continue
+			}
+			li.db.stats.RowsScanned++
+			k := valueString(row[ci])
+			li.ht[k] = append(li.ht[k], i)
+		}
+	}
+	li.db.stats.HashJoinBuilds++
+	return nil
+}
+
+// advanceInner yields the next row of the level's own source that passes
+// the gated conjuncts, or reports exhaustion for the current input tuple.
+func (li *levelIter) advanceInner() (bool, error) {
+	for {
+		var row []Value
+		switch li.access {
+		case accessIndexProbe, accessHashJoin:
+			if li.bucketPos >= len(li.bucket) {
+				return false, nil
+			}
+			rid := li.bucket[li.bucketPos]
+			li.bucketPos++
+			if t := li.src.table; t != nil {
+				row = t.Row(rid)
+			} else {
+				row = li.src.rows.Data[rid]
+			}
+			if row == nil {
+				continue
+			}
+		default:
+			if t := li.src.table; t != nil {
+				for li.scanPos < len(t.rows) && t.rows[li.scanPos] == nil {
+					li.scanPos++
+				}
+				if li.scanPos >= len(t.rows) {
+					return false, nil
+				}
+				row = t.rows[li.scanPos]
+				li.scanPos++
+			} else {
+				if li.scanPos >= len(li.src.rows.Data) {
+					return false, nil
+				}
+				row = li.src.rows.Data[li.scanPos]
+				li.scanPos++
+			}
+		}
+		li.db.stats.RowsScanned++
+		li.bind.rows[li.lp.slot] = row
+		ok, err := li.checkConds()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+}
+
+func (li *levelIter) checkConds() (bool, error) {
+	for _, c := range li.lp.conds {
+		ok, err := li.ev.evalBool(c, li.bind)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// ---- row-space iterators ----
+
+// rowIter produces output rows.
+type rowIter interface {
+	Open() error
+	Next() ([]Value, bool, error)
+	Close()
+}
+
+// valuesIter evaluates a FROM-less select list once.
+type valuesIter struct {
+	ev    *exprEval
+	exprs []SelectExpr
+	done  bool
+}
+
+func (v *valuesIter) Open() error { v.done = false; return nil }
+func (v *valuesIter) Close()      {}
+func (v *valuesIter) Next() ([]Value, bool, error) {
+	if v.done {
+		return nil, false, nil
+	}
+	v.done = true
+	row := make([]Value, len(v.exprs))
+	for i, se := range v.exprs {
+		val, err := v.ev.eval(se.Expr, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		row[i] = val
+	}
+	return row, true, nil
+}
+
+// projectIter evaluates the select list over each join tuple.
+type projectIter struct {
+	ev    *exprEval
+	sel   *SimpleSelect
+	bind  *binding
+	input bindIter
+}
+
+func (p *projectIter) Open() error { return p.input.Open() }
+func (p *projectIter) Close()      { p.input.Close() }
+func (p *projectIter) Next() ([]Value, bool, error) {
+	ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.sel.Star {
+		var row []Value
+		for i := range p.bind.srcs {
+			row = append(row, p.bind.rows[i]...)
+		}
+		return row, true, nil
+	}
+	row := make([]Value, len(p.sel.Exprs))
+	for i, se := range p.sel.Exprs {
+		v, err := p.ev.eval(se.Expr, p.bind)
+		if err != nil {
+			return nil, false, err
+		}
+		row[i] = v
+	}
+	return row, true, nil
+}
+
+// aggIter folds the whole input through the aggregate accumulators and
+// emits a single row — streaming aggregation, nothing buffered.
+type aggIter struct {
+	ev    *exprEval
+	sel   *SimpleSelect
+	bind  *binding
+	input bindIter
+	done  bool
+}
+
+func (a *aggIter) Open() error { a.done = false; return a.input.Open() }
+func (a *aggIter) Close()      { a.input.Close() }
+func (a *aggIter) Next() ([]Value, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	a.done = true
+	state := make([]*aggAccumulator, len(a.sel.Exprs))
+	for {
+		ok, err := a.input.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		for i, se := range a.sel.Exprs {
+			if state[i] == nil {
+				state[i] = &aggAccumulator{}
+			}
+			if err := state[i].feed(a.ev, se.Expr, a.bind); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	row := make([]Value, len(a.sel.Exprs))
+	for i, se := range a.sel.Exprs {
+		if state[i] == nil {
+			state[i] = &aggAccumulator{}
+		}
+		row[i] = state[i].result(a.ev, se.Expr)
+	}
+	return row, true, nil
+}
+
+// distinctIter streams the first occurrence of each distinct row.
+type distinctIter struct {
+	input rowIter
+	seen  map[string]bool
+}
+
+func (d *distinctIter) Open() error {
+	d.seen = make(map[string]bool)
+	return d.input.Open()
+}
+func (d *distinctIter) Close() { d.input.Close() }
+func (d *distinctIter) Next() ([]Value, bool, error) {
+	for {
+		row, ok, err := d.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := rowKey(row)
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return row, true, nil
+	}
+}
+
+// unionIter concatenates its branch streams (UNION ALL).
+type unionIter struct {
+	parts []rowIter
+	cur   int
+}
+
+func (u *unionIter) Open() error {
+	u.cur = 0
+	if len(u.parts) == 0 {
+		return nil
+	}
+	return u.parts[0].Open()
+}
+func (u *unionIter) Close() {
+	for i := u.cur; i < len(u.parts); i++ {
+		u.parts[i].Close()
+	}
+}
+func (u *unionIter) Next() ([]Value, bool, error) {
+	for u.cur < len(u.parts) {
+		row, ok, err := u.parts[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.parts[u.cur].Close()
+		u.cur++
+		if u.cur < len(u.parts) {
+			if err := u.parts[u.cur].Open(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// sortSpec is one resolved ORDER BY key: an output column position.
+type sortSpec struct {
+	col  int
+	desc bool
+}
+
+// sortIter materializes its input and emits it in key order. Sorting is the
+// only blocking operator in the pipeline.
+type sortIter struct {
+	input rowIter
+	keys  []sortSpec
+	buf   [][]Value
+	pos   int
+}
+
+func (s *sortIter) Open() error {
+	s.buf = nil
+	s.pos = 0
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.buf = append(s.buf, row)
+	}
+	sort.SliceStable(s.buf, func(a, b int) bool {
+		for _, k := range s.keys {
+			c := compareValues(s.buf[a][k.col], s.buf[b][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+func (s *sortIter) Close() { s.input.Close() }
+func (s *sortIter) Next() ([]Value, bool, error) {
+	if s.pos >= len(s.buf) {
+		return nil, false, nil
+	}
+	row := s.buf[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+// resolveOrderKeys maps ORDER BY expressions (column names or 1-based
+// positions) onto output column indexes.
+func resolveOrderKeys(orderBy []OrderKey, cols []string) ([]sortSpec, error) {
+	keys := make([]sortSpec, len(orderBy))
+	for i, k := range orderBy {
+		switch e := k.Expr.(type) {
+		case *ColumnRef:
+			found := -1
+			for ci, c := range cols {
+				if strings.EqualFold(c, e.Name) {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("relational: ORDER BY column %q not in result", e.Name)
+			}
+			keys[i] = sortSpec{col: found, desc: k.Desc}
+		case *Literal:
+			n, ok := e.Value.(int64)
+			if !ok || n < 1 || int(n) > len(cols) {
+				return nil, fmt.Errorf("relational: bad positional ORDER BY")
+			}
+			keys[i] = sortSpec{col: int(n) - 1, desc: k.Desc}
+		default:
+			return nil, fmt.Errorf("relational: ORDER BY supports column references only")
+		}
+	}
+	return keys, nil
+}
+
+// ---- pipeline assembly ----
+
+// resolveSources maps FROM items to base tables or CTE result sets. Caller
+// holds db.mu.
+func (db *DB) resolveSources(s *SimpleSelect, env *execEnv) ([]*source, error) {
+	srcs := make([]*source, len(s.From))
+	for i, f := range s.From {
+		if rows, ok := env.lookupCTE(f.Table); ok {
+			srcs[i] = &source{name: f.Name(), rows: rows}
+			continue
+		}
+		t := db.tables[strings.ToLower(f.Table)]
+		if t == nil {
+			return nil, fmt.Errorf("relational: no table or CTE %q", f.Table)
+		}
+		srcs[i] = &source{name: f.Name(), table: t}
+	}
+	return srcs, nil
+}
+
+// outputColumns names the result columns of a select body.
+func outputColumns(s *SimpleSelect, srcs []*source) []string {
+	var cols []string
+	if s.Star {
+		for _, src := range srcs {
+			cols = append(cols, src.columns()...)
+		}
+		return cols
+	}
+	for i, se := range s.Exprs {
+		switch {
+		case se.Alias != "":
+			cols = append(cols, se.Alias)
+		default:
+			if cr, ok := se.Expr.(*ColumnRef); ok {
+				cols = append(cols, cr.Name)
+			} else {
+				cols = append(cols, fmt.Sprintf("c%d", i+1))
+			}
+		}
+	}
+	return cols
+}
+
+// buildSimpleIter compiles one SELECT body into a row iterator. Caller
+// holds db.mu.
+func (db *DB) buildSimpleIter(s *SimpleSelect, env *execEnv) (rowIter, []string, error) {
+	srcs, err := db.resolveSources(s, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := outputColumns(s, srcs)
+
+	// Validate column references eagerly so errors surface even when no
+	// rows flow through the join.
+	if !s.Star {
+		for _, se := range s.Exprs {
+			if err := validateRefs(se.Expr, srcs); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if s.Where != nil {
+		if err := validateRefs(s.Where, srcs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	ev := newEval(db, env)
+	if len(srcs) == 0 {
+		var it rowIter = &valuesIter{ev: ev, exprs: s.Exprs}
+		if s.Distinct {
+			it = &distinctIter{input: it}
+		}
+		return it, cols, nil
+	}
+
+	plan := db.planFor(s, srcs)
+	bind := &binding{
+		names: make([]string, len(srcs)),
+		srcs:  srcs,
+		rows:  make([][]Value, len(srcs)),
+	}
+	for i, src := range srcs {
+		bind.names[i] = strings.ToLower(src.name)
+	}
+	var chain bindIter = &oneIter{}
+	for pos, lp := range plan.levels {
+		chain = &levelIter{
+			db:    db,
+			ev:    ev,
+			bind:  bind,
+			src:   srcs[lp.slot],
+			lp:    lp,
+			pos:   pos,
+			input: chain,
+		}
+	}
+
+	aggregate := false
+	if !s.Star {
+		for _, se := range s.Exprs {
+			if containsAggregate(se.Expr) {
+				aggregate = true
+				break
+			}
+		}
+	}
+	var it rowIter
+	if aggregate {
+		it = &aggIter{ev: ev, sel: s, bind: bind, input: chain}
+	} else {
+		it = &projectIter{ev: ev, sel: s, bind: bind, input: chain}
+	}
+	if s.Distinct {
+		it = &distinctIter{input: it}
+	}
+	return it, cols, nil
+}
+
+// buildSelectIter compiles a full SELECT (whose CTEs are already
+// materialized in env) into its top-level row iterator.
+func (db *DB) buildSelectIter(s *SelectStmt, env *execEnv) (rowIter, []string, error) {
+	var parts []rowIter
+	var cols []string
+	for i, body := range s.Body {
+		it, bcols, err := db.buildSimpleIter(body, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			cols = bcols
+		} else if len(bcols) != len(cols) {
+			return nil, nil, fmt.Errorf("relational: UNION ALL branches have %d vs %d columns", len(cols), len(bcols))
+		}
+		parts = append(parts, it)
+	}
+	var top rowIter
+	if len(parts) == 1 {
+		top = parts[0]
+	} else {
+		top = &unionIter{parts: parts}
+	}
+	if len(s.OrderBy) > 0 {
+		keys, err := resolveOrderKeys(s.OrderBy, cols)
+		if err != nil {
+			return nil, nil, err
+		}
+		top = &sortIter{input: top, keys: keys}
+	}
+	return top, cols, nil
+}

@@ -16,6 +16,7 @@ const (
 	tokNumber
 	tokString
 	tokSymbol // punctuation and operators
+	tokParam  // `?` placeholder
 )
 
 type token struct {
@@ -33,7 +34,7 @@ type lexer struct {
 
 // lexSQL tokenizes a SQL string.
 func lexSQL(src string) ([]token, error) {
-	l := &lexer{src: src}
+	l := &lexer{src: src, toks: make([]token, 0, len(src)/5+4)}
 	for {
 		l.skipSpace()
 		if l.pos >= len(l.src) {
@@ -91,6 +92,9 @@ func lexSQL(src string) ([]token, error) {
 				}
 			}
 			switch c {
+			case '?':
+				l.toks = append(l.toks, token{kind: tokParam, text: "?", pos: start})
+				l.pos++
 			case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', ';':
 				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
 				l.pos++

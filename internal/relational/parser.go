@@ -11,19 +11,26 @@ func ParseSQL(src string) (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	stmt, _, err := parseTokens(toks, src)
+	return stmt, err
+}
+
+// parseTokens parses a token stream, returning the statement and the number
+// of `?` parameters it contains.
+func parseTokens(toks []token, src string) (Stmt, int, error) {
 	p := &sqlParser{toks: toks, src: src}
 	stmt, err := p.parseStmt()
 	if err != nil {
-		return nil, fmt.Errorf("relational: parse: %s in %q", err, abbreviate(src))
+		return nil, 0, fmt.Errorf("relational: parse: %s in %q", err, abbreviate(src))
 	}
 	// Optional trailing semicolon.
 	if p.peekSym(";") {
 		p.i++
 	}
 	if p.cur().kind != tokEOF {
-		return nil, fmt.Errorf("relational: parse: trailing input %q in %q", p.cur().text, abbreviate(src))
+		return nil, 0, fmt.Errorf("relational: parse: trailing input %q in %q", p.cur().text, abbreviate(src))
 	}
-	return stmt, nil
+	return stmt, p.nparams, nil
 }
 
 func abbreviate(s string) string {
@@ -35,9 +42,10 @@ func abbreviate(s string) string {
 }
 
 type sqlParser struct {
-	toks []token
-	i    int
-	src  string
+	toks    []token
+	i       int
+	src     string
+	nparams int
 }
 
 func (p *sqlParser) cur() token { return p.toks[p.i] }
@@ -770,6 +778,11 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 	case t.kind == tokString:
 		p.i++
 		return &Literal{Value: t.text}, nil
+	case t.kind == tokParam:
+		p.i++
+		e := &Param{Index: p.nparams}
+		p.nparams++
+		return e, nil
 	case p.peekSym("-"):
 		p.i++
 		x, err := p.parsePrimary()

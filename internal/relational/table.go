@@ -59,52 +59,6 @@ func NewTable(name string, schema *Schema) *Table {
 // RowCount returns the number of live rows.
 func (t *Table) RowCount() int { return t.live }
 
-// hashIndex maps a column value to the rowids holding it. NULLs are not
-// indexed (SQL equality never matches them).
-type hashIndex struct {
-	col     int
-	entries map[Value][]int
-}
-
-// CreateIndex builds a hash index on the named column. Creating an index
-// that already exists is a no-op, matching repeated schema setup.
-func (t *Table) CreateIndex(col string) error {
-	key := strings.ToLower(col)
-	if _, ok := t.index[key]; ok {
-		return nil
-	}
-	ci := t.Schema.ColumnIndex(col)
-	if ci < 0 {
-		return fmt.Errorf("relational: no column %q in table %s", col, t.Name)
-	}
-	idx := &hashIndex{col: ci, entries: make(map[Value][]int)}
-	for rid, row := range t.rows {
-		if row == nil || row[ci] == nil {
-			continue
-		}
-		idx.entries[row[ci]] = append(idx.entries[row[ci]], rid)
-	}
-	t.index[key] = idx
-	return nil
-}
-
-// DropIndex removes the hash index on the named column, if present. It is
-// used by ablation benchmarks to measure what the parentId index buys each
-// delete strategy.
-func (t *Table) DropIndex(col string) bool {
-	key := strings.ToLower(col)
-	if _, ok := t.index[key]; !ok {
-		return false
-	}
-	delete(t.index, key)
-	return true
-}
-
-// lookupIndex returns the index on the column, if any.
-func (t *Table) lookupIndex(col string) *hashIndex {
-	return t.index[strings.ToLower(col)]
-}
-
 // Insert appends a row, coercing values to column types, and returns its
 // rowid.
 func (t *Table) Insert(vals []Value) (int, error) {
@@ -196,28 +150,4 @@ func (t *Table) Scan(fn func(rid int, row []Value) bool) int {
 		}
 	}
 	return visited
-}
-
-func (idx *hashIndex) remove(v Value, rid int) {
-	rids := idx.entries[v]
-	for i, r := range rids {
-		if r == rid {
-			rids[i] = rids[len(rids)-1]
-			rids = rids[:len(rids)-1]
-			break
-		}
-	}
-	if len(rids) == 0 {
-		delete(idx.entries, v)
-	} else {
-		idx.entries[v] = rids
-	}
-}
-
-// probe returns rowids of live rows whose indexed column equals v.
-func (idx *hashIndex) probe(v Value) []int {
-	if v == nil {
-		return nil
-	}
-	return idx.entries[v]
 }
