@@ -39,6 +39,12 @@ type Point struct {
 	FullScans   int64
 	PlanHits    int64
 	PlanMisses  int64
+	// RangeProbes counts B+tree range windows walked; SortPasses and
+	// RowsSorted count blocking sorts actually run — sort elision on
+	// ordered access paths shows up as zeros here.
+	RangeProbes int64
+	SortPasses  int64
+	RowsSorted  int64
 	// Tuples is the document size in tuples.
 	Tuples int
 }
@@ -127,6 +133,9 @@ func measure(runs int, setup func() (*engine.Store, error), op func(*engine.Stor
 			pt.FullScans = st.FullScans
 			pt.PlanHits = st.PlanCacheHits
 			pt.PlanMisses = st.PlanCacheMisses
+			pt.RangeProbes = st.RangeProbes
+			pt.SortPasses = st.SortPasses
+			pt.RowsSorted = st.RowsSorted
 		}
 		s.Restore(snap)
 	}
@@ -534,11 +543,12 @@ func WriteFigure(w io.Writer, fig *Figure) {
 	fmt.Fprintf(w, "# %s — %s\n", fig.ID, fig.Title)
 	for _, s := range fig.Series {
 		fmt.Fprintf(w, "## method: %s\n", s.Method)
-		fmt.Fprintf(w, "%-16s %12s %12s %14s %12s %10s %10s %10s %10s\n",
-			fig.XLabel, "time (s)", "statements", "rows scanned", "idx probes", "scans", "plan hit", "plan miss", "tuples")
+		fmt.Fprintf(w, "%-16s %12s %12s %14s %12s %10s %10s %10s %10s %10s %10s %10s\n",
+			fig.XLabel, "time (s)", "statements", "rows scanned", "idx probes", "scans", "rng probes", "sorts", "rows srtd", "plan hit", "plan miss", "tuples")
 		for _, p := range s.Points {
-			fmt.Fprintf(w, "%-16d %12.6f %12d %14d %12d %10d %10d %10d %10d\n",
-				p.X, p.Seconds, p.Statements, p.RowsScanned, p.IndexProbes, p.FullScans, p.PlanHits, p.PlanMisses, p.Tuples)
+			fmt.Fprintf(w, "%-16d %12.6f %12d %14d %12d %10d %10d %10d %10d %10d %10d %10d\n",
+				p.X, p.Seconds, p.Statements, p.RowsScanned, p.IndexProbes, p.FullScans,
+				p.RangeProbes, p.SortPasses, p.RowsSorted, p.PlanHits, p.PlanMisses, p.Tuples)
 		}
 	}
 }

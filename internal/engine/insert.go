@@ -201,14 +201,22 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 	s.AllocateIDs(maxID - minID + 1)
 
 	// Remap: one arithmetic UPDATE per temp table, then point the copied
-	// roots at their new parent.
+	// roots at their new parent. Bound parameters keep the remap statements
+	// on the prepared-plan path like the tuple-insert loops.
 	for i, elem := range subtree {
-		if _, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET id = id + %d, parentId = parentId + %d",
-			temp(elem), offset, offset)); err != nil {
+		remap, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET id = id + ?, parentId = parentId + ?", temp(elem)))
+		if err != nil {
+			return 0, err
+		}
+		if _, err := remap.Exec(offset, offset); err != nil {
 			return 0, err
 		}
 		if i == 0 {
-			if _, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET parentId = %d", temp(elem), dstParentID)); err != nil {
+			repoint, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET parentId = ?", temp(elem)))
+			if err != nil {
+				return 0, err
+			}
+			if _, err := repoint.Exec(dstParentID); err != nil {
 				return 0, err
 			}
 		}
@@ -325,14 +333,17 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 			return 0, err
 		}
 	}
-	// Point the copied roots at the destination parent.
-	newRoots := make([]string, len(srcIDs))
-	for i, id := range srcIDs {
-		newRoots[i] = fmt.Sprint(id + offset)
-	}
-	if _, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET parentId = %d WHERE id IN (%s)",
-		tm.Name, dstParentID, strings.Join(newRoots, ", "))); err != nil {
+	// Point the copied roots at the destination parent: one prepared UPDATE
+	// probing the id index, instead of minting a fresh IN-list statement
+	// shape per root count.
+	repoint, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET parentId = ? WHERE id = ?", tm.Name))
+	if err != nil {
 		return 0, err
+	}
+	for _, id := range srcIDs {
+		if _, err := repoint.Exec(dstParentID, id+offset); err != nil {
+			return 0, err
+		}
 	}
 	if err := s.insertASRPathsWithOffset(srcElem, "", offset, dstParentID, srcIDs); err != nil {
 		return 0, err
@@ -463,11 +474,15 @@ func (s *Store) InsertInlined(tableElem string, path []string, text string, wher
 	if rows.Data[0][0].(int64) > 0 {
 		return 0, fmt.Errorf("engine: insert over existing %s content (occurs at most once in the DTD)", strings.Join(path, "/"))
 	}
-	sql := fmt.Sprintf("UPDATE %s SET %s = %s", tm.Name, c.Name, relational.FormatValue(text))
+	sql := fmt.Sprintf("UPDATE %s SET %s = ?", tm.Name, c.Name)
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	return s.DB.Exec(sql)
+	upd, err := s.DB.Prepare(sql)
+	if err != nil {
+		return 0, err
+	}
+	return upd.Exec(text)
 }
 
 // InsertAttribute inserts an attribute value into matching tuples, failing
@@ -489,9 +504,13 @@ func (s *Store) InsertAttribute(tableElem string, path []string, attr, value, wh
 	if rows.Data[0][0].(int64) > 0 {
 		return 0, fmt.Errorf("engine: attribute %q already present on a target tuple", attr)
 	}
-	sql := fmt.Sprintf("UPDATE %s SET %s = %s", tm.Name, c.Name, relational.FormatValue(value))
+	sql := fmt.Sprintf("UPDATE %s SET %s = ?", tm.Name, c.Name)
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	return s.DB.Exec(sql)
+	upd, err := s.DB.Prepare(sql)
+	if err != nil {
+		return 0, err
+	}
+	return upd.Exec(value)
 }

@@ -172,60 +172,92 @@ type Subtree struct {
 	RootID int64
 }
 
-// Reconstruct reassembles the sorted wide-tuple stream into subtrees, one
-// per target tuple.
-func (p *Plan) Reconstruct(rows *relational.Rows) ([]*Subtree, error) {
-	var out []*Subtree
-	// Map from tuple id to its materialized element, within the current
+// reconstructor consumes the sorted wide-tuple stream one row at a time —
+// fed directly from the streaming query pipeline, so with sort elision the
+// first subtree assembles while the join is still producing later ones and
+// the wide-tuple result is never buffered whole.
+type reconstructor struct {
+	p   *Plan
+	out []*Subtree
+	// elems maps tuple ids to materialized elements within the current
 	// target subtree (ids are unique document-wide).
-	elems := make(map[int64]*xmltree.Element)
-	rank := make(map[*xmltree.Element]int)
-	var cur *Subtree
-	for _, row := range rows.Data {
-		elem, id, ok := p.tableOfRow(row)
-		if !ok {
-			return nil, fmt.Errorf("outerunion: all-NULL key row")
-		}
-		tm := p.M.Table(elem)
-		vals := make(map[string]relational.Value, len(tm.Columns)+2)
-		vals["id"] = id
-		for i, wi := range p.DataCols[elem] {
-			vals[strings.ToLower(tm.Columns[i].Name)] = row[wi]
-		}
-		e, err := p.M.ElementFromRow(elem, vals)
-		if err != nil {
-			return nil, err
-		}
-		if elem == p.Target {
-			cur = &Subtree{Root: e, RootID: id, IDs: make(map[string][]int64)}
-			cur.IDs[elem] = append(cur.IDs[elem], id)
-			out = append(out, cur)
-			elems = map[int64]*xmltree.Element{id: e}
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("outerunion: child tuple before any target tuple")
-		}
-		parentID, ok := row[p.IDCol[p.ParentOf[elem]]].(int64)
-		if !ok {
-			return nil, fmt.Errorf("outerunion: child tuple with NULL parent key")
-		}
-		parent := elems[parentID]
-		if parent == nil {
-			return nil, fmt.Errorf("outerunion: child tuple %d arrived before parent %d (sort violated)", id, parentID)
-		}
-		parent.AppendChild(e)
-		rank[e] = indexOf(p.Tables, elem)
-		elems[id] = e
-		cur.IDs[elem] = append(cur.IDs[elem], id)
+	elems map[int64]*xmltree.Element
+	rank  map[*xmltree.Element]int
+	cur   *Subtree
+}
+
+func (p *Plan) newReconstructor() *reconstructor {
+	return &reconstructor{
+		p:     p,
+		elems: make(map[int64]*xmltree.Element),
+		rank:  make(map[*xmltree.Element]int),
 	}
+}
+
+// feed consumes one wide tuple of the sorted stream.
+func (r *reconstructor) feed(row []relational.Value) error {
+	p := r.p
+	elem, id, ok := p.tableOfRow(row)
+	if !ok {
+		return fmt.Errorf("outerunion: all-NULL key row")
+	}
+	tm := p.M.Table(elem)
+	vals := make(map[string]relational.Value, len(tm.Columns)+2)
+	vals["id"] = id
+	for i, wi := range p.DataCols[elem] {
+		vals[strings.ToLower(tm.Columns[i].Name)] = row[wi]
+	}
+	e, err := p.M.ElementFromRow(elem, vals)
+	if err != nil {
+		return err
+	}
+	if elem == p.Target {
+		r.cur = &Subtree{Root: e, RootID: id, IDs: make(map[string][]int64)}
+		r.cur.IDs[elem] = append(r.cur.IDs[elem], id)
+		r.out = append(r.out, r.cur)
+		r.elems = map[int64]*xmltree.Element{id: e}
+		return nil
+	}
+	if r.cur == nil {
+		return fmt.Errorf("outerunion: child tuple before any target tuple")
+	}
+	parentID, ok := row[p.IDCol[p.ParentOf[elem]]].(int64)
+	if !ok {
+		return fmt.Errorf("outerunion: child tuple with NULL parent key")
+	}
+	parent := r.elems[parentID]
+	if parent == nil {
+		return fmt.Errorf("outerunion: child tuple %d arrived before parent %d (sort violated)", id, parentID)
+	}
+	parent.AppendChild(e)
+	r.rank[e] = indexOf(p.Tables, elem)
+	r.elems[id] = e
+	r.cur.IDs[elem] = append(r.cur.IDs[elem], id)
+	return nil
+}
+
+// finish reorders children and returns the assembled subtrees.
+func (r *reconstructor) finish() []*Subtree {
 	// NULLs-first sorting emits later sibling branches before earlier ones;
 	// restore schema order among table children (inlined children, with no
 	// rank, stay first).
-	for _, st := range out {
-		reorderChildren(st.Root, rank)
+	for _, st := range r.out {
+		reorderChildren(st.Root, r.rank)
 	}
-	return out, nil
+	return r.out
+}
+
+// Reconstruct reassembles a materialized sorted wide-tuple result into
+// subtrees, one per target tuple. Query streams instead; this remains for
+// callers that already hold the rows.
+func (p *Plan) Reconstruct(rows *relational.Rows) ([]*Subtree, error) {
+	r := p.newReconstructor()
+	for _, row := range rows.Data {
+		if err := r.feed(row); err != nil {
+			return nil, err
+		}
+	}
+	return r.finish(), nil
 }
 
 // reorderChildren stable-sorts each element's children by producing-table
@@ -276,14 +308,17 @@ func reorderChildren(e *xmltree.Element, rank map[*xmltree.Element]int) {
 // Query runs the outer union for the subtree(s) rooted at target matching
 // where, returning reconstructed subtrees. This is the binding phase shared
 // by the multilevel update algorithm (§6.3) and the insert methods (§6.2).
+// The wide-tuple stream feeds reconstruction row by row: under ordered
+// indexes the sort is elided and subtrees assemble in document order while
+// the pipeline still runs, never materializing the padded result.
 func Query(db *relational.DB, m *shred.Mapping, target, where string) ([]*Subtree, error) {
 	plan, err := BuildPlan(m, target)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := db.Query(plan.SQL(where))
-	if err != nil {
+	r := plan.newReconstructor()
+	if _, err := db.QueryEach(plan.SQL(where), r.feed); err != nil {
 		return nil, err
 	}
-	return plan.Reconstruct(rows)
+	return r.finish(), nil
 }

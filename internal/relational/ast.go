@@ -22,11 +22,14 @@ type DropTableStmt struct {
 
 func (*DropTableStmt) isStmt() {}
 
-// CreateIndexStmt is CREATE INDEX name ON table (col).
+// CreateIndexStmt is CREATE [ORDERED] INDEX name ON table (col, …). A
+// single-column plain index is a hash index; ORDERED (or a multi-column key,
+// which only an ordered structure can serve) builds a B+tree index.
 type CreateIndexStmt struct {
-	Name   string
-	Table  string
-	Column string
+	Name    string
+	Table   string
+	Columns []string
+	Ordered bool
 }
 
 func (*CreateIndexStmt) isStmt() {}
@@ -94,6 +97,14 @@ type SelectStmt struct {
 	With    []CTE
 	Body    []*SimpleSelect // UNION ALL branches, in order
 	OrderBy []OrderKey
+
+	// wants caches the per-CTE desired-order translation (order.go) for
+	// the statement's own ORDER BY; schema changes invalidate it like the
+	// compiled plans. Shape-cached statements re-execute thousands of
+	// times, so the propagation walk runs once, not per query.
+	wants      map[string][]OrderKey
+	wantsVer   int64
+	wantsValid bool
 }
 
 func (*SelectStmt) isStmt() {}

@@ -28,6 +28,14 @@ type Stats struct {
 	// path the executor chose.
 	IndexProbes int64
 	FullScans   int64
+	// RangeProbes counts bounded B+tree range scans — the access path of
+	// pos-window UPDATEs and sibling-window queries.
+	RangeProbes int64
+	// SortPasses counts blocking sort operators actually run; RowsSorted
+	// counts the rows they buffered. Sort elision drives both toward zero
+	// on ordered access paths.
+	SortPasses int64
+	RowsSorted int64
 	// HashJoinBuilds counts transient hash tables built for equality joins
 	// with no supporting index.
 	HashJoinBuilds int64
@@ -139,6 +147,28 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	return db.execSelect(sel, env)
 }
 
+// QueryEach executes a SELECT, streaming each result row to fn as the
+// pipeline produces it instead of materializing the result set — with sort
+// elision, an ordered query's first row arrives before the last is read.
+// fn must not issue statements on the same DB (the connection lock is
+// held). It returns the output column names.
+func (db *DB) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, args, err := db.preparedLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: QueryEach requires a SELECT, got %T", stmt)
+	}
+	db.stats.Statements++
+	env := newEnv(nil)
+	env.args = args
+	return db.streamSelect(sel, env, fn)
+}
+
 // MustExec executes a statement and panics on error. For schema setup in
 // tests and examples.
 func (db *DB) MustExec(sql string) int {
@@ -153,6 +183,24 @@ func (db *DB) MustExec(sql string) int {
 type Rows struct {
 	Cols []string
 	Data [][]Value
+	// order records the sort keys (output column positions) the Data slice
+	// is known to be ordered by — set when the producing pipeline ran with
+	// an explicit or propagated ORDER BY it could satisfy. Scans over a CTE
+	// backed by ordered Rows inherit this property, which is how document
+	// order flows through the Sorted Outer Union's WITH chain.
+	order []sortSpec
+	// consts records output column positions holding the same value in
+	// every row (NULL-padded outer-union columns, equality-pinned columns).
+	// Order satisfaction skips over them.
+	consts []int
+	// single marks a result known to hold at most one row — materialized
+	// CTEs record their actual cardinality, EXPLAIN stubs a prediction —
+	// so a join over it cannot disturb stream order.
+	single bool
+	// orderUnique marks the recorded order tuple as unique per row, which
+	// a consumer joining below this result needs before refining its order
+	// with deeper keys (equal-key rows would restart the deeper order).
+	orderUnique bool
 }
 
 // execEnv carries named CTE results, the OLD row binding for trigger
@@ -227,7 +275,10 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		// New indexes change the preferred join order; bump so plans
 		// reorder on next use.
 		db.schemaVer++
-		return 0, t.CreateIndex(s.Column)
+		if s.Ordered || len(s.Columns) > 1 {
+			return 0, t.CreateOrderedIndex(s.Columns...)
+		}
+		return 0, t.CreateIndex(s.Columns[0])
 	case *CreateTriggerStmt:
 		key := strings.ToLower(s.Name)
 		if _, dup := db.triggers[key]; dup {

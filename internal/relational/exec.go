@@ -142,11 +142,10 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 }
 
 // matchRows returns rowids of t satisfying where, in ascending order. The
-// access path — index probe on an equality conjunct or full scan — is
-// chosen by the same chooseAccess the SELECT pipeline uses; the plan is
-// compiled into the statement node. The loop itself is direct rather than
-// an iterator chain: trigger bodies run it once per firing, so it stays
-// lean.
+// access path — hash probe, B+tree range scan, or full scan — is chosen by
+// the same chooseAccessPlan the SELECT pipeline uses; the plan is compiled
+// into the statement node. The loop itself is direct rather than an
+// iterator chain: trigger bodies run it once per firing, so it stays lean.
 func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr, env *execEnv) ([]int, error) {
 	lp := db.matchPlanFor(planSlot, name, t, where)
 	ev := newEval(db, env)
@@ -162,14 +161,38 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		return true, nil
 	}
 	var rids []int
-	access, probe, idx := chooseAccess(lp, bind.srcs[0], 0)
-	if access == accessIndexProbe {
+	ap := chooseAccessPlan(lp, bind.srcs[0], 0, nil)
+	switch ap.kind {
+	case accessIndexProbe:
 		db.stats.IndexProbes++
-		v, err := ev.eval(probe.expr, bind)
+		v, err := ev.eval(ap.probe.expr, bind)
 		if err != nil {
 			return nil, err
 		}
-		for _, rid := range idx.probe(v) {
+		for _, rid := range ap.idx.probe(v) {
+			row := t.Row(rid)
+			if row == nil {
+				continue
+			}
+			db.stats.RowsScanned++
+			keep, err := check(row)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				rids = append(rids, rid)
+			}
+		}
+		sort.Ints(rids)
+		return rids, nil
+	case accessOrderedProbe, accessRangeScan:
+		// Walk the B+tree window; bound expressions are constants or OLD
+		// references here (single-table DML), evaluated once.
+		bucket, err := orderedBucketFor(db, ev, &ap, t, bind, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, rid := range bucket {
 			row := t.Row(rid)
 			if row == nil {
 				continue
@@ -299,22 +322,39 @@ func (b *binding) resolve(table, col string) (Value, bool, error) {
 // environment, each body branch compiles into a streaming pipeline, and the
 // drained rows form the result.
 func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
-	env = newEnvFrom(env)
+	return db.execSelectWant(s, env, nil)
+}
+
+// materializeCTEs evaluates a statement's CTEs into env, each steered by
+// the order its consumers want (cteWants).
+func (db *DB) materializeCTEs(s *SelectStmt, env *execEnv, extWant []OrderKey) error {
+	wants := db.cteWants(s, env, wantKeysOf(s, extWant))
 	for _, cte := range s.With {
-		rows, err := db.execSelect(cte.Select, env)
+		key := strings.ToLower(cte.Name)
+		rows, err := db.execSelectWant(cte.Select, env, wants[key])
 		if err != nil {
-			return nil, fmt.Errorf("relational: CTE %s: %w", cte.Name, err)
+			return fmt.Errorf("relational: CTE %s: %w", cte.Name, err)
 		}
 		if len(cte.Cols) > 0 {
 			if len(cte.Cols) != len(rows.Cols) {
-				return nil, fmt.Errorf("relational: CTE %s declares %d columns, query yields %d", cte.Name, len(cte.Cols), len(rows.Cols))
+				return fmt.Errorf("relational: CTE %s declares %d columns, query yields %d", cte.Name, len(cte.Cols), len(rows.Cols))
 			}
-			rows = &Rows{Cols: cte.Cols, Data: rows.Data}
+			rows = &Rows{Cols: cte.Cols, Data: rows.Data, order: rows.order, consts: rows.consts, single: rows.single, orderUnique: rows.orderUnique}
 		}
-		env.ctes[strings.ToLower(cte.Name)] = rows
+		env.ctes[key] = rows
 	}
+	return nil
+}
 
-	it, cols, err := db.buildSelectIter(s, env)
+// execSelectWant materializes a SELECT with an advisory desired order (the
+// want an enclosing statement propagated into this CTE). The want steers
+// access paths; it never adds a sort.
+func (db *DB) execSelectWant(s *SelectStmt, env *execEnv, extWant []OrderKey) (*Rows, error) {
+	env = newEnvFrom(env)
+	if err := db.materializeCTEs(s, env, extWant); err != nil {
+		return nil, err
+	}
+	it, cs, err := db.buildSelectIter(s, env, extWant)
 	if err != nil {
 		return nil, err
 	}
@@ -322,17 +362,58 @@ func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
 		return nil, err
 	}
 	defer it.Close()
-	out := &Rows{Cols: cols}
+	out := &Rows{Cols: cs.cols}
+	out.order, out.consts, out.orderUnique = cs.achievedOrder()
 	for {
 		row, ok, err := it.Next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
+			out.single = len(out.Data) <= 1
 			return out, nil
 		}
 		out.Data = append(out.Data, row)
 	}
+}
+
+// streamSelect drives a SELECT's pipeline row by row into fn without
+// materializing the top-level result (CTEs still materialize). fn must not
+// issue further statements on the same DB.
+func (db *DB) streamSelect(s *SelectStmt, env *execEnv, fn func([]Value) error) ([]string, error) {
+	env = newEnvFrom(env)
+	if err := db.materializeCTEs(s, env, nil); err != nil {
+		return nil, err
+	}
+	it, cs, err := db.buildSelectIter(s, env, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return cs.cols, nil
+		}
+		if err := fn(row); err != nil {
+			return cs.cols, err
+		}
+	}
+}
+
+// wantKeysOf returns the order keys that describe a statement's output: its
+// own ORDER BY, or the advisory want handed down by its consumer.
+func wantKeysOf(s *SelectStmt, extWant []OrderKey) []OrderKey {
+	if len(s.OrderBy) > 0 {
+		return s.OrderBy
+	}
+	return extWant
 }
 
 func newEnvFrom(parent *execEnv) *execEnv {

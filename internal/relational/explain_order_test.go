@@ -1,0 +1,141 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+
+	"fmt"
+)
+
+// Access-path regression pins for the three paper-shaped statements: the
+// conventional path query (index probes), Sorted Outer Union reconstruction
+// (ordered access, merged branches, no Sort operator), and the §8
+// pos-renumbering UPDATE (a B+tree range probe). These are the plans §7's
+// numbers depend on; a planner change that silently loses one shows up here
+// rather than as a benchmark regression.
+
+// paperSchema loads the shred-shaped two-level schema with the ordered
+// indexes CreateTablesSQL declares.
+func paperSchema(t testing.TB) *DB {
+	t.Helper()
+	db := NewDB()
+	for _, sql := range []string{
+		`CREATE TABLE Customer (id INTEGER, parentId INTEGER, name VARCHAR(40))`,
+		`CREATE TABLE Orders (id INTEGER, parentId INTEGER, pos INTEGER, d VARCHAR(40))`,
+		`CREATE ORDERED INDEX oidx_cust_id ON Customer (id)`,
+		`CREATE ORDERED INDEX oidx_ord_id ON Orders (id)`,
+		`CREATE ORDERED INDEX oidx_ord_pos ON Orders (parentId, pos)`,
+	} {
+		db.MustExec(sql)
+	}
+	for i := 1; i <= 5; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Customer VALUES (%d, NULL, 'c%d')`, i, i))
+		for j := 0; j < 3; j++ {
+			db.MustExec(fmt.Sprintf(`INSERT INTO Orders VALUES (%d, %d, %d, 'o')`, 100+i*10+j, i, j))
+		}
+	}
+	return db
+}
+
+// TestExplainConventionalPathProbes: the conventional path query's child
+// join runs as index probes, not scans.
+func TestExplainConventionalPathProbes(t *testing.T) {
+	db := paperSchema(t)
+	out, err := db.Explain(`SELECT C.name FROM Customer C, Orders O WHERE O.parentId = C.id AND O.d = 'o'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "IndexProbe") {
+		t.Errorf("conventional path query should probe:\n%s", out)
+	}
+	if strings.Contains(out, "HashJoin") {
+		t.Errorf("conventional path query fell back to a hash join:\n%s", out)
+	}
+}
+
+// souStatement is the two-level Sorted Outer Union reconstruction statement
+// (§5.2 shape: NULL-padded branches, ancestor key propagation, ORDER BY over
+// the id columns).
+const souStatement = `WITH Q1(C1, C2, C3, C4) AS (SELECT T.id, T.name, NULL, NULL FROM Customer T), ` +
+	`Q2(C1, C2, C3, C4) AS (SELECT Q1.C1, NULL, T.id, T.d FROM Q1, Orders T WHERE T.parentId = Q1.C1) ` +
+	`(SELECT * FROM Q1) UNION ALL (SELECT * FROM Q2) ORDER BY C1, C3`
+
+// TestExplainSOUElidesSort: the SOU reconstruction statement shows no Sort
+// operator — branches stream ordered (OrderedScan / OrderedProbe) and merge.
+func TestExplainSOUElidesSort(t *testing.T) {
+	db := paperSchema(t)
+	out, err := db.Explain(souStatement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Sort [") {
+		t.Errorf("SOU reconstruction should elide its sort:\n%s", out)
+	}
+	for _, want := range []string{"MergeAll [C1, C3]", "OrderedScan Customer AS T ordered [id]", "SortedProbe Orders AS T (parentId = Q1.C1) ordered [id]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SOU plan missing %q:\n%s", want, out)
+		}
+	}
+	// The elided plan is the executed plan: no sort pass runs, and the
+	// stream arrives in document order.
+	db.ResetStats()
+	rows, err := db.Query(souStatement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.SortPasses != 0 || st.RowsSorted != 0 {
+		t.Errorf("SOU executed a sort: %+v", st)
+	}
+	keys := []sortSpec{{col: 0}, {col: 2}}
+	for i := 1; i < len(rows.Data); i++ {
+		if compareRows(rows.Data[i-1], rows.Data[i], keys) > 0 {
+			t.Fatalf("merged SOU stream out of document order at row %d", i)
+		}
+	}
+}
+
+// TestExplainPosRenumberRangeScan: the §8 position-renumbering UPDATE runs
+// as a B+tree range probe over (parentId, pos), not a scan.
+func TestExplainPosRenumberRangeScan(t *testing.T) {
+	db := paperSchema(t)
+	out, err := db.Explain(`UPDATE Orders SET pos = pos + 1 WHERE parentId = 3 AND pos >= 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RangeScan Orders (parentId = 3 AND pos >= 1)") {
+		t.Errorf("pos renumbering should range-probe:\n%s", out)
+	}
+	db.ResetStats()
+	if n := db.MustExec(`UPDATE Orders SET pos = pos + 1 WHERE parentId = 3 AND pos >= 1`); n != 2 {
+		t.Errorf("renumbered %d rows, want 2", n)
+	}
+	st := db.Stats()
+	if st.RangeProbes == 0 {
+		t.Errorf("renumbering did not range-probe: %+v", st)
+	}
+	if st.FullScans != 0 {
+		t.Errorf("renumbering fell back to a scan: %+v", st)
+	}
+}
+
+// TestExplainDescElision: a DESC-ordered single-table query elides its sort
+// via a descending index walk.
+func TestExplainDescElision(t *testing.T) {
+	db := paperSchema(t)
+	out, err := db.Explain(`SELECT id FROM Orders ORDER BY id DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Sort [") || !strings.Contains(out, "OrderedScan Orders ordered [id DESC]") {
+		t.Errorf("DESC scan should walk the index backwards:\n%s", out)
+	}
+	rows, err := db.Query(`SELECT id FROM Orders ORDER BY id DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows.Data); i++ {
+		if compareValues(rows.Data[i-1][0], rows.Data[i][0]) < 0 {
+			t.Fatalf("descending stream ascends at %d", i)
+		}
+	}
+}

@@ -18,6 +18,18 @@ const (
 	accessScan accessKind = iota
 	accessIndexProbe
 	accessHashJoin
+	// accessOrderedProbe probes a B+tree index on an equality prefix,
+	// enumerating each group in remaining-key order.
+	accessOrderedProbe
+	// accessRangeScan walks a B+tree index between bounds (equality prefix
+	// plus an inequality window on the next key column).
+	accessRangeScan
+	// accessOrderedScan walks an entire B+tree index, streaming the source
+	// in key order — a scan that buys sort elision.
+	accessOrderedScan
+	// accessSortedProbe probes a hash index and sorts each (small) bucket
+	// by the wanted columns — order without maintaining a B+tree for it.
+	accessSortedProbe
 )
 
 // bindIter advances a shared binding through successive join tuples.
@@ -43,21 +55,19 @@ func (o *oneIter) Close() {}
 
 // levelIter binds one FROM slot per input tuple: for every tuple of its
 // input it enumerates the matching rows of its own source — via index
-// probe, transient hash join, or scan — and yields each combination that
-// passes the level's gated conjuncts.
+// probe, ordered probe, range scan, transient hash join, or scan — and
+// yields each combination that passes the level's gated conjuncts. The
+// access path is chosen at compile time (order.go) and shared with EXPLAIN.
 type levelIter struct {
 	db    *DB
 	ev    *exprEval
 	bind  *binding
 	src   *source
 	lp    levelPlan
-	pos   int // execution position in the pipeline (0 = first bound)
+	ap    accessPlan
 	input bindIter
 
-	access accessKind
-	probe  probeCand
-	idx    *hashIndex
-	ht     map[string][]int // transient hash table (rowids / row indexes)
+	ht map[string][]int // transient hash table (rowids / row indexes)
 
 	outerLive bool
 	scanPos   int
@@ -65,31 +75,7 @@ type levelIter struct {
 	bucketPos int
 }
 
-// chooseAccess picks the physical access path for a level against the live
-// database: the first candidate with a persistent index wins; otherwise a
-// correlated equality on a non-first level builds a hash join; otherwise
-// the source is scanned. Shared with EXPLAIN so the displayed plan is the
-// executed plan.
-func chooseAccess(lp levelPlan, src *source, pos int) (accessKind, probeCand, *hashIndex) {
-	for _, c := range lp.cands {
-		if src.table != nil {
-			if idx := src.table.lookupIndex(c.col); idx != nil {
-				return accessIndexProbe, c, idx
-			}
-		}
-	}
-	if pos > 0 {
-		for _, c := range lp.cands {
-			if c.correlated {
-				return accessHashJoin, c, nil
-			}
-		}
-	}
-	return accessScan, probeCand{}, nil
-}
-
 func (li *levelIter) Open() error {
-	li.access, li.probe, li.idx = chooseAccess(li.lp, li.src, li.pos)
 	li.ht = nil
 	li.outerLive = false
 	li.bind.rows[li.lp.slot] = nil
@@ -125,14 +111,14 @@ func (li *levelIter) Next() (bool, error) {
 // startInner begins enumerating the level's own source for the current
 // input tuple.
 func (li *levelIter) startInner() error {
-	switch li.access {
+	switch li.ap.kind {
 	case accessIndexProbe:
 		li.db.stats.IndexProbes++
-		v, err := li.ev.eval(li.probe.expr, li.bind)
+		v, err := li.ev.eval(li.ap.probe.expr, li.bind)
 		if err != nil {
 			return err
 		}
-		li.bucket = li.idx.probe(v)
+		li.bucket = li.ap.idx.probe(v)
 		li.bucketPos = 0
 	case accessHashJoin:
 		if li.ht == nil {
@@ -140,7 +126,7 @@ func (li *levelIter) startInner() error {
 				return err
 			}
 		}
-		v, err := li.ev.eval(li.probe.expr, li.bind)
+		v, err := li.ev.eval(li.ap.probe.expr, li.bind)
 		if err != nil {
 			return err
 		}
@@ -150,6 +136,38 @@ func (li *levelIter) startInner() error {
 			li.bucket = li.ht[valueString(v)]
 		}
 		li.bucketPos = 0
+	case accessOrderedProbe, accessRangeScan, accessOrderedScan:
+		bucket, err := li.orderedBucket()
+		if err != nil {
+			return err
+		}
+		li.bucket = bucket
+		li.bucketPos = 0
+	case accessSortedProbe:
+		li.db.stats.IndexProbes++
+		v, err := li.ev.eval(li.ap.probe.expr, li.bind)
+		if err != nil {
+			return err
+		}
+		li.bucket = append(li.bucket[:0], li.ap.idx.probe(v)...)
+		li.bucketPos = 0
+		t := li.src.table
+		terms := li.ap.innerOrder
+		sort.SliceStable(li.bucket, func(a, b int) bool {
+			ra, rb := t.Row(li.bucket[a]), t.Row(li.bucket[b])
+			for _, ot := range terms {
+				c := compareValues(ra[ot.col], rb[ot.col])
+				if c == 0 {
+					continue
+				}
+				if ot.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			// Rowid tiebreak reproduces the stable sort's tie order.
+			return li.bucket[a] < li.bucket[b]
+		})
 	default:
 		li.db.stats.FullScans++
 		li.scanPos = 0
@@ -157,14 +175,74 @@ func (li *levelIter) startInner() error {
 	return nil
 }
 
+// orderedBucket walks the level's B+tree index for the current input
+// tuple, collecting matching rowids in key order.
+func (li *levelIter) orderedBucket() ([]int, error) {
+	return orderedBucketFor(li.db, li.ev, &li.ap, li.src.table, li.bind, li.bucket[:0])
+}
+
+// orderedBucketFor evaluates an ordered access path's prefix and bounds
+// against the current binding and walks the B+tree window. A NULL prefix or
+// bound value matches nothing (SQL comparison semantics). A free function —
+// not a levelIter method — so the DML path can call it without building an
+// iterator (which would force its stack-allocated binding to escape).
+func orderedBucketFor(db *DB, ev *exprEval, ap *accessPlan, t *Table, bind *binding, buf []int) ([]int, error) {
+	// Deletions only tombstone B+tree entries; compact here — on the read
+	// path, before the walk — once stale entries outnumber live rows.
+	if t != nil && ap.oidx.stale > t.live {
+		ap.oidx.rebuild(t)
+	}
+	prefix := make([]Value, len(ap.eqPrefix))
+	for i, c := range ap.eqPrefix {
+		v, err := ev.eval(c.expr, bind)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		prefix[i] = v
+	}
+	var lo, hi *rangeBound
+	if ap.lo != nil {
+		v, err := ev.eval(ap.lo.expr, bind)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		lo = &rangeBound{val: v, incl: ap.lo.op == ">="}
+	}
+	if ap.hi != nil {
+		v, err := ev.eval(ap.hi.expr, bind)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		hi = &rangeBound{val: v, incl: ap.hi.op == "<="}
+	}
+	switch ap.kind {
+	case accessRangeScan:
+		db.stats.RangeProbes++
+	case accessOrderedScan:
+		db.stats.FullScans++
+	default:
+		db.stats.IndexProbes++
+	}
+	return ap.oidx.scanRange(prefix, lo, hi, ap.desc, buf), nil
+}
+
 // buildHash drains the level's source once into a transient hash table on
 // the probe column. Keys use valueString so hash equality matches SQL
 // equality across the int/string comparison the engine supports.
 func (li *levelIter) buildHash() error {
 	li.ht = make(map[string][]int)
-	ci := li.src.columnIndex(li.probe.col)
+	ci := li.src.columnIndex(li.ap.probe.col)
 	if ci < 0 {
-		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.probe.col)
+		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.ap.probe.col)
 	}
 	if t := li.src.table; t != nil {
 		for rid, row := range t.rows {
@@ -194,8 +272,8 @@ func (li *levelIter) buildHash() error {
 func (li *levelIter) advanceInner() (bool, error) {
 	for {
 		var row []Value
-		switch li.access {
-		case accessIndexProbe, accessHashJoin:
+		switch li.ap.kind {
+		case accessIndexProbe, accessHashJoin, accessOrderedProbe, accessRangeScan, accessOrderedScan, accessSortedProbe:
 			if li.bucketPos >= len(li.bucket) {
 				return false, nil
 			}
@@ -435,8 +513,10 @@ type sortSpec struct {
 }
 
 // sortIter materializes its input and emits it in key order. Sorting is the
-// only blocking operator in the pipeline.
+// only blocking operator in the pipeline; when the input already streams in
+// key order the compiler elides this operator entirely (order.go).
 type sortIter struct {
+	db    *DB
 	input rowIter
 	keys  []sortSpec
 	buf   [][]Value
@@ -459,18 +539,12 @@ func (s *sortIter) Open() error {
 		}
 		s.buf = append(s.buf, row)
 	}
+	if s.db != nil {
+		s.db.stats.SortPasses++
+		s.db.stats.RowsSorted += int64(len(s.buf))
+	}
 	sort.SliceStable(s.buf, func(a, b int) bool {
-		for _, k := range s.keys {
-			c := compareValues(s.buf[a][k.col], s.buf[b][k.col])
-			if c == 0 {
-				continue
-			}
-			if k.desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return compareRows(s.buf[a], s.buf[b], s.keys) < 0
 	})
 	return nil
 }
@@ -481,6 +555,81 @@ func (s *sortIter) Next() ([]Value, bool, error) {
 	}
 	row := s.buf[s.pos]
 	s.pos++
+	return row, true, nil
+}
+
+// compareRows orders two rows under the sort keys.
+func compareRows(a, b []Value, keys []sortSpec) int {
+	for _, k := range keys {
+		c := compareValues(a[k.col], b[k.col])
+		if c == 0 {
+			continue
+		}
+		if k.desc {
+			return -c
+		}
+		return c
+	}
+	return 0
+}
+
+// mergeIter merges UNION ALL branches that each already stream in key
+// order, emitting the globally sorted sequence without materializing.
+// Ties prefer the earliest branch, then that branch's stream order — the
+// exact sequence a stable sort of the concatenated branches would produce,
+// so elision never changes output.
+type mergeIter struct {
+	parts []rowIter
+	keys  []sortSpec
+	heads [][]Value
+}
+
+func (m *mergeIter) Open() error {
+	m.heads = make([][]Value, len(m.parts))
+	for i, p := range m.parts {
+		if err := p.Open(); err != nil {
+			return err
+		}
+		row, ok, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			m.heads[i] = row
+		}
+	}
+	return nil
+}
+
+func (m *mergeIter) Close() {
+	for _, p := range m.parts {
+		p.Close()
+	}
+}
+
+func (m *mergeIter) Next() ([]Value, bool, error) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || compareRows(h, m.heads[best], m.keys) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	row := m.heads[best]
+	next, ok, err := m.parts[best].Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.heads[best] = next
+	} else {
+		m.heads[best] = nil
+	}
 	return row, true, nil
 }
 
@@ -559,111 +708,293 @@ func outputColumns(s *SimpleSelect, srcs []*source) []string {
 	return cols
 }
 
-// buildSimpleIter compiles one SELECT body into a row iterator. Caller
-// holds db.mu.
-func (db *DB) buildSimpleIter(s *SimpleSelect, env *execEnv) (rowIter, []string, error) {
-	srcs, err := db.resolveSources(s, env)
-	if err != nil {
-		return nil, nil, err
-	}
-	cols := outputColumns(s, srcs)
+// bodyCompiled is one SELECT body's compiled form: resolved sources, the
+// logical plan, the physical access path per level, and whether the body's
+// stream satisfies the requested keys. EXPLAIN renders it; the executor
+// builds iterators from it — one decision, two consumers.
+type bodyCompiled struct {
+	sel       *SimpleSelect
+	srcs      []*source
+	plan      *simplePlan
+	access    []accessPlan
+	aggregate bool
+	satisfied bool
+	// pinned: the stream's order tuple is unique per row (order.go).
+	pinned bool
+}
 
+// compileSimple compiles one SELECT body against keys it would like the
+// stream ordered by (possibly none). srcs may carry pre-resolved sources
+// (nil to resolve here). Caller holds db.mu.
+func (db *DB) compileSimple(s *SimpleSelect, env *execEnv, keys []sortSpec, srcs []*source) (*bodyCompiled, error) {
+	if srcs == nil {
+		var err error
+		if srcs, err = db.resolveSources(s, env); err != nil {
+			return nil, err
+		}
+	}
 	// Validate column references eagerly so errors surface even when no
 	// rows flow through the join.
 	if !s.Star {
 		for _, se := range s.Exprs {
 			if err := validateRefs(se.Expr, srcs); err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 	}
 	if s.Where != nil {
 		if err := validateRefs(s.Where, srcs); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
-
-	ev := newEval(db, env)
-	if len(srcs) == 0 {
-		var it rowIter = &valuesIter{ev: ev, exprs: s.Exprs}
-		if s.Distinct {
-			it = &distinctIter{input: it}
-		}
-		return it, cols, nil
-	}
-
-	plan := db.planFor(s, srcs)
-	bind := &binding{
-		names: make([]string, len(srcs)),
-		srcs:  srcs,
-		rows:  make([][]Value, len(srcs)),
-	}
-	for i, src := range srcs {
-		bind.names[i] = strings.ToLower(src.name)
-	}
-	var chain bindIter = &oneIter{}
-	for pos, lp := range plan.levels {
-		chain = &levelIter{
-			db:    db,
-			ev:    ev,
-			bind:  bind,
-			src:   srcs[lp.slot],
-			lp:    lp,
-			pos:   pos,
-			input: chain,
-		}
-	}
-
-	aggregate := false
+	bc := &bodyCompiled{sel: s, srcs: srcs}
 	if !s.Star {
 		for _, se := range s.Exprs {
 			if containsAggregate(se.Expr) {
-				aggregate = true
+				bc.aggregate = true
 				break
 			}
 		}
 	}
+	if len(srcs) == 0 || bc.aggregate {
+		// A single output row satisfies any order and is trivially unique.
+		bc.satisfied = true
+		bc.pinned = true
+		if len(srcs) > 0 {
+			bc.plan = db.planFor(s, srcs)
+			bc.access, _, _ = planPhysical(bc.plan, srcs, nil)
+		}
+		return bc, nil
+	}
+	bc.plan = db.planFor(s, srcs)
+	want, mappable := mapWantTerms(s, srcs, keys)
+	if !mappable {
+		bc.access, _, _ = planPhysical(bc.plan, srcs, nil)
+		return bc, nil
+	}
+	bc.access, bc.satisfied, bc.pinned = planPhysical(bc.plan, srcs, want)
+	return bc, nil
+}
+
+// buildBodyIter turns a compiled body into its streaming iterator.
+func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
+	s := bc.sel
+	ev := newEval(db, env)
+	if len(bc.srcs) == 0 {
+		var it rowIter = &valuesIter{ev: ev, exprs: s.Exprs}
+		if s.Distinct {
+			it = &distinctIter{input: it}
+		}
+		return it
+	}
+	bind := &binding{
+		names: make([]string, len(bc.srcs)),
+		srcs:  bc.srcs,
+		rows:  make([][]Value, len(bc.srcs)),
+	}
+	for i, src := range bc.srcs {
+		bind.names[i] = strings.ToLower(src.name)
+	}
+	var chain bindIter = &oneIter{}
+	for pos, lp := range bc.plan.levels {
+		chain = &levelIter{
+			db:    db,
+			ev:    ev,
+			bind:  bind,
+			src:   bc.srcs[lp.slot],
+			lp:    lp,
+			ap:    bc.access[pos],
+			input: chain,
+		}
+	}
 	var it rowIter
-	if aggregate {
+	if bc.aggregate {
 		it = &aggIter{ev: ev, sel: s, bind: bind, input: chain}
 	} else {
 		it = &projectIter{ev: ev, sel: s, bind: bind, input: chain}
 	}
 	if s.Distinct {
+		// distinctIter streams first occurrences, preserving input order.
 		it = &distinctIter{input: it}
 	}
-	return it, cols, nil
+	return it
+}
+
+// selectCompiled is a full SELECT's compiled form (CTEs are the caller's
+// concern — materialized rows or EXPLAIN stubs live in env).
+type selectCompiled struct {
+	bodies []*bodyCompiled
+	cols   []string
+	// keys are the resolved ORDER BY positions (explicit, or the advisory
+	// want propagated from an enclosing statement).
+	keys     []sortSpec
+	explicit bool // statement has its own ORDER BY
+	// elide reports that every branch streams in key order already: no
+	// sort runs — a single branch passes through, branches merge.
+	elide bool
+	// singleRow predicts the statement yields at most one row (aggregate
+	// body, no FROM, or every level pinned by a unique-column equality).
+	singleRow bool
+}
+
+// compileSelect compiles a SELECT whose CTEs are already bound in env.
+// extWant is the advisory order an enclosing statement would like (CTE
+// materialization); it steers access paths but never adds a sort.
+func (db *DB) compileSelect(s *SelectStmt, env *execEnv, extWant []OrderKey) (*selectCompiled, error) {
+	cs := &selectCompiled{explicit: len(s.OrderBy) > 0}
+	orderKeys := s.OrderBy
+	if !cs.explicit {
+		orderKeys = extWant
+	}
+	// Keys resolve against the first branch's output columns.
+	srcs0, err := db.resolveSources(s.Body[0], env)
+	if err != nil {
+		return nil, err
+	}
+	cs.cols = outputColumns(s.Body[0], srcs0)
+	if len(orderKeys) > 0 {
+		keys, err := resolveOrderKeys(orderKeys, cs.cols)
+		if err != nil {
+			if cs.explicit {
+				return nil, err
+			}
+			keys = nil // unresolvable advisory want: ignore
+		}
+		cs.keys = keys
+	}
+	for i, body := range s.Body {
+		if i > 0 {
+			srcs0 = nil
+		}
+		bc, err := db.compileSimple(body, env, cs.keys, srcs0)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			if bcols := outputColumns(body, bc.srcs); len(bcols) != len(cs.cols) {
+				return nil, fmt.Errorf("relational: UNION ALL branches have %d vs %d columns", len(cs.cols), len(bcols))
+			}
+		}
+		cs.bodies = append(cs.bodies, bc)
+	}
+	if len(cs.keys) > 0 {
+		cs.elide = true
+		for _, bc := range cs.bodies {
+			if !bc.satisfied {
+				cs.elide = false
+				break
+			}
+		}
+	}
+	if len(cs.bodies) == 1 {
+		bc := cs.bodies[0]
+		cs.singleRow = bc.aggregate || len(bc.srcs) == 0
+		if !cs.singleRow && bc.plan != nil {
+			cs.singleRow = true
+			for _, lp := range bc.plan.levels {
+				if !singleRowLevel(lp, bc.srcs[lp.slot]) {
+					cs.singleRow = false
+					break
+				}
+			}
+		}
+	}
+	return cs, nil
+}
+
+// achievedOrder reports the output order the compiled statement's rows will
+// stream (and so materialize) in, plus the output columns known constant —
+// the properties recorded on CTE Rows for consumers to inherit.
+func (cs *selectCompiled) achievedOrder() (order []sortSpec, consts []int, unique bool) {
+	// Constants matter only next to a recorded order (consumers skip them
+	// between order terms); keyless results skip the computation.
+	if len(cs.bodies) == 1 && len(cs.keys) > 0 {
+		consts = cs.bodies[0].outputConsts()
+	}
+	satisfied := cs.explicit || (len(cs.bodies) == 1 && len(cs.keys) > 0 && cs.elide)
+	if !satisfied {
+		return nil, consts, false
+	}
+	constSet := make(map[int]bool, len(consts))
+	for _, c := range consts {
+		constSet[c] = true
+	}
+	for _, k := range cs.keys {
+		if !constSet[k.col] {
+			order = append(order, k)
+		}
+	}
+	// The order tuple is unique per row only for a single elided branch
+	// whose every level is pinned; a sorted or merged stream gives no such
+	// guarantee.
+	unique = len(cs.bodies) == 1 && cs.elide && (cs.bodies[0].pinned || cs.singleRow)
+	return order, consts, unique
+}
+
+// outputConsts lists output positions that hold one value across all rows:
+// literal select expressions and columns pinned by an uncorrelated equality
+// or constant in the source CTE.
+func (bc *bodyCompiled) outputConsts() []int {
+	if bc.plan == nil && len(bc.srcs) > 0 {
+		return nil
+	}
+	var binds map[[2]int]bool
+	if bc.plan != nil {
+		binds = constBindCols(bc.plan, bc.srcs)
+	}
+	var out []int
+	if bc.sel.Star {
+		pos := 0
+		for si, src := range bc.srcs {
+			for ci := range src.columns() {
+				if binds[[2]int{si, ci}] {
+					out = append(out, pos)
+				}
+				pos++
+			}
+		}
+		return out
+	}
+	for i, se := range bc.sel.Exprs {
+		switch e := se.Expr.(type) {
+		case *Literal, *Param:
+			out = append(out, i)
+		case *ColumnRef:
+			slot := resolveSlot(e, bc.srcs)
+			if slot < 0 {
+				continue
+			}
+			if ci := bc.srcs[slot].columnIndex(e.Name); ci >= 0 && binds[[2]int{slot, ci}] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
 }
 
 // buildSelectIter compiles a full SELECT (whose CTEs are already
-// materialized in env) into its top-level row iterator.
-func (db *DB) buildSelectIter(s *SelectStmt, env *execEnv) (rowIter, []string, error) {
-	var parts []rowIter
-	var cols []string
-	for i, body := range s.Body {
-		it, bcols, err := db.buildSimpleIter(body, env)
-		if err != nil {
-			return nil, nil, err
-		}
-		if i == 0 {
-			cols = bcols
-		} else if len(bcols) != len(cols) {
-			return nil, nil, fmt.Errorf("relational: UNION ALL branches have %d vs %d columns", len(cols), len(bcols))
-		}
-		parts = append(parts, it)
+// materialized in env) into its top-level row iterator, reporting the
+// achieved output order for Rows annotation.
+func (db *DB) buildSelectIter(s *SelectStmt, env *execEnv, extWant []OrderKey) (rowIter, *selectCompiled, error) {
+	cs, err := db.compileSelect(s, env, extWant)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := make([]rowIter, len(cs.bodies))
+	for i, bc := range cs.bodies {
+		parts[i] = db.buildBodyIter(bc, env)
 	}
 	var top rowIter
-	if len(parts) == 1 {
+	switch {
+	case cs.explicit && cs.elide && len(parts) > 1:
+		top = &mergeIter{parts: parts, keys: cs.keys}
+	case len(parts) == 1:
 		top = parts[0]
-	} else {
+	default:
 		top = &unionIter{parts: parts}
 	}
-	if len(s.OrderBy) > 0 {
-		keys, err := resolveOrderKeys(s.OrderBy, cols)
-		if err != nil {
-			return nil, nil, err
-		}
-		top = &sortIter{input: top, keys: keys}
+	if cs.explicit && !cs.elide {
+		top = &sortIter{db: db, input: top, keys: cs.keys}
 	}
-	return top, cols, nil
+	return top, cs, nil
 }

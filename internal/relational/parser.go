@@ -129,7 +129,11 @@ func (p *sqlParser) parseCreate() (Stmt, error) {
 		return p.parseCreateTableBody(true)
 	case p.kw("TABLE"):
 		return p.parseCreateTableBody(false)
-	case p.kw("INDEX"):
+	case p.peekKw("ORDERED"), p.peekKw("INDEX"):
+		ordered := p.kw("ORDERED")
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
@@ -144,14 +148,22 @@ func (p *sqlParser) parseCreate() (Stmt, error) {
 		if err := p.expectSym("("); err != nil {
 			return nil, err
 		}
-		col, err := p.ident()
-		if err != nil {
-			return nil, err
+		var cols []string
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, col)
+			if p.sym(",") {
+				continue
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			break
 		}
-		if err := p.expectSym(")"); err != nil {
-			return nil, err
-		}
-		return &CreateIndexStmt{Name: name, Table: table, Column: col}, nil
+		return &CreateIndexStmt{Name: name, Table: table, Columns: cols, Ordered: ordered}, nil
 	case p.kw("TRIGGER"):
 		return p.parseCreateTrigger()
 	default:
@@ -658,16 +670,40 @@ func (p *sqlParser) parseComparison() (Expr, error) {
 		}
 		return &IsNull{X: l, Negate: neg}, nil
 	}
-	// [NOT] IN (…)
+	// [NOT] IN (…) and [NOT] BETWEEN lo AND hi
 	neg := false
 	if p.peekKw("NOT") {
 		save := p.i
 		p.i++
-		if !p.peekKw("IN") {
+		if !p.peekKw("IN") && !p.peekKw("BETWEEN") {
 			p.i = save
 		} else {
 			neg = true
 		}
+	}
+	if p.kw("BETWEEN") {
+		// Desugared to (l >= lo AND l <= hi), so the planner sees two plain
+		// range conjuncts and can turn them into B+tree bounds.
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		rng := &Binary{
+			Op: "AND",
+			L:  &Binary{Op: ">=", L: l, R: lo},
+			R:  &Binary{Op: "<=", L: l, R: hi},
+		}
+		if neg {
+			return &Unary{Op: "NOT", X: rng}, nil
+		}
+		return rng, nil
 	}
 	if p.kw("IN") {
 		if err := p.expectSym("("); err != nil {

@@ -25,6 +25,31 @@ type probeCand struct {
 	correlated bool
 }
 
+// rangeCand is an inequality conjunct `col OP expr` (OP ∈ <, <=, >, >=,
+// with BETWEEN already desugared by the parser) usable as a B+tree range
+// bound: col belongs to the source and expr references only earlier-bound
+// sources. op is normalized so col is always on the left.
+type rangeCand struct {
+	col  string
+	op   string
+	expr Expr
+}
+
+// flipOp mirrors a comparison across its operands (`5 <= pos` → `pos >= 5`).
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
 // levelPlan is one pipeline stage of a join: which FROM slot it binds, the
 // conjuncts first checkable here, and its access-path candidates.
 // schemaVer is used only when a levelPlan stands alone as a DML access
@@ -33,6 +58,7 @@ type levelPlan struct {
 	slot      int // index into the original FROM list (and the binding)
 	conds     []Expr
 	cands     []probeCand
+	ranges    []rangeCand
 	schemaVer int64
 }
 
@@ -42,6 +68,14 @@ type levelPlan struct {
 type simplePlan struct {
 	levels    []levelPlan
 	schemaVer int64
+
+	// access caches the physical access-path choice for executions with no
+	// order interest, valid while the source tables' summed indexEpoch is
+	// unchanged (accessValid gates first use). Bodies over CTE sources are
+	// not cached — their result sets differ per execution.
+	access      []accessPlan
+	accessEpoch int64
+	accessValid bool
 }
 
 // planFor returns the plan compiled into a SimpleSelect, building it on
@@ -108,6 +142,10 @@ func planSimple(s *SimpleSelect, srcs []*source) *simplePlan {
 					expr:       expr,
 					correlated: len(refSlots(expr, srcs)) > 0,
 				})
+				continue
+			}
+			if rc, ok := rangeCandidate(c, slot, srcs, posOf, lvl); ok {
+				plan.levels[lvl].ranges = append(plan.levels[lvl].ranges, rc)
 			}
 		}
 	}
@@ -141,6 +179,10 @@ func planMatch(name string, t *Table, where Expr) levelPlan {
 	for _, c := range lp.conds {
 		if col, expr, ok := probeCandidate(c, 0, srcs, posOf, 0); ok {
 			lp.cands = append(lp.cands, probeCand{col: col, expr: expr})
+			continue
+		}
+		if rc, ok := rangeCandidate(c, 0, srcs, posOf, 0); ok {
+			lp.ranges = append(lp.ranges, rc)
 		}
 	}
 	return lp
@@ -239,6 +281,40 @@ func probeCandidate(c Expr, slot int, srcs []*source, posOf []int, lvl int) (str
 	return try(b.R, b.L)
 }
 
+// rangeCandidate checks whether conjunct c is `slot.col OP expr` (either
+// side, OP an inequality) with expr referencing only earlier-bound sources,
+// returning the normalized candidate.
+func rangeCandidate(c Expr, slot int, srcs []*source, posOf []int, lvl int) (rangeCand, bool) {
+	b, ok := c.(*Binary)
+	if !ok {
+		return rangeCand{}, false
+	}
+	switch b.Op {
+	case "<", "<=", ">", ">=":
+	default:
+		return rangeCand{}, false
+	}
+	try := func(l, r Expr, op string) (rangeCand, bool) {
+		cr, ok := l.(*ColumnRef)
+		if !ok || resolveSlot(cr, srcs) != slot {
+			return rangeCand{}, false
+		}
+		if containsAggregate(r) {
+			return rangeCand{}, false
+		}
+		for _, s := range refSlots(r, srcs) {
+			if posOf[s] >= lvl {
+				return rangeCand{}, false
+			}
+		}
+		return rangeCand{col: cr.Name, op: op, expr: r}, true
+	}
+	if rc, ok := try(b.L, b.R, b.Op); ok {
+		return rc, true
+	}
+	return try(b.R, b.L, flipOp(b.Op))
+}
+
 // orderSources greedily orders the FROM slots: the most syntactically
 // selective source seeds the pipeline, then the source best connected to
 // the already-bound set is appended, preferring equality edges onto indexed
@@ -275,12 +351,17 @@ func orderSources(srcs []*source, conjs []Expr, refs [][]int) []int {
 
 // accessScore rates binding `slot` next, given the already-bound set:
 //
-//	4 — equality on an indexed column whose other side is already computable
-//	3 — equality whose other side is already computable (hash-joinable /
+//	8 — equality on an indexed column whose other side is already computable
+//	6 — equality whose other side is already computable (hash-joinable /
 //	    constant selection)
-//	2 — some conjunct becomes fully checkable here
-//	1 — the source has any single-source predicate at all
+//	5 — inequality on the leading column of an ordered index with the other
+//	    side computable (a B+tree range probe)
+//	4 — some conjunct becomes fully checkable here
+//	2 — the source has any single-source predicate at all
 //	0 — cross product
+//
+// The range tier sits between equality and mere checkability: a bounded
+// B+tree walk reads only the window, but an equality probe is still tighter.
 func accessScore(slot int, srcs []*source, conjs []Expr, refs [][]int, bound []bool) int {
 	score := 0
 	for i, c := range conjs {
@@ -297,27 +378,58 @@ func accessScore(slot int, srcs []*source, conjs []Expr, refs [][]int, bound []b
 			continue
 		}
 		if !allBoundOrSelf {
-			if score < 1 {
-				score = 1
+			if score < 2 {
+				score = 2
 			}
 			continue
 		}
 		// Fully checkable once slot binds.
-		if score < 2 {
-			score = 2
+		if score < 4 {
+			score = 4
 		}
-		if b, ok := c.(*Binary); ok && b.Op == "=" {
+		b, ok := c.(*Binary)
+		if !ok {
+			continue
+		}
+		if b.Op == "=" {
 			if col, ok := equalitySide(b, slot, srcs, bound); ok {
-				if srcs[slot].table != nil && srcs[slot].table.lookupIndex(col) != nil {
-					return 4
+				if t := srcs[slot].table; t != nil && (t.lookupIndex(col) != nil || t.orderedLeadIndex(col) != nil) {
+					return 8
 				}
-				if score < 3 {
-					score = 3
+				if score < 6 {
+					score = 6
+				}
+			}
+		} else if score < 5 && (b.Op == "<" || b.Op == "<=" || b.Op == ">" || b.Op == ">=") {
+			if col, ok := inequalitySide(b, slot, srcs, bound); ok {
+				if t := srcs[slot].table; t != nil && t.orderedLeadIndex(col) != nil {
+					score = 5
 				}
 			}
 		}
 	}
 	return score
+}
+
+// inequalitySide checks `slot.col OP expr(bound sources)` in either
+// direction and returns the column name on slot's side.
+func inequalitySide(b *Binary, slot int, srcs []*source, bound []bool) (string, bool) {
+	try := func(l, r Expr) (string, bool) {
+		cr, ok := l.(*ColumnRef)
+		if !ok || resolveSlot(cr, srcs) != slot {
+			return "", false
+		}
+		for _, s := range refSlots(r, srcs) {
+			if s == slot || !bound[s] {
+				return "", false
+			}
+		}
+		return cr.Name, true
+	}
+	if col, ok := try(b.L, b.R); ok {
+		return col, ok
+	}
+	return try(b.R, b.L)
 }
 
 // equalitySide checks `slot.col = expr(bound sources)` in either direction

@@ -13,6 +13,11 @@ type DBSnapshot struct {
 type tableSnap struct {
 	rows [][]Value
 	live int
+	// ordered captures each B+tree index's live entries in key order
+	// (entry values are immutable, so they are shared, not copied). A
+	// restore bulk-rebuilds the tree from this without re-sorting or
+	// per-key allocation — benchmarks restore between every iteration.
+	ordered map[string][]bkey
 }
 
 // Snapshot captures the current contents of every table. Schema objects
@@ -32,7 +37,14 @@ func (db *DB) Snapshot() *DBSnapshot {
 			copy(cp, r)
 			rows[i] = cp
 		}
-		s.tables[key] = tableSnap{rows: rows, live: t.live}
+		snap := tableSnap{rows: rows, live: t.live}
+		if len(t.ordered) > 0 {
+			snap.ordered = make(map[string][]bkey, len(t.ordered))
+			for name, oidx := range t.ordered {
+				snap.ordered[name] = oidx.tree.collectLive(t, make([]bkey, 0, t.live))
+			}
+		}
+		s.tables[key] = snap
 	}
 	return s
 }
@@ -73,5 +85,17 @@ func (db *DB) Restore(s *DBSnapshot) {
 			}
 			t.index[strings.ToLower(col)] = rebuilt
 		}
+		for name, oidx := range t.ordered {
+			if entries, ok := snap.ordered[name]; ok {
+				oidx.tree = newBTreeFromSorted(entries)
+				oidx.stale = 0
+				continue
+			}
+			// Index created after the snapshot: rebuild from the rows.
+			oidx.rebuild(t)
+		}
+		// Hash index objects were replaced above; invalidate access plans
+		// caching pointers to them.
+		t.indexEpoch++
 	}
 }

@@ -49,11 +49,30 @@ type Table struct {
 	rows  [][]Value // nil entry = deleted
 	live  int
 	index map[string]*hashIndex // keyed by lower-case column name
+	// ordered holds the B+tree indexes, keyed by their canonical
+	// comma-joined column list; orderedList caches them sorted by that key
+	// for allocation-free iteration on the planning path (index.go).
+	ordered     map[string]*orderedIndex
+	orderedList []*orderedIndex
+	// uniqueCols marks columns holding at most one row per value — the
+	// auto-indexed tuple-id column, whose uniqueness the shredder
+	// guarantees. An equality on a unique column pins a join level to a
+	// single row, which order planning exploits (order.go).
+	uniqueCols map[int]bool
+	// indexEpoch increments whenever the table's index set (or an index's
+	// identity, as on snapshot restore) changes. Cached physical access
+	// plans validate against the sum of their sources' epochs.
+	indexEpoch int64
 }
 
 // NewTable creates an empty table.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{Name: name, Schema: schema, index: make(map[string]*hashIndex)}
+	return &Table{
+		Name:    name,
+		Schema:  schema,
+		index:   make(map[string]*hashIndex),
+		ordered: make(map[string]*orderedIndex),
+	}
 }
 
 // RowCount returns the number of live rows.
@@ -73,6 +92,20 @@ func (t *Table) Insert(vals []Value) (int, error) {
 		}
 		row[i] = cv
 	}
+	// Unique key columns are enforced, not assumed: order planning elides
+	// sorts on the premise that an id equality pins one row, so a
+	// duplicate must fail loudly here rather than corrupt orderings later.
+	if len(t.uniqueCols) > 0 {
+		for _, idx := range t.index {
+			if !t.uniqueCols[idx.col] {
+				continue
+			}
+			if v := row[idx.col]; v != nil && len(idx.probe(v)) > 0 {
+				return 0, fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
+					v, t.Name, t.Schema.Columns[idx.col].Name)
+			}
+		}
+	}
 	rid := len(t.rows)
 	t.rows = append(t.rows, row)
 	t.live++
@@ -80,6 +113,9 @@ func (t *Table) Insert(vals []Value) (int, error) {
 		if v := row[idx.col]; v != nil {
 			idx.entries[v] = append(idx.entries[v], rid)
 		}
+	}
+	for _, oidx := range t.orderedList {
+		oidx.tree.insert(oidx.keyFor(rid, row))
 	}
 	return rid, nil
 }
@@ -98,19 +134,57 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 	}
 	t.rows[rid] = nil
 	t.live--
+	// Ordered indexes tombstone lazily: readers skip entries whose row is
+	// gone, and the next ordered read compacts the tree once stale entries
+	// outnumber live ones (index.go) — bulk deletes never pay a descent.
+	for _, oidx := range t.orderedList {
+		oidx.stale++
+	}
 	return row, nil
 }
 
 // Update overwrites the given columns of a row, maintaining indexes.
+// Ordered-index keys are unlinked before the row mutates and re-inserted
+// after, so a multi-column assignment moves each B+tree entry exactly once.
 func (t *Table) Update(rid int, cols []int, vals []Value) error {
 	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
 		return fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
 	row := t.rows[rid]
+	var touched []*orderedIndex
+	for _, oidx := range t.orderedList {
+		for _, ci := range cols {
+			if oidx.covers(ci) {
+				oidx.tree.remove(oidx.keyFor(rid, row))
+				touched = append(touched, oidx)
+				break
+			}
+		}
+	}
+	// Re-key under whatever state the row ends up in — a coercion error
+	// leaves earlier assignments applied, and the index must track the row.
+	defer func() {
+		for _, oidx := range touched {
+			oidx.tree.insert(oidx.keyFor(rid, row))
+		}
+	}()
 	for i, ci := range cols {
 		cv, err := coerce(vals[i], t.Schema.Columns[ci].Type)
 		if err != nil {
 			return fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[ci].Name, err)
+		}
+		if t.uniqueCols[ci] && cv != nil {
+			for _, idx := range t.index {
+				if idx.col != ci {
+					continue
+				}
+				for _, other := range idx.probe(cv) {
+					if other != rid {
+						return fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
+							cv, t.Name, t.Schema.Columns[ci].Name)
+					}
+				}
+			}
 		}
 		for _, idx := range t.index {
 			if idx.col != ci {

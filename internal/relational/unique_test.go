@@ -1,0 +1,22 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUniqueIDEnforced(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER, x INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (5, 3)`)
+	if _, err := db.Exec(`INSERT INTO t VALUES (5, 1)`); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate id accepted: %v", err)
+	}
+	db.MustExec(`INSERT INTO t VALUES (6, 1)`)
+	if _, err := db.Exec(`UPDATE t SET id = 5 WHERE id = 6`); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate id via UPDATE accepted: %v", err)
+	}
+	// Self-assignment and fresh values stay legal.
+	db.MustExec(`UPDATE t SET id = 6 WHERE id = 6`)
+	db.MustExec(`UPDATE t SET id = 7 WHERE id = 6`)
+}

@@ -270,7 +270,14 @@ func BuildMapping(dtd *xmltree.DTD, root string, opts Options) (*Mapping, error)
 
 // CreateTablesSQL returns the CREATE TABLE and CREATE INDEX statements for
 // the mapping: one table per 1:n element with id/parentId columns, indexed
-// on both (the paper's schema setup).
+// on both (the paper's schema setup). Ordered B+tree indexes ride along:
+// (id) streams each relation in document order for the Sorted Outer Union
+// (its writes are ascending-id appends, so maintenance stays cheap), and
+// (parentId, pos) — under order-preserving storage — turns sibling-window
+// position maintenance into range probes. Child branches of the outer
+// union need per-parent id order, which the executor gets by sorting each
+// parentId hash bucket; a (parentId, id) B+tree would buy the same order
+// at a mid-tree insertion per copied tuple.
 func (m *Mapping) CreateTablesSQL() []string {
 	var out []string
 	for _, elem := range m.TableOrder {
@@ -290,6 +297,10 @@ func (m *Mapping) CreateTablesSQL() []string {
 		out = append(out, fmt.Sprintf("CREATE TABLE %s (%s)", tm.Name, strings.Join(cols, ", ")))
 		out = append(out, fmt.Sprintf("CREATE INDEX idx_%s_id ON %s (id)", tm.Name, tm.Name))
 		out = append(out, fmt.Sprintf("CREATE INDEX idx_%s_parent ON %s (parentId)", tm.Name, tm.Name))
+		out = append(out, fmt.Sprintf("CREATE ORDERED INDEX oidx_%s_id ON %s (id)", tm.Name, tm.Name))
+		if m.Opts.OrderColumn {
+			out = append(out, fmt.Sprintf("CREATE ORDERED INDEX oidx_%s_pos ON %s (parentId, pos)", tm.Name, tm.Name))
+		}
 	}
 	return out
 }
