@@ -43,8 +43,9 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 		return 0, err
 	}
 	idMap := make(map[int64]int64)
-	// One prepared INSERT per relation: the per-tuple loop binds values
-	// instead of re-formatting and re-parsing SQL for every tuple.
+	// One prepared INSERT per relation (Store-cached, so repeated copies
+	// reuse the parse too): the per-tuple loop binds values instead of
+	// re-formatting and re-parsing SQL for every tuple.
 	inserts := make(map[string]*relational.Prepared)
 	roots := 0
 	for _, row := range rows.Data {
@@ -79,7 +80,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 				marks = append(marks, "?")
 			}
 			var err error
-			p, err = s.DB.Prepare(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+			p, err = s.prep(fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
 				tm.Name, strings.Join(cols, ", "), strings.Join(marks, ", ")))
 			if err != nil {
 				return roots, err
@@ -201,10 +202,10 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 	s.AllocateIDs(maxID - minID + 1)
 
 	// Remap: one arithmetic UPDATE per temp table, then point the copied
-	// roots at their new parent. Bound parameters keep the remap statements
-	// on the prepared-plan path like the tuple-insert loops.
+	// roots at their new parent. The Store-cached prepared statements keep
+	// the remaps on the one-parse path like the tuple-insert loops.
 	for i, elem := range subtree {
-		remap, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET id = id + ?, parentId = parentId + ?", temp(elem)))
+		remap, err := s.prep(fmt.Sprintf("UPDATE %s SET id = id + ?, parentId = parentId + ?", temp(elem)))
 		if err != nil {
 			return 0, err
 		}
@@ -212,7 +213,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 			return 0, err
 		}
 		if i == 0 {
-			repoint, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET parentId = ?", temp(elem)))
+			repoint, err := s.prep(fmt.Sprintf("UPDATE %s SET parentId = ?", temp(elem)))
 			if err != nil {
 				return 0, err
 			}
@@ -336,7 +337,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 	// Point the copied roots at the destination parent: one prepared UPDATE
 	// probing the id index, instead of minting a fresh IN-list statement
 	// shape per root count.
-	repoint, err := s.DB.Prepare(fmt.Sprintf("UPDATE %s SET parentId = ? WHERE id = ?", tm.Name))
+	repoint, err := s.prep(fmt.Sprintf("UPDATE %s SET parentId = ? WHERE id = ?", tm.Name))
 	if err != nil {
 		return 0, err
 	}

@@ -8,8 +8,12 @@ import "sort"
 // direction. Keys order by compareValues column-wise with the rowid as the
 // final tiebreak, which makes every key unique and — because rowids are
 // assigned in insertion order — makes equal-key runs stream in the same
-// order a stable sort of the heap would produce. That identity is what lets
-// sort elision replace sortIter without changing a single output row.
+// order a stable sort of the heap would produce. When sort elision walks an
+// index whose key columns are exactly the ORDER BY keys, the elided stream
+// is therefore row-for-row identical to the sorted one; when the ORDER BY
+// consumes only a prefix of the key, rows tied on the prefix stream in
+// trailing-key order instead of heap order — a different (still valid)
+// resolution of ties the ORDER BY leaves unspecified.
 
 // btreeMaxKeys bounds the entries per node; nodes split at the bound. 64
 // keeps the tree shallow for document-scale tables while splits stay cheap.

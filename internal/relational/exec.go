@@ -161,7 +161,7 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		return true, nil
 	}
 	var rids []int
-	ap := chooseAccessPlan(lp, bind.srcs[0], 0, nil)
+	ap := chooseAccessPlan(lp, bind.srcs[0], 0, nil, true)
 	switch ap.kind {
 	case accessIndexProbe:
 		db.stats.IndexProbes++

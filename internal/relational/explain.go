@@ -74,7 +74,7 @@ func (db *DB) explainStmt(b *strings.Builder, stmt Stmt, depth int) error {
 func (db *DB) explainMatch(b *strings.Builder, name string, t *Table, where Expr, depth int) {
 	lp := planMatch(name, t, where)
 	src := &source{name: name, table: t}
-	ap := chooseAccessPlan(lp, src, 0, nil)
+	ap := chooseAccessPlan(lp, src, 0, nil, true)
 	indentLine(b, depth, levelLine(lp, src, ap))
 }
 

@@ -226,14 +226,8 @@ func (t *Table) refreshOrderedList() {
 // OrderedIndexes returns the key-column lists of the table's ordered
 // indexes, sorted by canonical name. Plan introspection and tests use it.
 func (t *Table) OrderedIndexes() [][]string {
-	names := make([]string, 0, len(t.ordered))
-	for name := range t.ordered {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	out := make([][]string, len(names))
-	for i, name := range names {
-		idx := t.ordered[name]
+	out := make([][]string, len(t.orderedList))
+	for i, idx := range t.orderedList {
 		cols := make([]string, len(idx.cols))
 		for j, ci := range idx.cols {
 			cols[j] = t.Schema.Columns[ci].Name

@@ -576,8 +576,10 @@ func compareRows(a, b []Value, keys []sortSpec) int {
 // mergeIter merges UNION ALL branches that each already stream in key
 // order, emitting the globally sorted sequence without materializing.
 // Ties prefer the earliest branch, then that branch's stream order — the
-// exact sequence a stable sort of the concatenated branches would produce,
-// so elision never changes output.
+// sequence a stable sort of the concatenated branches would produce,
+// modulo each branch's own resolution of key ties (see btree.go: an index
+// walk consuming only a prefix of its key orders ties by the trailing
+// columns, where the sorted path would keep heap order).
 type mergeIter struct {
 	parts []rowIter
 	keys  []sortSpec

@@ -152,7 +152,7 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 		}
 		access := make([]accessPlan, len(plan.levels))
 		for pos, lp := range plan.levels {
-			access[pos] = chooseAccessPlan(lp, srcs[lp.slot], pos, nil)
+			access[pos] = chooseAccessPlan(lp, srcs[lp.slot], pos, nil, true)
 		}
 		if cacheable {
 			plan.access = access
@@ -185,19 +185,25 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 	access := make([]accessPlan, len(plan.levels))
 	for pos, lp := range plan.levels {
 		skip()
+		// upcoming collects the same-slot prefix of the unconsumed keys;
+		// wantEnds records whether that prefix runs to the end of want —
+		// order terms beyond it are then harmless — or stops at another
+		// slot's key, which any trailing term would fail to match.
 		var upcoming []wantTerm
+		wantEnds := true
 		if alive && !singleSlot[lp.slot] {
 			for j := wi; j < len(want); j++ {
 				if isConst(want[j]) {
 					continue
 				}
 				if want[j].slot != lp.slot {
+					wantEnds = false
 					break
 				}
 				upcoming = append(upcoming, want[j])
 			}
 		}
-		ap := chooseAccessPlan(lp, srcs[lp.slot], pos, upcoming)
+		ap := chooseAccessPlan(lp, srcs[lp.slot], pos, upcoming, wantEnds)
 		access[pos] = ap
 		if singleSlot[lp.slot] {
 			continue
@@ -211,6 +217,7 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 		// (or in no order at all, while keys remain) breaks satisfaction:
 		// every later level re-enumerates per row, restarting its order.
 		matched := true
+		consumed := 0
 		for _, ot := range ap.innerOrder {
 			skip()
 			if wi >= len(want) {
@@ -219,6 +226,7 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 			w := want[wi]
 			if w.slot == ot.slot && w.col == ot.col && w.desc == ot.desc {
 				wi++
+				consumed++
 				continue
 			}
 			matched = false
@@ -230,7 +238,7 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 			pinned = false
 			continue
 		}
-		if !levelPinsUnique(srcs[lp.slot], ap) {
+		if !levelPinsUnique(srcs[lp.slot], ap, consumed) {
 			pinned = false
 			// Later keys refine rows *within* this level's groups. That is
 			// only the lexicographic continuation if the consumed keys pin
@@ -246,20 +254,24 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 	return access, alive && wi >= len(want), pinned
 }
 
-// levelPinsUnique reports whether a level's enumeration order identifies
-// its rows uniquely: some streamed key column is unique in the source
-// table, or a CTE whose recorded order is known unique was consumed in
-// full. Equality-bound columns cannot pin — they are equal within a group
-// by construction.
-func levelPinsUnique(src *source, ap accessPlan) bool {
+// levelPinsUnique reports whether the order terms the satisfaction walk
+// actually consumed (innerOrder[:consumed]) identify the level's rows
+// uniquely: a consumed key column that is unique in the source table, or a
+// CTE whose unique recorded order was consumed in full. Terms beyond
+// consumed do not pin — they never made it into the stream's recorded
+// order, so equal consumed-key rows may still interleave (a trailing
+// unique id orders rows *within* a duplicate-key group; it does not make
+// the consumed prefix unique). Equality-bound columns cannot pin either —
+// they are equal within a group by construction.
+func levelPinsUnique(src *source, ap accessPlan, consumed int) bool {
 	if src.rows != nil {
-		return src.rows.orderUnique && len(ap.innerOrder) > 0
+		return src.rows.orderUnique && consumed > 0 && consumed == len(ap.innerOrder)
 	}
 	t := src.table
 	if t == nil || len(t.uniqueCols) == 0 {
 		return false
 	}
-	for _, ot := range ap.innerOrder {
+	for _, ot := range ap.innerOrder[:consumed] {
 		if t.uniqueCols[ot.col] {
 			return true
 		}
@@ -295,8 +307,9 @@ func singleRowLevel(lp levelPlan, src *source) bool {
 // remaining key columns continue the wanted order (sort elision), a hash
 // probe, an ordered index serving plain equality, a transient hash join, a
 // bounded range walk, a full ordered walk that buys the wanted order, and
-// finally the heap scan.
-func chooseAccessPlan(lp levelPlan, src *source, pos int, upcoming []wantTerm) accessPlan {
+// finally the heap scan. wantEnds reports that upcoming reaches the end of
+// the wanted keys (see planPhysical).
+func chooseAccessPlan(lp levelPlan, src *source, pos int, upcoming []wantTerm, wantEnds bool) accessPlan {
 	t := src.table
 	if t == nil {
 		// CTE source: a scan replays the materialized rows, inheriting
@@ -313,6 +326,34 @@ func chooseAccessPlan(lp levelPlan, src *source, pos int, upcoming []wantTerm) a
 					continue
 				}
 				ap.innerOrder = append(ap.innerOrder, orderTerm{slot: lp.slot, col: o.col, desc: o.desc})
+			}
+		}
+		// At an inner join level the scan replays the CTE once per outer
+		// row; a correlated equality is served by the transient hash join
+		// instead (one build, bucket probes — the PR 1 path). The scan only
+		// earns its keep when the satisfaction walk will actually consume
+		// its recorded order: every upcoming key matched term-for-term,
+		// with trailing order terms tolerable only when the wanted keys
+		// end inside this slot (otherwise they mismatch the next slot's
+		// key and elision dies anyway, leaving the worst of both paths).
+		ordersHelp := len(upcoming) > 0 && len(ap.innerOrder) >= len(upcoming)
+		for i, ot := range ap.innerOrder {
+			if !ordersHelp {
+				break
+			}
+			if i >= len(upcoming) {
+				ordersHelp = wantEnds
+				break
+			}
+			if upcoming[i].col != ot.col || upcoming[i].desc != ot.desc {
+				ordersHelp = false
+			}
+		}
+		if pos > 0 && !ordersHelp {
+			for _, c := range lp.cands {
+				if c.correlated {
+					return accessPlan{kind: accessHashJoin, probe: c}
+				}
 			}
 		}
 		return ap

@@ -219,6 +219,190 @@ func TestDuplicateOuterKeyNoElision(t *testing.T) {
 	}
 }
 
+// TestCTEPartialOrderNoUniquePin: a CTE materialized by an ordered scan of
+// (parentId, id) under ORDER BY parentId records only [parentId] — a
+// non-unique prefix. The trailing unique id ordered rows *within* duplicate
+// parentId groups; it must not mark the recorded order unique, or a
+// consumer joining over the CTE would keep satisfying deeper keys and elide
+// a required sort.
+func TestCTEPartialOrderNoUniquePin(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER, parentId INTEGER)`)
+	db.MustExec(`CREATE TABLE u (k INTEGER)`)
+	db.MustExec(`CREATE ORDERED INDEX otp ON t (parentId, id)`)
+	db.MustExec(`CREATE ORDERED INDEX ouk ON u (k)`)
+	db.MustExec(`INSERT INTO t VALUES (10, 1), (11, 1)`)
+	db.MustExec(`INSERT INTO u VALUES (1), (2)`)
+	rows, err := db.Query(`WITH c AS (SELECT parentId, id FROM t ORDER BY parentId) ` +
+		`SELECT c.parentId, c.id, u.k FROM c, u ORDER BY 1, 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ks []string
+	for _, r := range rows.Data {
+		ks = append(ks, FormatValue(r[2]))
+	}
+	if got := strings.Join(ks, ","); got != "1,1,2,2" {
+		t.Errorf("ORDER BY parentId, k violated: k sequence %s, want 1,1,2,2", got)
+	}
+	if st := db.Stats(); st.SortPasses == 0 {
+		t.Errorf("sort must run over a CTE whose recorded order is a non-unique prefix, stats %+v", st)
+	}
+}
+
+// TestCTEFullUniqueOrderStillElides guards the flip side: when the CTE's
+// recorded order ends in the unique id and the consumer consumes it in
+// full, the pin holds and no sort runs anywhere in the chain.
+func TestCTEFullUniqueOrderStillElides(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER, parentId INTEGER)`)
+	db.MustExec(`CREATE TABLE u (k INTEGER)`)
+	db.MustExec(`CREATE ORDERED INDEX otp ON t (parentId, id)`)
+	db.MustExec(`CREATE ORDERED INDEX ouk ON u (k)`)
+	db.MustExec(`INSERT INTO t VALUES (11, 1), (10, 1)`)
+	db.MustExec(`INSERT INTO u VALUES (2), (1)`)
+	rows, err := db.Query(`WITH c AS (SELECT parentId, id FROM t ORDER BY parentId, id) ` +
+		`SELECT c.parentId, c.id, u.k FROM c, u ORDER BY 1, 2, 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	for _, r := range rows.Data {
+		fmt.Fprintf(&got, "%v,%v,%v;", r[0], r[1], r[2])
+	}
+	if want := "1,10,1;1,10,2;1,11,1;1,11,2;"; got.String() != want {
+		t.Errorf("elided join misordered: got %s want %s", got.String(), want)
+	}
+	if st := db.Stats(); st.SortPasses != 0 {
+		t.Errorf("fully consumed unique order should elide every sort, stats %+v", st)
+	}
+}
+
+// TestMatchRowsRangePathAscendingRowids pins matchRows' contract for DML:
+// rowids come back ascending regardless of access path, so UPDATE/DELETE
+// application and trigger firing order do not vary when a B+tree window
+// replaces the hash probe. Rows are inserted with descending pos, making
+// index-key order the reverse of rowid order.
+func TestMatchRowsRangePathAscendingRowids(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE T (id INTEGER, pos INTEGER)`)
+	db.MustExec(`CREATE ORDERED INDEX opos ON T (pos)`)
+	for i := 0; i < 8; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO T VALUES (%d, %d)`, i+1, 80-10*i))
+	}
+	stmt, err := ParseSQL(`DELETE FROM T WHERE pos >= 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := stmt.(*DeleteStmt)
+	rids, err := db.matchRows(&del.plan, db.Table("T"), "T", del.Where, newEnv(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().RangeProbes == 0 {
+		t.Fatalf("expected the B+tree range path, stats %+v", db.Stats())
+	}
+	if !sort.IntsAreSorted(rids) {
+		t.Errorf("matchRows returned unsorted rowids %v", rids)
+	}
+	if len(rids) != 7 {
+		t.Errorf("matchRows matched %d rows, want 7", len(rids))
+	}
+}
+
+// TestUniqueEnforcedAfterDropIndex: DropIndex("id") is supported for
+// ablation, but order planning keeps treating id as unique (single-row
+// pins, sort elision), so the duplicate check must survive the drop —
+// first on the ordered index, then with neither index via heap scan.
+func TestUniqueEnforcedAfterDropIndex(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE T (id INTEGER, parentId INTEGER)`)
+	db.MustExec(`CREATE ORDERED INDEX oid ON T (id)`)
+	db.MustExec(`INSERT INTO T VALUES (1, NULL), (2, 1)`)
+	tab := db.Table("T")
+	if !tab.DropIndex("id") {
+		t.Fatal("DropIndex(id) dropped the hash index only; ordered (id) should go too")
+	}
+	// The ordered (id) index was dropped alongside the hash index, so this
+	// exercises the heap-scan fallback.
+	if _, err := db.Exec(`INSERT INTO T VALUES (2, 1)`); err == nil {
+		t.Error("duplicate id insert succeeded after DropIndex(id)")
+	}
+	if _, err := db.Exec(`UPDATE T SET id = 1 WHERE id = 2`); err == nil {
+		t.Error("duplicate id update succeeded after DropIndex(id)")
+	}
+	// Ordered-index fallback: a fresh ordered index, still no hash index.
+	db.MustExec(`CREATE ORDERED INDEX oid2 ON T (id)`)
+	if _, err := db.Exec(`INSERT INTO T VALUES (2, 1)`); err == nil {
+		t.Error("duplicate id insert succeeded with ordered-index-only enforcement")
+	}
+	if _, err := db.Exec(`INSERT INTO T VALUES (3, 1)`); err != nil {
+		t.Errorf("fresh id rejected: %v", err)
+	}
+}
+
+// TestCTEInnerLevelHashJoin: a CTE at an inner join level with a correlated
+// equality and no useful recorded order must use the transient hash join
+// (one build, bucket probes), not replay the materialized rows once per
+// outer row — the PR 1 path, which the order-aware refactor briefly lost.
+func TestCTEInnerLevelHashJoin(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER, parentId INTEGER)`)
+	db.MustExec(`INSERT INTO t VALUES (1, NULL), (2, 1), (3, 1)`)
+	q := `WITH c AS (SELECT id, parentId FROM t) SELECT a.id, c.id FROM t a, c WHERE c.parentId = a.id`
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "HashJoin c") {
+		t.Errorf("CTE inner level should hash-join, plan:\n%s", plan)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.HashJoinBuilds == 0 {
+		t.Errorf("expected a transient hash build, stats %+v", st)
+	}
+}
+
+// TestCTEPartialOrderContinuationHashJoins: when a CTE's recorded order
+// matches only part of the wanted keys at its level (here [parentId, id]
+// against wanted [parentId, pos]), elision dies in the satisfaction walk —
+// so the planner must not keep the per-outer-row replay scan for its
+// order, or the query pays both the replay and the sort. The correlated
+// equality takes the transient hash join instead.
+func TestCTEPartialOrderContinuationHashJoins(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE o (id INTEGER)`)
+	db.MustExec(`CREATE TABLE t (id INTEGER, parentId INTEGER, pos INTEGER)`)
+	db.MustExec(`CREATE ORDERED INDEX ooid ON o (id)`)
+	db.MustExec(`INSERT INTO o VALUES (1), (2)`)
+	db.MustExec(`INSERT INTO t VALUES (10, 1, 5), (11, 1, 4), (12, 2, 3)`)
+	q := `WITH c AS (SELECT id, parentId, pos FROM t ORDER BY parentId, id) ` +
+		`SELECT o.id, c.parentId, c.pos FROM o, c WHERE c.parentId = o.id ORDER BY 1, 2, 3`
+	plan, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "HashJoin c") {
+		t.Errorf("partially continuing CTE order should hash-join, plan:\n%s", plan)
+	}
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got strings.Builder
+	for _, r := range rows.Data {
+		fmt.Fprintf(&got, "%v,%v,%v;", r[0], r[1], r[2])
+	}
+	if want := "1,1,4;1,1,5;2,2,3;"; got.String() != want {
+		t.Errorf("join misordered: got %s want %s", got.String(), want)
+	}
+	if st := db.Stats(); st.SortPasses == 0 || st.HashJoinBuilds == 0 {
+		t.Errorf("expected a sort and a hash build, stats %+v", st)
+	}
+}
+
 // TestBTreeRandomOps drives the B+tree against a reference map through
 // random inserts, removals, and range scans.
 func TestBTreeRandomOps(t *testing.T) {

@@ -95,15 +95,10 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	// Unique key columns are enforced, not assumed: order planning elides
 	// sorts on the premise that an id equality pins one row, so a
 	// duplicate must fail loudly here rather than corrupt orderings later.
-	if len(t.uniqueCols) > 0 {
-		for _, idx := range t.index {
-			if !t.uniqueCols[idx.col] {
-				continue
-			}
-			if v := row[idx.col]; v != nil && len(idx.probe(v)) > 0 {
-				return 0, fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
-					v, t.Name, t.Schema.Columns[idx.col].Name)
-			}
+	for ci := range t.uniqueCols {
+		if v := row[ci]; v != nil && t.uniqueViolated(ci, v, -1) {
+			return 0, fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
+				v, t.Name, t.Schema.Columns[ci].Name)
 		}
 	}
 	rid := len(t.rows)
@@ -173,18 +168,9 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 		if err != nil {
 			return fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[ci].Name, err)
 		}
-		if t.uniqueCols[ci] && cv != nil {
-			for _, idx := range t.index {
-				if idx.col != ci {
-					continue
-				}
-				for _, other := range idx.probe(cv) {
-					if other != rid {
-						return fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
-							cv, t.Name, t.Schema.Columns[ci].Name)
-					}
-				}
-			}
+		if t.uniqueCols[ci] && cv != nil && t.uniqueViolated(ci, cv, rid) {
+			return fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
+				cv, t.Name, t.Schema.Columns[ci].Name)
 		}
 		for _, idx := range t.index {
 			if idx.col != ci {
@@ -200,6 +186,45 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 		row[ci] = cv
 	}
 	return nil
+}
+
+// uniqueViolated reports whether a live row other than exclude already
+// holds v in column ci. Uniqueness is a data invariant, not an index
+// property — order planning's single-row and pinning elisions keep trusting
+// uniqueCols after DropIndex (explicitly supported for ablation) — so
+// enforcement must survive ablation too: it prefers the hash index, falls
+// back to an ordered index led by the column, and finally scans the heap.
+func (t *Table) uniqueViolated(ci int, v Value, exclude int) bool {
+	for _, idx := range t.index {
+		if idx.col != ci {
+			continue
+		}
+		for _, rid := range idx.probe(v) {
+			if rid != exclude {
+				return true
+			}
+		}
+		return false
+	}
+	for _, oidx := range t.orderedList {
+		if oidx.cols[0] != ci {
+			continue
+		}
+		b := &rangeBound{val: v, incl: true}
+		for _, rid := range oidx.scanRange(nil, b, b, false, nil) {
+			// The tree tombstones lazily; skip entries whose row is gone.
+			if rid != exclude && t.rows[rid] != nil {
+				return true
+			}
+		}
+		return false
+	}
+	for rid, row := range t.rows {
+		if rid != exclude && row != nil && compareValues(row[ci], v) == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Row returns the values of a live row, or nil.
