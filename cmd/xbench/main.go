@@ -19,12 +19,22 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, or all")
-		quick = flag.Bool("quick", false, "reduced parameter grid")
-		runs  = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
+		exp     = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, or all")
+		quick   = flag.Bool("quick", false, "reduced parameter grid")
+		runs    = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
+		readers = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
 	)
 	flag.Parse()
 	cfg := bench.Config{Runs: *runs, Quick: *quick}
+	if *exp == "readers" {
+		pts, err := bench.RunConcurrentReaders(cfg, *readers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		bench.WriteConcurrentReads(os.Stdout, pts)
+		return
+	}
 	if err := run(*exp, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)

@@ -133,7 +133,7 @@ func (a *ASR) Col(level int) string { return fmt.Sprintf("c%d", level) }
 
 // MarkSubtrees marks every path passing through the given tuples of elem
 // (§6.1.3 step 1). It returns the generated SQL statements executed.
-func (a *ASR) MarkSubtrees(db *relational.DB, elem string, ids []int64) ([]string, error) {
+func (a *ASR) MarkSubtrees(db relational.Session, elem string, ids []int64) ([]string, error) {
 	level, ok := a.LevelOf[elem]
 	if !ok {
 		return nil, fmt.Errorf("asr: element %q has no level", elem)
@@ -147,7 +147,7 @@ func (a *ASR) MarkSubtrees(db *relational.DB, elem string, ids []int64) ([]strin
 
 // MarkedIDs returns the distinct marked tuple ids at a level (the ids of
 // descendants below the delete/copy point).
-func (a *ASR) MarkedIDs(db *relational.DB, level int) ([]int64, error) {
+func (a *ASR) MarkedIDs(db relational.Session, level int) ([]int64, error) {
 	rows, err := db.Query(fmt.Sprintf("SELECT DISTINCT %s FROM %s WHERE mark = 1 AND %s IS NOT NULL",
 		a.Col(level), a.Name, a.Col(level)))
 	if err != nil {
@@ -164,7 +164,7 @@ func (a *ASR) MarkedIDs(db *relational.DB, level int) ([]int64, error) {
 // of deleted subtrees that lost their last path are re-inserted as truncated
 // NULL-padded paths (this is the §6.1.3 "update the ASR to reflect the
 // current state" step, and the overhead the paper measures).
-func (a *ASR) DeleteMarked(db *relational.DB, elem string, ids []int64) error {
+func (a *ASR) DeleteMarked(db relational.Session, elem string, ids []int64) error {
 	level := a.LevelOf[elem]
 	// Capture the ancestor prefixes of marked paths before deleting them.
 	var prefixCols []string
@@ -197,7 +197,7 @@ func (a *ASR) DeleteMarked(db *relational.DB, elem string, ids []int64) error {
 		if parentID == nil {
 			continue
 		}
-		rows, err := count.Query(parentID)
+		rows, err := db.QueryPrepared(count, parentID)
 		if err != nil {
 			return err
 		}
@@ -220,13 +220,13 @@ func (a *ASR) DeleteMarked(db *relational.DB, elem string, ids []int64) error {
 }
 
 // Unmark clears all marks (§6.2.3 insert uses mark/unmark around copying).
-func (a *ASR) Unmark(db *relational.DB) error {
+func (a *ASR) Unmark(db relational.Session) error {
 	_, err := db.Exec(fmt.Sprintf("UPDATE %s SET mark = 0 WHERE mark = 1", a.Name))
 	return err
 }
 
 // MarkedPaths returns the full marked path tuples (level columns only).
-func (a *ASR) MarkedPaths(db *relational.DB) (*relational.Rows, error) {
+func (a *ASR) MarkedPaths(db relational.Session) (*relational.Rows, error) {
 	var cols []string
 	for i := 0; i < a.Depth; i++ {
 		cols = append(cols, a.Col(i))
@@ -236,7 +236,7 @@ func (a *ASR) MarkedPaths(db *relational.DB) (*relational.Rows, error) {
 
 // InsertPaths adds new paths for an inserted subtree. Each path is a slice
 // of ids from the root level down; shorter paths are NULL-padded.
-func (a *ASR) InsertPaths(db *relational.DB, paths [][]relational.Value) error {
+func (a *ASR) InsertPaths(db relational.Session, paths [][]relational.Value) error {
 	for _, p := range paths {
 		vals := make([]string, a.Depth+1)
 		for i := range vals {

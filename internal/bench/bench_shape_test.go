@@ -243,3 +243,28 @@ func TestWriteFigureFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentReadersShape runs the snapshot-read scenario at quick scale:
+// every point must complete, report positive throughput, and observe the
+// same store (the writer's transactions all roll back). The speedup column
+// is not asserted — it is bounded by GOMAXPROCS, which is 1 on CI-sized
+// containers.
+func TestConcurrentReadersShape(t *testing.T) {
+	pts, err := RunConcurrentReaders(Config{Runs: 1, Quick: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Readers != 1 || pts[1].Readers != 2 {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.QueriesSec <= 0 {
+			t.Errorf("degenerate point: %+v", p)
+		}
+	}
+	var b strings.Builder
+	WriteConcurrentReads(&b, pts)
+	if !strings.Contains(b.String(), "readers") {
+		t.Errorf("output missing header:\n%s", b.String())
+	}
+}

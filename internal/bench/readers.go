@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/outerunion"
+)
+
+// ConcurrentReadPoint is one concurrent snapshot-read measurement: N reader
+// goroutines each run a fixed count of document-order Sorted-Outer-Union
+// reconstructions while one writer cycles pos-renumber transactions and
+// rollbacks. Seconds is the fastest (min-of-runs) wall time for all readers
+// to finish — the least GC-noisy estimator on a shared box — and Speedup is
+// aggregate throughput relative to the single-reader point, which a global
+// mutex would pin at ~1.0.
+type ConcurrentReadPoint struct {
+	Readers    int
+	Queries    int // per reader
+	Seconds    float64
+	QueriesSec float64
+	Speedup    float64
+}
+
+// RunConcurrentReaders measures reader scaling for 1..maxReaders
+// goroutines. Snapshot reads take the DB's shared lock, so throughput
+// should grow with N; the writer serializes against each read only at
+// transaction granularity.
+func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, error) {
+	if maxReaders < 1 {
+		maxReaders = 4
+	}
+	p := datagen.FixedParams{ScalingFactor: 40, Depth: 4, Fanout: 1, Seed: 1}
+	queries := 24
+	if cfg.Quick {
+		p.ScalingFactor = 10
+		queries = 6
+	}
+	doc := datagen.Fixed(p)
+	s, err := engine.Open(doc, engine.Options{OrderColumn: true})
+	if err != nil {
+		return nil, err
+	}
+	// The reconstruction target: every depth-2 subtree, in document order.
+	target := "e2"
+	if s.M.Table(target) == nil {
+		target = "e1"
+	}
+	renumber := fmt.Sprintf("UPDATE %s SET pos = pos + 1000", s.M.Table(target).Name)
+
+	// Reader counts: powers of two up to maxReaders, always ending on it.
+	var counts []int
+	for r := 1; r < maxReaders; r *= 2 {
+		counts = append(counts, r)
+	}
+	counts = append(counts, maxReaders)
+
+	var out []ConcurrentReadPoint
+	base := 0.0
+	for _, readers := range counts {
+		best := 0.0
+		for i := 0; i <= cfg.runs(); i++ {
+			elapsed, err := measureReaders(s, target, renumber, readers, queries)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				continue // warm-up, discarded
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		pt := ConcurrentReadPoint{
+			Readers:    readers,
+			Queries:    queries,
+			Seconds:    best,
+			QueriesSec: float64(readers*queries) / best,
+		}
+		if base == 0 {
+			base = pt.QueriesSec
+		}
+		pt.Speedup = pt.QueriesSec / base
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// measureReaders times one round: `readers` goroutines each running
+// `queries` SOU reconstructions against a rollback-cycling writer.
+func measureReaders(s *engine.Store, target, renumber string, readers, queries int) (float64, error) {
+	stop := make(chan struct{})
+	errs := make(chan error, readers+1)
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx := s.DB.Begin()
+			if _, err := tx.Exec(renumber); err != nil {
+				tx.Rollback()
+				errs <- err
+				return
+			}
+			if err := tx.Rollback(); err != nil {
+				errs <- err
+				return
+			}
+			// Throttle: a writer spinning on the exclusive lock models no
+			// real workload and only measures lock fairness. A short pause
+			// between transactions keeps the writer active across the whole
+			// window while letting reads overlap — the behavior under test.
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	var readerWG sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for q := 0; q < queries; q++ {
+				if _, err := outerunion.Query(s.DB, s.M, target, ""); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}
+
+// WriteConcurrentReads renders the scenario like the figure tables. The
+// speedup ceiling is GOMAXPROCS — on a single-CPU container the curve is
+// necessarily flat, so the processor count is part of the record.
+func WriteConcurrentReads(w io.Writer, pts []ConcurrentReadPoint) {
+	fmt.Fprintf(w, "concurrent snapshot reads: SOU reconstruction vs pos-renumber writer (rollback cycles), GOMAXPROCS=%d\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%8s %10s %12s %12s %9s\n", "readers", "queries", "min-time(s)", "queries/s", "speedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %10d %12.4f %12.1f %8.2fx\n",
+			p.Readers, p.Readers*p.Queries, p.Seconds, p.QueriesSec, p.Speedup)
+	}
+}

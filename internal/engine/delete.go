@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/shred"
 )
 
 // DeleteSubtrees deletes every subtree rooted at tuples of elem matching the
@@ -14,6 +16,18 @@ func (s *Store) DeleteSubtrees(elem string, where string) (int, error) {
 	if tm == nil {
 		return 0, fmt.Errorf("engine: element %q has no table; use DeleteInlined for simple deletions", elem)
 	}
+	// Multi-statement strategies (cascades, ASR marking) run atomically: a
+	// failure partway leaves neither half-purged orphans nor a stale ASR.
+	var n int
+	err := s.atomically(func() error {
+		var err error
+		n, err = s.deleteSubtrees(tm, elem, where)
+		return err
+	})
+	return n, err
+}
+
+func (s *Store) deleteSubtrees(tm *shred.TableMap, elem, where string) (int, error) {
 	switch s.Opt.Delete {
 	case PerTupleTrigger, PerStatementTrigger:
 		// One statement; triggers propagate inside the DBMS (§6.1.1).
@@ -21,7 +35,7 @@ func (s *Store) DeleteSubtrees(elem string, where string) (int, error) {
 		if where != "" {
 			sql += " WHERE " + where
 		}
-		n, err := s.DB.Exec(sql)
+		n, err := s.sql().Exec(sql)
 		if err != nil {
 			return 0, err
 		}
@@ -50,7 +64,7 @@ func (s *Store) cascadingDelete(elem, where string) (int, error) {
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	n, err := s.DB.Exec(sql)
+	n, err := s.sql().Exec(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -64,7 +78,7 @@ func (s *Store) cascadingDelete(elem, where string) (int, error) {
 			ptm := s.M.Table(pe)
 			for _, ce := range ptm.ChildTables {
 				ctm := s.M.Table(ce)
-				removed, err := s.DB.Exec(fmt.Sprintf(
+				removed, err := s.sql().Exec(fmt.Sprintf(
 					"DELETE FROM %s WHERE parentId NOT IN (SELECT id FROM %s)", ctm.Name, ptm.Name))
 				if err != nil {
 					return n, err
@@ -95,7 +109,7 @@ func (s *Store) asrDelete(elem, where string) (int, error) {
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	rows, err := s.DB.Query(sql)
+	rows, err := s.sql().Query(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -106,7 +120,7 @@ func (s *Store) asrDelete(elem, where string) (int, error) {
 	for _, r := range rows.Data {
 		ids = append(ids, r[0].(int64))
 	}
-	if _, err := s.ASR.MarkSubtrees(s.DB, elem, ids); err != nil {
+	if _, err := s.ASR.MarkSubtrees(s.sql(), elem, ids); err != nil {
 		return 0, err
 	}
 	// Delete the targets and every descendant level: ids come from the
@@ -122,11 +136,11 @@ func (s *Store) asrDelete(elem, where string) (int, error) {
 		delSQL := fmt.Sprintf(
 			"DELETE FROM %s WHERE id IN (SELECT DISTINCT %s FROM %s WHERE mark = 1 AND %s IS NOT NULL)",
 			dtm.Name, s.ASR.Col(dl), s.ASR.Name, s.ASR.Col(dl))
-		if _, err := s.DB.Exec(delSQL); err != nil {
+		if _, err := s.sql().Exec(delSQL); err != nil {
 			return 0, err
 		}
 	}
-	if err := s.ASR.DeleteMarked(s.DB, elem, ids); err != nil {
+	if err := s.ASR.DeleteMarked(s.sql(), elem, ids); err != nil {
 		return 0, err
 	}
 	return len(ids), nil
@@ -141,10 +155,10 @@ func (s *Store) maintainASRAfterTriggerDelete(elem string) error {
 	// Mark paths whose level-id no longer exists.
 	mark := fmt.Sprintf("UPDATE %s SET mark = 1 WHERE %s IS NOT NULL AND %s NOT IN (SELECT id FROM %s)",
 		s.ASR.Name, s.ASR.Col(level), s.ASR.Col(level), tm.Name)
-	if _, err := s.DB.Exec(mark); err != nil {
+	if _, err := s.sql().Exec(mark); err != nil {
 		return err
 	}
-	return s.ASR.DeleteMarked(s.DB, elem, nil)
+	return s.ASR.DeleteMarked(s.sql(), elem, nil)
 }
 
 // DeleteInlined performs a §6.1 "simple" deletion: the deleted element is
@@ -165,7 +179,7 @@ func (s *Store) DeleteInlined(tableElem string, path []string, where string) (in
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	return s.DB.Exec(sql)
+	return s.sql().Exec(sql)
 }
 
 // DeleteAttribute removes an attribute (one column) from matching tuples.
@@ -179,5 +193,5 @@ func (s *Store) DeleteAttribute(tableElem string, path []string, attr, where str
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	return s.DB.Exec(sql)
+	return s.sql().Exec(sql)
 }

@@ -61,11 +61,21 @@ func (s *Store) Exec(stmt *xquery.Statement) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Execution phase.
-	for _, op := range plan {
-		if err := op(); err != nil {
-			return 0, err
+	// Execution phase — §6.3 plus atomicity: the sub-operations run inside
+	// one transaction, so a failure discovered while executing (a unique
+	// violation on the nth tuple, unsupported content found mid-plan)
+	// rolls back every earlier sub-operation instead of stranding its
+	// effects. Readers under the DB's shared lock never observe the
+	// intermediate states.
+	if err := s.atomically(func() error {
+		for _, op := range plan {
+			if err := op(); err != nil {
+				return err
+			}
 		}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	return len(targetIDs), nil
 }
@@ -262,7 +272,7 @@ func (s *Store) tupleIDs(t *pathTarget) ([]int64, error) {
 	if t.Where != "" {
 		sql += " WHERE " + t.Where
 	}
-	rows, err := s.DB.Query(sql)
+	rows, err := s.sql().Query(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +332,7 @@ func (s *Store) planOps(env *sqlEnv, up *xquery.UpdateOp, target *pathTarget, ta
 						return fmt.Errorf("engine: rename requires both %q and %q declared", child.Attr, newName)
 					}
 					tm := s.M.Table(child.Elem)
-					_, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET %s = %s, %s = NULL WHERE %s",
+					_, err := s.sql().Exec(fmt.Sprintf("UPDATE %s SET %s = %s, %s = NULL WHERE %s",
 						tm.Name, newCol.Name, oldCol.Name, oldCol.Name, andWhere(child.Where, inTargets)))
 					return err
 				}
@@ -478,7 +488,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		}
 		return func() error {
 			for _, id := range ids {
-				rows, err := sel.Query(id)
+				rows, err := s.sql().QueryPrepared(sel, id)
 				if err != nil {
 					return err
 				}
@@ -492,7 +502,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 				if cur != "" {
 					nv = cur + " " + c.ID
 				}
-				if _, err := upd.Exec(nv, id); err != nil {
+				if _, err := s.sql().ExecPrepared(upd, nv, id); err != nil {
 					return err
 				}
 			}
@@ -554,7 +564,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		if w != "" {
 			sql += " WHERE " + w
 		}
-		rows, err := s.DB.Query(sql)
+		rows, err := s.sql().Query(sql)
 		if err != nil {
 			return nil, err
 		}
@@ -574,7 +584,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		return func() error {
 			for _, sl := range slots {
 				// Push existing positions forward to make room (§8).
-				if _, err := s.DB.Exec(fmt.Sprintf("UPDATE %s SET pos = pos + 1 WHERE parentId = %d AND pos >= %d",
+				if _, err := s.sql().Exec(fmt.Sprintf("UPDATE %s SET pos = pos + 1 WHERE parentId = %d AND pos >= %d",
 					rtm.Name, sl.parent, sl.pos)); err != nil {
 					return err
 				}
@@ -596,7 +606,7 @@ func (s *Store) nextPos(parentElem string, parentID int64) (int, error) {
 	max := 0
 	for _, ce := range s.M.Table(parentElem).ChildTables {
 		ctm := s.M.Table(ce)
-		rows, err := s.DB.Query(fmt.Sprintf("SELECT MAX(pos) FROM %s WHERE parentId = %d", ctm.Name, parentID))
+		rows, err := s.sql().Query(fmt.Sprintf("SELECT MAX(pos) FROM %s WHERE parentId = %d", ctm.Name, parentID))
 		if err != nil {
 			return 0, err
 		}
@@ -626,7 +636,7 @@ func (s *Store) planReplace(o xquery.ReplaceOp, target, child *pathTarget, inTar
 				if where != "" {
 					sql += " WHERE " + where
 				}
-				_, err := s.DB.Exec(sql)
+				_, err := s.sql().Exec(sql)
 				return err
 			}, nil
 		}
@@ -664,7 +674,7 @@ func (s *Store) planReplace(o xquery.ReplaceOp, target, child *pathTarget, inTar
 			if where != "" {
 				sql += " WHERE " + where
 			}
-			_, err := s.DB.Exec(sql)
+			_, err := s.sql().Exec(sql)
 			return err
 		}, nil
 	default:

@@ -18,16 +18,25 @@ func (s *Store) CopySubtrees(srcElem, where string, dstParentID int64) (int, err
 	if s.M.Table(srcElem) == nil {
 		return 0, fmt.Errorf("engine: element %q has no table; use InsertInlined for simple insertions", srcElem)
 	}
-	switch s.Opt.Insert {
-	case TupleInsert:
-		return s.tupleInsert(srcElem, where, dstParentID)
-	case TableInsert:
-		return s.tableInsert(srcElem, where, dstParentID)
-	case ASRInsert:
-		return s.asrInsert(srcElem, where, dstParentID)
-	default:
-		return 0, fmt.Errorf("engine: unknown insert method %v", s.Opt.Insert)
-	}
+	// Every insert method is a statement sequence (staging, remapping,
+	// replication, ASR paths); run it atomically so a mid-sequence failure
+	// leaves no partial copy and returns the reserved ids.
+	var n int
+	err := s.atomically(func() error {
+		var err error
+		switch s.Opt.Insert {
+		case TupleInsert:
+			n, err = s.tupleInsert(srcElem, where, dstParentID)
+		case TableInsert:
+			n, err = s.tableInsert(srcElem, where, dstParentID)
+		case ASRInsert:
+			n, err = s.asrInsert(srcElem, where, dstParentID)
+		default:
+			err = fmt.Errorf("engine: unknown insert method %v", s.Opt.Insert)
+		}
+		return err
+	})
+	return n, err
 }
 
 // tupleInsert implements §6.2.1: read the source subtree via Sorted Outer
@@ -38,7 +47,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 	if err != nil {
 		return 0, err
 	}
-	rows, err := s.DB.Query(plan.SQL(where))
+	rows, err := s.sql().Query(plan.SQL(where))
 	if err != nil {
 		return 0, err
 	}
@@ -92,7 +101,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 		for i := range tm.Columns {
 			args = append(args, row[plan.DataCols[elem][i]])
 		}
-		if _, err := p.Exec(args...); err != nil {
+		if _, err := s.sql().ExecPrepared(p, args...); err != nil {
 			return roots, err
 		}
 	}
@@ -131,7 +140,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		for _, c := range tm.Columns {
 			colDefs = append(colDefs, c.Name+" VARCHAR(255)")
 		}
-		if _, err := s.DB.Exec(fmt.Sprintf("CREATE TEMP TABLE %s (%s)", temp(elem), strings.Join(colDefs, ", "))); err != nil {
+		if _, err := s.sql().Exec(fmt.Sprintf("CREATE TEMP TABLE %s (%s)", temp(elem), strings.Join(colDefs, ", "))); err != nil {
 			return 0, err
 		}
 		cols := "id, parentId"
@@ -143,7 +152,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 			if where != "" {
 				sql += " WHERE " + where
 			}
-			if _, err := s.DB.Exec(sql); err != nil {
+			if _, err := s.sql().Exec(sql); err != nil {
 				return 0, err
 			}
 			continue
@@ -159,7 +168,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		}
 		sql := fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s P, %s C WHERE C.parentId = P.id",
 			temp(elem), strings.Join(qualified, ", "), parentTemp, tm.Name)
-		if _, err := s.DB.Exec(sql); err != nil {
+		if _, err := s.sql().Exec(sql); err != nil {
 			return 0, err
 		}
 	}
@@ -169,7 +178,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 	minID, maxID := int64(0), int64(0)
 	first := true
 	for _, elem := range subtree {
-		rows, err := s.DB.Query(fmt.Sprintf("SELECT MIN(id), MAX(id) FROM %s", temp(elem)))
+		rows, err := s.sql().Query(fmt.Sprintf("SELECT MIN(id), MAX(id) FROM %s", temp(elem)))
 		if err != nil {
 			return 0, err
 		}
@@ -187,12 +196,12 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		first = false
 	}
 	roots := 0
-	if rows, err := s.DB.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", temp(srcElem))); err == nil {
+	if rows, err := s.sql().Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", temp(srcElem))); err == nil {
 		roots = int(rows.Data[0][0].(int64))
 	}
 	if first || roots == 0 {
 		for _, elem := range subtree {
-			if _, err := s.DB.Exec("DROP TABLE " + temp(elem)); err != nil {
+			if _, err := s.sql().Exec("DROP TABLE " + temp(elem)); err != nil {
 				return 0, err
 			}
 		}
@@ -209,7 +218,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		if err != nil {
 			return 0, err
 		}
-		if _, err := remap.Exec(offset, offset); err != nil {
+		if _, err := s.sql().ExecPrepared(remap, offset, offset); err != nil {
 			return 0, err
 		}
 		if i == 0 {
@@ -217,7 +226,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 			if err != nil {
 				return 0, err
 			}
-			if _, err := repoint.Exec(dstParentID); err != nil {
+			if _, err := s.sql().ExecPrepared(repoint, dstParentID); err != nil {
 				return 0, err
 			}
 		}
@@ -230,10 +239,10 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		if dl := dataColumnList(tm, s.Opt.OrderColumn); dl != "" {
 			cols += ", " + dl
 		}
-		if _, err := s.DB.Exec(fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s", tm.Name, cols, temp(elem))); err != nil {
+		if _, err := s.sql().Exec(fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s", tm.Name, cols, temp(elem))); err != nil {
 			return 0, err
 		}
-		if _, err := s.DB.Exec("DROP TABLE " + temp(elem)); err != nil {
+		if _, err := s.sql().Exec("DROP TABLE " + temp(elem)); err != nil {
 			return 0, err
 		}
 	}
@@ -268,7 +277,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	rows, err := s.DB.Query(sql)
+	rows, err := s.sql().Query(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -279,7 +288,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 	for _, r := range rows.Data {
 		srcIDs = append(srcIDs, r[0].(int64))
 	}
-	if _, err := s.ASR.MarkSubtrees(s.DB, srcElem, srcIDs); err != nil {
+	if _, err := s.ASR.MarkSubtrees(s.sql(), srcElem, srcIDs); err != nil {
 		return 0, err
 	}
 
@@ -289,7 +298,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 	firstAgg := true
 	for _, elem := range subtree {
 		lvl := s.ASR.LevelOf[elem]
-		agg, err := s.DB.Query(fmt.Sprintf("SELECT MIN(%s), MAX(%s) FROM %s WHERE mark = 1",
+		agg, err := s.sql().Query(fmt.Sprintf("SELECT MIN(%s), MAX(%s) FROM %s WHERE mark = 1",
 			s.ASR.Col(lvl), s.ASR.Col(lvl), s.ASR.Name))
 		if err != nil {
 			return 0, err
@@ -308,7 +317,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 		firstAgg = false
 	}
 	if firstAgg {
-		return 0, s.ASR.Unmark(s.DB)
+		return 0, s.ASR.Unmark(s.sql())
 	}
 	offset := s.NextID() - minID
 	s.AllocateIDs(maxID - minID + 1)
@@ -330,7 +339,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 		sql := fmt.Sprintf("INSERT INTO %s (%s) SELECT %s FROM %s WHERE id IN (SELECT DISTINCT %s FROM %s WHERE mark = 1 AND %s IS NOT NULL)",
 			etm.Name, strings.Join(cols, ", "), strings.Join(exprs, ", "), etm.Name,
 			s.ASR.Col(lvl), s.ASR.Name, s.ASR.Col(lvl))
-		if _, err := s.DB.Exec(sql); err != nil {
+		if _, err := s.sql().Exec(sql); err != nil {
 			return 0, err
 		}
 	}
@@ -342,14 +351,14 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 		return 0, err
 	}
 	for _, id := range srcIDs {
-		if _, err := repoint.Exec(dstParentID, id+offset); err != nil {
+		if _, err := s.sql().ExecPrepared(repoint, dstParentID, id+offset); err != nil {
 			return 0, err
 		}
 	}
 	if err := s.insertASRPathsWithOffset(srcElem, "", offset, dstParentID, srcIDs); err != nil {
 		return 0, err
 	}
-	if err := s.ASR.Unmark(s.DB); err != nil {
+	if err := s.ASR.Unmark(s.sql()); err != nil {
 		return 0, err
 	}
 	return len(srcIDs), nil
@@ -368,7 +377,7 @@ func (s *Store) insertASRPathsWithOffset(srcElem, where string, offset int64, ds
 		if where != "" {
 			sql += " WHERE " + where
 		}
-		rows, err := s.DB.Query(sql)
+		rows, err := s.sql().Query(sql)
 		if err != nil {
 			return err
 		}
@@ -378,7 +387,7 @@ func (s *Store) insertASRPathsWithOffset(srcElem, where string, offset int64, ds
 		if len(srcIDs) == 0 {
 			return nil
 		}
-		if _, err := s.ASR.MarkSubtrees(s.DB, srcElem, srcIDs); err != nil {
+		if _, err := s.ASR.MarkSubtrees(s.sql(), srcElem, srcIDs); err != nil {
 			return err
 		}
 	}
@@ -403,11 +412,11 @@ func (s *Store) insertASRPathsWithOffset(srcElem, where string, offset int64, ds
 	exprs[s.ASR.Depth] = "0"
 	sql := fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s WHERE mark = 1",
 		s.ASR.Name, strings.Join(exprs, ", "), s.ASR.Name)
-	if _, err := s.DB.Exec(sql); err != nil {
+	if _, err := s.sql().Exec(sql); err != nil {
 		return err
 	}
 	if needMark {
-		return s.ASR.Unmark(s.DB)
+		return s.ASR.Unmark(s.sql())
 	}
 	return nil
 }
@@ -427,7 +436,7 @@ func (s *Store) rebuildASRPathsFor(srcElem string, idMap map[int64]int64, dstPar
 	}
 	// Source paths: every ASR row whose level-id is an old source id (no
 	// marks are set in the tuple method; gather paths directly).
-	rows, err := s.DB.Query(fmt.Sprintf("SELECT * FROM %s", s.ASR.Name))
+	rows, err := s.sql().Query(fmt.Sprintf("SELECT * FROM %s", s.ASR.Name))
 	if err != nil {
 		return err
 	}
@@ -451,7 +460,7 @@ func (s *Store) rebuildASRPathsFor(srcElem string, idMap map[int64]int64, dstPar
 		}
 		newPaths = append(newPaths, np)
 	}
-	return s.ASR.InsertPaths(s.DB, newPaths)
+	return s.ASR.InsertPaths(s.sql(), newPaths)
 }
 
 // InsertInlined performs a §6.2 "simple" (flat) insertion: the new element
@@ -468,7 +477,7 @@ func (s *Store) InsertInlined(tableElem string, path []string, text string, wher
 	if where != "" {
 		cond = "(" + where + ") AND " + cond
 	}
-	rows, err := s.DB.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", tm.Name, cond))
+	rows, err := s.sql().Query(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", tm.Name, cond))
 	if err != nil {
 		return 0, err
 	}
@@ -483,7 +492,7 @@ func (s *Store) InsertInlined(tableElem string, path []string, text string, wher
 	if err != nil {
 		return 0, err
 	}
-	return upd.Exec(text)
+	return s.sql().ExecPrepared(upd, text)
 }
 
 // InsertAttribute inserts an attribute value into matching tuples, failing
@@ -498,7 +507,7 @@ func (s *Store) InsertAttribute(tableElem string, path []string, attr, value, wh
 	if where != "" {
 		cond = "(" + where + ") AND " + cond
 	}
-	rows, err := s.DB.Query(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", tm.Name, cond))
+	rows, err := s.sql().Query(fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s", tm.Name, cond))
 	if err != nil {
 		return 0, err
 	}
@@ -513,5 +522,5 @@ func (s *Store) InsertAttribute(tableElem string, path []string, attr, value, wh
 	if err != nil {
 		return 0, err
 	}
-	return upd.Exec(value)
+	return s.sql().ExecPrepared(upd, value)
 }

@@ -31,17 +31,24 @@ func (s *Store) InsertContentAt(dstParentID int64, content *xmltree.Element, pos
 	if err != nil {
 		return 0, err
 	}
-	rootID := s.NextID()
-	s.AllocateIDs(int64(ds.TupleCount()))
-	for _, sql := range s.M.InsertSQL(ds) {
-		if _, err := s.DB.Exec(sql); err != nil {
-			return 0, err
+	var rootID int64
+	// One INSERT per tuple plus ASR paths: atomic, so a failure on the nth
+	// tuple leaves no partial subtree and returns the reserved ids.
+	err = s.atomically(func() error {
+		rootID = s.NextID()
+		s.AllocateIDs(int64(ds.TupleCount()))
+		for _, sql := range s.M.InsertSQL(ds) {
+			if _, err := s.sql().Exec(sql); err != nil {
+				return err
+			}
 		}
-	}
-	if s.ASR != nil {
-		if err := s.addASRPathsForNew(content.Name, ds, dstParentID); err != nil {
-			return rootID, err
+		if s.ASR != nil {
+			return s.addASRPathsForNew(content.Name, ds, dstParentID)
 		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	return rootID, nil
 }
@@ -100,7 +107,7 @@ func (s *Store) addASRPathsForNew(rootElem string, ds *shred.Dataset, dstParentI
 		base = append(base, id)
 		walk(id, base)
 	}
-	return s.ASR.InsertPaths(s.DB, paths)
+	return s.ASR.InsertPaths(s.sql(), paths)
 }
 
 // ReplaceSubtrees replaces each subtree rooted at a matching tuple of elem
@@ -116,7 +123,7 @@ func (s *Store) ReplaceSubtrees(elem, where string, content *xmltree.Element) (i
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	rows, err := s.DB.Query(sql)
+	rows, err := s.sql().Query(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -131,13 +138,18 @@ func (s *Store) ReplaceSubtrees(elem, where string, content *xmltree.Element) (i
 		parents = append(parents, pid)
 	}
 	// Insert first (the content may be evaluated against the pre-delete
-	// state by the caller), then delete the old subtrees by id.
-	for _, pid := range parents {
-		if _, err := s.InsertContent(pid, content); err != nil {
-			return 0, err
+	// state by the caller), then delete the old subtrees by id — one
+	// transaction, so a failed delete does not strand the fresh copies.
+	err = s.atomically(func() error {
+		for _, pid := range parents {
+			if _, err := s.InsertContent(pid, content); err != nil {
+				return err
+			}
 		}
-	}
-	if _, err := s.DeleteSubtrees(elem, fmt.Sprintf("id IN (%s)", strings.Join(ids, ", "))); err != nil {
+		_, err := s.DeleteSubtrees(elem, fmt.Sprintf("id IN (%s)", strings.Join(ids, ", ")))
+		return err
+	})
+	if err != nil {
 		return 0, err
 	}
 	return len(parents), nil
@@ -182,7 +194,7 @@ func (s *Store) RenameInlined(tableElem string, oldPath []string, newName, where
 	if where != "" {
 		sql += " WHERE " + where
 	}
-	return s.DB.Exec(sql)
+	return s.sql().Exec(sql)
 }
 
 // Reconstruct returns the store's current content as an XML document.

@@ -107,6 +107,52 @@ type Store struct {
 	// Only bounded texts belong here — statements embedding caller-supplied
 	// WHERE fragments would grow the map per distinct literal.
 	preps map[string]*relational.Prepared
+
+	// sess, when non-nil, is the transaction wrapping the current update's
+	// execution phase (see atomically); sql() routes statements through it.
+	// A Store supports one concurrent updater; readers (QuerySubtrees,
+	// Reconstruct) are unlimited and run under the DB's shared lock.
+	sess relational.Session
+}
+
+// sql returns the session statements execute against: the transaction
+// wrapping the current execution phase, or the DB in autocommit mode.
+func (s *Store) sql() relational.Session {
+	if s.sess != nil {
+		return s.sess
+	}
+	return s.DB
+}
+
+// atomically runs fn inside one relational transaction unless one is
+// already open, rolling back every statement's effects — and the
+// next-available-id counter — when fn fails. This is what makes a §6.3
+// multi-sub-operation update (and each multi-statement strategy: cascades,
+// staged table inserts, ASR maintenance) all-or-nothing: sub-operation k
+// failing no longer strands sub-operations 1..k-1's effects.
+func (s *Store) atomically(fn func() error) error {
+	if s.sess != nil {
+		return fn()
+	}
+	tx := s.DB.Begin()
+	s.sess = tx
+	savedNext := s.nextID
+	committed := false
+	// Cleanup runs deferred so a panic inside fn still rolls back and
+	// releases the writer lock — otherwise a recovered panic would leave
+	// the whole store deadlocked behind a held transaction.
+	defer func() {
+		s.sess = nil
+		if !committed {
+			s.nextID = savedNext
+			tx.Rollback()
+		}
+	}()
+	if err := fn(); err != nil {
+		return err
+	}
+	committed = true
+	return tx.Commit()
 }
 
 // prep returns the cached prepared statement for sql, parsing at most once
@@ -162,7 +208,7 @@ func (s *Store) setup() error {
 				sql := fmt.Sprintf(
 					"CREATE TRIGGER tr_row_%s_%s AFTER DELETE ON %s FOR EACH ROW DELETE FROM %s WHERE parentId = OLD.id",
 					tm.Name, child.Name, tm.Name, child.Name)
-				if _, err := s.DB.Exec(sql); err != nil {
+				if _, err := s.sql().Exec(sql); err != nil {
 					return err
 				}
 			}
@@ -175,7 +221,7 @@ func (s *Store) setup() error {
 				sql := fmt.Sprintf(
 					"CREATE TRIGGER tr_stm_%s_%s AFTER DELETE ON %s FOR EACH STATEMENT DELETE FROM %s WHERE parentId NOT IN (SELECT id FROM %s)",
 					tm.Name, child.Name, tm.Name, child.Name, tm.Name)
-				if _, err := s.DB.Exec(sql); err != nil {
+				if _, err := s.sql().Exec(sql); err != nil {
 					return err
 				}
 			}
@@ -219,11 +265,13 @@ func (s *Store) AllocateIDs(n int64) int64 {
 // NextID returns the systemwide next-available-id counter.
 func (s *Store) NextID() int64 { return s.nextID }
 
-// TupleCount sums live rows across data tables (excluding the ASR).
+// TupleCount sums live rows across data tables (excluding the ASR). It
+// counts under the DB's shared lock, so it is safe against a concurrent
+// writer (unlike reading through the Table escape hatch).
 func (s *Store) TupleCount() int {
 	n := 0
 	for _, elem := range s.M.TableOrder {
-		n += s.DB.Table(s.M.Table(elem).Name).RowCount()
+		n += s.DB.RowCount(s.M.Table(elem).Name)
 	}
 	return n
 }
@@ -240,7 +288,7 @@ func (s *Store) chainIDs(elem string, id int64) ([]relational.Value, error) {
 			break
 		}
 		tm := s.M.Table(chainElems[i])
-		rows, err := s.DB.Query(fmt.Sprintf("SELECT parentId FROM %s WHERE id = %d", tm.Name, cur))
+		rows, err := s.sql().Query(fmt.Sprintf("SELECT parentId FROM %s WHERE id = %d", tm.Name, cur))
 		if err != nil {
 			return nil, err
 		}

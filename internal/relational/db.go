@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts the work a DB has performed. The paper's performance analysis
@@ -45,13 +46,51 @@ type Stats struct {
 	PlanCacheMisses int64
 }
 
+// statCounters is the live, concurrently updated form of Stats. Readers run
+// under the shared lock and still count rows scanned and probes made, so
+// every counter is an atomic; Stats() materializes a plain snapshot.
+type statCounters struct {
+	Statements      atomic.Int64
+	TriggerFirings  atomic.Int64
+	RowsScanned     atomic.Int64
+	RowsInserted    atomic.Int64
+	RowsDeleted     atomic.Int64
+	RowsUpdated     atomic.Int64
+	IndexProbes     atomic.Int64
+	FullScans       atomic.Int64
+	RangeProbes     atomic.Int64
+	SortPasses      atomic.Int64
+	RowsSorted      atomic.Int64
+	HashJoinBuilds  atomic.Int64
+	PlanCacheHits   atomic.Int64
+	PlanCacheMisses atomic.Int64
+}
+
 // DB is an embedded relational database.
+//
+// Concurrency model: statements and transactions hold the writer lock
+// exclusively; Query/QueryEach/Snapshot/Stats hold it shared. Because a
+// transaction — including the implicit one wrapping every top-level Exec —
+// holds the writer lock from its first mutation to commit or rollback,
+// shared-lock readers only ever observe a committed version of the data:
+// N goroutines can run Sorted-Outer-Union reconstruction concurrently, and
+// they serialize only against writers, never against each other.
 type DB struct {
-	mu       sync.Mutex
+	// mu is the data-plane reader/writer lock described above.
+	mu sync.RWMutex
+	// stmtMu guards the shape cache (stmts): both read and write paths
+	// populate it, so it needs its own lock under concurrent readers.
+	stmtMu sync.Mutex
+	// planMu guards the plan caches living on shared AST nodes
+	// (SimpleSelect.plan, SelectStmt.wants, DML plan slots, the physical
+	// access cache): concurrent readers compile plans for the same cached
+	// statement template.
+	planMu sync.Mutex
+
 	tables   map[string]*Table
 	triggers map[string]*trigger   // by lower-case name
 	byTable  map[string][]*trigger // firing order = creation order
-	stats    Stats
+	stats    statCounters
 
 	// stmts caches parsed statement templates by shape (prepare.go).
 	// Compiled plans live on the AST nodes themselves (plan.go), so they
@@ -59,6 +98,15 @@ type DB struct {
 	// changes what names resolve to.
 	stmts     map[string]*cachedStmt
 	schemaVer int64
+
+	// undo is the active transaction's undo log (txn.go); non-nil exactly
+	// while a statement or explicit transaction is in progress. Accessed
+	// only under the exclusive lock.
+	undo *undoLog
+	// sqlTx is the transaction opened by a SQL-level BEGIN through DB.Exec,
+	// which subsequent DB.Exec calls join (single-session semantics).
+	// Atomic because the joining check runs before the lock is taken.
+	sqlTx atomic.Pointer[Tx]
 }
 
 type trigger struct {
@@ -80,29 +128,71 @@ func NewDB() *DB {
 
 // Stats returns a snapshot of the work counters.
 func (db *DB) Stats() Stats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.stats
+	return Stats{
+		Statements:      db.stats.Statements.Load(),
+		TriggerFirings:  db.stats.TriggerFirings.Load(),
+		RowsScanned:     db.stats.RowsScanned.Load(),
+		RowsInserted:    db.stats.RowsInserted.Load(),
+		RowsDeleted:     db.stats.RowsDeleted.Load(),
+		RowsUpdated:     db.stats.RowsUpdated.Load(),
+		IndexProbes:     db.stats.IndexProbes.Load(),
+		FullScans:       db.stats.FullScans.Load(),
+		RangeProbes:     db.stats.RangeProbes.Load(),
+		SortPasses:      db.stats.SortPasses.Load(),
+		RowsSorted:      db.stats.RowsSorted.Load(),
+		HashJoinBuilds:  db.stats.HashJoinBuilds.Load(),
+		PlanCacheHits:   db.stats.PlanCacheHits.Load(),
+		PlanCacheMisses: db.stats.PlanCacheMisses.Load(),
+	}
 }
 
 // ResetStats zeroes the work counters.
 func (db *DB) ResetStats() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.stats = Stats{}
+	db.stats.Statements.Store(0)
+	db.stats.TriggerFirings.Store(0)
+	db.stats.RowsScanned.Store(0)
+	db.stats.RowsInserted.Store(0)
+	db.stats.RowsDeleted.Store(0)
+	db.stats.RowsUpdated.Store(0)
+	db.stats.IndexProbes.Store(0)
+	db.stats.FullScans.Store(0)
+	db.stats.RangeProbes.Store(0)
+	db.stats.SortPasses.Store(0)
+	db.stats.RowsSorted.Store(0)
+	db.stats.HashJoinBuilds.Store(0)
+	db.stats.PlanCacheHits.Store(0)
+	db.stats.PlanCacheMisses.Store(0)
 }
 
 // Table returns the named table, or nil.
+//
+// This is an escape hatch: the returned *Table is not synchronized, so
+// direct mutations bypass both the writer lock and the transaction undo
+// log, and direct reads race with concurrent writers. Callers must either
+// hold no concurrent statements (setup, tests, benchmark restore points) or
+// use the SQL surface / RowCount instead.
 func (db *DB) Table(name string) *Table {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.tables[strings.ToLower(name)]
+}
+
+// RowCount returns the number of live rows in the named table (0 when
+// absent) under the shared lock — safe against a concurrent writer, unlike
+// counting through the Table escape hatch.
+func (db *DB) RowCount(name string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t := db.tables[strings.ToLower(name)]; t != nil {
+		return t.live
+	}
+	return 0
 }
 
 // TableNames returns all table names, sorted.
 func (db *DB) TableNames() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var names []string
 	for _, t := range db.tables {
 		names = append(names, t.Name)
@@ -115,25 +205,85 @@ func (db *DB) TableNames() []string {
 // (inserted, deleted, or updated). Statements are resolved through the
 // shape-keyed prepared-plan cache: repeated statement templates differing
 // only in literal values parse and plan once.
+//
+// Every top-level Exec runs in an implicit per-statement transaction: a
+// mid-statement error (a unique violation on the nth row, a coercion
+// failure after earlier assignments) rolls the statement back completely
+// instead of leaving earlier row mutations behind. BEGIN opens a SQL-level
+// transaction that subsequent Exec calls join until COMMIT or ROLLBACK;
+// while it is open the DB handle is single-session (concurrent use of Exec
+// is the caller's misuse, and DB.Query from the transaction's own goroutine
+// would self-deadlock — transactional reads go through the Tx returned by
+// Begin, or simply through Exec-visible state after COMMIT).
 func (db *DB) Exec(sql string) (int, error) {
+	if tx := db.sqlTx.Load(); tx != nil {
+		n, err := tx.Exec(sql)
+		if err != errTxDone {
+			return n, err
+		}
+		// The transaction ended between the check and the join; fall
+		// through to autocommit execution.
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	stmt, args, err := db.preparedLocked(sql)
+	stmt, args, err := db.prepared(sql)
 	if err != nil {
+		db.mu.Unlock()
 		return 0, err
 	}
-	db.stats.Statements++
+	switch stmt.(type) {
+	case *BeginStmt:
+		// The new transaction keeps holding the writer lock; COMMIT or
+		// ROLLBACK through a later Exec releases it.
+		db.stats.Statements.Add(1)
+		db.beginLocked(true)
+		return 0, nil
+	case *CommitStmt, *RollbackStmt:
+		db.mu.Unlock()
+		return 0, fmt.Errorf("relational: no open transaction")
+	}
+	defer db.mu.Unlock()
+	db.stats.Statements.Add(1)
+	return db.runAutocommit(stmt, args)
+}
+
+// runAutocommit executes one statement under its own implicit transaction.
+// Caller holds the writer lock.
+func (db *DB) runAutocommit(stmt Stmt, args []Value) (int, error) {
+	log := newUndoLog()
+	db.undo = log
 	env := newEnv(nil)
 	env.args = args
-	return db.execStmt(stmt, env)
+	n, err := db.execStmt(stmt, env)
+	db.undo = nil
+	if err != nil {
+		log.rollbackTo(0)
+		return 0, err
+	}
+	log.commit()
+	return n, nil
 }
 
 // Query executes a SELECT, returning its result rows. Like Exec, it reuses
-// cached statement templates by shape.
+// cached statement templates by shape. Queries take the shared lock: any
+// number of them run concurrently, serialized only against writers — and
+// since writers hold the exclusive lock for whole transactions, a query
+// always observes a committed version of the database. During an open
+// SQL-level transaction the query joins it, like Exec does (single-session
+// semantics: it sees the transaction's uncommitted writes instead of
+// deadlocking against its writer lock); handle transactions (Begin) are
+// not joined, so concurrent readers keep full isolation there.
 func (db *DB) Query(sql string) (*Rows, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	stmt, args, err := db.preparedLocked(sql)
+	if tx := db.sqlTx.Load(); tx != nil {
+		rows, err := tx.Query(sql)
+		if err != errTxDone {
+			return rows, err
+		}
+		// The transaction ended between the check and the join; fall
+		// through to a normal committed-state read.
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	stmt, args, err := db.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +291,7 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("relational: Query requires a SELECT, got %T", stmt)
 	}
-	db.stats.Statements++
+	db.stats.Statements.Add(1)
 	env := newEnv(nil)
 	env.args = args
 	return db.execSelect(sel, env)
@@ -150,12 +300,19 @@ func (db *DB) Query(sql string) (*Rows, error) {
 // QueryEach executes a SELECT, streaming each result row to fn as the
 // pipeline produces it instead of materializing the result set — with sort
 // elision, an ordered query's first row arrives before the last is read.
-// fn must not issue statements on the same DB (the connection lock is
-// held). It returns the output column names.
+// fn must not issue statements on the same DB (a shared lock is held). It
+// returns the output column names. Like Query, it joins an open SQL-level
+// transaction.
 func (db *DB) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	stmt, args, err := db.preparedLocked(sql)
+	if tx := db.sqlTx.Load(); tx != nil {
+		cols, err := tx.QueryEach(sql, fn)
+		if err != errTxDone {
+			return cols, err
+		}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	stmt, args, err := db.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -163,10 +320,21 @@ func (db *DB) QueryEach(sql string, fn func(row []Value) error) ([]string, error
 	if !ok {
 		return nil, fmt.Errorf("relational: QueryEach requires a SELECT, got %T", stmt)
 	}
-	db.stats.Statements++
+	db.stats.Statements.Add(1)
 	env := newEnv(nil)
 	env.args = args
 	return db.streamSelect(sel, env, fn)
+}
+
+// ExecPrepared runs a prepared statement in autocommit mode; it is the
+// Session form of Prepared.Exec.
+func (db *DB) ExecPrepared(p *Prepared, args ...Value) (int, error) {
+	return p.Exec(args...)
+}
+
+// QueryPrepared runs a prepared SELECT; the Session form of Prepared.Query.
+func (db *DB) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
+	return p.Query(args...)
 }
 
 // MustExec executes a statement and panics on error. For schema setup in
@@ -247,7 +415,7 @@ func (e *execEnv) oldRow() ([]Value, *Table) {
 	return nil, nil
 }
 
-// execStmt dispatches a statement under db.mu.
+// execStmt dispatches a statement under the exclusive lock.
 func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 	if env == nil {
 		env = newEnv(nil)
@@ -258,7 +426,8 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		return 0, db.createTable(s)
 	case *DropTableStmt:
 		key := strings.ToLower(s.Name)
-		if _, ok := db.tables[key]; !ok {
+		t, ok := db.tables[key]
+		if !ok {
 			if s.IfExists {
 				return 0, nil
 			}
@@ -266,6 +435,12 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		}
 		db.schemaVer++
 		delete(db.tables, key)
+		if db.undo != nil {
+			db.undo.recordDDL(func() {
+				db.tables[key] = t
+				db.schemaVer++
+			})
+		}
 		return 0, nil
 	case *CreateIndexStmt:
 		t := db.tables[strings.ToLower(s.Table)]
@@ -276,9 +451,30 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		// reorder on next use.
 		db.schemaVer++
 		if s.Ordered || len(s.Columns) > 1 {
-			return 0, t.CreateOrderedIndex(s.Columns...)
+			key := orderedKeyName(s.Columns)
+			existed := t.ordered[key] != nil
+			err := t.CreateOrderedIndex(s.Columns...)
+			if err == nil && !existed && db.undo != nil {
+				db.undo.recordDDL(func() {
+					delete(t.ordered, key)
+					t.refreshOrderedList()
+					t.indexEpoch++
+					db.schemaVer++
+				})
+			}
+			return 0, err
 		}
-		return 0, t.CreateIndex(s.Columns[0])
+		key := strings.ToLower(s.Columns[0])
+		existed := t.index[key] != nil
+		err := t.CreateIndex(s.Columns[0])
+		if err == nil && !existed && db.undo != nil {
+			db.undo.recordDDL(func() {
+				delete(t.index, key)
+				t.indexEpoch++
+				db.schemaVer++
+			})
+		}
+		return 0, err
 	case *CreateTriggerStmt:
 		key := strings.ToLower(s.Name)
 		if _, dup := db.triggers[key]; dup {
@@ -291,6 +487,12 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		tr := &trigger{name: s.Name, table: s.Table, perRow: s.PerRow, body: s.Body}
 		db.triggers[key] = tr
 		db.byTable[tkey] = append(db.byTable[tkey], tr)
+		if db.undo != nil {
+			db.undo.recordDDL(func() {
+				delete(db.triggers, key)
+				db.removeTrigger(tkey, tr)
+			})
+		}
 		return 0, nil
 	case *DropTriggerStmt:
 		key := strings.ToLower(s.Name)
@@ -300,12 +502,19 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		}
 		delete(db.triggers, key)
 		tkey := strings.ToLower(tr.table)
-		list := db.byTable[tkey]
-		for i, x := range list {
-			if x == tr {
-				db.byTable[tkey] = append(list[:i], list[i+1:]...)
-				break
-			}
+		pos := db.removeTrigger(tkey, tr)
+		if pos >= 0 && db.undo != nil {
+			db.undo.recordDDL(func() {
+				db.triggers[key] = tr
+				list := db.byTable[tkey]
+				if pos > len(list) {
+					pos = len(list)
+				}
+				list = append(list, nil)
+				copy(list[pos+1:], list[pos:])
+				list[pos] = tr
+				db.byTable[tkey] = list
+			})
 		}
 		return 0, nil
 	case *InsertStmt:
@@ -320,9 +529,24 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 			return 0, err
 		}
 		return len(rows.Data), nil
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return 0, fmt.Errorf("relational: transaction control not allowed here")
 	default:
 		return 0, fmt.Errorf("relational: unsupported statement %T", stmt)
 	}
+}
+
+// removeTrigger unlinks tr from its table's firing list, returning the
+// position it held (-1 if absent).
+func (db *DB) removeTrigger(tkey string, tr *trigger) int {
+	list := db.byTable[tkey]
+	for i, x := range list {
+		if x == tr {
+			db.byTable[tkey] = append(list[:i], list[i+1:]...)
+			return i
+		}
+	}
+	return -1
 }
 
 func (db *DB) createTable(s *CreateTableStmt) error {
@@ -335,6 +559,9 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 		return err
 	}
 	t := NewTable(s.Name, schema)
+	// The back-pointer routes the table's mutations into the DB's active
+	// undo log (txn.go); tables created outside a DB stay untracked.
+	t.db = db
 	// Key/parent-ID columns are what Shared Inlining always joins on; index
 	// them from the start so generated joins probe instead of scan. Temp
 	// work areas (table-based insert, §6.2.2) are written once, offset, and
@@ -343,6 +570,15 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 		t.autoIndex()
 	}
 	db.tables[key] = t
+	if db.undo != nil {
+		// Rollback drops the table again — in particular the CREATE TEMP
+		// TABLE work areas of a failed table-method insert, which would
+		// otherwise linger and block the retry.
+		db.undo.recordDDL(func() {
+			delete(db.tables, key)
+			db.schemaVer++
+		})
+	}
 	return nil
 }
 
@@ -359,7 +595,7 @@ func (db *DB) fireDeleteTriggers(t *Table, deletedRows [][]Value, env *execEnv) 
 	for _, tr := range trs {
 		if tr.perRow {
 			for _, old := range deletedRows {
-				db.stats.TriggerFirings++
+				db.stats.TriggerFirings.Add(1)
 				tenv := newEnv(env)
 				tenv.old = old
 				tenv.oldTab = t
@@ -368,7 +604,7 @@ func (db *DB) fireDeleteTriggers(t *Table, deletedRows [][]Value, env *execEnv) 
 				}
 			}
 		} else {
-			db.stats.TriggerFirings++
+			db.stats.TriggerFirings.Add(1)
 			tenv := newEnv(env)
 			if _, err := db.execStmt(tr.body, tenv); err != nil {
 				return fmt.Errorf("relational: trigger %s: %w", tr.name, err)

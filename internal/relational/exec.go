@@ -77,7 +77,7 @@ func (db *DB) execInsert(s *InsertStmt, env *execEnv) (int, error) {
 			n++
 		}
 	}
-	db.stats.RowsInserted += int64(n)
+	db.stats.RowsInserted.Add(int64(n))
 	return n, nil
 }
 
@@ -98,7 +98,7 @@ func (db *DB) execDelete(s *DeleteStmt, env *execEnv) (int, error) {
 		}
 		deleted = append(deleted, old)
 	}
-	db.stats.RowsDeleted += int64(len(deleted))
+	db.stats.RowsDeleted.Add(int64(len(deleted)))
 	if err := db.fireDeleteTriggers(t, deleted, env); err != nil {
 		return 0, err
 	}
@@ -137,7 +137,7 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 			return 0, err
 		}
 	}
-	db.stats.RowsUpdated += int64(len(rids))
+	db.stats.RowsUpdated.Add(int64(len(rids)))
 	return len(rids), nil
 }
 
@@ -161,10 +161,12 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		return true, nil
 	}
 	var rids []int
+	var ctr levelCounters
+	defer ctr.flush(db)
 	ap := chooseAccessPlan(lp, bind.srcs[0], 0, nil, true)
 	switch ap.kind {
 	case accessIndexProbe:
-		db.stats.IndexProbes++
+		ctr.indexProbes++
 		v, err := ev.eval(ap.probe.expr, bind)
 		if err != nil {
 			return nil, err
@@ -174,7 +176,7 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 			if row == nil {
 				continue
 			}
-			db.stats.RowsScanned++
+			ctr.rowsScanned++
 			keep, err := check(row)
 			if err != nil {
 				return nil, err
@@ -188,7 +190,7 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 	case accessOrderedProbe, accessRangeScan:
 		// Walk the B+tree window; bound expressions are constants or OLD
 		// references here (single-table DML), evaluated once.
-		bucket, err := orderedBucketFor(db, ev, &ap, t, bind, nil)
+		bucket, err := orderedBucketFor(&ctr, ev, &ap, t, bind, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +199,7 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 			if row == nil {
 				continue
 			}
-			db.stats.RowsScanned++
+			ctr.rowsScanned++
 			keep, err := check(row)
 			if err != nil {
 				return nil, err
@@ -209,12 +211,12 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		sort.Ints(rids)
 		return rids, nil
 	}
-	db.stats.FullScans++
+	ctr.fullScans++
 	for rid, row := range t.rows {
 		if row == nil {
 			continue
 		}
-		db.stats.RowsScanned++
+		ctr.rowsScanned++
 		keep, err := check(row)
 		if err != nil {
 			return nil, err

@@ -16,8 +16,10 @@ func (db *DB) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	// Explain is a read: it parses a private AST and compiles it through
+	// the same (planMu-guarded) machinery the executor uses.
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var b strings.Builder
 	if err := db.explainStmt(&b, stmt, 0); err != nil {
 		return "", err

@@ -73,6 +73,43 @@ type levelIter struct {
 	scanPos   int
 	bucket    []int
 	bucketPos int
+
+	// ctr batches the level's per-row and per-probe work counters locally
+	// and flushes them to the shared atomics on Close: with N concurrent
+	// readers, an atomic add per scanned row turns the stats cache line
+	// into a serialization point and erases the reader-parallel speedup.
+	ctr levelCounters
+}
+
+// levelCounters accumulates hot-path statistics locally during one
+// pipeline execution.
+type levelCounters struct {
+	rowsScanned    int64
+	indexProbes    int64
+	fullScans      int64
+	rangeProbes    int64
+	hashJoinBuilds int64
+}
+
+// flush adds the batched counts to the DB's shared counters and zeroes the
+// batch (Close may run more than once).
+func (c *levelCounters) flush(db *DB) {
+	if c.rowsScanned != 0 {
+		db.stats.RowsScanned.Add(c.rowsScanned)
+	}
+	if c.indexProbes != 0 {
+		db.stats.IndexProbes.Add(c.indexProbes)
+	}
+	if c.fullScans != 0 {
+		db.stats.FullScans.Add(c.fullScans)
+	}
+	if c.rangeProbes != 0 {
+		db.stats.RangeProbes.Add(c.rangeProbes)
+	}
+	if c.hashJoinBuilds != 0 {
+		db.stats.HashJoinBuilds.Add(c.hashJoinBuilds)
+	}
+	*c = levelCounters{}
 }
 
 func (li *levelIter) Open() error {
@@ -82,7 +119,10 @@ func (li *levelIter) Open() error {
 	return li.input.Open()
 }
 
-func (li *levelIter) Close() { li.input.Close() }
+func (li *levelIter) Close() {
+	li.ctr.flush(li.db)
+	li.input.Close()
+}
 
 func (li *levelIter) Next() (bool, error) {
 	for {
@@ -113,7 +153,7 @@ func (li *levelIter) Next() (bool, error) {
 func (li *levelIter) startInner() error {
 	switch li.ap.kind {
 	case accessIndexProbe:
-		li.db.stats.IndexProbes++
+		li.ctr.indexProbes++
 		v, err := li.ev.eval(li.ap.probe.expr, li.bind)
 		if err != nil {
 			return err
@@ -144,7 +184,7 @@ func (li *levelIter) startInner() error {
 		li.bucket = bucket
 		li.bucketPos = 0
 	case accessSortedProbe:
-		li.db.stats.IndexProbes++
+		li.ctr.indexProbes++
 		v, err := li.ev.eval(li.ap.probe.expr, li.bind)
 		if err != nil {
 			return err
@@ -169,7 +209,7 @@ func (li *levelIter) startInner() error {
 			return li.bucket[a] < li.bucket[b]
 		})
 	default:
-		li.db.stats.FullScans++
+		li.ctr.fullScans++
 		li.scanPos = 0
 	}
 	return nil
@@ -178,7 +218,7 @@ func (li *levelIter) startInner() error {
 // orderedBucket walks the level's B+tree index for the current input
 // tuple, collecting matching rowids in key order.
 func (li *levelIter) orderedBucket() ([]int, error) {
-	return orderedBucketFor(li.db, li.ev, &li.ap, li.src.table, li.bind, li.bucket[:0])
+	return orderedBucketFor(&li.ctr, li.ev, &li.ap, li.src.table, li.bind, li.bucket[:0])
 }
 
 // orderedBucketFor evaluates an ordered access path's prefix and bounds
@@ -186,12 +226,11 @@ func (li *levelIter) orderedBucket() ([]int, error) {
 // bound value matches nothing (SQL comparison semantics). A free function —
 // not a levelIter method — so the DML path can call it without building an
 // iterator (which would force its stack-allocated binding to escape).
-func orderedBucketFor(db *DB, ev *exprEval, ap *accessPlan, t *Table, bind *binding, buf []int) ([]int, error) {
-	// Deletions only tombstone B+tree entries; compact here — on the read
-	// path, before the walk — once stale entries outnumber live rows.
-	if t != nil && ap.oidx.stale > t.live {
-		ap.oidx.rebuild(t)
-	}
+func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table, bind *binding, buf []int) ([]int, error) {
+	// Deletions only tombstone B+tree entries; readers skip entries whose
+	// row is gone. Compaction happens at transaction commit (txn.go): this
+	// path now runs under the shared lock, where rebuilding the tree would
+	// race with other readers.
 	prefix := make([]Value, len(ap.eqPrefix))
 	for i, c := range ap.eqPrefix {
 		v, err := ev.eval(c.expr, bind)
@@ -226,11 +265,11 @@ func orderedBucketFor(db *DB, ev *exprEval, ap *accessPlan, t *Table, bind *bind
 	}
 	switch ap.kind {
 	case accessRangeScan:
-		db.stats.RangeProbes++
+		ctr.rangeProbes++
 	case accessOrderedScan:
-		db.stats.FullScans++
+		ctr.fullScans++
 	default:
-		db.stats.IndexProbes++
+		ctr.indexProbes++
 	}
 	return ap.oidx.scanRange(prefix, lo, hi, ap.desc, buf), nil
 }
@@ -249,7 +288,7 @@ func (li *levelIter) buildHash() error {
 			if row == nil || row[ci] == nil {
 				continue
 			}
-			li.db.stats.RowsScanned++
+			li.ctr.rowsScanned++
 			k := valueString(row[ci])
 			li.ht[k] = append(li.ht[k], rid)
 		}
@@ -258,12 +297,12 @@ func (li *levelIter) buildHash() error {
 			if row[ci] == nil {
 				continue
 			}
-			li.db.stats.RowsScanned++
+			li.ctr.rowsScanned++
 			k := valueString(row[ci])
 			li.ht[k] = append(li.ht[k], i)
 		}
 	}
-	li.db.stats.HashJoinBuilds++
+	li.ctr.hashJoinBuilds++
 	return nil
 }
 
@@ -305,7 +344,7 @@ func (li *levelIter) advanceInner() (bool, error) {
 				li.scanPos++
 			}
 		}
-		li.db.stats.RowsScanned++
+		li.ctr.rowsScanned++
 		li.bind.rows[li.lp.slot] = row
 		ok, err := li.checkConds()
 		if err != nil {
@@ -540,8 +579,8 @@ func (s *sortIter) Open() error {
 		s.buf = append(s.buf, row)
 	}
 	if s.db != nil {
-		s.db.stats.SortPasses++
-		s.db.stats.RowsSorted += int64(len(s.buf))
+		s.db.stats.SortPasses.Add(1)
+		s.db.stats.RowsSorted.Add(int64(len(s.buf)))
 	}
 	sort.SliceStable(s.buf, func(a, b int) bool {
 		return compareRows(s.buf[a], s.buf[b], s.keys) < 0
@@ -764,17 +803,17 @@ func (db *DB) compileSimple(s *SimpleSelect, env *execEnv, keys []sortSpec, srcs
 		bc.pinned = true
 		if len(srcs) > 0 {
 			bc.plan = db.planFor(s, srcs)
-			bc.access, _, _ = planPhysical(bc.plan, srcs, nil)
+			bc.access, _, _ = db.planPhysical(bc.plan, srcs, nil)
 		}
 		return bc, nil
 	}
 	bc.plan = db.planFor(s, srcs)
 	want, mappable := mapWantTerms(s, srcs, keys)
 	if !mappable {
-		bc.access, _, _ = planPhysical(bc.plan, srcs, nil)
+		bc.access, _, _ = db.planPhysical(bc.plan, srcs, nil)
 		return bc, nil
 	}
-	bc.access, bc.satisfied, bc.pinned = planPhysical(bc.plan, srcs, want)
+	bc.access, bc.satisfied, bc.pinned = db.planPhysical(bc.plan, srcs, want)
 	return bc, nil
 }
 

@@ -132,8 +132,9 @@ func constBindCols(plan *simplePlan, srcs []*source) map[[2]int]bool {
 // additionally unique per row (pinned) — every level pinned by a unique
 // streamed column or single-row — which downstream joins over a
 // materialized CTE need before refining its order further. It is pure — no
-// execution state beyond the access cache — so EXPLAIN shares it.
-func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPlan, bool, bool) {
+// execution state beyond the access cache, which planMu guards because the
+// plan rides on a shared AST — so EXPLAIN shares it.
+func (db *DB) planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPlan, bool, bool) {
 	if len(want) == 0 {
 		// No order interest: per-level choice alone, no satisfaction walk.
 		// The choice depends only on the live index set, so it caches on
@@ -147,6 +148,8 @@ func planPhysical(plan *simplePlan, srcs []*source, want []wantTerm) ([]accessPl
 			}
 			epoch += src.table.indexEpoch
 		}
+		db.planMu.Lock()
+		defer db.planMu.Unlock()
 		if cacheable && plan.accessValid && plan.accessEpoch == epoch {
 			return plan.access, true, false
 		}
@@ -541,16 +544,25 @@ func (db *DB) cteWants(s *SelectStmt, env *execEnv, topKeys []OrderKey) map[stri
 	}
 	// The translation depends only on the statement and the schema; cache
 	// it on the AST for the statement's own ORDER BY (the shape-cache hot
-	// path). Propagated wants from an enclosing statement recompute.
+	// path), guarded by planMu like the other AST-resident caches.
+	// Propagated wants from an enclosing statement recompute.
 	own := len(s.OrderBy) > 0
-	if own && s.wantsValid && s.wantsVer == db.schemaVer {
-		return s.wants
+	if own {
+		db.planMu.Lock()
+		if s.wantsValid && s.wantsVer == db.schemaVer {
+			w := s.wants
+			db.planMu.Unlock()
+			return w
+		}
+		db.planMu.Unlock()
 	}
 	wants := db.cteWantsUncached(s, env, topKeys)
 	if own {
+		db.planMu.Lock()
 		s.wants = wants
 		s.wantsVer = db.schemaVer
 		s.wantsValid = true
+		db.planMu.Unlock()
 	}
 	return wants
 }

@@ -82,14 +82,18 @@ type simplePlan struct {
 // first use and rebuilding it when DDL has changed the schema since. The
 // plan lives on the AST node, so it shares the lifetime of whatever holds
 // the statement — the shape cache, a Prepared, a trigger body — and
-// disappears with it. Caller holds db.mu. Plans record only column names
-// and expression references, so they stay valid across data changes;
-// access-path choice is re-validated against live indexes at execution
-// time.
+// disappears with it. The cache slot is guarded by planMu: shape-cached
+// ASTs are shared between concurrent shared-lock readers. Plans record
+// only column names and expression references, so they stay valid across
+// data changes; access-path choice is re-validated against live indexes at
+// execution time.
 func (db *DB) planFor(s *SimpleSelect, srcs []*source) *simplePlan {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
 	if s.plan == nil || s.plan.schemaVer != db.schemaVer {
-		s.plan = planSimple(s, srcs)
-		s.plan.schemaVer = db.schemaVer
+		p := planSimple(s, srcs)
+		p.schemaVer = db.schemaVer
+		s.plan = p
 	}
 	return s.plan
 }
@@ -155,8 +159,12 @@ func planSimple(s *SimpleSelect, srcs []*source) *simplePlan {
 // matchPlanFor returns the DML access-path plan compiled into a
 // DELETE/UPDATE statement node, building it on first use and rebuilding it
 // after DDL — trigger bodies fire the same AST thousands of times, so
-// per-firing re-planning is avoided. Caller holds db.mu.
+// per-firing re-planning is avoided. planMu guards the slot like the other
+// AST-resident caches (DML runs under the exclusive lock, but EXPLAIN
+// shares this path).
 func (db *DB) matchPlanFor(slot **levelPlan, name string, t *Table, where Expr) levelPlan {
+	db.planMu.Lock()
+	defer db.planMu.Unlock()
 	if *slot == nil || (*slot).schemaVer != db.schemaVer {
 		p := planMatch(name, t, where)
 		p.schemaVer = db.schemaVer

@@ -36,20 +36,28 @@ func (db *DB) Prepare(sql string) (*Prepared, error) {
 }
 
 // Exec runs the prepared statement with the given parameter values,
-// returning the number of affected rows.
+// returning the number of affected rows. Like DB.Exec it runs in an
+// implicit per-statement transaction, and joins an open SQL-level
+// transaction.
 func (p *Prepared) Exec(args ...Value) (int, error) {
 	if len(args) != p.nparams {
 		return 0, fmt.Errorf("relational: prepared statement takes %d args, got %d", p.nparams, len(args))
 	}
+	if tx := p.db.sqlTx.Load(); tx != nil {
+		n, err := tx.ExecPrepared(p, args...)
+		if err != errTxDone {
+			return n, err
+		}
+	}
 	p.db.mu.Lock()
 	defer p.db.mu.Unlock()
-	p.db.stats.Statements++
-	env := newEnv(nil)
-	env.args = args
-	return p.db.execStmt(p.stmt, env)
+	p.db.stats.Statements.Add(1)
+	return p.db.runAutocommit(p.stmt, args)
 }
 
-// Query runs a prepared SELECT with the given parameter values.
+// Query runs a prepared SELECT with the given parameter values, under the
+// shared lock like DB.Query; it likewise joins an open SQL-level
+// transaction.
 func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	sel, ok := p.stmt.(*SelectStmt)
 	if !ok {
@@ -58,9 +66,15 @@ func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	if len(args) != p.nparams {
 		return nil, fmt.Errorf("relational: prepared statement takes %d args, got %d", p.nparams, len(args))
 	}
-	p.db.mu.Lock()
-	defer p.db.mu.Unlock()
-	p.db.stats.Statements++
+	if tx := p.db.sqlTx.Load(); tx != nil {
+		rows, err := tx.QueryPrepared(p, args...)
+		if err != errTxDone {
+			return rows, err
+		}
+	}
+	p.db.mu.RLock()
+	defer p.db.mu.RUnlock()
+	p.db.stats.Statements.Add(1)
 	env := newEnv(nil)
 	env.args = args
 	return p.db.execSelect(sel, env)
@@ -78,10 +92,11 @@ type cachedStmt struct {
 // and local (plans ride on the evicted AST, nothing else is touched).
 const stmtCacheLimit = 512
 
-// preparedLocked resolves sql through the shape cache, parsing at most once
-// per statement shape. It returns the (shared, read-only) AST and the
-// literal values to bind. Caller holds db.mu.
-func (db *DB) preparedLocked(sql string) (Stmt, []Value, error) {
+// prepared resolves sql through the shape cache, parsing at most once per
+// statement shape. It returns the (shared, read-only) AST and the literal
+// values to bind. The cache has its own lock (both shared-lock readers and
+// exclusive writers populate it), so callers hold db.mu in either mode.
+func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 	toks, err := lexSQL(sql)
 	if err != nil {
 		return nil, nil, err
@@ -92,11 +107,14 @@ func (db *DB) preparedLocked(sql string) (Stmt, []Value, error) {
 		// parse the original tokens.
 		shape, args = sql, nil
 	}
-	if c, hit := db.stmts[shape]; hit && c.nparams == len(args) {
-		db.stats.PlanCacheHits++
+	db.stmtMu.Lock()
+	c, hit := db.stmts[shape]
+	db.stmtMu.Unlock()
+	if hit && c.nparams == len(args) {
+		db.stats.PlanCacheHits.Add(1)
 		return c.stmt, args, nil
 	}
-	db.stats.PlanCacheMisses++
+	db.stats.PlanCacheMisses.Add(1)
 	ptoks := toks
 	if ok {
 		// Cache miss: re-run the lift, now emitting the parameterized
@@ -113,6 +131,7 @@ func (db *DB) preparedLocked(sql string) (Stmt, []Value, error) {
 		}
 		return nil, nil, fmt.Errorf("relational: internal: %d params for %d lifted literals", np, len(args))
 	}
+	db.stmtMu.Lock()
 	if len(db.stmts) >= stmtCacheLimit {
 		// Evict an arbitrary template; its AST and the plans compiled into
 		// it are garbage-collected together.
@@ -122,6 +141,7 @@ func (db *DB) preparedLocked(sql string) (Stmt, []Value, error) {
 		}
 	}
 	db.stmts[shape] = &cachedStmt{stmt: stmt, nparams: np}
+	db.stmtMu.Unlock()
 	return stmt, args, nil
 }
 

@@ -24,8 +24,8 @@ type tableSnap struct {
 // (tables, indexes, triggers) are shared, not copied: Restore assumes the
 // schema is unchanged since the snapshot.
 func (db *DB) Snapshot() *DBSnapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables))}
 	for key, t := range db.tables {
 		rows := make([][]Value, len(t.rows))

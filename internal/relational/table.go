@@ -46,6 +46,12 @@ type Table struct {
 	Name   string
 	Schema *Schema
 
+	// db points back at the owning database so mutations record undo
+	// entries into its active transaction log (txn.go). Tables built
+	// directly via NewTable (outside any DB) have no owner and are not
+	// transaction-tracked.
+	db *DB
+
 	rows  [][]Value // nil entry = deleted
 	live  int
 	index map[string]*hashIndex // keyed by lower-case column name
@@ -104,6 +110,9 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	rid := len(t.rows)
 	t.rows = append(t.rows, row)
 	t.live++
+	if t.db != nil && t.db.undo != nil {
+		t.db.undo.recordInsert(t, rid)
+	}
 	for _, idx := range t.index {
 		if v := row[idx.col]; v != nil {
 			idx.entries[v] = append(idx.entries[v], rid)
@@ -122,6 +131,9 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 		return nil, fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
 	row := t.rows[rid]
+	if t.db != nil && t.db.undo != nil {
+		t.db.undo.recordDelete(t, rid, row)
+	}
 	for _, idx := range t.index {
 		if v := row[idx.col]; v != nil {
 			idx.remove(v, rid)
@@ -146,6 +158,13 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 		return fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
 	row := t.rows[rid]
+	if t.db != nil && t.db.undo != nil {
+		// The pre-image restores every assigned column on rollback — a
+		// coercion error partway through the SET list leaves earlier
+		// assignments applied here, and the statement-level rollback is
+		// what reverses them.
+		t.db.undo.recordUpdate(t, rid, row)
+	}
 	var touched []*orderedIndex
 	for _, oidx := range t.orderedList {
 		for _, ci := range cols {

@@ -1,0 +1,420 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transactions. The paper's §6.3 execution model requires an update
+// statement to behave atomically: bindings are computed over the unmodified
+// database, then sub-operations apply — so a failure discovered while a
+// sub-operation executes must leave no trace of the ones before it. The
+// engine gets that from this layer: an undo log records every row mutation
+// (insert, delete, update) with enough of a pre-image to reverse it, and a
+// transaction — explicit via Begin/BEGIN or the implicit one wrapping every
+// top-level Exec — applies the log backwards on rollback, restoring rows,
+// live counts, hash buckets, and B+tree entries.
+//
+// Undo logging was chosen over copy-on-write table versions: mutations stay
+// in place (no per-statement table copies, so bulk loads and renumber
+// UPDATEs keep their PR 1/PR 2 cost), and the log's size is proportional to
+// the statement's write set, not the table. The price is that readers must
+// not observe a mutation epoch in progress — which the DB's reader/writer
+// lock already guarantees: a transaction holds the writer lock from BEGIN
+// to COMMIT/ROLLBACK, so shared-lock readers only ever see committed state
+// (see db.go).
+
+// errTxDone is returned by operations on a finished transaction.
+var errTxDone = fmt.Errorf("relational: transaction has already been committed or rolled back")
+
+// Session is the statement-execution surface shared by a DB in autocommit
+// mode and an open Tx. Code that must run inside a caller-supplied
+// transaction — the engine's §6.3 execution phase — takes a Session, so the
+// same helpers serve both transactional and autocommit callers.
+type Session interface {
+	Exec(sql string) (int, error)
+	Query(sql string) (*Rows, error)
+	QueryEach(sql string, fn func(row []Value) error) ([]string, error)
+	Prepare(sql string) (*Prepared, error)
+	ExecPrepared(p *Prepared, args ...Value) (int, error)
+	QueryPrepared(p *Prepared, args ...Value) (*Rows, error)
+}
+
+var (
+	_ Session = (*DB)(nil)
+	_ Session = (*Tx)(nil)
+)
+
+// ---- undo log ----
+
+type undoKind uint8
+
+const (
+	// undoInsert reverses a row insertion: unindex and drop the row.
+	undoInsert undoKind = iota
+	// undoDelete reverses a tombstoning: relink the row and its index
+	// entries.
+	undoDelete
+	// undoUpdate reverses an in-place overwrite from the recorded pre-image.
+	undoUpdate
+	// undoDDL reverses a schema change (create/drop of tables, indexes,
+	// triggers) via a recorded closure. DDL is rare, so the per-entry
+	// closure allocation stays off the row-mutation hot path.
+	undoDDL
+)
+
+// undoEntry is one reversible mutation. For undoDelete, row is the removed
+// row slice itself (detached from the table, never mutated afterwards); for
+// undoUpdate it is a pre-image copy; for undoDDL, fn restores the schema.
+type undoEntry struct {
+	kind undoKind
+	t    *Table
+	rid  int
+	row  []Value
+	fn   func()
+}
+
+// undoLog accumulates a transaction's reversible mutations in order.
+type undoLog struct {
+	entries []undoEntry
+	// touched records mutated tables for commit-time ordered-index
+	// compaction (deletes only tombstone B+tree entries; see commit).
+	touched map[*Table]struct{}
+}
+
+func newUndoLog() *undoLog { return &undoLog{} }
+
+func (l *undoLog) note(t *Table) {
+	if l.touched == nil {
+		l.touched = make(map[*Table]struct{}, 4)
+	}
+	l.touched[t] = struct{}{}
+}
+
+func (l *undoLog) recordInsert(t *Table, rid int) {
+	l.note(t)
+	l.entries = append(l.entries, undoEntry{kind: undoInsert, t: t, rid: rid})
+}
+
+func (l *undoLog) recordDelete(t *Table, rid int, row []Value) {
+	l.note(t)
+	l.entries = append(l.entries, undoEntry{kind: undoDelete, t: t, rid: rid, row: row})
+}
+
+func (l *undoLog) recordUpdate(t *Table, rid int, row []Value) {
+	l.note(t)
+	pre := make([]Value, len(row))
+	copy(pre, row)
+	l.entries = append(l.entries, undoEntry{kind: undoUpdate, t: t, rid: rid, row: pre})
+}
+
+func (l *undoLog) recordDDL(fn func()) {
+	l.entries = append(l.entries, undoEntry{kind: undoDDL, fn: fn})
+}
+
+// mark returns a position to roll back to — the statement boundary inside a
+// multi-statement transaction.
+func (l *undoLog) mark() int { return len(l.entries) }
+
+// rollbackTo applies entries beyond mark in reverse, restoring the tables
+// to their state at the mark. Caller holds the writer lock.
+func (l *undoLog) rollbackTo(mark int) {
+	for i := len(l.entries) - 1; i >= mark; i-- {
+		e := l.entries[i]
+		switch e.kind {
+		case undoInsert:
+			row := e.t.rows[e.rid]
+			for _, idx := range e.t.index {
+				if v := row[idx.col]; v != nil {
+					idx.remove(v, e.rid)
+				}
+			}
+			for _, oidx := range e.t.orderedList {
+				oidx.tree.remove(oidx.keyFor(e.rid, row))
+			}
+			e.t.rows[e.rid] = nil
+			e.t.live--
+			// Inserts append, and reverse application reaches them in
+			// reverse rid order, so truncating restores the exact rowid
+			// sequence (future inserts reuse the same rids as if the
+			// statement never ran).
+			if e.rid == len(e.t.rows)-1 {
+				e.t.rows = e.t.rows[:e.rid]
+			}
+		case undoDelete:
+			e.t.rows[e.rid] = e.row
+			e.t.live++
+			for _, idx := range e.t.index {
+				if v := e.row[idx.col]; v != nil {
+					idx.entries[v] = append(idx.entries[v], e.rid)
+				}
+			}
+			// Deletion tombstones B+tree entries lazily (the key usually
+			// still sits in the tree). An index created mid-transaction is
+			// the exception — it was built from live rows only — so probe
+			// via remove-then-insert, which is exact either way.
+			for _, oidx := range e.t.orderedList {
+				k := oidx.keyFor(e.rid, e.row)
+				present := oidx.tree.remove(k)
+				oidx.tree.insert(k)
+				if present && oidx.stale > 0 {
+					oidx.stale--
+				}
+			}
+		case undoUpdate:
+			cur := e.t.rows[e.rid]
+			for _, oidx := range e.t.orderedList {
+				ck, pk := oidx.keyFor(e.rid, cur), oidx.keyFor(e.rid, e.row)
+				if compareBKeys(ck, pk) != 0 {
+					oidx.tree.remove(ck)
+					oidx.tree.insert(pk)
+				}
+			}
+			for _, idx := range e.t.index {
+				cv, pv := cur[idx.col], e.row[idx.col]
+				if cv == pv {
+					continue
+				}
+				if cv != nil {
+					idx.remove(cv, e.rid)
+				}
+				if pv != nil {
+					idx.entries[pv] = append(idx.entries[pv], e.rid)
+				}
+			}
+			// Copy the pre-image back in place, preserving row identity.
+			copy(cur, e.row)
+		case undoDDL:
+			e.fn()
+		}
+	}
+	l.entries = l.entries[:mark]
+}
+
+// commit discards the log and compacts the touched tables' ordered indexes
+// whose lazy tombstones now outnumber live rows. Compaction used to run on
+// the read path; it moved here because reads now run under a shared lock
+// (mutating a tree there would race) and because compacting mid-transaction
+// would drop tombstoned entries the undo log still counts on. Staleness only
+// grows through deletes, and every delete touches its table, so the
+// threshold is always observed at some commit. Caller holds the writer lock.
+func (l *undoLog) commit() {
+	for t := range l.touched {
+		for _, oidx := range t.orderedList {
+			if oidx.stale > t.live {
+				oidx.rebuild(t)
+			}
+		}
+	}
+	l.entries = nil
+}
+
+// ---- transactions ----
+
+// Tx is an open transaction. It holds the database's writer lock from Begin
+// until Commit or Rollback, so its statements never interleave with other
+// writers and shared-lock readers only ever observe committed state (the
+// snapshot-read guarantee). Tx methods serialize on an internal mutex, so
+// goroutines that join a SQL-level transaction through DB.Exec/DB.Query
+// cannot race the transaction's own statements — they interleave into it.
+type Tx struct {
+	db  *DB
+	log *undoLog
+	// sqlLevel marks a transaction opened by a SQL BEGIN through DB.Exec:
+	// subsequent DB.Exec/Query calls join it (single-session semantics,
+	// like one SQLite connection) until COMMIT/ROLLBACK.
+	sqlLevel bool
+	// mu serializes the transaction's statements; done (guarded by mu)
+	// marks it finished.
+	mu   sync.Mutex
+	done bool
+}
+
+// Begin opens an explicit transaction, acquiring the writer lock until
+// Commit or Rollback. While the transaction is open, DB.Query and DB.Exec
+// from other goroutines block (they would otherwise observe or interleave
+// with uncommitted state); the transaction's own reads and writes go
+// through the Tx methods.
+func (db *DB) Begin() *Tx {
+	db.mu.Lock()
+	return db.beginLocked(false)
+}
+
+// beginLocked installs a fresh transaction; caller holds the writer lock
+// and keeps holding it on behalf of the returned Tx.
+func (db *DB) beginLocked(sqlLevel bool) *Tx {
+	tx := &Tx{db: db, log: newUndoLog(), sqlLevel: sqlLevel}
+	db.undo = tx.log
+	if sqlLevel {
+		db.sqlTx.Store(tx)
+	}
+	return tx
+}
+
+// Exec executes a statement inside the transaction. A statement that fails
+// rolls back to its own start (statement atomicity); the transaction stays
+// open. COMMIT and ROLLBACK statements finish the transaction.
+func (tx *Tx) Exec(sql string) (int, error) {
+	stmt, args, err := tx.db.prepared(sql)
+	if err != nil {
+		return 0, err
+	}
+	switch stmt.(type) {
+	case *BeginStmt:
+		// Check done first: a joiner racing the commit must get errTxDone
+		// (which DB.Exec falls through on, opening a fresh transaction),
+		// not a spurious already-open error.
+		tx.mu.Lock()
+		done := tx.done
+		tx.mu.Unlock()
+		if done {
+			return 0, errTxDone
+		}
+		return 0, fmt.Errorf("relational: transaction already open")
+	case *CommitStmt:
+		return 0, tx.Commit()
+	case *RollbackStmt:
+		return 0, tx.Rollback()
+	}
+	return tx.execStmt(stmt, args)
+}
+
+// execStmt runs one parsed statement with statement-level atomicity inside
+// the open transaction.
+func (tx *Tx) execStmt(stmt Stmt, args []Value) (int, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return 0, errTxDone
+	}
+	tx.db.stats.Statements.Add(1)
+	mark := tx.log.mark()
+	env := newEnv(nil)
+	env.args = args
+	n, err := tx.db.execStmt(stmt, env)
+	if err != nil {
+		tx.log.rollbackTo(mark)
+		return 0, err
+	}
+	return n, nil
+}
+
+// Query executes a SELECT inside the transaction, observing its uncommitted
+// writes.
+func (tx *Tx) Query(sql string) (*Rows, error) {
+	stmt, args, err := tx.db.prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires a SELECT, got %T", stmt)
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, errTxDone
+	}
+	tx.db.stats.Statements.Add(1)
+	env := newEnv(nil)
+	env.args = args
+	return tx.db.execSelect(sel, env)
+}
+
+// QueryEach streams a SELECT's rows inside the transaction.
+func (tx *Tx) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
+	stmt, args, err := tx.db.prepared(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: QueryEach requires a SELECT, got %T", stmt)
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, errTxDone
+	}
+	tx.db.stats.Statements.Add(1)
+	env := newEnv(nil)
+	env.args = args
+	return tx.db.streamSelect(sel, env, fn)
+}
+
+// Prepare parses a statement for repeated execution. Parsing takes no data
+// locks, so it is safe inside the transaction; execute the result through
+// ExecPrepared/QueryPrepared to stay inside it.
+func (tx *Tx) Prepare(sql string) (*Prepared, error) { return tx.db.Prepare(sql) }
+
+// ExecPrepared runs a prepared statement inside the transaction.
+func (tx *Tx) ExecPrepared(p *Prepared, args ...Value) (int, error) {
+	if p.db != tx.db {
+		return 0, fmt.Errorf("relational: prepared statement belongs to a different DB")
+	}
+	if len(args) != p.nparams {
+		return 0, fmt.Errorf("relational: prepared statement takes %d args, got %d", p.nparams, len(args))
+	}
+	return tx.execStmt(p.stmt, args)
+}
+
+// QueryPrepared runs a prepared SELECT inside the transaction.
+func (tx *Tx) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
+	if p.db != tx.db {
+		return nil, fmt.Errorf("relational: prepared statement belongs to a different DB")
+	}
+	sel, ok := p.stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("relational: Query requires a SELECT, got %T", p.stmt)
+	}
+	if len(args) != p.nparams {
+		return nil, fmt.Errorf("relational: prepared statement takes %d args, got %d", p.nparams, len(args))
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, errTxDone
+	}
+	tx.db.stats.Statements.Add(1)
+	env := newEnv(nil)
+	env.args = args
+	return tx.db.execSelect(sel, env)
+}
+
+// Commit makes the transaction's effects permanent and releases the writer
+// lock.
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return errTxDone
+	}
+	tx.done = true
+	db := tx.db
+	db.undo = nil
+	tx.log.commit()
+	if tx.sqlLevel {
+		db.sqlTx.Store(nil)
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// Rollback reverses every effect of the transaction and releases the writer
+// lock.
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return errTxDone
+	}
+	tx.done = true
+	db := tx.db
+	tx.log.rollbackTo(0)
+	db.undo = nil
+	if tx.sqlLevel {
+		db.sqlTx.Store(nil)
+	}
+	db.mu.Unlock()
+	return nil
+}
