@@ -1,15 +1,23 @@
 // Command xbench regenerates the paper's evaluation (§7): Figures 6–11,
 // Table 2, the §7.2 ASR path study, the §7.3 cascade comparison, and the
-// §7.1.2 randomized-document replication.
+// §7.1.2 randomized-document replication — plus the post-paper scenarios:
+// concurrent snapshot readers and write-ahead-log commit throughput.
 //
 // Usage:
 //
-//	xbench -exp fig6            # one experiment
-//	xbench -exp all -quick      # everything, at reduced scale
+//	xbench -exp fig6                  # one experiment
+//	xbench -exp all -quick            # everything, at reduced scale
 //	xbench -exp table2 -runs 5
+//	xbench -exp durability            # WAL commits/sec across fsync modes
+//	xbench -exp all -json out.json    # also write results as JSON
+//
+// With -json, every experiment's structured results are written to the
+// given file keyed by experiment id, so a PR-over-PR performance
+// trajectory can be recorded mechanically.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,26 +27,33 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, or all")
-		quick   = flag.Bool("quick", false, "reduced parameter grid")
-		runs    = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
-		readers = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
+		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, durability, or all")
+		quick    = flag.Bool("quick", false, "reduced parameter grid")
+		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
+		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
+		jsonPath = flag.String("json", "", "write experiment results as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Runs: *runs, Quick: *quick}
-	if *exp == "readers" {
-		pts, err := bench.RunConcurrentReaders(cfg, *readers)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "xbench:", err)
-			os.Exit(1)
-		}
-		bench.WriteConcurrentReads(os.Stdout, pts)
-		return
-	}
-	if err := run(*exp, cfg); err != nil {
+	results := make(map[string]any)
+	if err := run(*exp, cfg, *readers, results); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, results); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeJSON(path string, results map[string]any) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 type figRunner struct {
@@ -57,7 +72,7 @@ var figures = []figRunner{
 	{"randdoc", bench.RunRandomizedDelete},
 }
 
-func run(exp string, cfg bench.Config) error {
+func run(exp string, cfg bench.Config, readers int, results map[string]any) error {
 	matched := false
 	for _, f := range figures {
 		if exp == "all" || exp == f.id {
@@ -66,6 +81,7 @@ func run(exp string, cfg bench.Config) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", f.id, err)
 			}
+			results[f.id] = fig
 			bench.WriteFigure(os.Stdout, fig)
 			fmt.Println()
 		}
@@ -76,6 +92,7 @@ func run(exp string, cfg bench.Config) error {
 		if err != nil {
 			return fmt.Errorf("table2: %w", err)
 		}
+		results["table2"] = rows
 		bench.WriteTable2(os.Stdout, rows)
 		fmt.Println()
 	}
@@ -85,7 +102,28 @@ func run(exp string, cfg bench.Config) error {
 		if err != nil {
 			return fmt.Errorf("asrpath: %w", err)
 		}
+		results["asrpath"] = pts
 		bench.WriteASRPath(os.Stdout, pts)
+		fmt.Println()
+	}
+	if exp == "readers" {
+		matched = true
+		pts, err := bench.RunConcurrentReaders(cfg, readers)
+		if err != nil {
+			return fmt.Errorf("readers: %w", err)
+		}
+		results["readers"] = pts
+		bench.WriteConcurrentReads(os.Stdout, pts)
+		fmt.Println()
+	}
+	if exp == "all" || exp == "durability" {
+		matched = true
+		pts, err := bench.RunDurability(cfg)
+		if err != nil {
+			return fmt.Errorf("durability: %w", err)
+		}
+		results["durability"] = pts
+		bench.WriteDurability(os.Stdout, pts)
 		fmt.Println()
 	}
 	if !matched {

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	xshred -doc custdb.xml [-dtd custdb.dtd] [-dump] [-reconstruct] [-edge]
+//
+// With -data, the shredded tables live in a persistent, write-ahead-logged
+// store: the first invocation shreds -doc into the directory; later
+// invocations (no -doc needed) reopen it, so xupdate -data can apply
+// updates between xshred runs:
+//
+//	xshred -data ./store -doc custdb.xml -dtd custdb.dtd   # initialize
+//	xshred -data ./store -reconstruct                      # inspect later
 package main
 
 import (
@@ -13,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/relational"
 	"repro/internal/shred"
 	"repro/internal/xmltree"
@@ -20,41 +29,74 @@ import (
 
 func main() {
 	var (
-		docPath     = flag.String("doc", "", "XML document to shred (required)")
+		docPath     = flag.String("doc", "", "XML document to shred (required without -data)")
 		dtdPath     = flag.String("dtd", "", "external DTD (required unless the document has an internal subset)")
 		dump        = flag.Bool("dump", false, "dump table contents")
 		reconstruct = flag.Bool("reconstruct", false, "rebuild and print the document from the tables")
 		edge        = flag.Bool("edge", false, "use the Edge mapping instead of Shared Inlining")
 		order       = flag.Bool("order", false, "store an order column (pos)")
+		dataDir     = flag.String("data", "", "persistent store directory (shred once, reopen later)")
 	)
 	flag.Parse()
-	if err := run(*docPath, *dtdPath, *dump, *reconstruct, *edge, *order); err != nil {
+	var err error
+	if *dataDir != "" {
+		err = runData(*dataDir, *docPath, *dtdPath, *dump, *reconstruct, *edge, *order)
+	} else {
+		err = run(*docPath, *dtdPath, *dump, *reconstruct, *edge, *order)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "xshred:", err)
 		os.Exit(1)
 	}
+}
+
+// runData shreds into (or reopens) a persistent store.
+func runData(dataDir, docPath, dtdPath string, dump, reconstruct, edge, order bool) error {
+	if edge {
+		return fmt.Errorf("-edge has no persistent form; use Shared Inlining with -data")
+	}
+	var doc *xmltree.Document
+	if docPath != "" {
+		var err error
+		if doc, err = xmltree.LoadFile(docPath, dtdPath); err != nil {
+			return err
+		}
+	}
+	s, err := engine.OpenDir(dataDir, doc, engine.Options{OrderColumn: order}, relational.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Println("-- schema --")
+	for _, sql := range s.M.CreateTablesSQL() {
+		fmt.Println(sql + ";")
+	}
+	fmt.Printf("-- %d tuples stored, next id %d --\n", s.TupleCount(), s.NextID())
+	for _, elem := range s.M.TableOrder {
+		tm := s.M.Table(elem)
+		fmt.Printf("%-24s %6d rows (element <%s>, parent %q)\n",
+			tm.Name, s.DB.RowCount(tm.Name), tm.Element, tm.Parent)
+	}
+	if dump {
+		for _, elem := range s.M.TableOrder {
+			dumpTable(s.DB, s.M.Table(elem).Name)
+		}
+	}
+	if reconstruct {
+		re, err := shred.Reconstruct(s.DB, s.M)
+		if err != nil {
+			return err
+		}
+		fmt.Println(re.Indented())
+	}
+	return nil
 }
 
 func run(docPath, dtdPath string, dump, reconstruct, edge, order bool) error {
 	if docPath == "" {
 		return fmt.Errorf("-doc is required")
 	}
-	src, err := os.ReadFile(docPath)
-	if err != nil {
-		return err
-	}
-	opts := xmltree.ParseOptions{TrimText: true}
-	if dtdPath != "" {
-		d, err := os.ReadFile(dtdPath)
-		if err != nil {
-			return err
-		}
-		dtd, err := xmltree.ParseDTD(string(d))
-		if err != nil {
-			return err
-		}
-		opts.DTD = dtd
-	}
-	doc, err := xmltree.ParseWith(string(src), opts)
+	doc, err := xmltree.LoadFile(docPath, dtdPath)
 	if err != nil {
 		return err
 	}

@@ -1,87 +1,163 @@
 // Command xupdate applies an XQuery update statement (the paper's §4 syntax)
-// to an XML document using the direct-DOM engine, and prints the updated
-// document.
+// to an XML document and prints the result.
 //
-// Usage:
+// Two engines are available. The default is the direct-DOM engine over a
+// document file:
 //
 //	xupdate -doc bio.xml [-dtd bio.dtd] [-name bio.xml] (-query 'FOR …' | -queryfile q.xq)
 //
+// With -data, statements run against a persistent relational store backed
+// by a write-ahead log: the first invocation shreds -doc into the data
+// directory, later invocations reopen it (no -doc needed) — updates commit
+// through the log, so the store survives process restarts and crashes:
+//
+//	xupdate -data ./store -doc custdb.xml -dtd custdb.dtd -query '…'   # initialize + update
+//	xupdate -data ./store -query 'FOR … RETURN $c'                     # later run: query via SOU
+//
 // The -name flag sets the name document("…") expressions resolve to; it
-// defaults to the -doc path's base name.
+// defaults to the -doc path's base name (persistent stores accept any name).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/engine"
+	"repro/internal/relational"
 	"repro/internal/update"
+	"repro/internal/wal"
 	"repro/internal/xmltree"
 	"repro/internal/xpath"
 	"repro/internal/xquery"
 )
 
+type cliOptions struct {
+	docPath, dtdPath, docName string
+	query, queryFile          string
+	unordered, indent         bool
+
+	dataDir    string
+	fsync      string
+	order      bool
+	checkpoint bool
+}
+
 func main() {
-	var (
-		docPath   = flag.String("doc", "", "XML document to update (required)")
-		dtdPath   = flag.String("dtd", "", "external DTD classifying ID/IDREF/IDREFS attributes")
-		docName   = flag.String("name", "", `name for document("…") resolution (default: base name of -doc)`)
-		query     = flag.String("query", "", "update statement text")
-		queryFile = flag.String("queryfile", "", "file containing the update statement")
-		unordered = flag.Bool("unordered", false, "use the unordered execution model")
-		indent    = flag.Bool("indent", true, "pretty-print the output document")
-	)
+	var o cliOptions
+	flag.StringVar(&o.docPath, "doc", "", "XML document to update (required unless -data holds a store)")
+	flag.StringVar(&o.dtdPath, "dtd", "", "external DTD classifying ID/IDREF/IDREFS attributes")
+	flag.StringVar(&o.docName, "name", "", `name for document("…") resolution (default: base name of -doc)`)
+	flag.StringVar(&o.query, "query", "", "update statement text")
+	flag.StringVar(&o.queryFile, "queryfile", "", "file containing the update statement")
+	flag.BoolVar(&o.unordered, "unordered", false, "use the unordered execution model (DOM engine)")
+	flag.BoolVar(&o.indent, "indent", true, "pretty-print the output document")
+	flag.StringVar(&o.dataDir, "data", "", "persistent store directory (relational engine + write-ahead log)")
+	flag.StringVar(&o.fsync, "fsync", "group", "WAL fsync policy with -data: always, group, or off")
+	flag.BoolVar(&o.order, "order", false, "store an order column when initializing -data (positional operations)")
+	flag.BoolVar(&o.checkpoint, "checkpoint", false, "checkpoint the store before exiting (-data)")
 	flag.Parse()
-	if err := run(*docPath, *dtdPath, *docName, *query, *queryFile, *unordered, *indent); err != nil {
+	if err := run(o, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "xupdate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(docPath, dtdPath, docName, query, queryFile string, unordered, indent bool) error {
-	if docPath == "" {
-		return fmt.Errorf("-doc is required")
-	}
-	if (query == "") == (queryFile == "") {
+func run(o cliOptions, stdout, stderr io.Writer) error {
+	if (o.query == "") == (o.queryFile == "") {
 		return fmt.Errorf("exactly one of -query and -queryfile is required")
 	}
-	if queryFile != "" {
-		b, err := os.ReadFile(queryFile)
+	if o.queryFile != "" {
+		b, err := os.ReadFile(o.queryFile)
 		if err != nil {
 			return err
 		}
-		query = string(b)
+		o.query = string(b)
 	}
-	src, err := os.ReadFile(docPath)
+	if o.dataDir != "" {
+		return runData(o, stdout, stderr)
+	}
+	return runDOM(o, stdout, stderr)
+}
+
+// runData executes the statement against the persistent relational store.
+func runData(o cliOptions, stdout, stderr io.Writer) error {
+	mode, err := wal.ParseSyncMode(o.fsync)
 	if err != nil {
 		return err
 	}
-	opts := xmltree.ParseOptions{TrimText: true}
-	if dtdPath != "" {
-		d, err := os.ReadFile(dtdPath)
-		if err != nil {
+	var doc *xmltree.Document
+	if o.docPath != "" {
+		var err error
+		if doc, err = xmltree.LoadFile(o.docPath, o.dtdPath); err != nil {
 			return err
 		}
-		dtd, err := xmltree.ParseDTD(string(d))
-		if err != nil {
-			return err
-		}
-		opts.DTD = dtd
 	}
-	doc, err := xmltree.ParseWith(string(src), opts)
+	s, err := engine.OpenDir(o.dataDir, doc, engine.Options{OrderColumn: o.order},
+		relational.Options{Sync: mode})
 	if err != nil {
 		return err
 	}
+	defer s.Close()
+
+	stmt, err := xquery.Parse(o.query)
+	if err != nil {
+		return err
+	}
+	if stmt.IsQuery() {
+		subs, err := s.QuerySubtrees(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "matched %d subtrees\n", len(subs))
+		for _, e := range subs {
+			fmt.Fprintln(stdout, xmltree.SerializeWith(e, xmltree.SerializeOptions{Indent: "  ", SortAttrs: true}))
+		}
+	} else {
+		n, err := s.Exec(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "updated %d binding tuples\n", n)
+		out, err := s.Reconstruct()
+		if err != nil {
+			return err
+		}
+		if o.indent {
+			fmt.Fprintln(stdout, out.Indented())
+		} else {
+			fmt.Fprintln(stdout, out.String())
+		}
+	}
+	if o.checkpoint {
+		if err := s.Checkpoint(); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// runDOM is the original in-memory document engine.
+func runDOM(o cliOptions, stdout, stderr io.Writer) error {
+	if o.docPath == "" {
+		return fmt.Errorf("-doc is required")
+	}
+	doc, err := xmltree.LoadFile(o.docPath, o.dtdPath)
+	if err != nil {
+		return err
+	}
+	docName := o.docName
 	if docName == "" {
-		docName = filepath.Base(docPath)
+		docName = filepath.Base(o.docPath)
 	}
 	ev := xquery.NewEvaluator(doc)
 	ev.Ctx.Documents = map[string]*xmltree.Document{docName: doc}
-	if unordered {
+	if o.unordered {
 		ev.Model = update.Unordered
 	}
-	stmt, err := xquery.Parse(query)
+	stmt, err := xquery.Parse(o.query)
 	if err != nil {
 		return err
 	}
@@ -90,22 +166,22 @@ func run(docPath, dtdPath, docName, query, queryFile string, unordered, indent b
 		return err
 	}
 	if stmt.IsQuery() {
-		fmt.Fprintf(os.Stderr, "matched %d tuples, %d items\n", res.Tuples, len(res.Items))
+		fmt.Fprintf(stderr, "matched %d tuples, %d items\n", res.Tuples, len(res.Items))
 		for _, it := range res.Items {
 			switch v := it.(type) {
 			case *xmltree.Element:
-				fmt.Println(xmltree.SerializeWith(v, xmltree.SerializeOptions{Indent: "  ", SortAttrs: true}))
+				fmt.Fprintln(stdout, xmltree.SerializeWith(v, xmltree.SerializeOptions{Indent: "  ", SortAttrs: true}))
 			default:
-				fmt.Println(xpath.StringValue(it))
+				fmt.Fprintln(stdout, xpath.StringValue(it))
 			}
 		}
 		return nil
 	}
-	fmt.Fprintf(os.Stderr, "updated %d binding tuples\n", res.Tuples)
-	if indent {
-		fmt.Println(doc.Indented())
+	fmt.Fprintf(stderr, "updated %d binding tuples\n", res.Tuples)
+	if o.indent {
+		fmt.Fprintln(stdout, doc.Indented())
 	} else {
-		fmt.Println(doc.String())
+		fmt.Fprintln(stdout, doc.String())
 	}
 	return nil
 }

@@ -26,9 +26,11 @@ type ASR struct {
 	LevelOf map[string]int
 }
 
-// Build creates and populates the ASR table for the mapping's current data.
-// The mark column supports the §6.1.3/§6.2.3 marking scheme.
-func Build(db *relational.DB, m *shred.Mapping) (*ASR, error) {
+// Attach derives the ASR structure (levels and depth) for a mapping
+// without touching the database. A freshly recovered store uses it to
+// re-adopt an ASR table that crash recovery already rebuilt — the struct is
+// a pure function of the mapping, so recomputing it is exact.
+func Attach(m *shred.Mapping) (*ASR, error) {
 	a := &ASR{M: m, Name: "ASR", LevelOf: make(map[string]int)}
 	// A table reachable from more than one parent table (a shared table)
 	// has no single depth: reject such mappings.
@@ -50,6 +52,16 @@ func Build(db *relational.DB, m *shred.Mapping) (*ASR, error) {
 		if level+1 > a.Depth {
 			a.Depth = level + 1
 		}
+	}
+	return a, nil
+}
+
+// Build creates and populates the ASR table for the mapping's current data.
+// The mark column supports the §6.1.3/§6.2.3 marking scheme.
+func Build(db *relational.DB, m *shred.Mapping) (*ASR, error) {
+	a, err := Attach(m)
+	if err != nil {
+		return nil, err
 	}
 	// Shared tables (same element under two parents) yield one chain, but a
 	// child of a shared table would recurse; Descendants handles trees only.

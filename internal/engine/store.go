@@ -7,6 +7,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/asr"
@@ -113,6 +114,12 @@ type Store struct {
 	// A Store supports one concurrent updater; readers (QuerySubtrees,
 	// Reconstruct) are unlimited and run under the DB's shared lock.
 	sess relational.Session
+
+	// persistent marks a store opened from a directory (OpenDir): updates
+	// that allocate tuple ids persist the advanced counter into the
+	// metadata table inside the same transaction, so gapless allocation
+	// survives restarts exactly as it survives rollbacks.
+	persistent bool
 }
 
 // sql returns the session statements execute against: the transaction
@@ -150,6 +157,19 @@ func (s *Store) atomically(fn func() error) error {
 	}()
 	if err := fn(); err != nil {
 		return err
+	}
+	if s.persistent && s.nextID != savedNext {
+		// Persist the advanced id counter inside the same transaction: the
+		// commit record carries it, so recovery replays allocation exactly,
+		// and a rollback discards it with everything else. Prepared via the
+		// Store cache — this runs on every id-allocating update.
+		p, err := s.prep(fmt.Sprintf("UPDATE %s SET v = ? WHERE k = 'nextid'", metaTable))
+		if err != nil {
+			return err
+		}
+		if _, err := tx.ExecPrepared(p, strconv.FormatInt(s.nextID, 10)); err != nil {
+			return err
+		}
 	}
 	committed = true
 	return tx.Commit()

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/wal"
 )
 
 // Stats counts the work a DB has performed. The paper's performance analysis
@@ -107,6 +109,31 @@ type DB struct {
 	// which subsequent DB.Exec calls join (single-session semantics).
 	// Atomic because the joining check runs before the lock is taken.
 	sqlTx atomic.Pointer[Tx]
+
+	// wal, when non-nil, is the redo log of a DB opened with Open(dir, …)
+	// (durable.go); commits append records to it under the writer lock and
+	// wait for durability after releasing it. replaying marks recovery:
+	// statements re-executed from the log maintain ddlHist but are not
+	// re-appended. ddlHist is the compacted schema-statement history a
+	// checkpoint carries (mutated at commit under the writer lock).
+	wal       *wal.Log
+	walOpts   Options
+	replaying bool
+	ddlHist   []ddlEntry
+	// redoErr is sticky (guarded by the writer lock): once a commit record
+	// is lost after its in-memory effects became visible, every later
+	// commit fails rather than widen the memory/log divergence.
+	redoErr error
+	// ckptMu guards the auto-checkpoint lifecycle: ckptBusy admits one at
+	// a time, closing stops new ones from starting, and ckptWG lets Close
+	// join the in-flight one (Add only ever happens under ckptMu with
+	// closing unset, so it cannot race Close's Wait). ckptErr remembers a
+	// failed auto-checkpoint for Close to surface.
+	ckptMu   sync.Mutex
+	ckptBusy bool
+	closing  bool
+	ckptWG   sync.WaitGroup
+	ckptErr  atomic.Pointer[error]
 }
 
 type trigger struct {
@@ -224,11 +251,32 @@ func (db *DB) Exec(sql string) (int, error) {
 		// The transaction ended between the check and the join; fall
 		// through to autocommit execution.
 	}
+	n, lsn, err, done := db.execAutocommitLocked(sql)
+	if done || err != nil {
+		return n, err
+	}
+	// The fsync wait happens here, outside the lock: readers blocked on the
+	// statement see its effects as soon as the in-memory commit finishes,
+	// and never wait behind the disk.
+	return n, db.afterCommit(lsn)
+}
+
+// execAutocommitLocked is Exec's writer-lock critical section. The unlock
+// is deferred so a panic inside statement execution cannot strand the
+// exclusive lock — except for BEGIN, which intentionally keeps holding it
+// on behalf of the new SQL-level transaction. done=true means the caller
+// has nothing left to do (transaction control, or an error).
+func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, done bool) {
 	db.mu.Lock()
+	keepLock := false
+	defer func() {
+		if !keepLock {
+			db.mu.Unlock()
+		}
+	}()
 	stmt, args, err := db.prepared(sql)
 	if err != nil {
-		db.mu.Unlock()
-		return 0, err
+		return 0, 0, err, true
 	}
 	switch stmt.(type) {
 	case *BeginStmt:
@@ -236,19 +284,22 @@ func (db *DB) Exec(sql string) (int, error) {
 		// ROLLBACK through a later Exec releases it.
 		db.stats.Statements.Add(1)
 		db.beginLocked(true)
-		return 0, nil
+		keepLock = true
+		return 0, 0, nil, true
 	case *CommitStmt, *RollbackStmt:
-		db.mu.Unlock()
-		return 0, fmt.Errorf("relational: no open transaction")
+		return 0, 0, fmt.Errorf("relational: no open transaction"), true
 	}
-	defer db.mu.Unlock()
 	db.stats.Statements.Add(1)
-	return db.runAutocommit(stmt, args)
+	n, lsn, err = db.runAutocommit(stmt, args, sql, nil)
+	return n, lsn, err, false
 }
 
-// runAutocommit executes one statement under its own implicit transaction.
-// Caller holds the writer lock.
-func (db *DB) runAutocommit(stmt Stmt, args []Value) (int, error) {
+// runAutocommit executes one statement under its own implicit transaction,
+// appending its redo record (src text, or src shape plus logArgs for
+// prepared statements) to the log on success. The returned LSN is what the
+// caller passes to afterCommit once the writer lock is released. Caller
+// holds the writer lock.
+func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value) (int, uint64, error) {
 	log := newUndoLog()
 	db.undo = log
 	env := newEnv(nil)
@@ -257,10 +308,19 @@ func (db *DB) runAutocommit(stmt Stmt, args []Value) (int, error) {
 	db.undo = nil
 	if err != nil {
 		log.rollbackTo(0)
-		return 0, err
+		return 0, 0, err
 	}
 	log.commit()
-	return n, nil
+	var lsn uint64
+	if db.durable() {
+		if logged, note := classifyStmt(stmt); logged {
+			lsn, err = db.applyRedoLocked([]redoStmt{{sql: src, args: logArgs, note: note}})
+			if err != nil {
+				return 0, 0, fmt.Errorf("relational: logging commit: %w", err)
+			}
+		}
+	}
+	return n, lsn, nil
 }
 
 // Query executes a SELECT, returning its result rows. Like Exec, it reuses

@@ -18,6 +18,10 @@ type Prepared struct {
 	db      *DB
 	stmt    Stmt
 	nparams int
+	// src is the statement text as given (with its `?` placeholders); it is
+	// what the redo log records for a prepared execution, together with the
+	// bound arguments.
+	src string
 }
 
 // Prepare parses a statement once for repeated execution. `?` placeholders
@@ -32,7 +36,7 @@ func (db *DB) Prepare(sql string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{db: db, stmt: stmt, nparams: np}, nil
+	return &Prepared{db: db, stmt: stmt, nparams: np, src: sql}, nil
 }
 
 // Exec runs the prepared statement with the given parameter values,
@@ -49,10 +53,19 @@ func (p *Prepared) Exec(args ...Value) (int, error) {
 			return n, err
 		}
 	}
-	p.db.mu.Lock()
-	defer p.db.mu.Unlock()
-	p.db.stats.Statements.Add(1)
-	return p.db.runAutocommit(p.stmt, args)
+	// The closure scopes the deferred unlock to the in-memory commit, so a
+	// panic cannot strand the writer lock while the fsync wait below still
+	// runs outside it.
+	n, lsn, err := func() (int, uint64, error) {
+		p.db.mu.Lock()
+		defer p.db.mu.Unlock()
+		p.db.stats.Statements.Add(1)
+		return p.db.runAutocommit(p.stmt, args, p.src, args)
+	}()
+	if err != nil {
+		return 0, err
+	}
+	return n, p.db.afterCommit(lsn)
 }
 
 // Query runs a prepared SELECT with the given parameter values, under the

@@ -26,6 +26,13 @@ type tableSnap struct {
 func (db *DB) Snapshot() *DBSnapshot {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.snapshotLocked()
+}
+
+// snapshotLocked is Snapshot's body; the caller holds db.mu in either mode
+// (Checkpoint captures snapshot and log position under one shared-lock
+// acquisition so no commit can slip between them).
+func (db *DB) snapshotLocked() *DBSnapshot {
 	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables))}
 	for key, t := range db.tables {
 		rows := make([][]Value, len(t.rows))

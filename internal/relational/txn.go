@@ -80,6 +80,11 @@ type undoLog struct {
 	// touched records mutated tables for commit-time ordered-index
 	// compaction (deletes only tombstone B+tree entries; see commit).
 	touched map[*Table]struct{}
+	// redo collects the transaction's successful logged statements for the
+	// commit record (durable.go). A statement's redo entry is appended only
+	// after it succeeds, so statement-level rollback never needs to unwind
+	// it; a whole-transaction rollback discards the log, redo included.
+	redo []redoStmt
 }
 
 func newUndoLog() *undoLog { return &undoLog{} }
@@ -276,12 +281,13 @@ func (tx *Tx) Exec(sql string) (int, error) {
 	case *RollbackStmt:
 		return 0, tx.Rollback()
 	}
-	return tx.execStmt(stmt, args)
+	return tx.execStmt(stmt, args, sql, nil)
 }
 
 // execStmt runs one parsed statement with statement-level atomicity inside
-// the open transaction.
-func (tx *Tx) execStmt(stmt Stmt, args []Value) (int, error) {
+// the open transaction. src and logArgs are the statement's redo form: the
+// raw text (logArgs nil) or the `?` shape plus its bound arguments.
+func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (int, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.done {
@@ -295,6 +301,18 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value) (int, error) {
 	if err != nil {
 		tx.log.rollbackTo(mark)
 		return 0, err
+	}
+	if tx.db.durable() {
+		if logged, note := classifyStmt(stmt); logged {
+			// Copy the argument slice: the commit record is only encoded at
+			// Commit, and a caller reusing its args buffer between
+			// ExecPrepared and Commit must not rewrite logged history.
+			var cp []Value
+			if len(logArgs) > 0 {
+				cp = append(cp, logArgs...)
+			}
+			tx.log.redo = append(tx.log.redo, redoStmt{sql: src, args: cp, note: note})
+		}
 	}
 	return n, nil
 }
@@ -355,7 +373,7 @@ func (tx *Tx) ExecPrepared(p *Prepared, args ...Value) (int, error) {
 	if len(args) != p.nparams {
 		return 0, fmt.Errorf("relational: prepared statement takes %d args, got %d", p.nparams, len(args))
 	}
-	return tx.execStmt(p.stmt, args)
+	return tx.execStmt(p.stmt, args, p.src, args)
 }
 
 // QueryPrepared runs a prepared SELECT inside the transaction.
@@ -382,7 +400,10 @@ func (tx *Tx) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
 }
 
 // Commit makes the transaction's effects permanent and releases the writer
-// lock.
+// lock. On a durable DB the transaction's commit record is appended while
+// the lock is still held (log order = commit order) and the fsync wait
+// happens after release, so readers unblocked by the commit never wait for
+// the disk.
 func (tx *Tx) Commit() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -393,11 +414,15 @@ func (tx *Tx) Commit() error {
 	db := tx.db
 	db.undo = nil
 	tx.log.commit()
+	lsn, werr := db.applyRedoLocked(tx.log.redo)
 	if tx.sqlLevel {
 		db.sqlTx.Store(nil)
 	}
 	db.mu.Unlock()
-	return nil
+	if werr != nil {
+		return fmt.Errorf("relational: logging commit: %w", werr)
+	}
+	return db.afterCommit(lsn)
 }
 
 // Rollback reverses every effect of the transaction and releases the writer

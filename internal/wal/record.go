@@ -1,0 +1,187 @@
+// Package wal implements the durability substrate: a segmented, CRC-checked
+// redo log of committed statements, plus checkpoint files and crash
+// recovery. The log is logical — each commit record carries the SQL text
+// (or prepared shape) and bound arguments of the statements the transaction
+// committed — so replay re-executes statements through the normal engine
+// rather than patching pages. The relational layer (internal/relational)
+// owns what goes into a record; this package owns framing, fsync policy,
+// segment rotation, checkpoint retention, and torn-tail truncation.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Stmt is one logged statement: SQL text plus the bound argument values.
+// Args elements are int64, string, or nil — the relational Value domain.
+type Stmt struct {
+	SQL  string
+	Args []any
+}
+
+// Frame layout: [u32 length][u32 crc32c(payload)][payload]. The length
+// covers the payload only. Commit payload layout:
+//
+//	u64  lsn
+//	u8   kind (recCommit)
+//	uv   statement count
+//	per statement: uv len, sql bytes, uv nargs, per arg: tagged value
+//
+// Tagged values: 0x00 = NULL, 0x01 = int64 (zigzag varint), 0x02 = string
+// (uvarint length + bytes).
+const (
+	frameHeaderSize = 8
+	recCommit       = byte(1)
+	// maxFrameSize bounds a frame length read from disk: anything larger is
+	// treated as corruption, not an allocation request.
+	maxFrameSize = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	tagNull   = byte(0)
+	tagInt    = byte(1)
+	tagString = byte(2)
+)
+
+// AppendValue appends the tagged encoding of v (int64, string, or nil).
+// Exported so the relational snapshot codec shares one value encoding with
+// the log.
+func AppendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case nil:
+		return append(b, tagNull), nil
+	case int64:
+		b = append(b, tagInt)
+		return binary.AppendVarint(b, x), nil
+	case string:
+		b = append(b, tagString)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		return append(b, x...), nil
+	default:
+		return nil, fmt.Errorf("wal: unencodable value type %T", v)
+	}
+}
+
+// ReadValue decodes one tagged value, returning the remaining bytes. It
+// never panics on corrupt input — every length is validated against the
+// buffer before use (the fuzz target pins this).
+func ReadValue(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("wal: truncated value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tagNull:
+		return nil, b, nil
+	case tagInt:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("wal: bad varint")
+		}
+		return v, b[n:], nil
+	case tagString:
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || ln > uint64(len(b)-n) {
+			return nil, nil, fmt.Errorf("wal: bad string length")
+		}
+		return string(b[n : n+int(ln)]), b[n+int(ln):], nil
+	default:
+		return nil, nil, fmt.Errorf("wal: unknown value tag %d", tag)
+	}
+}
+
+// encodeCommit renders a commit record payload.
+func encodeCommit(lsn uint64, stmts []Stmt) ([]byte, error) {
+	b := make([]byte, 0, 64)
+	b = binary.BigEndian.AppendUint64(b, lsn)
+	b = append(b, recCommit)
+	b = binary.AppendUvarint(b, uint64(len(stmts)))
+	var err error
+	for _, s := range stmts {
+		b = binary.AppendUvarint(b, uint64(len(s.SQL)))
+		b = append(b, s.SQL...)
+		b = binary.AppendUvarint(b, uint64(len(s.Args)))
+		for _, a := range s.Args {
+			if b, err = AppendValue(b, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// DecodeCommit parses a commit record payload. Corrupt input of any shape
+// returns an error; it must never panic (FuzzDecodeCommit drives random
+// corruption through it).
+func DecodeCommit(payload []byte) (lsn uint64, stmts []Stmt, err error) {
+	if len(payload) < 9 {
+		return 0, nil, fmt.Errorf("wal: short record payload")
+	}
+	lsn = binary.BigEndian.Uint64(payload)
+	if payload[8] != recCommit {
+		return 0, nil, fmt.Errorf("wal: unknown record kind %d", payload[8])
+	}
+	b := payload[9:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("wal: bad statement count")
+	}
+	b = b[n:]
+	stmts = make([]Stmt, 0, count)
+	for i := uint64(0); i < count; i++ {
+		ln, n := binary.Uvarint(b)
+		if n <= 0 || ln > uint64(len(b)-n) {
+			return 0, nil, fmt.Errorf("wal: bad statement length")
+		}
+		s := Stmt{SQL: string(b[n : n+int(ln)])}
+		b = b[n+int(ln):]
+		nargs, n := binary.Uvarint(b)
+		if n <= 0 || nargs > uint64(len(b)) {
+			return 0, nil, fmt.Errorf("wal: bad argument count")
+		}
+		b = b[n:]
+		for j := uint64(0); j < nargs; j++ {
+			var v any
+			if v, b, err = ReadValue(b); err != nil {
+				return 0, nil, err
+			}
+			s.Args = append(s.Args, v)
+		}
+		stmts = append(stmts, s)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("wal: %d trailing bytes in record", len(b))
+	}
+	return lsn, stmts, nil
+}
+
+// frame wraps a payload with the length + CRC header.
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:], crc32.Checksum(payload, crcTable))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// readFrame extracts the first frame from b, returning the payload and the
+// remainder. ok=false means b starts with a torn or corrupt frame (short
+// header, impossible length, or CRC mismatch) — the caller truncates there.
+func readFrame(b []byte) (payload, rest []byte, ok bool) {
+	if len(b) < frameHeaderSize {
+		return nil, nil, false
+	}
+	ln := binary.BigEndian.Uint32(b)
+	if ln > maxFrameSize || uint64(ln) > uint64(len(b)-frameHeaderSize) {
+		return nil, nil, false
+	}
+	payload = b[frameHeaderSize : frameHeaderSize+ln]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(b[4:]) {
+		return nil, nil, false
+	}
+	return payload, b[frameHeaderSize+ln:], true
+}

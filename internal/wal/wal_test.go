@@ -1,0 +1,304 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func stmt(sql string, args ...any) Stmt { return Stmt{SQL: sql, Args: args} }
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func replayAll(t *testing.T, l *Log) [][]Stmt {
+	t.Helper()
+	var out [][]Stmt
+	if err := l.Replay(func(stmts []Stmt) error {
+		cp := append([]Stmt(nil), stmts...)
+		out = append(out, cp)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncOff})
+	records := [][]Stmt{
+		{stmt("INSERT INTO t VALUES (?, ?)", int64(1), "a")},
+		{stmt("UPDATE t SET v = ? WHERE id = ?", "x''y", int64(1)), stmt("DELETE FROM t WHERE id = ?", int64(9))},
+		{stmt("CREATE TABLE u (id INTEGER)")},
+		{stmt("INSERT INTO u VALUES (?)", nil)},
+	}
+	for i, rec := range records {
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("Append %d: lsn = %d", i, lsn)
+		}
+		if err := l.WaitDurable(lsn); err != nil {
+			t.Fatalf("WaitDurable: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	defer l2.Close()
+	got := replayAll(t, l2)
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("replay mismatch:\n got %#v\nwant %#v", got, records)
+	}
+	if l2.RecoveredCommits != len(records) {
+		t.Fatalf("RecoveredCommits = %d, want %d", l2.RecoveredCommits, len(records))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncOff, SegmentSize: 128})
+	var want [][]Stmt
+	for i := 0; i < 40; i++ {
+		rec := []Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d, 'some padding text')", i))}
+		want = append(want, rec)
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if len(segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	defer l2.Close()
+	if got := replayAll(t, l2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("rotated replay mismatch: %d records vs %d", len(got), len(want))
+	}
+}
+
+// TestTornTailTruncation crashes the log at every possible byte offset and
+// checks recovery yields exactly the records whose frames fully survived.
+func TestTornTailTruncation(t *testing.T) {
+	// Build a reference log once to learn the full size.
+	build := func(dir string) [][]Stmt {
+		l := mustOpen(t, dir, Options{Sync: SyncOff})
+		var recs [][]Stmt
+		for i := 0; i < 10; i++ {
+			rec := []Stmt{stmt("INSERT INTO t VALUES (?, ?)", int64(i), fmt.Sprintf("val-%d", i))}
+			recs = append(recs, rec)
+			if _, err := l.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Close()
+		return recs
+	}
+	refDir := t.TempDir()
+	want := build(refDir)
+	segs, _ := filepath.Glob(filepath.Join(refDir, segPrefix+"*"))
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment, got %d", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame boundaries, to compute the expected surviving prefix.
+	var bounds []int // bounds[i] = end offset of record i
+	rest := data
+	for len(rest) > 0 {
+		_, next, ok := readFrame(rest)
+		if !ok {
+			t.Fatal("reference log has a bad frame")
+		}
+		bounds = append(bounds, len(data)-len(next))
+		rest = next
+	}
+
+	for cut := 0; cut <= len(data); cut += 7 {
+		dir := t.TempDir()
+		_ = build(dir)
+		seg, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+		if err := os.Truncate(seg[0], int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		l := mustOpen(t, dir, Options{Sync: SyncOff})
+		got := replayAll(t, l)
+		l.Close()
+		survive := 0
+		for _, b := range bounds {
+			if b <= cut {
+				survive++
+			}
+		}
+		if len(got) != survive {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(got), survive)
+		}
+		if survive > 0 && !reflect.DeepEqual(got, want[:survive]) {
+			t.Fatalf("cut at %d: recovered wrong prefix", cut)
+		}
+	}
+}
+
+// TestCorruptMidLogStopsReplay flips a byte inside an early record: recovery
+// must truncate there and drop later segments entirely.
+func TestCorruptMidLogStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncOff, SegmentSize: 96})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if len(segs) < 3 {
+		t.Fatalf("want ≥3 segments, got %d", len(segs))
+	}
+	// Corrupt a payload byte in the first segment.
+	first := segs[0]
+	data, _ := os.ReadFile(first)
+	data[frameHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	got := replayAll(t, l2)
+	l2.Close()
+	if len(got) != 0 {
+		t.Fatalf("corruption in first record: recovered %d records, want 0", len(got))
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	if len(left) != 1 {
+		t.Fatalf("later segments should be deleted, %d remain", len(left))
+	}
+}
+
+func TestCheckpointTruncatesAndSkips(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncOff, SegmentSize: 96})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint(l.LastLSN(), []byte("state-at-10")); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	var tail [][]Stmt
+	for i := 10; i < 14; i++ {
+		rec := []Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}
+		tail = append(tail, rec)
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	defer l2.Close()
+	payload, lsn, ok, err := l2.ReadCheckpoint()
+	if err != nil || !ok {
+		t.Fatalf("ReadCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if string(payload) != "state-at-10" || lsn != 10 {
+		t.Fatalf("checkpoint = %q @ %d", payload, lsn)
+	}
+	if got := replayAll(t, l2); !reflect.DeepEqual(got, tail) {
+		t.Fatalf("replay after checkpoint: got %d records, want %d", len(got), len(tail))
+	}
+	// Old segments fully below the checkpoint are gone.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPrefix+"*"))
+	for _, s := range segs {
+		first, _ := parseSeq(filepath.Base(s), segPrefix, segSuffix)
+		if first <= 5 {
+			t.Fatalf("segment %s should have been truncated away", s)
+		}
+	}
+}
+
+// TestCorruptCheckpointFallsBackToLog: an unreadable checkpoint is ignored
+// and the full log replays.
+func TestCorruptCheckpointFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{Sync: SyncOff})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Plant a corrupt checkpoint file claiming to cover everything.
+	if err := os.WriteFile(filepath.Join(dir, ckptName(5)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	defer l2.Close()
+	if _, _, ok, _ := l2.ReadCheckpoint(); ok {
+		t.Fatal("corrupt checkpoint should not validate")
+	}
+	if got := replayAll(t, l2); len(got) != 5 {
+		t.Fatalf("want full 5-record replay, got %d", len(got))
+	}
+}
+
+// TestGroupCommitCoalesces: concurrent committers in group mode all become
+// durable, and the log survives a reopen.
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments force rotations mid-stream, so the deferred
+	// pending-segment fsync path runs under concurrency.
+	l := mustOpen(t, dir, Options{Sync: SyncGroup, GroupWindow: 500 * time.Microsecond, SegmentSize: 256})
+	const committers, per = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, committers)
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", c, i))})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.WaitDurable(lsn); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2 := mustOpen(t, dir, Options{Sync: SyncOff})
+	defer l2.Close()
+	if got := replayAll(t, l2); len(got) != committers*per {
+		t.Fatalf("recovered %d records, want %d", len(got), committers*per)
+	}
+}

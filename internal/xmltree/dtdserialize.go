@@ -1,0 +1,90 @@
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SerializeDTD renders a parsed DTD back into markup-declaration text that
+// ParseDTD accepts, preserving element declaration order (which drives
+// deterministic Shared Inlining schema generation). The persistent XML
+// store records this form in its metadata so a reopened store can rebuild
+// the exact mapping its tables were generated from.
+//
+// The rendering is faithful to what the parser retained: attribute types
+// the parser folds into CDATA (NMTOKEN, enumerations) serialize as CDATA,
+// which maps to the same storage schema.
+func SerializeDTD(d *DTD) string {
+	var b strings.Builder
+	for _, name := range d.ElementNames() {
+		decl := d.Elements[name]
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", name, contentModelString(decl))
+		writeAttlist(&b, d, name)
+	}
+	// Attribute lists for elements without an <!ELEMENT> declaration (legal
+	// in the subset; keep them, deterministically ordered).
+	var extras []string
+	for elem := range d.Attrs {
+		if d.Elements[elem] == nil {
+			extras = append(extras, elem)
+		}
+	}
+	sort.Strings(extras)
+	for _, elem := range extras {
+		writeAttlist(&b, d, elem)
+	}
+	return b.String()
+}
+
+func writeAttlist(b *strings.Builder, d *DTD, elem string) {
+	decls := d.AttrDecls(elem)
+	if len(decls) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "<!ATTLIST %s", elem)
+	for _, a := range decls {
+		fmt.Fprintf(b, "\n  %s %s %s", a.Name, a.Type, attrDefaultString(a))
+	}
+	b.WriteString(">\n")
+}
+
+func attrDefaultString(a *AttrDecl) string {
+	switch {
+	case a.Required:
+		return "#REQUIRED"
+	case a.Default != "":
+		return `"` + strings.ReplaceAll(a.Default, `"`, "&quot;") + `"`
+	default:
+		return "#IMPLIED"
+	}
+}
+
+func contentModelString(decl *ElementDecl) string {
+	switch decl.Kind {
+	case ContentEmpty:
+		return "EMPTY"
+	case ContentAny:
+		return "ANY"
+	case ContentPCDATA:
+		return "(#PCDATA)"
+	case ContentMixed:
+		if len(decl.MixedNames) == 0 {
+			return "(#PCDATA)*"
+		}
+		return "(#PCDATA | " + strings.Join(decl.MixedNames, " | ") + ")*"
+	case ContentChildren:
+		p := decl.Content
+		if p == nil {
+			return "EMPTY"
+		}
+		// particleString (validate.go) renders groups parenthesized already;
+		// a single-name model still needs the grammar's outer parentheses.
+		if p.Name != "" {
+			return "(" + p.Name + ")" + p.Occur.String()
+		}
+		return particleString(p)
+	default:
+		return "ANY"
+	}
+}

@@ -1,0 +1,67 @@
+package xmltree_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/shred"
+	"repro/internal/testdocs"
+	"repro/internal/xmltree"
+)
+
+// TestSerializeDTDRoundTrip: parse → serialize → parse must be a fixed
+// point (the second serialization is byte-identical), and — the property
+// the persistent store depends on — the reparsed DTD must generate exactly
+// the same Shared Inlining schema.
+func TestSerializeDTDRoundTrip(t *testing.T) {
+	samples := map[string]struct {
+		dtd  string
+		root string
+	}{
+		"bio":  {testdocs.BioDTD, "db"},
+		"cust": {testdocs.CustDTD, "CustDB"},
+	}
+	for name, s := range samples {
+		d1, err := xmltree.ParseDTD(s.dtd)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		ser1 := xmltree.SerializeDTD(d1)
+		d2, err := xmltree.ParseDTD(ser1)
+		if err != nil {
+			t.Fatalf("%s: reparse of serialized form: %v\n%s", name, err, ser1)
+		}
+		if ser2 := xmltree.SerializeDTD(d2); ser2 != ser1 {
+			t.Fatalf("%s: serialization is not a fixed point:\nfirst:\n%s\nsecond:\n%s", name, ser1, ser2)
+		}
+		if !reflect.DeepEqual(d1.ElementNames(), d2.ElementNames()) {
+			t.Fatalf("%s: element order changed across round-trip", name)
+		}
+		root := rootElem(t, d1, s.root)
+		m1, err := shred.BuildMapping(d1, root, shred.Options{OrderColumn: true})
+		if err != nil {
+			t.Fatalf("%s: mapping original: %v", name, err)
+		}
+		m2, err := shred.BuildMapping(d2, root, shred.Options{OrderColumn: true})
+		if err != nil {
+			t.Fatalf("%s: mapping round-tripped: %v", name, err)
+		}
+		if !reflect.DeepEqual(m1.CreateTablesSQL(), m2.CreateTablesSQL()) {
+			t.Fatalf("%s: round-tripped DTD generates a different schema", name)
+		}
+		if !reflect.DeepEqual(m1.TableOrder, m2.TableOrder) {
+			t.Fatalf("%s: round-tripped DTD generates a different table order", name)
+		}
+	}
+}
+
+func rootElem(t *testing.T, d *xmltree.DTD, want string) string {
+	t.Helper()
+	for _, n := range d.ElementNames() {
+		if n == want {
+			return n
+		}
+	}
+	t.Fatalf("root %q not declared", want)
+	return ""
+}

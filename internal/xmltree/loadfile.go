@@ -1,0 +1,27 @@
+package xmltree
+
+import "os"
+
+// LoadFile parses an XML document from a file, optionally classifying its
+// attributes against an external DTD file. The shared entry point of the
+// command-line tools (xupdate, xshred): trimmed text, DTD attached when
+// given.
+func LoadFile(docPath, dtdPath string) (*Document, error) {
+	src, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	opts := ParseOptions{TrimText: true}
+	if dtdPath != "" {
+		d, err := os.ReadFile(dtdPath)
+		if err != nil {
+			return nil, err
+		}
+		dtd, err := ParseDTD(string(d))
+		if err != nil {
+			return nil, err
+		}
+		opts.DTD = dtd
+	}
+	return ParseWith(string(src), opts)
+}
