@@ -129,7 +129,7 @@ func perLevelSubtree(s *engine.Store, rootID int64) (*xmltree.Element, error) {
 				for _, r := range rows.Data {
 					ce := xmltree.NewElement(childElem)
 					p.node.AppendChild(ce)
-					next = append(next, pending{elem: childElem, id: r[0].(int64), node: ce})
+					next = append(next, pending{elem: childElem, id: r[0].MustInt(), node: ce})
 				}
 			}
 		}

@@ -121,7 +121,7 @@ func subtreeIDs(s *engine.Store, n int) ([]int64, error) {
 		stride = 1
 	}
 	for i := 0; i < n; i++ {
-		out = append(out, rows.Data[(i*stride)%total][0].(int64))
+		out = append(out, rows.Data[(i*stride)%total][0].MustInt())
 	}
 	return out, nil
 }
@@ -229,7 +229,7 @@ func BenchmarkTable2DBLPInsert(b *testing.B) {
 				if err != nil {
 					return err
 				}
-				_, err = s.CopySubtrees("publication", "a_year = '2000'", rows.Data[0][0].(int64))
+				_, err = s.CopySubtrees("publication", "a_year = '2000'", rows.Data[0][0].MustInt())
 				return err
 			})
 		})

@@ -100,8 +100,8 @@ func (a *ASR) populate(db *relational.DB) error {
 		pidIdx := t.Schema.ColumnIndex("parentId")
 		byParent := make(map[int64][]int64)
 		t.Scan(func(_ int, row []relational.Value) bool {
-			id, _ := row[idIdx].(int64)
-			pid, _ := row[pidIdx].(int64)
+			id, _ := row[idIdx].Int()
+			pid, _ := row[pidIdx].Int()
 			byParent[pid] = append(byParent[pid], id)
 			return true
 		})
@@ -111,11 +111,11 @@ func (a *ASR) populate(db *relational.DB) error {
 	insert = func(elem string, path []relational.Value) error {
 		tm := a.M.Table(elem)
 		hasChild := false
-		last, _ := path[len(path)-1].(int64)
+		last, _ := path[len(path)-1].Int()
 		for _, childElem := range tm.ChildTables {
 			for _, cid := range kids[childElem][last] {
 				hasChild = true
-				if err := insert(childElem, append(path, cid)); err != nil {
+				if err := insert(childElem, append(path, relational.Int(cid))); err != nil {
 					return err
 				}
 			}
@@ -123,7 +123,7 @@ func (a *ASR) populate(db *relational.DB) error {
 		if !hasChild {
 			row := make([]relational.Value, a.Depth+1)
 			copy(row, path)
-			row[a.Depth] = int64(0) // mark
+			row[a.Depth] = relational.Int(0) // mark
 			if _, err := asrTable.Insert(row); err != nil {
 				return err
 			}
@@ -131,7 +131,7 @@ func (a *ASR) populate(db *relational.DB) error {
 		return nil
 	}
 	for _, rootID := range kids[a.M.Root][0] {
-		if err := insert(a.M.Root, []relational.Value{rootID}); err != nil {
+		if err := insert(a.M.Root, []relational.Value{relational.Int(rootID)}); err != nil {
 			return err
 		}
 	}
@@ -167,7 +167,7 @@ func (a *ASR) MarkedIDs(db relational.Session, level int) ([]int64, error) {
 	}
 	out := make([]int64, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		out = append(out, r[0].(int64))
+		out = append(out, r[0].MustInt())
 	}
 	return out, nil
 }
@@ -206,14 +206,14 @@ func (a *ASR) DeleteMarked(db relational.Session, elem string, ids []int64) erro
 	}
 	for _, pre := range prefixes.Data {
 		parentID := pre[level-1]
-		if parentID == nil {
+		if parentID.IsNull() {
 			continue
 		}
 		rows, err := db.QueryPrepared(count, parentID)
 		if err != nil {
 			return err
 		}
-		if rows.Data[0][0].(int64) > 0 {
+		if rows.Data[0][0].MustInt() > 0 {
 			continue
 		}
 		vals := make([]string, a.Depth+1)

@@ -56,7 +56,7 @@ func TestLeftCompletePaths(t *testing.T) {
 		t.Fatalf("truncated paths = %d, want 1", len(rows.Data))
 	}
 	r := rows.Data[0]
-	if r[0] == nil || r[1] == nil || r[2] != nil || r[3] != nil {
+	if r[0].IsNull() || r[1].IsNull() || !r[2].IsNull() || !r[3].IsNull() {
 		t.Errorf("left-completeness violated: %v", r)
 	}
 }
@@ -84,7 +84,7 @@ func TestMarkAndMarkedIDs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	johnID := rows.Data[0][0].(int64)
+	johnID := rows.Data[0][0].MustInt()
 	if _, err := a.MarkSubtrees(db, "Customer", []int64{johnID}); err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestDeleteMarkedRepairsLeftCompleteness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	johnID := rows.Data[0][0].(int64)
+	johnID := rows.Data[0][0].MustInt()
 	if _, err := a.MarkSubtrees(db, "Customer", []int64{johnID}); err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestDeleteMarkedRepairsLeftCompleteness(t *testing.T) {
 	}
 	// Now delete Mary too: her parent (CustDB) keeps Sacramento John.
 	rows, _ = db.Query(`SELECT id FROM Customer WHERE Name_v = 'Mary'`)
-	maryID := rows.Data[0][0].(int64)
+	maryID := rows.Data[0][0].MustInt()
 	if _, err := a.MarkSubtrees(db, "Customer", []int64{maryID}); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestDeleteMarkedRepairsLeftCompleteness(t *testing.T) {
 	// Delete the last customer: the root becomes a leaf and must be
 	// re-inserted as a truncated path (left-completeness repair).
 	rows, _ = db.Query(`SELECT id FROM Customer WHERE Address_State_v = 'CA'`)
-	caID := rows.Data[0][0].(int64)
+	caID := rows.Data[0][0].MustInt()
 	if _, err := a.MarkSubtrees(db, "Customer", []int64{caID}); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestDeleteMarkedRepairsLeftCompleteness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows.Data) != 1 || rows.Data[0][0] == nil || rows.Data[0][1] != nil {
+	if len(rows.Data) != 1 || rows.Data[0][0].IsNull() || !rows.Data[0][1].IsNull() {
 		t.Errorf("root repair row wrong: %v", rows.Data)
 	}
 }
@@ -165,8 +165,8 @@ func TestInsertPaths(t *testing.T) {
 	db, _, a := loadCust(t)
 	before := db.Table("ASR").RowCount()
 	err := a.InsertPaths(db, [][]relational.Value{
-		{int64(1), int64(900), int64(901), int64(902)},
-		{int64(1), int64(900), int64(903), nil},
+		{relational.Int(1), relational.Int(900), relational.Int(901), relational.Int(902)},
+		{relational.Int(1), relational.Int(900), relational.Int(903), relational.Null},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ WHERE OL.ItemName_v = 'tire' AND OL.parentId = O.id AND O.parentId = C.id`)
 		t.Fatalf("ASR path query returned %d rows, conventional %d", len(asrRows.Data), len(conventional.Data))
 	}
 	for i := range asrRows.Data {
-		if asrRows.Data[i][0] != "John" {
+		if asrRows.Data[i][0] != relational.Text("John") {
 			t.Errorf("row %d = %v", i, asrRows.Data[i])
 		}
 	}

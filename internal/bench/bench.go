@@ -159,7 +159,7 @@ func randomSubtreeIDs(s *engine.Store, n int, seed int64) ([]int64, error) {
 	}
 	ids := make([]int64, len(rows.Data))
 	for i, r := range rows.Data {
-		ids[i] = r[0].(int64)
+		ids[i] = r[0].MustInt()
 	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
@@ -407,7 +407,7 @@ func RunTable2(cfg Config) ([]Table2Row, error) {
 			if err != nil {
 				return err
 			}
-			dst := rows.Data[0][0].(int64)
+			dst := rows.Data[0][0].MustInt()
 			_, err = s.CopySubtrees("publication", "a_year = '2000'", dst)
 			return err
 		})

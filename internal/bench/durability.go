@@ -108,7 +108,7 @@ func timeCommits(mode relational.SyncMode, committers, commits int) (float64, er
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				id := int64((c*per+i)%rows) + 1
-				if _, err := upd.Exec(fmt.Sprintf("c%d-%d", c, i), id); err != nil {
+				if _, err := upd.Exec(relational.Text(fmt.Sprintf("c%d-%d", c, i)), relational.Int(id)); err != nil {
 					errs <- err
 					return
 				}

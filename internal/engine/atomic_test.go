@@ -200,7 +200,7 @@ func TestFailedCopyAllMethods(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dst := rows.Data[0][0].(int64)
+		dst := rows.Data[0][0].MustInt()
 		before := storeDump(t, s)
 		if _, err := s.CopySubtrees("Order", "nosuchcol = 1", dst); err == nil {
 			t.Fatalf("%v: expected failure", m)

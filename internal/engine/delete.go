@@ -118,7 +118,7 @@ func (s *Store) asrDelete(elem, where string) (int, error) {
 	}
 	ids := make([]int64, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		ids = append(ids, r[0].(int64))
+		ids = append(ids, r[0].MustInt())
 	}
 	if _, err := s.ASR.MarkSubtrees(s.sql(), elem, ids); err != nil {
 		return 0, err

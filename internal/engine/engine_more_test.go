@@ -25,7 +25,7 @@ func TestTriggerDeleteWithASRKeptConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0].(int64) != 0 {
+	if rows.Data[0][0].MustInt() != 0 {
 		t.Error("ASR references deleted tuples after trigger delete")
 	}
 	// And an ASR insert still works.

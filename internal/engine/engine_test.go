@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/relational"
 	"repro/internal/testdocs"
 	"repro/internal/xmltree"
 	"repro/internal/xquery"
@@ -250,7 +251,7 @@ func TestCopyIntoSpecificParent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	johnID := rows.Data[0][0].(int64)
+	johnID := rows.Data[0][0].MustInt()
 	n, err := s.CopySubtrees("Order", "Date_v = '2000-07-04'", johnID)
 	if err != nil {
 		t.Fatal(err)
@@ -303,7 +304,7 @@ func TestASRMaintainedAcrossInsertThenDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0].(int64) != 0 {
+	if rows.Data[0][0].MustInt() != 0 {
 		t.Error("marks left behind")
 	}
 }
@@ -323,7 +324,7 @@ func TestInsertInlinedWarnsOnOccupied(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows, _ := s.DB.Query(`SELECT Status_v FROM Order_t WHERE Date_v = '2000-07-04'`)
-	if rows.Data[0][0] != "pending" {
+	if rows.Data[0][0] != relational.Text("pending") {
 		t.Errorf("status = %v", rows.Data[0][0])
 	}
 }

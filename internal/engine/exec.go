@@ -257,7 +257,7 @@ func (e *sqlEnv) applyWhere(w xquery.WhereExpr) error {
 func whereLiteral(v xquery.ValExpr) (string, error) {
 	switch x := v.(type) {
 	case xquery.StringVal:
-		return relational.FormatValue(x.Value), nil
+		return relational.FormatValue(relational.Text(x.Value)), nil
 	case xquery.NumberVal:
 		return fmt.Sprint(x.Value), nil
 	default:
@@ -278,7 +278,7 @@ func (s *Store) tupleIDs(t *pathTarget) ([]int64, error) {
 	}
 	out := make([]int64, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		out = append(out, r[0].(int64))
+		out = append(out, r[0].MustInt())
 	}
 	return out, nil
 }
@@ -488,13 +488,13 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		}
 		return func() error {
 			for _, id := range ids {
-				rows, err := s.sql().QueryPrepared(sel, id)
+				rows, err := s.sql().QueryPrepared(sel, relational.Int(id))
 				if err != nil {
 					return err
 				}
 				cur := ""
 				if len(rows.Data) == 1 {
-					if sv, ok := rows.Data[0][0].(string); ok {
+					if sv, ok := rows.Data[0][0].Text(); ok {
 						cur = sv
 					}
 				}
@@ -502,7 +502,7 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 				if cur != "" {
 					nv = cur + " " + c.ID
 				}
-				if _, err := s.sql().ExecPrepared(upd, nv, id); err != nil {
+				if _, err := s.sql().ExecPrepared(upd, relational.Text(nv), relational.Int(id)); err != nil {
 					return err
 				}
 			}
@@ -574,8 +574,8 @@ func (s *Store) planInsert(env *sqlEnv, o xquery.InsertOp, target *pathTarget, t
 		}
 		var slots []slot
 		for _, r := range rows.Data {
-			pid, _ := r[0].(int64)
-			pos, _ := r[1].(int64)
+			pid, _ := r[0].Int()
+			pos, _ := r[1].Int()
 			if o.Position == "after" {
 				pos++
 			}
@@ -610,7 +610,7 @@ func (s *Store) nextPos(parentElem string, parentID int64) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if v, ok := rows.Data[0][0].(int64); ok && int(v) >= max {
+		if v, ok := rows.Data[0][0].Int(); ok && int(v) >= max {
 			max = int(v) + 1
 		}
 	}
@@ -632,7 +632,7 @@ func (s *Store) planReplace(o xquery.ReplaceOp, target, child *pathTarget, inTar
 			where := andWhere(child.Where, constrainTo(s, target, child, inTargets))
 			tm := s.M.Table(child.Elem)
 			return func() error {
-				sql := fmt.Sprintf("UPDATE %s SET %s = %s", tm.Name, col.Name, relational.FormatValue(na.Value))
+				sql := fmt.Sprintf("UPDATE %s SET %s = %s", tm.Name, col.Name, relational.FormatValue(relational.Text(na.Value)))
 				if where != "" {
 					sql += " WHERE " + where
 				}
@@ -666,7 +666,7 @@ func (s *Store) planReplace(o xquery.ReplaceOp, target, child *pathTarget, inTar
 		tm := s.M.Table(child.Elem)
 		text := content.TextContent()
 		return func() error {
-			sets := fmt.Sprintf("%s = %s", newCol.Name, relational.FormatValue(text))
+			sets := fmt.Sprintf("%s = %s", newCol.Name, relational.FormatValue(relational.Text(text)))
 			if newCol != col {
 				sets += fmt.Sprintf(", %s = NULL", col.Name)
 			}

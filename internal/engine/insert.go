@@ -67,10 +67,10 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 		tm := s.M.Table(elem)
 		var parent relational.Value
 		if elem == srcElem {
-			parent = dstParentID
+			parent = relational.Int(dstParentID)
 			roots++
 		} else {
-			oldParent, ok := row[plan.IDCol[plan.ParentOf[elem]]].(int64)
+			oldParent, ok := row[plan.IDCol[plan.ParentOf[elem]]].Int()
 			if !ok {
 				return roots, fmt.Errorf("engine: child tuple with NULL parent key")
 			}
@@ -78,7 +78,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 			if !ok {
 				return roots, fmt.Errorf("engine: parent %d not yet remapped (sort violated)", oldParent)
 			}
-			parent = np
+			parent = relational.Int(np)
 		}
 		p := inserts[elem]
 		if p == nil {
@@ -97,7 +97,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 			inserts[elem] = p
 		}
 		args := make([]relational.Value, 0, len(tm.Columns)+2)
-		args = append(args, newID, parent)
+		args = append(args, relational.Int(newID), parent)
 		for i := range tm.Columns {
 			args = append(args, row[plan.DataCols[elem][i]])
 		}
@@ -116,7 +116,7 @@ func (s *Store) tupleInsert(srcElem, where string, dstParentID int64) (int, erro
 func planRowTable(p *outerunion.Plan, row []relational.Value) (string, int64, bool) {
 	for i := len(p.Tables) - 1; i >= 0; i-- {
 		elem := p.Tables[i]
-		if v, ok := row[p.IDCol[elem]].(int64); ok {
+		if v, ok := row[p.IDCol[elem]].Int(); ok {
 			return elem, v, true
 		}
 	}
@@ -182,8 +182,8 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		if err != nil {
 			return 0, err
 		}
-		lo, ok1 := rows.Data[0][0].(int64)
-		hi, ok2 := rows.Data[0][1].(int64)
+		lo, ok1 := rows.Data[0][0].Int()
+		hi, ok2 := rows.Data[0][1].Int()
 		if !ok1 || !ok2 {
 			continue // empty staged table
 		}
@@ -197,7 +197,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 	}
 	roots := 0
 	if rows, err := s.sql().Query(fmt.Sprintf("SELECT COUNT(*) FROM %s", temp(srcElem))); err == nil {
-		roots = int(rows.Data[0][0].(int64))
+		roots = int(rows.Data[0][0].MustInt())
 	}
 	if first || roots == 0 {
 		for _, elem := range subtree {
@@ -218,7 +218,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 		if err != nil {
 			return 0, err
 		}
-		if _, err := s.sql().ExecPrepared(remap, offset, offset); err != nil {
+		if _, err := s.sql().ExecPrepared(remap, relational.Int(offset), relational.Int(offset)); err != nil {
 			return 0, err
 		}
 		if i == 0 {
@@ -226,7 +226,7 @@ func (s *Store) tableInsert(srcElem, where string, dstParentID int64) (int, erro
 			if err != nil {
 				return 0, err
 			}
-			if _, err := s.sql().ExecPrepared(repoint, dstParentID); err != nil {
+			if _, err := s.sql().ExecPrepared(repoint, relational.Int(dstParentID)); err != nil {
 				return 0, err
 			}
 		}
@@ -286,7 +286,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 	}
 	srcIDs := make([]int64, 0, len(rows.Data))
 	for _, r := range rows.Data {
-		srcIDs = append(srcIDs, r[0].(int64))
+		srcIDs = append(srcIDs, r[0].MustInt())
 	}
 	if _, err := s.ASR.MarkSubtrees(s.sql(), srcElem, srcIDs); err != nil {
 		return 0, err
@@ -303,8 +303,8 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 		if err != nil {
 			return 0, err
 		}
-		lo, ok1 := agg.Data[0][0].(int64)
-		hi, ok2 := agg.Data[0][1].(int64)
+		lo, ok1 := agg.Data[0][0].Int()
+		hi, ok2 := agg.Data[0][1].Int()
 		if !ok1 || !ok2 {
 			continue
 		}
@@ -351,7 +351,7 @@ func (s *Store) asrInsert(srcElem, where string, dstParentID int64) (int, error)
 		return 0, err
 	}
 	for _, id := range srcIDs {
-		if _, err := s.sql().ExecPrepared(repoint, dstParentID, id+offset); err != nil {
+		if _, err := s.sql().ExecPrepared(repoint, relational.Int(dstParentID), relational.Int(id+offset)); err != nil {
 			return 0, err
 		}
 	}
@@ -382,7 +382,7 @@ func (s *Store) insertASRPathsWithOffset(srcElem, where string, offset int64, ds
 			return err
 		}
 		for _, r := range rows.Data {
-			srcIDs = append(srcIDs, r[0].(int64))
+			srcIDs = append(srcIDs, r[0].MustInt())
 		}
 		if len(srcIDs) == 0 {
 			return nil
@@ -442,7 +442,7 @@ func (s *Store) rebuildASRPathsFor(srcElem string, idMap map[int64]int64, dstPar
 	}
 	var newPaths [][]relational.Value
 	for _, r := range rows.Data {
-		idv, ok := r[level].(int64)
+		idv, ok := r[level].Int()
 		if !ok {
 			continue
 		}
@@ -452,9 +452,9 @@ func (s *Store) rebuildASRPathsFor(srcElem string, idMap map[int64]int64, dstPar
 		np := make([]relational.Value, s.ASR.Depth)
 		copy(np, prefix)
 		for i := level; i < s.ASR.Depth; i++ {
-			if old, ok := r[i].(int64); ok {
+			if old, ok := r[i].Int(); ok {
 				if nid, ok := idMap[old]; ok {
-					np[i] = nid
+					np[i] = relational.Int(nid)
 				}
 			}
 		}
@@ -481,7 +481,7 @@ func (s *Store) InsertInlined(tableElem string, path []string, text string, wher
 	if err != nil {
 		return 0, err
 	}
-	if rows.Data[0][0].(int64) > 0 {
+	if rows.Data[0][0].MustInt() > 0 {
 		return 0, fmt.Errorf("engine: insert over existing %s content (occurs at most once in the DTD)", strings.Join(path, "/"))
 	}
 	sql := fmt.Sprintf("UPDATE %s SET %s = ?", tm.Name, c.Name)
@@ -492,7 +492,7 @@ func (s *Store) InsertInlined(tableElem string, path []string, text string, wher
 	if err != nil {
 		return 0, err
 	}
-	return s.sql().ExecPrepared(upd, text)
+	return s.sql().ExecPrepared(upd, relational.Text(text))
 }
 
 // InsertAttribute inserts an attribute value into matching tuples, failing
@@ -511,7 +511,7 @@ func (s *Store) InsertAttribute(tableElem string, path []string, attr, value, wh
 	if err != nil {
 		return 0, err
 	}
-	if rows.Data[0][0].(int64) > 0 {
+	if rows.Data[0][0].MustInt() > 0 {
 		return 0, fmt.Errorf("engine: attribute %q already present on a target tuple", attr)
 	}
 	sql := fmt.Sprintf("UPDATE %s SET %s = ?", tm.Name, c.Name)
@@ -522,5 +522,5 @@ func (s *Store) InsertAttribute(tableElem string, path []string, attr, value, wh
 	if err != nil {
 		return 0, err
 	}
-	return s.sql().ExecPrepared(upd, value)
+	return s.sql().ExecPrepared(upd, relational.Text(value))
 }

@@ -75,9 +75,9 @@ func (s *Store) addASRPathsForNew(rootElem string, ds *shred.Dataset, dstParentI
 	for elem, rows := range ds.Rows {
 		ids[elem] = make(map[int64]bool)
 		for _, r := range rows {
-			id := r[0].(int64)
+			id := r[0].MustInt()
 			ids[elem][id] = true
-			if pid, ok := r[1].(int64); ok {
+			if pid, ok := r[1].Int(); ok {
 				children[pid] = append(children[pid], tup{elem, id})
 			}
 		}
@@ -91,7 +91,7 @@ func (s *Store) addASRPathsForNew(rootElem string, ds *shred.Dataset, dstParentI
 			// Only descend into tuples created by this dataset.
 			if ids[k.elem][k.id] {
 				leaf = false
-				walk(k.id, append(path, k.id))
+				walk(k.id, append(path, relational.Int(k.id)))
 			}
 		}
 		if leaf {
@@ -101,10 +101,10 @@ func (s *Store) addASRPathsForNew(rootElem string, ds *shred.Dataset, dstParentI
 		}
 	}
 	for _, r := range ds.Rows[rootElem] {
-		id := r[0].(int64)
+		id := r[0].MustInt()
 		base := make([]relational.Value, 0, s.ASR.Depth)
 		base = append(base, prefix...)
-		base = append(base, id)
+		base = append(base, relational.Int(id))
 		walk(id, base)
 	}
 	return s.ASR.InsertPaths(s.sql(), paths)
@@ -134,7 +134,7 @@ func (s *Store) ReplaceSubtrees(elem, where string, content *xmltree.Element) (i
 	var parents []int64
 	for _, r := range rows.Data {
 		ids = append(ids, fmt.Sprint(r[0]))
-		pid, _ := r[1].(int64)
+		pid, _ := r[1].Int()
 		parents = append(parents, pid)
 	}
 	// Insert first (the content may be evaluated against the pre-delete

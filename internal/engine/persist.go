@@ -183,7 +183,7 @@ func (s *Store) writeMeta(dtd *xmltree.DTD) error {
 
 func metaInsert(k, v string) string {
 	return fmt.Sprintf("INSERT INTO %s VALUES (%s, %s)",
-		metaTable, relational.FormatValue(k), relational.FormatValue(v))
+		metaTable, relational.FormatValue(relational.Text(k)), relational.FormatValue(relational.Text(v)))
 }
 
 func boolMeta(b bool) string {
@@ -206,8 +206,8 @@ func reopen(db *relational.DB, doc *xmltree.Document) (*Store, error) {
 	}
 	meta := make(map[string]string, len(rows.Data))
 	for _, r := range rows.Data {
-		k, _ := r[0].(string)
-		v, _ := r[1].(string)
+		k, _ := r[0].Text()
+		v, _ := r[1].Text()
 		meta[k] = v
 	}
 	for _, key := range []string{"dtd", "root", "nextid"} {

@@ -167,7 +167,7 @@ func (s *Store) atomically(fn func() error) error {
 		if err != nil {
 			return err
 		}
-		if _, err := tx.ExecPrepared(p, strconv.FormatInt(s.nextID, 10)); err != nil {
+		if _, err := tx.ExecPrepared(p, relational.Text(strconv.FormatInt(s.nextID, 10))); err != nil {
 			return err
 		}
 	}
@@ -303,7 +303,7 @@ func (s *Store) chainIDs(elem string, id int64) ([]relational.Value, error) {
 	out := make([]relational.Value, len(chainElems))
 	cur := id
 	for i := len(chainElems) - 1; i >= 0; i-- {
-		out[i] = cur
+		out[i] = relational.Int(cur)
 		if i == 0 {
 			break
 		}
@@ -315,7 +315,7 @@ func (s *Store) chainIDs(elem string, id int64) ([]relational.Value, error) {
 		if len(rows.Data) != 1 {
 			return nil, fmt.Errorf("engine: tuple %d not found in %s", cur, tm.Name)
 		}
-		pid, ok := rows.Data[0][0].(int64)
+		pid, ok := rows.Data[0][0].Int()
 		if !ok {
 			return nil, fmt.Errorf("engine: tuple %d in %s has NULL parent", cur, tm.Name)
 		}

@@ -200,7 +200,7 @@ func (s *Store) translatePred(elem string, inlined []string, e xpath.Expr) (stri
 func literalSQL(e xpath.Expr) (string, error) {
 	switch v := e.(type) {
 	case *xpath.StringLit:
-		return relational.FormatValue(v.Value), nil
+		return relational.FormatValue(relational.Text(v.Value)), nil
 	case *xpath.NumberLit:
 		return fmt.Sprint(v.Value), nil
 	default:

@@ -150,7 +150,7 @@ func indexOf(ss []string, s string) int {
 func (p *Plan) tableOfRow(row []relational.Value) (string, int64, bool) {
 	for i := len(p.Tables) - 1; i >= 0; i-- {
 		elem := p.Tables[i]
-		if v, ok := row[p.IDCol[elem]].(int64); ok {
+		if v, ok := row[p.IDCol[elem]].Int(); ok {
 			// The deepest table with a set id whose data region may still
 			// be another branch's ancestor propagation — ancestors only
 			// propagate key columns, so the deepest non-NULL id column is
@@ -203,7 +203,7 @@ func (r *reconstructor) feed(row []relational.Value) error {
 	}
 	tm := p.M.Table(elem)
 	vals := make(map[string]relational.Value, len(tm.Columns)+2)
-	vals["id"] = id
+	vals["id"] = relational.Int(id)
 	for i, wi := range p.DataCols[elem] {
 		vals[strings.ToLower(tm.Columns[i].Name)] = row[wi]
 	}
@@ -221,7 +221,7 @@ func (r *reconstructor) feed(row []relational.Value) error {
 	if r.cur == nil {
 		return fmt.Errorf("outerunion: child tuple before any target tuple")
 	}
-	parentID, ok := row[p.IDCol[p.ParentOf[elem]]].(int64)
+	parentID, ok := row[p.IDCol[p.ParentOf[elem]]].Int()
 	if !ok {
 		return fmt.Errorf("outerunion: child tuple with NULL parent key")
 	}

@@ -26,8 +26,10 @@ const btreeMaxKeys = 64
 const btreeMaxCols = 2
 
 // bkey is one index entry: the indexed column values plus the owning rowid.
-// Unused trailing value slots stay nil uniformly across an index, so
-// comparisons can always consider both (nil == nil).
+// Unused trailing value slots stay NULL uniformly across an index, so
+// comparisons can always consider both (NULL == NULL). Values are unboxed
+// tagged structs, so a bkey is one flat block of memory — building one from
+// a row is plain field copies, no per-column boxing.
 type bkey struct {
 	vals [btreeMaxCols]Value
 	rid  int

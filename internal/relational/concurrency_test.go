@@ -100,7 +100,7 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 				n, posSum := 0, int64(0)
 				lastPar, lastPos := int64(-1), int64(-1)
 				_, err := db.QueryEach("SELECT parentId, pos FROM item ORDER BY parentId, pos", func(row []Value) error {
-					par, pos := row[0].(int64), row[1].(int64)
+					par, pos := row[0].MustInt(), row[1].MustInt()
 					if par < lastPar || (par == lastPar && pos < lastPos) {
 						return fmt.Errorf("out of order: (%d,%d) after (%d,%d)", par, pos, lastPar, lastPos)
 					}

@@ -360,9 +360,12 @@ func (db *DB) Query(sql string) (*Rows, error) {
 // QueryEach executes a SELECT, streaming each result row to fn as the
 // pipeline produces it instead of materializing the result set — with sort
 // elision, an ordered query's first row arrives before the last is read.
-// fn must not issue statements on the same DB (a shared lock is held). It
-// returns the output column names. Like Query, it joins an open SQL-level
-// transaction.
+// fn must not issue statements on the same DB (a shared lock is held). The
+// row slice is reused between calls (the pipeline's buffer-reuse contract;
+// this is what makes streaming reads allocation-free per row): fn must
+// copy the slice to retain it, though retaining individual Values is
+// always safe. It returns the output column names. Like Query, it joins an
+// open SQL-level transaction.
 func (db *DB) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
 	if tx := db.sqlTx.Load(); tx != nil {
 		cols, err := tx.QueryEach(sql, fn)

@@ -56,10 +56,10 @@ func TestPreparedStatementReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Exec(int64(1), "it's quoted"); err != nil {
+	if _, err := p.Exec(Int(1), Text("it's quoted")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Exec(int64(2), nil); err != nil {
+	if _, err := p.Exec(Int(2), Null); err != nil {
 		t.Fatal(err)
 	}
 	want := dbDump(db)
@@ -146,7 +146,7 @@ func genWorkload(r *rand.Rand, n int) []crashOp {
 		default: // prepared insert with args (incl. NULL and quotes)
 			ops = append(ops, crashOp{prepared: true,
 				stmts: []string{"INSERT INTO item VALUES (?, ?, ?, ?)"},
-				args:  []Value{int64(nextID), int64(r.Intn(4)), nil, "pre'par''ed"}})
+				args:  []Value{Int(int64(nextID)), Int(int64(r.Intn(4))), Null, Text("pre'par''ed")}})
 			nextID++
 		}
 	}

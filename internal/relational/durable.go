@@ -202,9 +202,9 @@ func (db *DB) applyRedoLocked(redo []redoStmt) (uint64, error) {
 	for i, e := range redo {
 		ws := wal.Stmt{SQL: e.sql}
 		if len(e.args) > 0 {
-			ws.Args = make([]any, len(e.args))
+			ws.Args = make([]wal.Value, len(e.args))
 			for j, a := range e.args {
-				ws.Args[j] = a
+				ws.Args[j] = walVal(a)
 			}
 		}
 		stmts[i] = ws
@@ -347,7 +347,10 @@ func (db *DB) replayCommit(stmts []wal.Stmt) error {
 		}
 		args := make([]Value, len(s.Args))
 		for i, a := range s.Args {
-			args[i] = a
+			var err error
+			if args[i], err = fromWalVal(a); err != nil {
+				return err
+			}
 		}
 		if _, err := p.Exec(args...); err != nil {
 			return err
@@ -476,4 +479,26 @@ func decodeCheckpointPayload(data []byte) (ddl []string, snap []byte, err error)
 		b = b[n+int(ln):]
 	}
 	return ddl, b, nil
+}
+
+// walVal converts a relational value to the log's tagged form — a field
+// copy, no boxing. The kind numbering is shared by construction.
+func walVal(v Value) wal.Value {
+	return wal.Value{Kind: wal.Kind(v.kind), Int: v.i, Str: v.s}
+}
+
+// fromWalVal converts a decoded log value back, rejecting kinds outside the
+// canonical domain (a decoder bug or hand-edited log must fail recovery
+// loudly, not smuggle an undefined value into the heap).
+func fromWalVal(w wal.Value) (Value, error) {
+	switch w.Kind {
+	case wal.KindNull:
+		return Null, nil
+	case wal.KindInt:
+		return Int(w.Int), nil
+	case wal.KindText:
+		return Text(w.Str), nil
+	default:
+		return Null, fmt.Errorf("relational: log value with unknown kind %d", uint8(w.Kind))
+	}
 }

@@ -123,9 +123,9 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 		cols[i] = ci
 	}
 	ev := newEval(db, env)
+	vals := make([]Value, len(s.Set))
 	for _, rid := range rids {
 		binding := singleBinding(s.Table, t, t.Row(rid))
-		vals := make([]Value, len(s.Set))
 		for i, sc := range s.Set {
 			v, err := ev.eval(sc.Val, binding)
 			if err != nil {
@@ -285,22 +285,22 @@ func singleBinding(name string, t *Table, row []Value) *binding {
 // resolve finds the value of a column reference in the binding.
 func (b *binding) resolve(table, col string) (Value, bool, error) {
 	if b == nil {
-		return nil, false, nil
+		return Null, false, nil
 	}
 	if table != "" {
 		for i, n := range b.names {
 			if strings.EqualFold(n, table) {
 				ci := b.srcs[i].columnIndex(col)
 				if ci < 0 {
-					return nil, false, fmt.Errorf("relational: source %s has no column %q", table, col)
+					return Null, false, fmt.Errorf("relational: source %s has no column %q", table, col)
 				}
 				if b.rows[i] == nil {
-					return nil, false, nil
+					return Null, false, nil
 				}
 				return b.rows[i][ci], true, nil
 			}
 		}
-		return nil, false, nil
+		return Null, false, nil
 	}
 	found := false
 	var val Value
@@ -310,7 +310,7 @@ func (b *binding) resolve(table, col string) (Value, bool, error) {
 			continue
 		}
 		if found {
-			return nil, false, fmt.Errorf("relational: ambiguous column %q", col)
+			return Null, false, fmt.Errorf("relational: ambiguous column %q", col)
 		}
 		found = true
 		if b.rows[i] != nil {
@@ -375,7 +375,9 @@ func (db *DB) execSelectWant(s *SelectStmt, env *execEnv, extWant []OrderKey) (*
 			out.single = len(out.Data) <= 1
 			return out, nil
 		}
-		out.Data = append(out.Data, row)
+		// The pipeline reuses its row buffer (rowIter contract); a
+		// materialized result owns its rows, so copy each one out.
+		out.Data = append(out.Data, append(make([]Value, 0, len(row)), row...))
 	}
 }
 
@@ -481,15 +483,6 @@ func validateRefs(e Expr, srcs []*source) error {
 	}
 }
 
-func rowKey(r []Value) string {
-	var b strings.Builder
-	for _, v := range r {
-		b.WriteString(FormatValue(v))
-		b.WriteByte('\x00')
-	}
-	return b.String()
-}
-
 func containsAggregate(e Expr) bool {
 	switch x := e.(type) {
 	case *FuncCall:
@@ -512,7 +505,7 @@ type aggAccumulator struct {
 
 type aggLeaf struct {
 	count int64
-	min   Value
+	min   Value // NULL until the first non-NULL input (aggregates skip NULLs)
 	max   Value
 }
 
@@ -537,14 +530,14 @@ func (a *aggAccumulator) feed(ev *exprEval, e Expr, bind *binding) error {
 			if err != nil {
 				return err
 			}
-			if v == nil {
+			if v.IsNull() {
 				return nil // NULLs are ignored by aggregates
 			}
 			leaf.count++
-			if leaf.min == nil || compareValues(v, leaf.min) < 0 {
+			if leaf.min.IsNull() || compareValues(v, leaf.min) < 0 {
 				leaf.min = v
 			}
-			if leaf.max == nil || compareValues(v, leaf.max) > 0 {
+			if leaf.max.IsNull() || compareValues(v, leaf.max) > 0 {
 				leaf.max = v
 			}
 			return nil
@@ -573,13 +566,13 @@ func (a *aggAccumulator) result(ev *exprEval, e Expr) Value {
 			}
 			switch x.Name {
 			case "COUNT":
-				return leaf.count
+				return Int(leaf.count)
 			case "MIN":
 				return leaf.min
 			case "MAX":
 				return leaf.max
 			}
-			return nil
+			return Null
 		case *Binary:
 			l := eval(x.L)
 			r := eval(x.R)
@@ -588,8 +581,8 @@ func (a *aggAccumulator) result(ev *exprEval, e Expr) Value {
 		case *Unary:
 			v := eval(x.X)
 			if x.Op == "-" {
-				if n, ok := v.(int64); ok {
-					return -n
+				if n, ok := v.Int(); ok {
+					return Int(-n)
 				}
 			}
 			return v
@@ -599,9 +592,9 @@ func (a *aggAccumulator) result(ev *exprEval, e Expr) Value {
 			if ev != nil && x.Index >= 0 && x.Index < len(ev.args) {
 				return ev.args[x.Index]
 			}
-			return nil
+			return Null
 		default:
-			return nil
+			return Null
 		}
 	}
 	return eval(e)
@@ -614,7 +607,7 @@ type exprEval struct {
 	env  *execEnv
 	args []Value
 	// inCache memoizes uncorrelated IN-subquery result sets per statement.
-	inCache map[*SelectStmt]map[string]bool
+	inCache map[*SelectStmt]map[Value]bool
 }
 
 // newEval builds an evaluator for one statement execution, binding the
@@ -629,30 +622,30 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 		return x.Value, nil
 	case *Param:
 		if x.Index < 0 || x.Index >= len(ev.args) {
-			return nil, fmt.Errorf("relational: unbound parameter ?%d", x.Index+1)
+			return Null, fmt.Errorf("relational: unbound parameter ?%d", x.Index+1)
 		}
 		return ev.args[x.Index], nil
 	case *ColumnRef:
 		if strings.EqualFold(x.Table, "OLD") {
 			old, t := ev.env.oldRow()
 			if old == nil {
-				return nil, fmt.Errorf("relational: OLD reference outside a row trigger")
+				return Null, fmt.Errorf("relational: OLD reference outside a row trigger")
 			}
 			ci := t.Schema.ColumnIndex(x.Name)
 			if ci < 0 {
-				return nil, fmt.Errorf("relational: OLD has no column %q", x.Name)
+				return Null, fmt.Errorf("relational: OLD has no column %q", x.Name)
 			}
 			return old[ci], nil
 		}
 		v, ok, err := bind.resolve(x.Table, x.Name)
 		if err != nil {
-			return nil, err
+			return Null, err
 		}
 		if !ok {
 			if x.Table != "" {
-				return nil, fmt.Errorf("relational: unknown column %s.%s", x.Table, x.Name)
+				return Null, fmt.Errorf("relational: unknown column %s.%s", x.Table, x.Name)
 			}
-			return nil, fmt.Errorf("relational: unknown column %q", x.Name)
+			return Null, fmt.Errorf("relational: unknown column %q", x.Name)
 		}
 		return v, nil
 	case *Binary:
@@ -660,121 +653,124 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 		case "AND", "OR":
 			l, err := ev.evalBool(x.L, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
 			if x.Op == "AND" && !l {
-				return int64(0), nil
+				return Bool(false), nil
 			}
 			if x.Op == "OR" && l {
-				return int64(1), nil
+				return Bool(true), nil
 			}
 			r, err := ev.evalBool(x.R, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
-			return boolValue(r), nil
+			return Bool(r), nil
 		case "=", "!=", "<", "<=", ">", ">=":
 			l, err := ev.eval(x.L, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
 			r, err := ev.eval(x.R, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
-			if l == nil || r == nil {
-				return int64(0), nil // SQL UNKNOWN behaves as false here
+			if l.IsNull() || r.IsNull() {
+				return Bool(false), nil // SQL UNKNOWN behaves as false here
 			}
-			return boolValue(cmpSQL(x.Op, l, r)), nil
+			return Bool(cmpSQL(x.Op, l, r)), nil
 		case "+", "-", "*", "/":
 			l, err := ev.eval(x.L, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
 			r, err := ev.eval(x.R, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
 			return arith(x.Op, l, r)
 		default:
-			return nil, fmt.Errorf("relational: unknown operator %q", x.Op)
+			return Null, fmt.Errorf("relational: unknown operator %q", x.Op)
 		}
 	case *Unary:
 		switch x.Op {
 		case "NOT":
 			b, err := ev.evalBool(x.X, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
-			return boolValue(!b), nil
+			return Bool(!b), nil
 		case "-":
 			v, err := ev.eval(x.X, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
-			if v == nil {
-				return nil, nil
+			if v.IsNull() {
+				return Null, nil
 			}
-			n, ok := v.(int64)
+			n, ok := v.Int()
 			if !ok {
-				return nil, fmt.Errorf("relational: unary minus on %T", v)
+				return Null, fmt.Errorf("relational: unary minus on %s value", v.Kind())
 			}
-			return -n, nil
+			return Int(-n), nil
 		default:
-			return nil, fmt.Errorf("relational: unknown unary %q", x.Op)
+			return Null, fmt.Errorf("relational: unknown unary %q", x.Op)
 		}
 	case *IsNull:
 		v, err := ev.eval(x.X, bind)
 		if err != nil {
-			return nil, err
+			return Null, err
 		}
-		isNull := v == nil
+		isNull := v.IsNull()
 		if x.Negate {
 			isNull = !isNull
 		}
-		return boolValue(isNull), nil
+		return Bool(isNull), nil
 	case *InExpr:
 		v, err := ev.eval(x.X, bind)
 		if err != nil {
-			return nil, err
+			return Null, err
 		}
-		if v == nil {
-			return boolValue(x.Negate), nil
+		if v.IsNull() {
+			return Bool(x.Negate), nil
 		}
 		if x.Select != nil {
 			set, err := ev.subquerySet(x.Select)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
-			found := set[FormatValue(v)]
-			return boolValue(found != x.Negate), nil
+			found := set[v.joinKey()]
+			return Bool(found != x.Negate), nil
 		}
 		found := false
 		for _, le := range x.List {
 			lv, err := ev.eval(le, bind)
 			if err != nil {
-				return nil, err
+				return Null, err
 			}
 			if eq, known := valuesEqual(v, lv); known && eq {
 				found = true
 				break
 			}
 		}
-		return boolValue(found != x.Negate), nil
+		return Bool(found != x.Negate), nil
 	case *FuncCall:
-		return nil, fmt.Errorf("relational: aggregate %s outside SELECT list", x.Name)
+		return Null, fmt.Errorf("relational: aggregate %s outside SELECT list", x.Name)
 	default:
-		return nil, fmt.Errorf("relational: unknown expression %T", e)
+		return Null, fmt.Errorf("relational: unknown expression %T", e)
 	}
 }
 
 // subquerySet evaluates an uncorrelated IN-subquery once per statement and
 // memoizes the result set. This is what makes `NOT IN (SELECT id FROM
 // parent)` scans linear in the child table rather than quadratic — the cost
-// model behind the per-statement-trigger curves.
-func (ev *exprEval) subquerySet(sel *SelectStmt) (map[string]bool, error) {
+// model behind the per-statement-trigger curves. Sets key on joinKey-
+// normalized Values — membership probes hash the tagged value with no
+// literal formatting per row, and mixed int/text membership agrees with
+// the IN-list path's compareValues semantics.
+func (ev *exprEval) subquerySet(sel *SelectStmt) (map[Value]bool, error) {
 	if ev.inCache == nil {
-		ev.inCache = make(map[*SelectStmt]map[string]bool)
+		ev.inCache = make(map[*SelectStmt]map[Value]bool)
 	}
 	if set, ok := ev.inCache[sel]; ok {
 		return set, nil
@@ -786,10 +782,10 @@ func (ev *exprEval) subquerySet(sel *SelectStmt) (map[string]bool, error) {
 	if len(rows.Cols) != 1 {
 		return nil, fmt.Errorf("relational: IN subquery must return one column, got %d", len(rows.Cols))
 	}
-	set := make(map[string]bool, len(rows.Data))
+	set := make(map[Value]bool, len(rows.Data))
 	for _, r := range rows.Data {
-		if r[0] != nil {
-			set[FormatValue(r[0])] = true
+		if !r[0].IsNull() {
+			set[r[0].joinKey()] = true
 		}
 	}
 	ev.inCache[sel] = set
@@ -801,23 +797,14 @@ func (ev *exprEval) evalBool(e Expr, bind *binding) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	switch x := v.(type) {
-	case nil:
+	switch v.kind {
+	case KindNull:
 		return false, nil
-	case int64:
-		return x != 0, nil
-	case string:
-		return x != "", nil
+	case KindInt:
+		return v.i != 0, nil
 	default:
-		return false, fmt.Errorf("relational: non-boolean predicate value %T", v)
+		return v.s != "", nil
 	}
-}
-
-func boolValue(b bool) Value {
-	if b {
-		return int64(1)
-	}
-	return int64(0)
 }
 
 func cmpSQL(op string, l, r Value) bool {
@@ -841,27 +828,27 @@ func cmpSQL(op string, l, r Value) bool {
 }
 
 func arith(op string, l, r Value) (Value, error) {
-	if l == nil || r == nil {
-		return nil, nil
+	if l.IsNull() || r.IsNull() {
+		return Null, nil
 	}
-	ln, lok := l.(int64)
-	rn, rok := r.(int64)
+	ln, lok := l.Int()
+	rn, rok := r.Int()
 	if !lok || !rok {
-		return nil, fmt.Errorf("relational: arithmetic on non-integers (%T %s %T)", l, op, r)
+		return Null, fmt.Errorf("relational: arithmetic on non-integers (%s %s %s)", l.Kind(), op, r.Kind())
 	}
 	switch op {
 	case "+":
-		return ln + rn, nil
+		return Int(ln + rn), nil
 	case "-":
-		return ln - rn, nil
+		return Int(ln - rn), nil
 	case "*":
-		return ln * rn, nil
+		return Int(ln * rn), nil
 	case "/":
 		if rn == 0 {
-			return nil, fmt.Errorf("relational: division by zero")
+			return Null, fmt.Errorf("relational: division by zero")
 		}
-		return ln / rn, nil
+		return Int(ln / rn), nil
 	default:
-		return nil, fmt.Errorf("relational: unknown arithmetic operator %q", op)
+		return Null, fmt.Errorf("relational: unknown arithmetic operator %q", op)
 	}
 }

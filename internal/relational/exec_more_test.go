@@ -18,7 +18,7 @@ SELECT COUNT(*) FROM B`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(2) {
+	if rows.Data[0][0] != Int(2) {
 		t.Errorf("chained CTE count = %v", rows.Data[0][0])
 	}
 }
@@ -39,7 +39,7 @@ func TestCTEShadowsNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(3) {
+	if rows.Data[0][0] != Int(3) {
 		t.Errorf("CTE did not take precedence: %v", rows.Data[0][0])
 	}
 }
@@ -55,7 +55,7 @@ func TestUnaryMinusAndArithmetic(t *testing.T) {
 	r := rows.Data[0]
 	want := []int64{15, 7, 20, 2, -10}
 	for i, w := range want {
-		if r[i] != w {
+		if r[i] != Int(w) {
 			t.Errorf("expr %d = %v, want %d", i, r[i], w)
 		}
 	}
@@ -66,7 +66,7 @@ func TestUnaryMinusAndArithmetic(t *testing.T) {
 	db.MustExec(`CREATE TABLE n (a INTEGER)`)
 	db.MustExec(`INSERT INTO n VALUES (NULL)`)
 	rows, _ = db.Query(`SELECT a + 1 FROM n`)
-	if rows.Data[0][0] != nil {
+	if !rows.Data[0][0].IsNull() {
 		t.Errorf("NULL + 1 = %v", rows.Data[0][0])
 	}
 }
@@ -78,7 +78,7 @@ func TestNotAndParentheses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows.Data) != 1 || rows.Data[0][0] != "Mary" {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Text("Mary") {
 		t.Errorf("NOT = %v", rows.Data)
 	}
 }
@@ -92,7 +92,7 @@ func TestUpdateTriggerBody(t *testing.T) {
 	db.MustExec(`CREATE TRIGGER cust_audit AFTER DELETE ON Customer FOR EACH ROW UPDATE audit SET n = n + 1`)
 	db.MustExec(`DELETE FROM Customer WHERE Name = 'John'`)
 	rows, _ := db.Query(`SELECT n FROM audit`)
-	if rows.Data[0][0] != int64(2) {
+	if rows.Data[0][0] != Int(2) {
 		t.Errorf("audit count = %v, want 2", rows.Data[0][0])
 	}
 }
@@ -117,7 +117,7 @@ func TestOrderByPositional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][1] != int64(12) {
+	if rows.Data[0][1] != Int(12) {
 		t.Errorf("positional order by = %v", rows.Data)
 	}
 	if _, err := db.Query(`SELECT id FROM Orders ORDER BY 9`); err == nil {
@@ -143,7 +143,7 @@ func TestSelectWithoutFrom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(3) || rows.Data[0][1] != "x" {
+	if rows.Data[0][0] != Int(3) || rows.Data[0][1] != Text("x") {
 		t.Errorf("constant select = %v", rows.Data[0])
 	}
 }
@@ -183,7 +183,7 @@ WHERE OL.parentId = O.id AND O.Status = 'ready'`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(3) || rows.Data[0][1] != int64(4) {
+	if rows.Data[0][0] != Int(3) || rows.Data[0][1] != Int(4) {
 		t.Errorf("joined aggregate = %v", rows.Data[0])
 	}
 }

@@ -14,7 +14,11 @@ import (
 // instead of scans.
 
 // hashIndex maps a column value to the rowids holding it. NULLs are not
-// indexed (SQL equality never matches them).
+// indexed (SQL equality never matches them). Entries key on the joinKey
+// normalization (value.go) — a VARCHAR holding canonical integer text
+// shares a bucket with that integer — so probe hits coincide with
+// compareValues equality and an indexed query returns the same rows the
+// scan path would.
 type hashIndex struct {
 	col     int
 	entries map[Value][]int
@@ -37,10 +41,10 @@ func (t *Table) CreateIndex(col string) error {
 	}
 	idx := &hashIndex{col: ci, entries: make(map[Value][]int)}
 	for rid, row := range t.rows {
-		if row == nil || row[ci] == nil {
+		if row == nil || row[ci].IsNull() {
 			continue
 		}
-		idx.entries[row[ci]] = append(idx.entries[row[ci]], rid)
+		idx.add(row[ci], rid)
 	}
 	t.index[key] = idx
 	t.indexEpoch++
@@ -125,8 +129,17 @@ func (t *Table) autoIndex() {
 	}
 }
 
+// add indexes rid under v. All maintenance goes through add/remove so the
+// joinKey normalization cannot be skipped on any path (insert, update,
+// undo, rebuild).
+func (idx *hashIndex) add(v Value, rid int) {
+	k := v.joinKey()
+	idx.entries[k] = append(idx.entries[k], rid)
+}
+
 func (idx *hashIndex) remove(v Value, rid int) {
-	rids := idx.entries[v]
+	k := v.joinKey()
+	rids := idx.entries[k]
 	for i, r := range rids {
 		if r == rid {
 			rids[i] = rids[len(rids)-1]
@@ -135,18 +148,20 @@ func (idx *hashIndex) remove(v Value, rid int) {
 		}
 	}
 	if len(rids) == 0 {
-		delete(idx.entries, v)
+		delete(idx.entries, k)
 	} else {
-		idx.entries[v] = rids
+		idx.entries[k] = rids
 	}
 }
 
-// probe returns rowids of live rows whose indexed column equals v.
+// probe returns rowids of live rows whose indexed column equals v (in the
+// compareValues sense — the joinKey normalization on both sides makes the
+// probe exactly as selective as the scan path's equality filter).
 func (idx *hashIndex) probe(v Value) []int {
-	if v == nil {
+	if v.IsNull() {
 		return nil
 	}
-	return idx.entries[v]
+	return idx.entries[v.joinKey()]
 }
 
 // ---- ordered (B+tree) indexes ----
@@ -279,9 +294,9 @@ func (idx *orderedIndex) covers(ci int) bool {
 // prefix value matches nothing (SQL equality); rows whose range column is
 // NULL are excluded by bounds but included by full walks, mirroring how a
 // WHERE conjunct would reject them while ORDER BY keeps them.
-func (idx *orderedIndex) scanRange(prefix []Value, lo, hi *rangeBound, desc bool, out []int) []int {
+func (idx *orderedIndex) scanRange(prefix []Value, lo, hi rangeBound, desc bool, out []int) []int {
 	for _, v := range prefix {
-		if v == nil {
+		if v.IsNull() {
 			return out
 		}
 	}
@@ -291,7 +306,7 @@ func (idx *orderedIndex) scanRange(prefix []Value, lo, hi *rangeBound, desc bool
 		if c := comparePrefix(k, prefix); c != 0 {
 			return c > 0
 		}
-		if lo == nil {
+		if !lo.set {
 			return true
 		}
 		c := compareValues(k.vals[p], lo.val)
@@ -301,7 +316,7 @@ func (idx *orderedIndex) scanRange(prefix []Value, lo, hi *rangeBound, desc bool
 		if c := comparePrefix(k, prefix); c != 0 {
 			return c > 0
 		}
-		if hi == nil {
+		if !hi.set {
 			return false
 		}
 		c := compareValues(k.vals[p], hi.val)
@@ -358,8 +373,11 @@ func compareBVals(a, b bkey) int {
 	return 0
 }
 
-// rangeBound is one endpoint of a range access path.
+// rangeBound is one endpoint of a range access path. The zero value is an
+// absent bound — bounds travel by value (no per-probe pointer allocation),
+// so set distinguishes "no bound" from "bound at NULL".
 type rangeBound struct {
 	val  Value
 	incl bool
+	set  bool
 }

@@ -67,7 +67,7 @@ type levelIter struct {
 	ap    accessPlan
 	input bindIter
 
-	ht map[string][]int // transient hash table (rowids / row indexes)
+	ht map[Value][]int // transient hash table (rowids / row indexes)
 
 	outerLive bool
 	scanPos   int
@@ -170,10 +170,10 @@ func (li *levelIter) startInner() error {
 		if err != nil {
 			return err
 		}
-		if v == nil {
+		if v.IsNull() {
 			li.bucket = nil
 		} else {
-			li.bucket = li.ht[valueString(v)]
+			li.bucket = li.ht[v.joinKey()]
 		}
 		li.bucketPos = 0
 	case accessOrderedProbe, accessRangeScan, accessOrderedScan:
@@ -225,43 +225,46 @@ func (li *levelIter) orderedBucket() ([]int, error) {
 // against the current binding and walks the B+tree window. A NULL prefix or
 // bound value matches nothing (SQL comparison semantics). A free function —
 // not a levelIter method — so the DML path can call it without building an
-// iterator (which would force its stack-allocated binding to escape).
+// iterator (which would force its stack-allocated binding to escape). The
+// prefix array and bounds stay on the stack: a range probe per outer row
+// allocates nothing beyond the caller's reused bucket.
 func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table, bind *binding, buf []int) ([]int, error) {
 	// Deletions only tombstone B+tree entries; readers skip entries whose
 	// row is gone. Compaction happens at transaction commit (txn.go): this
 	// path now runs under the shared lock, where rebuilding the tree would
 	// race with other readers.
-	prefix := make([]Value, len(ap.eqPrefix))
+	var parr [btreeMaxCols]Value
+	prefix := parr[:len(ap.eqPrefix)]
 	for i, c := range ap.eqPrefix {
 		v, err := ev.eval(c.expr, bind)
 		if err != nil {
 			return nil, err
 		}
-		if v == nil {
+		if v.IsNull() {
 			return nil, nil
 		}
 		prefix[i] = v
 	}
-	var lo, hi *rangeBound
+	var lo, hi rangeBound
 	if ap.lo != nil {
 		v, err := ev.eval(ap.lo.expr, bind)
 		if err != nil {
 			return nil, err
 		}
-		if v == nil {
+		if v.IsNull() {
 			return nil, nil
 		}
-		lo = &rangeBound{val: v, incl: ap.lo.op == ">="}
+		lo = rangeBound{val: v, incl: ap.lo.op == ">=", set: true}
 	}
 	if ap.hi != nil {
 		v, err := ev.eval(ap.hi.expr, bind)
 		if err != nil {
 			return nil, err
 		}
-		if v == nil {
+		if v.IsNull() {
 			return nil, nil
 		}
-		hi = &rangeBound{val: v, incl: ap.hi.op == "<="}
+		hi = rangeBound{val: v, incl: ap.hi.op == "<=", set: true}
 	}
 	switch ap.kind {
 	case accessRangeScan:
@@ -275,30 +278,32 @@ func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table
 }
 
 // buildHash drains the level's source once into a transient hash table on
-// the probe column. Keys use valueString so hash equality matches SQL
-// equality across the int/string comparison the engine supports.
+// the probe column. Keys are joinKey-normalized Values, so hash equality
+// matches SQL equality across the int/string comparison the engine supports
+// while probes pay a struct hash, not interface hashing or string
+// formatting.
 func (li *levelIter) buildHash() error {
-	li.ht = make(map[string][]int)
+	li.ht = make(map[Value][]int)
 	ci := li.src.columnIndex(li.ap.probe.col)
 	if ci < 0 {
 		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.ap.probe.col)
 	}
 	if t := li.src.table; t != nil {
 		for rid, row := range t.rows {
-			if row == nil || row[ci] == nil {
+			if row == nil || row[ci].IsNull() {
 				continue
 			}
 			li.ctr.rowsScanned++
-			k := valueString(row[ci])
+			k := row[ci].joinKey()
 			li.ht[k] = append(li.ht[k], rid)
 		}
 	} else {
 		for i, row := range li.src.rows.Data {
-			if row[ci] == nil {
+			if row[ci].IsNull() {
 				continue
 			}
 			li.ctr.rowsScanned++
-			k := valueString(row[ci])
+			k := row[ci].joinKey()
 			li.ht[k] = append(li.ht[k], i)
 		}
 	}
@@ -372,6 +377,13 @@ func (li *levelIter) checkConds() (bool, error) {
 // ---- row-space iterators ----
 
 // rowIter produces output rows.
+//
+// Buffer-reuse contract: the slice returned by Next is valid only until the
+// next Next or Close call on the same iterator — producers overwrite one
+// per-iterator buffer instead of allocating per row. Consumers that retain
+// rows (materialization, sorting, merge heads) copy them; streaming
+// consumers read and move on, which is what makes the conventional-path
+// pipeline allocation-free per row.
 type rowIter interface {
 	Open() error
 	Next() ([]Value, bool, error)
@@ -382,6 +394,7 @@ type rowIter interface {
 type valuesIter struct {
 	ev    *exprEval
 	exprs []SelectExpr
+	buf   []Value
 	done  bool
 }
 
@@ -392,7 +405,10 @@ func (v *valuesIter) Next() ([]Value, bool, error) {
 		return nil, false, nil
 	}
 	v.done = true
-	row := make([]Value, len(v.exprs))
+	if cap(v.buf) < len(v.exprs) {
+		v.buf = make([]Value, len(v.exprs))
+	}
+	row := v.buf[:len(v.exprs)]
 	for i, se := range v.exprs {
 		val, err := v.ev.eval(se.Expr, nil)
 		if err != nil {
@@ -403,12 +419,15 @@ func (v *valuesIter) Next() ([]Value, bool, error) {
 	return row, true, nil
 }
 
-// projectIter evaluates the select list over each join tuple.
+// projectIter evaluates the select list over each join tuple into one
+// reused output buffer (see the rowIter contract) — the per-row make that
+// used to dominate scan allocations is gone.
 type projectIter struct {
 	ev    *exprEval
 	sel   *SimpleSelect
 	bind  *binding
 	input bindIter
+	buf   []Value
 }
 
 func (p *projectIter) Open() error { return p.input.Open() }
@@ -419,13 +438,17 @@ func (p *projectIter) Next() ([]Value, bool, error) {
 		return nil, false, err
 	}
 	if p.sel.Star {
-		var row []Value
+		row := p.buf[:0]
 		for i := range p.bind.srcs {
 			row = append(row, p.bind.rows[i]...)
 		}
+		p.buf = row
 		return row, true, nil
 	}
-	row := make([]Value, len(p.sel.Exprs))
+	if cap(p.buf) < len(p.sel.Exprs) {
+		p.buf = make([]Value, len(p.sel.Exprs))
+	}
+	row := p.buf[:len(p.sel.Exprs)]
 	for i, se := range p.sel.Exprs {
 		v, err := p.ev.eval(se.Expr, p.bind)
 		if err != nil {
@@ -443,6 +466,7 @@ type aggIter struct {
 	sel   *SimpleSelect
 	bind  *binding
 	input bindIter
+	buf   []Value
 	done  bool
 }
 
@@ -471,7 +495,10 @@ func (a *aggIter) Next() ([]Value, bool, error) {
 			}
 		}
 	}
-	row := make([]Value, len(a.sel.Exprs))
+	if cap(a.buf) < len(a.sel.Exprs) {
+		a.buf = make([]Value, len(a.sel.Exprs))
+	}
+	row := a.buf[:len(a.sel.Exprs)]
 	for i, se := range a.sel.Exprs {
 		if state[i] == nil {
 			state[i] = &aggAccumulator{}
@@ -481,10 +508,14 @@ func (a *aggIter) Next() ([]Value, bool, error) {
 	return row, true, nil
 }
 
-// distinctIter streams the first occurrence of each distinct row.
+// distinctIter streams the first occurrence of each distinct row. Keys are
+// the tagged byte encoding of the row built in a reused buffer — the
+// map[string] lookup on a []byte conversion does not allocate, so duplicate
+// rows cost no allocation and only the first occurrence pays one key copy.
 type distinctIter struct {
 	input rowIter
 	seen  map[string]bool
+	kbuf  []byte
 }
 
 func (d *distinctIter) Open() error {
@@ -498,11 +529,11 @@ func (d *distinctIter) Next() ([]Value, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		key := rowKey(row)
-		if d.seen[key] {
+		d.kbuf = appendRowKey(d.kbuf[:0], row)
+		if d.seen[string(d.kbuf)] {
 			continue
 		}
-		d.seen[key] = true
+		d.seen[string(d.kbuf)] = true
 		return row, true, nil
 	}
 }
@@ -576,7 +607,9 @@ func (s *sortIter) Open() error {
 		if !ok {
 			break
 		}
-		s.buf = append(s.buf, row)
+		// The producer reuses its row buffer (rowIter contract); a blocking
+		// sort retains every row, so it takes its own copies.
+		s.buf = append(s.buf, append(make([]Value, 0, len(row)), row...))
 	}
 	if s.db != nil {
 		s.db.stats.SortPasses.Add(1)
@@ -623,10 +656,27 @@ type mergeIter struct {
 	parts []rowIter
 	keys  []sortSpec
 	heads [][]Value
+	// hbufs are per-branch copies of each head row (branch iterators reuse
+	// their buffers, and a head outlives its branch's next Next call); out
+	// is the returned row's buffer, copied before the winning branch
+	// advances over it.
+	hbufs [][]Value
+	out   []Value
+}
+
+// setHead copies a branch's current row into its per-branch buffer.
+func (m *mergeIter) setHead(i int, row []Value) {
+	if cap(m.hbufs[i]) < len(row) {
+		m.hbufs[i] = make([]Value, len(row))
+	}
+	m.hbufs[i] = m.hbufs[i][:len(row)]
+	copy(m.hbufs[i], row)
+	m.heads[i] = m.hbufs[i]
 }
 
 func (m *mergeIter) Open() error {
 	m.heads = make([][]Value, len(m.parts))
+	m.hbufs = make([][]Value, len(m.parts))
 	for i, p := range m.parts {
 		if err := p.Open(); err != nil {
 			return err
@@ -636,7 +686,7 @@ func (m *mergeIter) Open() error {
 			return err
 		}
 		if ok {
-			m.heads[i] = row
+			m.setHead(i, row)
 		}
 	}
 	return nil
@@ -661,17 +711,22 @@ func (m *mergeIter) Next() ([]Value, bool, error) {
 	if best < 0 {
 		return nil, false, nil
 	}
-	row := m.heads[best]
+	head := m.heads[best]
+	if cap(m.out) < len(head) {
+		m.out = make([]Value, len(head))
+	}
+	m.out = m.out[:len(head)]
+	copy(m.out, head)
 	next, ok, err := m.parts[best].Next()
 	if err != nil {
 		return nil, false, err
 	}
 	if ok {
-		m.heads[best] = next
+		m.setHead(best, next)
 	} else {
 		m.heads[best] = nil
 	}
-	return row, true, nil
+	return m.out, true, nil
 }
 
 // resolveOrderKeys maps ORDER BY expressions (column names or 1-based
@@ -693,7 +748,7 @@ func resolveOrderKeys(orderBy []OrderKey, cols []string) ([]sortSpec, error) {
 			}
 			keys[i] = sortSpec{col: found, desc: k.Desc}
 		case *Literal:
-			n, ok := e.Value.(int64)
+			n, ok := e.Value.Int()
 			if !ok || n < 1 || int(n) > len(cols) {
 				return nil, fmt.Errorf("relational: bad positional ORDER BY")
 			}

@@ -667,7 +667,7 @@ func translateWant(b *SimpleSelect, srcs []*source, fi int, keys []sortSpec) []O
 		if constant {
 			continue
 		}
-		out = append(out, OrderKey{Expr: &Literal{Value: int64(col + 1)}, Desc: k.desc})
+		out = append(out, OrderKey{Expr: &Literal{Value: Int(int64(col + 1))}, Desc: k.desc})
 	}
 	return out
 }

@@ -413,13 +413,13 @@ func TestBTreeRandomOps(t *testing.T) {
 	for step := 0; step < 5000; step++ {
 		if rng.Intn(3) > 0 || len(ref) == 0 {
 			v := int64(rng.Intn(200))
-			tree.insert(bkey{vals: [btreeMaxCols]Value{v}, rid: rid})
+			tree.insert(bkey{vals: [btreeMaxCols]Value{Int(v)}, rid: rid})
 			ref[rid] = v
 			rid++
 		} else {
 			// Remove a random live entry.
 			for r, v := range ref {
-				if !tree.remove(bkey{vals: [btreeMaxCols]Value{v}, rid: r}) {
+				if !tree.remove(bkey{vals: [btreeMaxCols]Value{Int(v)}, rid: r}) {
 					t.Fatalf("step %d: remove (%d,%d) failed", step, v, r)
 				}
 				delete(ref, r)
@@ -448,7 +448,7 @@ func TestBTreeRandomOps(t *testing.T) {
 		if !ok {
 			break
 		}
-		if i >= len(want) || k.vals[0].(int64) != want[i].v || k.rid != want[i].rid {
+		if i >= len(want) || k.vals[0].MustInt() != want[i].v || k.rid != want[i].rid {
 			t.Fatalf("walk[%d] = (%v,%d), want (%d,%d)", i, k.vals[0], k.rid, want[i].v, want[i].rid)
 		}
 		i++

@@ -827,10 +827,10 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 	switch {
 	case t.kind == tokNumber:
 		p.i++
-		return &Literal{Value: t.num}, nil
+		return &Literal{Value: Int(t.num)}, nil
 	case t.kind == tokString:
 		p.i++
-		return &Literal{Value: t.text}, nil
+		return &Literal{Value: Text(t.text)}, nil
 	case t.kind == tokParam:
 		p.i++
 		e := &Param{Index: p.nparams}
@@ -856,7 +856,7 @@ func (p *sqlParser) parsePrimary() (Expr, error) {
 	case t.kind == tokIdent:
 		if strings.EqualFold(t.text, "NULL") {
 			p.i++
-			return &Literal{Value: nil}, nil
+			return &Literal{Value: Null}, nil
 		}
 		upper := strings.ToUpper(t.text)
 		if upper == "MIN" || upper == "MAX" || upper == "COUNT" {

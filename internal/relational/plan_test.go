@@ -125,7 +125,7 @@ func TestPreparedStatements(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := ins.Exec(int64(i), "v"); err != nil {
+		if _, err := ins.Exec(Int(int64(i)), Text("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -133,17 +133,17 @@ func TestPreparedStatements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := sel.Query(int64(2))
+	rows, err := sel.Query(Int(int64(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows.Data) != 1 || rows.Data[0][0] != "v" {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Text("v") {
 		t.Errorf("prepared query = %v", rows.Data)
 	}
 	if _, err := sel.Query(); err == nil {
 		t.Error("arg count mismatch should fail")
 	}
-	if _, err := ins.Query(int64(1), "x"); err == nil {
+	if _, err := ins.Query(Int(int64(1)), Text("x")); err == nil {
 		t.Error("Query on a non-SELECT should fail")
 	}
 }
@@ -155,10 +155,10 @@ func TestHashJoinMatchesIndexJoin(t *testing.T) {
 	db.MustExec(`CREATE TABLE P (id INTEGER, tag VARCHAR)`)
 	db.MustExec(`CREATE TABLE C (id INTEGER, parentId INTEGER)`)
 	for i := 1; i <= 20; i++ {
-		db.MustExec(`INSERT INTO P VALUES (` + FormatValue(int64(i)) + `, 'p')`)
+		db.MustExec(`INSERT INTO P VALUES (` + FormatValue(Int(int64(i))) + `, 'p')`)
 	}
 	for i := 1; i <= 60; i++ {
-		db.MustExec(`INSERT INTO C VALUES (` + FormatValue(int64(100+i)) + `, ` + FormatValue(int64(i%20+1)) + `)`)
+		db.MustExec(`INSERT INTO C VALUES (` + FormatValue(Int(int64(100+i))) + `, ` + FormatValue(Int(int64(i%20+1))) + `)`)
 	}
 	const q = `SELECT P.id, C.id FROM P, C WHERE C.parentId = P.id ORDER BY 1, 2`
 
@@ -186,7 +186,7 @@ func TestHashJoinMatchesIndexJoin(t *testing.T) {
 		t.Fatalf("row counts: indexed=%d hashed=%d, want 60", len(indexed.Data), len(hashed.Data))
 	}
 	for i := range indexed.Data {
-		if rowKey(indexed.Data[i]) != rowKey(hashed.Data[i]) {
+		if string(appendRowKey(nil, indexed.Data[i])) != string(appendRowKey(nil, hashed.Data[i])) {
 			t.Fatalf("row %d differs: indexed=%v hashed=%v", i, indexed.Data[i], hashed.Data[i])
 		}
 	}
@@ -201,7 +201,7 @@ func TestIndexMaintenance(t *testing.T) {
 	db.MustExec(`CREATE TRIGGER tr AFTER DELETE ON parent FOR EACH ROW DELETE FROM child WHERE parentId = OLD.id`)
 
 	probeIDs := func(pid int64) string {
-		rows, err := db.Query(`SELECT id FROM child WHERE parentId = ` + FormatValue(pid) + ` ORDER BY id`)
+		rows, err := db.Query(`SELECT id FROM child WHERE parentId = ` + FormatValue(Int(pid)) + ` ORDER BY id`)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -286,7 +286,7 @@ func TestOrderByPositionalSurvivesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(2) || rows.Data[1][0] != int64(1) {
+	if rows.Data[0][0] != Int(2) || rows.Data[1][0] != Int(1) {
 		t.Errorf("positional order = %v", rows.Data)
 	}
 	// Same shape with a different WHERE literal must still order by column
@@ -295,7 +295,7 @@ func TestOrderByPositionalSurvivesCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(1) {
+	if rows.Data[0][0] != Int(1) {
 		t.Errorf("positional desc order = %v", rows.Data)
 	}
 }

@@ -195,11 +195,11 @@ func liftLiterals(toks []token, srcLen int, emitTokens bool) ([]token, string, [
 		case tokNumber:
 			if !inOrderBy {
 				lift = true
-				args = append(args, t.num)
+				args = append(args, Int(t.num))
 			}
 		case tokString:
 			lift = true
-			args = append(args, t.text)
+			args = append(args, Text(t.text))
 		case tokIdent:
 			if strings.EqualFold(t.text, "ORDER") && i+1 < len(toks) &&
 				toks[i+1].kind == tokIdent && strings.EqualFold(toks[i+1].text, "BY") {

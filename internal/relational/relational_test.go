@@ -52,7 +52,7 @@ func TestCreateInsertSelect(t *testing.T) {
 	}
 	cities := map[string]bool{}
 	for _, r := range rows.Data {
-		cities[r[1].(string)] = true
+		cities[r[1].MustText()] = true
 	}
 	if !cities["Seattle"] || !cities["Sacramento"] {
 		t.Errorf("cities = %v", cities)
@@ -75,7 +75,7 @@ func TestTypeCoercion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(42) || rows.Data[0][1] != "7" {
+	if rows.Data[0][0] != Int(42) || rows.Data[0][1] != Text("7") {
 		t.Errorf("coercion = %v", rows.Data[0])
 	}
 	if _, err := db.Exec(`INSERT INTO t VALUES ('abc', 'x')`); err == nil {
@@ -97,7 +97,7 @@ WHERE O.parentId = C.id AND OL.parentId = O.id AND OL.ItemName = 'tire'`)
 		t.Fatalf("got %d rows, want 2", len(rows.Data))
 	}
 	for _, r := range rows.Data {
-		if r[0] != "John" {
+		if r[0] != Text("John") {
 			t.Errorf("tire buyer = %v", r[0])
 		}
 	}
@@ -130,7 +130,7 @@ func TestUpdateArithmetic(t *testing.T) {
 		t.Errorf("updated %d, want 3", n)
 	}
 	rows, _ := db.Query(`SELECT MIN(id), MAX(id) FROM Orders`)
-	if rows.Data[0][0] != int64(1010) || rows.Data[0][1] != int64(1012) {
+	if rows.Data[0][0] != Int(1010) || rows.Data[0][1] != Int(1012) {
 		t.Errorf("min/max = %v", rows.Data[0])
 	}
 }
@@ -143,7 +143,7 @@ func TestAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := rows.Data[0]
-	if r[0] != int64(4) || r[1] != int64(100) || r[2] != int64(103) || r[3] != int64(4) {
+	if r[0] != Int(4) || r[1] != Int(100) || r[2] != Int(103) || r[3] != Int(4) {
 		t.Errorf("aggregates = %v", r)
 	}
 	// Aggregates over an empty set.
@@ -152,7 +152,7 @@ func TestAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(0) || rows.Data[0][1] != nil {
+	if rows.Data[0][0] != Int(0) || !rows.Data[0][1].IsNull() {
 		t.Errorf("empty aggregates = %v", rows.Data[0])
 	}
 }
@@ -192,7 +192,7 @@ func TestInList(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows.Data) != 1 || rows.Data[0][0] != int64(11) {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Int(11) {
 		t.Errorf("NOT IN = %v", rows.Data)
 	}
 }
@@ -202,11 +202,11 @@ func TestIsNull(t *testing.T) {
 	db.MustExec(`CREATE TABLE t (a INTEGER, b VARCHAR)`)
 	db.MustExec(`INSERT INTO t VALUES (1, 'x'), (2, NULL)`)
 	rows, _ := db.Query(`SELECT a FROM t WHERE b IS NULL`)
-	if len(rows.Data) != 1 || rows.Data[0][0] != int64(2) {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Int(2) {
 		t.Errorf("IS NULL = %v", rows.Data)
 	}
 	rows, _ = db.Query(`SELECT a FROM t WHERE b IS NOT NULL`)
-	if len(rows.Data) != 1 || rows.Data[0][0] != int64(1) {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Int(1) {
 		t.Errorf("IS NOT NULL = %v", rows.Data)
 	}
 	// NULL never equals anything.
@@ -253,19 +253,19 @@ ORDER BY C1, C5, C7`)
 	// Parent-before-child: first row is customer 1 (C5 NULL), then its
 	// orders and their lines, then customer 3.
 	r0 := rows.Data[0]
-	if r0[0] != int64(1) || r0[4] != nil || r0[1] != "John" {
+	if r0[0] != Int(1) || !r0[4].IsNull() || r0[1] != Text("John") {
 		t.Errorf("row 0 = %v", r0)
 	}
 	r1 := rows.Data[1]
-	if r1[4] != int64(10) || r1[6] != nil {
+	if r1[4] != Int(10) || !r1[6].IsNull() {
 		t.Errorf("row 1 = %v (want order 10 header)", r1)
 	}
 	r2 := rows.Data[2]
-	if r2[6] != int64(100) {
+	if r2[6] != Int(100) {
 		t.Errorf("row 2 = %v (want line 100)", r2)
 	}
 	last := rows.Data[6]
-	if last[0] != int64(3) || last[4] != nil {
+	if last[0] != Int(3) || !last[4].IsNull() {
 		t.Errorf("last row = %v (want customer 3)", last)
 	}
 }
@@ -392,7 +392,7 @@ func TestInsertWithColumnList(t *testing.T) {
 	db.MustExec(`INSERT INTO Customer (id, Name) VALUES (9, 'Zoe')`)
 	rows, _ := db.Query(`SELECT id, Name, Address_City FROM Customer`)
 	r := rows.Data[0]
-	if r[0] != int64(9) || r[1] != "Zoe" || r[2] != nil {
+	if r[0] != Int(9) || r[1] != Text("Zoe") || !r[2].IsNull() {
 		t.Errorf("row = %v", r)
 	}
 }
@@ -416,7 +416,7 @@ func TestOrderByDesc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(12) || rows.Data[2][0] != int64(10) {
+	if rows.Data[0][0] != Int(12) || rows.Data[2][0] != Int(10) {
 		t.Errorf("desc order = %v", rows.Data)
 	}
 }
@@ -475,10 +475,10 @@ func TestStringEscaping(t *testing.T) {
 	db.MustExec(`CREATE TABLE t (s VARCHAR)`)
 	db.MustExec(`INSERT INTO t VALUES ('it''s')`)
 	rows, _ := db.Query(`SELECT s FROM t WHERE s = 'it''s'`)
-	if len(rows.Data) != 1 || rows.Data[0][0] != "it's" {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Text("it's") {
 		t.Errorf("escaped string = %v", rows.Data)
 	}
-	if got := FormatValue("it's"); got != "'it''s'" {
+	if got := FormatValue(Text("it's")); got != "'it''s'" {
 		t.Errorf("FormatValue = %s", got)
 	}
 }
@@ -517,7 +517,7 @@ func TestPropertyInsertDeleteCount(t *testing.T) {
 		db.MustExec(`CREATE TABLE t (k INTEGER, v VARCHAR)`)
 		db.MustExec(`CREATE INDEX idx_k ON t (k)`)
 		for _, k := range keys {
-			if _, err := db.Exec(`INSERT INTO t VALUES (` + FormatValue(int64(k)) + `, 'x')`); err != nil {
+			if _, err := db.Exec(`INSERT INTO t VALUES (` + FormatValue(Int(int64(k))) + `, 'x')`); err != nil {
 				return false
 			}
 		}
@@ -545,11 +545,11 @@ func TestPropertyIndexEquivalence(t *testing.T) {
 		indexed.MustExec(`CREATE TABLE t (k INTEGER)`)
 		indexed.MustExec(`CREATE INDEX i ON t (k)`)
 		for _, k := range keys {
-			v := FormatValue(int64(k))
+			v := FormatValue(Int(int64(k)))
 			plain.MustExec(`INSERT INTO t VALUES (` + v + `)`)
 			indexed.MustExec(`INSERT INTO t VALUES (` + v + `)`)
 		}
-		q := `SELECT k FROM t WHERE k = ` + FormatValue(int64(probe))
+		q := `SELECT k FROM t WHERE k = ` + FormatValue(Int(int64(probe)))
 		a, err1 := plain.Query(q)
 		b, err2 := indexed.Query(q)
 		if err1 != nil || err2 != nil {
@@ -567,7 +567,7 @@ func TestNullSortsFirst(t *testing.T) {
 	db.MustExec(`CREATE TABLE t (a INTEGER)`)
 	db.MustExec(`INSERT INTO t VALUES (2), (NULL), (1)`)
 	rows, _ := db.Query(`SELECT a FROM t ORDER BY a`)
-	if rows.Data[0][0] != nil || rows.Data[1][0] != int64(1) || rows.Data[2][0] != int64(2) {
+	if !rows.Data[0][0].IsNull() || rows.Data[1][0] != Int(1) || rows.Data[2][0] != Int(2) {
 		t.Errorf("order = %v (NULL must sort first for Sorted Outer Union)", rows.Data)
 	}
 }

@@ -45,7 +45,7 @@ func EncodeSnapshot(s *DBSnapshot) ([]byte, error) {
 			b = append(b, 1)
 			b = binary.AppendUvarint(b, uint64(len(row)))
 			for _, v := range row {
-				if b, err = wal.AppendValue(b, v); err != nil {
+				if b, err = wal.AppendValue(b, walVal(v)); err != nil {
 					return nil, err
 				}
 			}
@@ -101,11 +101,13 @@ func DecodeSnapshot(data []byte) (*DBSnapshot, error) {
 			b = b[n:]
 			row := make([]Value, ncols)
 			for c := uint64(0); c < ncols; c++ {
-				v, rest, err := wal.ReadValue(b)
+				wv, rest, err := wal.ReadValue(b)
 				if err != nil {
 					return nil, fmt.Errorf("relational: snapshot: %w", err)
 				}
-				row[c] = v
+				if row[c], err = fromWalVal(wv); err != nil {
+					return nil, fmt.Errorf("relational: snapshot: %w", err)
+				}
 				b = rest
 			}
 			snap.rows[r] = row

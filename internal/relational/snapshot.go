@@ -85,10 +85,10 @@ func (db *DB) Restore(s *DBSnapshot) {
 		for col, idx := range t.index {
 			rebuilt := &hashIndex{col: idx.col, entries: make(map[Value][]int, len(idx.entries))}
 			for rid, row := range t.rows {
-				if row == nil || row[idx.col] == nil {
+				if row == nil || row[idx.col].IsNull() {
 					continue
 				}
-				rebuilt.entries[row[idx.col]] = append(rebuilt.entries[row[idx.col]], rid)
+				rebuilt.add(row[idx.col], rid)
 			}
 			t.index[strings.ToLower(col)] = rebuilt
 		}

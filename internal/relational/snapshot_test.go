@@ -22,7 +22,7 @@ func TestSnapshotRestore(t *testing.T) {
 		t.Errorf("restored rows = %d, want 3", got)
 	}
 	rows, _ := db.Query(`SELECT v FROM t WHERE k = 1`)
-	if len(rows.Data) != 1 || rows.Data[0][0] != "a" {
+	if len(rows.Data) != 1 || rows.Data[0][0] != Text("a") {
 		t.Errorf("restored value = %v", rows.Data)
 	}
 	rows, _ = db.Query(`SELECT v FROM t WHERE k = 2`)
@@ -40,7 +40,7 @@ func TestSnapshotIndexesRebuilt(t *testing.T) {
 	db.MustExec(`CREATE TABLE t (k INTEGER)`)
 	db.MustExec(`CREATE INDEX idx_k ON t (k)`)
 	for i := 0; i < 100; i++ {
-		db.MustExec(`INSERT INTO t VALUES (` + FormatValue(int64(i%10)) + `)`)
+		db.MustExec(`INSERT INTO t VALUES (` + FormatValue(Int(int64(i%10))) + `)`)
 	}
 	snap := db.Snapshot()
 	db.MustExec(`DELETE FROM t`)
@@ -85,7 +85,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	db.MustExec(`UPDATE t SET s = 'second'`)
 	db.Restore(snap)
 	rows, _ := db.Query(`SELECT s FROM t`)
-	if rows.Data[0][0] != "orig" {
+	if rows.Data[0][0] != Text("orig") {
 		t.Errorf("snapshot contaminated: %v", rows.Data[0][0])
 	}
 }

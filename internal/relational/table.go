@@ -18,23 +18,34 @@ type Schema struct {
 }
 
 // NewSchema builds a schema, rejecting duplicate column names
-// (case-insensitively, like SQL identifiers).
+// (case-insensitively, like SQL identifiers). byName carries both the
+// declared spelling and the lower-case form, so the common exact-spelling
+// lookup needs no ToLower (which allocates for mixed-case names like
+// parentId — a per-row cost when column references resolve during a scan).
 func NewSchema(cols []Column) (*Schema, error) {
-	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	s := &Schema{Columns: cols, byName: make(map[string]int, 2*len(cols))}
 	for i, c := range cols {
 		key := strings.ToLower(c.Name)
 		if _, dup := s.byName[key]; dup {
 			return nil, fmt.Errorf("relational: duplicate column %q", c.Name)
 		}
 		s.byName[key] = i
+		s.byName[c.Name] = i
 	}
 	return s, nil
 }
 
-// ColumnIndex returns the position of the named column, or -1.
+// ColumnIndex returns the position of the named column, or -1. The map
+// covers declared and lower-case spellings; other casings fall back to an
+// allocation-free EqualFold scan (schemas are a handful of columns).
 func (s *Schema) ColumnIndex(name string) int {
-	if i, ok := s.byName[strings.ToLower(name)]; ok {
+	if i, ok := s.byName[name]; ok {
 		return i
+	}
+	for i := range s.Columns {
+		if strings.EqualFold(s.Columns[i].Name, name) {
+			return i
+		}
 	}
 	return -1
 }
@@ -102,9 +113,9 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	// sorts on the premise that an id equality pins one row, so a
 	// duplicate must fail loudly here rather than corrupt orderings later.
 	for ci := range t.uniqueCols {
-		if v := row[ci]; v != nil && t.uniqueViolated(ci, v, -1) {
-			return 0, fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
-				v, t.Name, t.Schema.Columns[ci].Name)
+		if v := row[ci]; !v.IsNull() && t.uniqueViolated(ci, v, -1) {
+			return 0, fmt.Errorf("relational: duplicate value %s for unique column %s.%s",
+				valueString(v), t.Name, t.Schema.Columns[ci].Name)
 		}
 	}
 	rid := len(t.rows)
@@ -114,8 +125,8 @@ func (t *Table) Insert(vals []Value) (int, error) {
 		t.db.undo.recordInsert(t, rid)
 	}
 	for _, idx := range t.index {
-		if v := row[idx.col]; v != nil {
-			idx.entries[v] = append(idx.entries[v], rid)
+		if v := row[idx.col]; !v.IsNull() {
+			idx.add(v, rid)
 		}
 	}
 	for _, oidx := range t.orderedList {
@@ -135,7 +146,7 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 		t.db.undo.recordDelete(t, rid, row)
 	}
 	for _, idx := range t.index {
-		if v := row[idx.col]; v != nil {
+		if v := row[idx.col]; !v.IsNull() {
 			idx.remove(v, rid)
 		}
 	}
@@ -187,19 +198,19 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 		if err != nil {
 			return fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[ci].Name, err)
 		}
-		if t.uniqueCols[ci] && cv != nil && t.uniqueViolated(ci, cv, rid) {
-			return fmt.Errorf("relational: duplicate value %v for unique column %s.%s",
-				cv, t.Name, t.Schema.Columns[ci].Name)
+		if t.uniqueCols[ci] && !cv.IsNull() && t.uniqueViolated(ci, cv, rid) {
+			return fmt.Errorf("relational: duplicate value %s for unique column %s.%s",
+				valueString(cv), t.Name, t.Schema.Columns[ci].Name)
 		}
 		for _, idx := range t.index {
 			if idx.col != ci {
 				continue
 			}
-			if old := row[ci]; old != nil {
+			if old := row[ci]; !old.IsNull() {
 				idx.remove(old, rid)
 			}
-			if cv != nil {
-				idx.entries[cv] = append(idx.entries[cv], rid)
+			if !cv.IsNull() {
+				idx.add(cv, rid)
 			}
 		}
 		row[ci] = cv
@@ -229,7 +240,7 @@ func (t *Table) uniqueViolated(ci int, v Value, exclude int) bool {
 		if oidx.cols[0] != ci {
 			continue
 		}
-		b := &rangeBound{val: v, incl: true}
+		b := rangeBound{val: v, incl: true, set: true}
 		for _, rid := range oidx.scanRange(nil, b, b, false, nil) {
 			// The tree tombstones lazily; skip entries whose row is gone.
 			if rid != exclude && t.rows[rid] != nil {

@@ -130,7 +130,7 @@ func (l *undoLog) rollbackTo(mark int) {
 		case undoInsert:
 			row := e.t.rows[e.rid]
 			for _, idx := range e.t.index {
-				if v := row[idx.col]; v != nil {
+				if v := row[idx.col]; !v.IsNull() {
 					idx.remove(v, e.rid)
 				}
 			}
@@ -150,8 +150,8 @@ func (l *undoLog) rollbackTo(mark int) {
 			e.t.rows[e.rid] = e.row
 			e.t.live++
 			for _, idx := range e.t.index {
-				if v := e.row[idx.col]; v != nil {
-					idx.entries[v] = append(idx.entries[v], e.rid)
+				if v := e.row[idx.col]; !v.IsNull() {
+					idx.add(v, e.rid)
 				}
 			}
 			// Deletion tombstones B+tree entries lazily (the key usually
@@ -180,11 +180,11 @@ func (l *undoLog) rollbackTo(mark int) {
 				if cv == pv {
 					continue
 				}
-				if cv != nil {
+				if !cv.IsNull() {
 					idx.remove(cv, e.rid)
 				}
-				if pv != nil {
-					idx.entries[pv] = append(idx.entries[pv], e.rid)
+				if !pv.IsNull() {
+					idx.add(pv, e.rid)
 				}
 			}
 			// Copy the pre-image back in place, preserving row identity.
@@ -339,7 +339,8 @@ func (tx *Tx) Query(sql string) (*Rows, error) {
 	return tx.db.execSelect(sel, env)
 }
 
-// QueryEach streams a SELECT's rows inside the transaction.
+// QueryEach streams a SELECT's rows inside the transaction. Like
+// DB.QueryEach, the row slice is reused between fn calls; copy to retain.
 func (tx *Tx) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
 	stmt, args, err := tx.db.prepared(sql)
 	if err != nil {

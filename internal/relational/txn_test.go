@@ -175,7 +175,7 @@ func TestExplicitTxnCommitAndRollback(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows, err := db.Query("SELECT name FROM item WHERE id = 100")
-	if err != nil || len(rows.Data) != 1 || rows.Data[0][0] != "kept" {
+	if err != nil || len(rows.Data) != 1 || rows.Data[0][0] != Text("kept") {
 		t.Fatalf("committed insert missing: %v %v", rows, err)
 	}
 
@@ -359,7 +359,7 @@ func TestSQLTxnQueriesJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err = p.Query(int64(200))
+	rows, err = p.Query(Int(int64(200)))
 	if err != nil || len(rows.Data) != 1 {
 		t.Fatalf("prepared query inside SQL txn: %v %v", rows, err)
 	}

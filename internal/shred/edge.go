@@ -51,11 +51,11 @@ func LoadEdge(db *relational.DB, doc *xmltree.Document) (int, error) {
 	walk = func(e *xmltree.Element, parent int64, ord int) error {
 		id := next
 		next++
-		var pid relational.Value
+		pid := relational.Null
 		if parent != 0 {
-			pid = parent
+			pid = relational.Int(parent)
 		}
-		if _, err := t.Insert([]relational.Value{id, pid, int64(ord), EdgeElem, e.Name, nil}); err != nil {
+		if _, err := t.Insert([]relational.Value{relational.Int(id), pid, relational.Int(int64(ord)), relational.Text(EdgeElem), relational.Text(e.Name), relational.Null}); err != nil {
 			return err
 		}
 		count++
@@ -63,7 +63,7 @@ func LoadEdge(db *relational.DB, doc *xmltree.Document) (int, error) {
 		for _, a := range e.Attrs() {
 			aid := next
 			next++
-			if _, err := t.Insert([]relational.Value{aid, id, int64(sub), EdgeAttr, a.Name, a.Value}); err != nil {
+			if _, err := t.Insert([]relational.Value{relational.Int(aid), relational.Int(id), relational.Int(int64(sub)), relational.Text(EdgeAttr), relational.Text(a.Name), relational.Text(a.Value)}); err != nil {
 				return err
 			}
 			count++
@@ -73,7 +73,7 @@ func LoadEdge(db *relational.DB, doc *xmltree.Document) (int, error) {
 			for _, idv := range r.IDs {
 				rid := next
 				next++
-				if _, err := t.Insert([]relational.Value{rid, id, int64(sub), EdgeRef, r.Name, idv}); err != nil {
+				if _, err := t.Insert([]relational.Value{relational.Int(rid), relational.Int(id), relational.Int(int64(sub)), relational.Text(EdgeRef), relational.Text(r.Name), relational.Text(idv)}); err != nil {
 					return err
 				}
 				count++
@@ -85,7 +85,7 @@ func LoadEdge(db *relational.DB, doc *xmltree.Document) (int, error) {
 			case *xmltree.Text:
 				tid := next
 				next++
-				if _, err := t.Insert([]relational.Value{tid, id, int64(sub), EdgeText, "", n.Data}); err != nil {
+				if _, err := t.Insert([]relational.Value{relational.Int(tid), relational.Int(id), relational.Int(int64(sub)), relational.Text(EdgeText), relational.Text(""), relational.Text(n.Data)}); err != nil {
 					return err
 				}
 				count++
@@ -120,15 +120,15 @@ func ReconstructEdge(db *relational.DB) (*xmltree.Document, error) {
 	}
 	var all []edge
 	t.Scan(func(_ int, row []relational.Value) bool {
-		e := edge{kind: row[3].(string)}
-		e.id = row[0].(int64)
-		if v, ok := row[1].(int64); ok {
+		e := edge{kind: row[3].MustText()}
+		e.id = row[0].MustInt()
+		if v, ok := row[1].Int(); ok {
 			e.parent = v
 		}
-		if v, ok := row[2].(int64); ok {
+		if v, ok := row[2].Int(); ok {
 			e.ord = v
 		}
-		if s, ok := row[4].(string); ok {
+		if s, ok := row[4].Text(); ok {
 			e.name = s
 		}
 		e.value = row[5]

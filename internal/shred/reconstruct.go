@@ -3,6 +3,7 @@ package shred
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/relational"
@@ -68,16 +69,16 @@ func tableRows(db *relational.DB, m *Mapping, elem string) (map[int64][]storedRo
 		for i, c := range t.Schema.Columns {
 			sr.vals[strings.ToLower(c.Name)] = row[i]
 		}
-		if v, ok := row[idIdx].(int64); ok {
+		if v, ok := row[idIdx].Int(); ok {
 			sr.id = v
 		}
 		if posIdx >= 0 {
-			if v, ok := row[posIdx].(int64); ok {
+			if v, ok := row[posIdx].Int(); ok {
 				sr.pos = v
 			}
 		}
 		key := nilKey
-		if v, ok := row[pidIdx].(int64); ok {
+		if v, ok := row[pidIdx].Int(); ok {
 			key = v
 		}
 		out[key] = append(out[key], sr)
@@ -128,7 +129,7 @@ func (m *Mapping) applyInlined(tm *TableMap, e *xmltree.Element, path []string, 
 			continue
 		}
 		v := row.vals[strings.ToLower(c.Name)]
-		if v == nil {
+		if v.IsNull() {
 			continue
 		}
 		switch c.Kind {
@@ -184,7 +185,7 @@ func (m *Mapping) pathPresent(tm *TableMap, path []string, row storedRow) bool {
 			continue
 		}
 		found = true
-		if row.vals[strings.ToLower(c.Name)] != nil {
+		if !row.vals[strings.ToLower(c.Name)].IsNull() {
 			return true
 		}
 	}
@@ -212,12 +213,11 @@ func (m *Mapping) ElementFromRow(tableElem string, vals map[string]relational.Va
 }
 
 func valueAsString(v relational.Value) string {
-	switch x := v.(type) {
-	case string:
-		return x
-	case int64:
-		return fmt.Sprint(x)
-	default:
-		return fmt.Sprint(x)
+	if s, ok := v.Text(); ok {
+		return s
 	}
+	if n, ok := v.Int(); ok {
+		return strconv.FormatInt(n, 10)
+	}
+	return ""
 }

@@ -59,14 +59,14 @@ func (s *Shredder) shredElement(e *xmltree.Element, parentID int64, pos int, ds 
 	s.NextID++
 
 	row := make([]relational.Value, 0, 2+len(tm.Columns))
-	row = append(row, id)
+	row = append(row, relational.Int(id))
 	if parentID == 0 {
-		row = append(row, nil)
+		row = append(row, relational.Null)
 	} else {
-		row = append(row, parentID)
+		row = append(row, relational.Int(parentID))
 	}
 	if s.M.Opts.OrderColumn {
-		row = append(row, int64(pos))
+		row = append(row, relational.Int(int64(pos)))
 	}
 	for _, c := range tm.Columns {
 		row = append(row, columnValue(e, &c))
@@ -108,25 +108,25 @@ func columnValue(e *xmltree.Element, c *ColumnMap) relational.Value {
 	for _, step := range c.Path {
 		target = target.FirstChildNamed(step)
 		if target == nil {
-			return nil
+			return relational.Null
 		}
 	}
 	switch c.Kind {
 	case AttrColumn:
 		if c.RefKind == xmltree.AttrIDREF || c.RefKind == xmltree.AttrIDREFS {
 			if r := target.Ref(c.Attr); r != nil {
-				return strings.Join(r.IDs, " ")
+				return relational.Text(strings.Join(r.IDs, " "))
 			}
 			// A reference attribute parsed without its DTD is a plain attr.
 			if v, ok := target.AttrValue(c.Attr); ok {
-				return v
+				return relational.Text(v)
 			}
-			return nil
+			return relational.Null
 		}
 		if v, ok := target.AttrValue(c.Attr); ok {
-			return v
+			return relational.Text(v)
 		}
-		return nil
+		return relational.Null
 	case TextColumn:
 		// Only direct PCDATA belongs to this element; nested element text
 		// is stored with its own element.
@@ -137,13 +137,13 @@ func columnValue(e *xmltree.Element, c *ColumnMap) relational.Value {
 			}
 		}
 		if b.Len() == 0 && len(target.Children()) == 0 {
-			return nil
+			return relational.Null
 		}
-		return b.String()
+		return relational.Text(b.String())
 	case FlagColumn:
-		return int64(1)
+		return relational.Int(1)
 	default:
-		return nil
+		return relational.Null
 	}
 }
 

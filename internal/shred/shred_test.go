@@ -119,7 +119,7 @@ func TestShredAndLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows.Data) != 1 || rows.Data[0][0] != "John" || rows.Data[0][1] != "Sacramento" {
+	if len(rows.Data) != 1 || rows.Data[0][0] != relational.Text("John") || rows.Data[0][1] != relational.Text("Sacramento") {
 		t.Errorf("CA customer = %v", rows.Data)
 	}
 	// parentId linkage: John(Seattle)'s orders.
@@ -129,7 +129,7 @@ WHERE O.parentId = C.id AND C.Address_City_v = 'Seattle'`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0] != int64(2) {
+	if rows.Data[0][0] != relational.Int(2) {
 		t.Errorf("Seattle John has %v orders, want 2", rows.Data[0][0])
 	}
 }

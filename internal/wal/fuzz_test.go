@@ -13,9 +13,9 @@ import (
 func FuzzDecodeCommit(f *testing.F) {
 	seedRecords := [][]Stmt{
 		{},
-		{{SQL: "INSERT INTO t VALUES (?, ?)", Args: []any{int64(1), "x"}}},
-		{{SQL: "CREATE TABLE t (id INTEGER)"}, {SQL: "DELETE FROM t", Args: []any{nil}}},
-		{{SQL: "UPDATE t SET v = ?", Args: []any{"quote''d", int64(-5), nil}}},
+		{{SQL: "INSERT INTO t VALUES (?, ?)", Args: []Value{{Kind: KindInt, Int: 1}, {Kind: KindText, Str: "x"}}}},
+		{{SQL: "CREATE TABLE t (id INTEGER)"}, {SQL: "DELETE FROM t", Args: []Value{{}}}},
+		{{SQL: "UPDATE t SET v = ?", Args: []Value{{Kind: KindText, Str: "quote''d"}, {Kind: KindInt, Int: -5}, {}}}},
 	}
 	for _, rec := range seedRecords {
 		payload, err := encodeCommit(7, rec)

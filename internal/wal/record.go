@@ -14,11 +14,31 @@ import (
 	"hash/crc32"
 )
 
+// Kind tags a logged Value. The set is closed: NULL, int64, string — the
+// relational value domain. Encoding any other kind is an error at the
+// append boundary, never a lossy fallback rendering.
+type Kind uint8
+
+// Value kinds; the wire tags below reuse these numbers.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindText
+)
+
+// Value is one logged argument in unboxed tagged form. It mirrors the
+// relational layer's value struct field-for-field so conversion between the
+// two is a copy, not an allocation.
+type Value struct {
+	Kind Kind
+	Int  int64
+	Str  string
+}
+
 // Stmt is one logged statement: SQL text plus the bound argument values.
-// Args elements are int64, string, or nil — the relational Value domain.
 type Stmt struct {
 	SQL  string
-	Args []any
+	Args []Value
 }
 
 // Frame layout: [u32 length][u32 crc32c(payload)][payload]. The length
@@ -41,56 +61,51 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-const (
-	tagNull   = byte(0)
-	tagInt    = byte(1)
-	tagString = byte(2)
-)
-
-// AppendValue appends the tagged encoding of v (int64, string, or nil).
-// Exported so the relational snapshot codec shares one value encoding with
-// the log.
-func AppendValue(b []byte, v any) ([]byte, error) {
-	switch x := v.(type) {
-	case nil:
-		return append(b, tagNull), nil
-	case int64:
-		b = append(b, tagInt)
-		return binary.AppendVarint(b, x), nil
-	case string:
-		b = append(b, tagString)
-		b = binary.AppendUvarint(b, uint64(len(x)))
-		return append(b, x...), nil
+// AppendValue appends the tagged encoding of v. A kind outside the closed
+// NULL/int/string set is rejected with an error: the log must never hold a
+// value recovery cannot decode. Exported so the relational snapshot codec
+// shares one value encoding with the log.
+func AppendValue(b []byte, v Value) ([]byte, error) {
+	switch v.Kind {
+	case KindNull:
+		return append(b, byte(KindNull)), nil
+	case KindInt:
+		b = append(b, byte(KindInt))
+		return binary.AppendVarint(b, v.Int), nil
+	case KindText:
+		b = append(b, byte(KindText))
+		b = binary.AppendUvarint(b, uint64(len(v.Str)))
+		return append(b, v.Str...), nil
 	default:
-		return nil, fmt.Errorf("wal: unencodable value type %T", v)
+		return nil, fmt.Errorf("wal: unencodable value kind %d", uint8(v.Kind))
 	}
 }
 
 // ReadValue decodes one tagged value, returning the remaining bytes. It
 // never panics on corrupt input — every length is validated against the
 // buffer before use (the fuzz target pins this).
-func ReadValue(b []byte) (any, []byte, error) {
+func ReadValue(b []byte) (Value, []byte, error) {
 	if len(b) == 0 {
-		return nil, nil, fmt.Errorf("wal: truncated value")
+		return Value{}, nil, fmt.Errorf("wal: truncated value")
 	}
 	tag, b := b[0], b[1:]
-	switch tag {
-	case tagNull:
-		return nil, b, nil
-	case tagInt:
+	switch Kind(tag) {
+	case KindNull:
+		return Value{}, b, nil
+	case KindInt:
 		v, n := binary.Varint(b)
 		if n <= 0 {
-			return nil, nil, fmt.Errorf("wal: bad varint")
+			return Value{}, nil, fmt.Errorf("wal: bad varint")
 		}
-		return v, b[n:], nil
-	case tagString:
+		return Value{Kind: KindInt, Int: v}, b[n:], nil
+	case KindText:
 		ln, n := binary.Uvarint(b)
 		if n <= 0 || ln > uint64(len(b)-n) {
-			return nil, nil, fmt.Errorf("wal: bad string length")
+			return Value{}, nil, fmt.Errorf("wal: bad string length")
 		}
-		return string(b[n : n+int(ln)]), b[n+int(ln):], nil
+		return Value{Kind: KindText, Str: string(b[n : n+int(ln)])}, b[n+int(ln):], nil
 	default:
-		return nil, nil, fmt.Errorf("wal: unknown value tag %d", tag)
+		return Value{}, nil, fmt.Errorf("wal: unknown value tag %d", tag)
 	}
 }
 
@@ -145,7 +160,7 @@ func DecodeCommit(payload []byte) (lsn uint64, stmts []Stmt, err error) {
 		}
 		b = b[n:]
 		for j := uint64(0); j < nargs; j++ {
-			var v any
+			var v Value
 			if v, b, err = ReadValue(b); err != nil {
 				return 0, nil, err
 			}

@@ -10,7 +10,22 @@ import (
 	"time"
 )
 
-func stmt(sql string, args ...any) Stmt { return Stmt{SQL: sql, Args: args} }
+func stmt(sql string, args ...any) Stmt {
+	s := Stmt{SQL: sql}
+	for _, a := range args {
+		switch x := a.(type) {
+		case nil:
+			s.Args = append(s.Args, Value{})
+		case int64:
+			s.Args = append(s.Args, Value{Kind: KindInt, Int: x})
+		case string:
+			s.Args = append(s.Args, Value{Kind: KindText, Str: x})
+		default:
+			panic("stmt: unsupported test arg type")
+		}
+	}
+	return s
+}
 
 func mustOpen(t *testing.T, dir string, opts Options) *Log {
 	t.Helper()

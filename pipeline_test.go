@@ -26,7 +26,7 @@ func joinReference(pt, ct *relational.Table) []string {
 	var out []string
 	pt.Scan(func(_ int, prow []relational.Value) bool {
 		ct.Scan(func(_ int, crow []relational.Value) bool {
-			if crow[cpid] != nil && prow[pid] == crow[cpid] {
+			if !crow[cpid].IsNull() && prow[pid] == crow[cpid] {
 				out = append(out, fmt.Sprintf("%v|%v", prow[pid], crow[cid]))
 			}
 			return true
