@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, durability, micro, or all")
+		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, durability, micro, text, or all")
 		quick    = flag.Bool("quick", false, "reduced parameter grid")
 		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
 		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
@@ -124,6 +124,16 @@ func run(exp string, cfg bench.Config, readers int, results map[string]any) erro
 		}
 		results["durability"] = pts
 		bench.WriteDurability(os.Stdout, pts)
+		fmt.Println()
+	}
+	if exp == "all" || exp == "text" {
+		matched = true
+		res, err := bench.RunText(cfg)
+		if err != nil {
+			return fmt.Errorf("text: %w", err)
+		}
+		results["text"] = res
+		bench.WriteText(os.Stdout, res)
 		fmt.Println()
 	}
 	if exp == "all" || exp == "micro" {

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/outerunion"
+	"repro/internal/relational"
+	"repro/internal/shred"
+)
+
+// Cross-tree A/B benchmarks for the TEXT kernels: these are written against
+// APIs stable since PR 4 (datagen.Catalog is additive and copied alongside)
+// so the identical file compiles on the pre-intern tree, letting the repo
+// benchmarking protocol interleave `go test -bench ABText` runs between a
+// worktree of the previous commit and this one. The in-binary ablation
+// (interning disabled at runtime) lives in text.go / profile_text_test.go;
+// this file measures the whole-tree delta the acceptance criteria compare.
+
+func abCatalog(b *testing.B) (*relational.DB, *shred.Mapping) {
+	b.Helper()
+	doc := datagen.Catalog(datagen.CatalogParams{Suppliers: 40, Items: 20_000, Seed: 11})
+	m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{OrderColumn: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := relational.NewDB()
+	if _, err := shred.Load(db, m, doc); err != nil {
+		b.Fatal(err)
+	}
+	return db, m
+}
+
+func abTextQ(b *testing.B, q string) {
+	db, _ := abCatalog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := db.QueryEach(q, func([]relational.Value) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkABTextEqScan(b *testing.B) {
+	abTextQ(b, `SELECT id FROM item WHERE a_status = 'urn:catalog:status:active' AND a_category != 'urn:catalog:category:misc'`)
+}
+
+func BenchmarkABTextHashJoin(b *testing.B) {
+	abTextQ(b, `SELECT i.id FROM item i, supplier s WHERE i.a_vendor = s.name_v`)
+}
+
+func BenchmarkABTextDistinct(b *testing.B) {
+	abTextQ(b, `SELECT DISTINCT a_vendor, a_category FROM item`)
+}
+
+func BenchmarkABTextInSubquery(b *testing.B) {
+	abTextQ(b, `SELECT id FROM item WHERE a_vendor IN (SELECT name_v FROM supplier WHERE region_v = 'north')`)
+}
+
+func BenchmarkABTextSOU(b *testing.B) {
+	db, m := abCatalog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subs, err := outerunion.Query(db, m, "item", "a_status = 'urn:catalog:status:discontinued'")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = subs
+	}
+}

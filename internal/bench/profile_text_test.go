@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func benchTextQ(b *testing.B, ablate bool, q string) {
+	db, _, err := loadCatalog(textCatalog(Config{}), ablate)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := db.QueryEach(q, func([]relational.Value) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTextHashJoinInterned(b *testing.B) {
+	benchTextQ(b, false, `SELECT i.id FROM item i, supplier s WHERE i.a_vendor = s.name_v`)
+}
+func BenchmarkTextHashJoinAblated(b *testing.B) {
+	benchTextQ(b, true, `SELECT i.id FROM item i, supplier s WHERE i.a_vendor = s.name_v`)
+}
+func BenchmarkTextDistinctInterned(b *testing.B) {
+	benchTextQ(b, false, `SELECT DISTINCT a_vendor, a_category FROM item`)
+}
+func BenchmarkTextDistinctAblated(b *testing.B) {
+	benchTextQ(b, true, `SELECT DISTINCT a_vendor, a_category FROM item`)
+}

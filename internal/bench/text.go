@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/outerunion"
+	"repro/internal/relational"
+	"repro/internal/shred"
+)
+
+// TEXT-heavy kernels measured as an interleaved A/B against the interning
+// ablation: the same catalog document is shredded into two databases, one
+// with the intern table active (the default) and one with interning
+// disabled, and each kernel alternates runs between them so scheduler and
+// GC drift land on both sides equally. Wall time is min-of-N; malloc counts
+// are the stable signal (see the benchmarking protocol in DESIGN.md).
+
+// TextResult is one kernel's paired measurement.
+type TextResult struct {
+	Name string
+	// Interned ran against the symbol-keyed database, Ablated against the
+	// byte-keyed one. Rows match by construction (identical data; the
+	// equivalence tests enforce identical answers).
+	Interned MicroResult
+	Ablated  MicroResult
+	// WallSpeedup is Ablated.MinSeconds / Interned.MinSeconds (>1 means
+	// interning is faster); AllocRatio is Interned/Ablated mallocs per op
+	// (<1 means interning allocates less).
+	WallSpeedup float64
+	AllocRatio  float64
+}
+
+// textCatalog sizes the attribute-heavy document.
+func textCatalog(cfg Config) datagen.CatalogParams {
+	if cfg.Quick {
+		return datagen.CatalogParams{Suppliers: 16, Items: 2_000, Seed: 11}
+	}
+	return datagen.CatalogParams{Suppliers: 40, Items: 20_000, Seed: 11}
+}
+
+// loadCatalog shreds the document into a fresh DB; ablate disables
+// interning before any row is stored.
+func loadCatalog(p datagen.CatalogParams, ablate bool) (*relational.DB, *shred.Mapping, error) {
+	doc := datagen.Catalog(p)
+	m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{OrderColumn: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	db := relational.NewDB()
+	if ablate {
+		db.DisableInterning()
+	}
+	if _, err := shred.Load(db, m, doc); err != nil {
+		return nil, nil, err
+	}
+	return db, m, nil
+}
+
+// measurePair interleaves runs of the interned and ablated forms of one
+// kernel: warm both once, then alternate I,A,I,A…, attributing wall time
+// and malloc counts per side from per-run MemStats deltas.
+func measurePair(name string, runs int, interned, ablated func() (int, error)) (TextResult, error) {
+	res := TextResult{Name: name}
+	res.Interned.Name = name + "/interned"
+	res.Ablated.Name = name + "/ablated"
+	sides := [2]*MicroResult{&res.Interned, &res.Ablated}
+	ops := [2]func() (int, error){interned, ablated}
+	for s, op := range ops {
+		rows, err := op()
+		if err != nil {
+			return res, fmt.Errorf("%s warm-up: %w", sides[s].Name, err)
+		}
+		sides[s].Rows = rows
+	}
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	for i := 0; i < runs; i++ {
+		for s, op := range ops {
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			if _, err := op(); err != nil {
+				return res, fmt.Errorf("%s: %w", sides[s].Name, err)
+			}
+			elapsed := time.Since(start).Seconds()
+			runtime.ReadMemStats(&ms1)
+			if sides[s].MinSeconds == 0 || elapsed < sides[s].MinSeconds {
+				sides[s].MinSeconds = elapsed
+			}
+			sides[s].AllocsPerOp += float64(ms1.Mallocs-ms0.Mallocs) / float64(runs)
+			sides[s].BytesPerOp += float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(runs)
+		}
+	}
+	for _, side := range sides {
+		if side.Rows > 0 {
+			side.AllocsPerRow = side.AllocsPerOp / float64(side.Rows)
+		}
+	}
+	if res.Interned.MinSeconds > 0 {
+		res.WallSpeedup = res.Ablated.MinSeconds / res.Interned.MinSeconds
+	}
+	if res.Ablated.AllocsPerOp > 0 {
+		res.AllocRatio = res.Interned.AllocsPerOp / res.Ablated.AllocsPerOp
+	}
+	return res, nil
+}
+
+// RunText runs the TEXT kernel suite: equality scan, transient hash join,
+// DISTINCT, and text-predicate SOU reconstruction, each interned vs
+// ablated.
+func RunText(cfg Config) ([]TextResult, error) {
+	p := textCatalog(cfg)
+	dbI, m, err := loadCatalog(p, false)
+	if err != nil {
+		return nil, err
+	}
+	dbA, _, err := loadCatalog(p, true)
+	if err != nil {
+		return nil, err
+	}
+
+	stream := func(db *relational.DB, q string) func() (int, error) {
+		return func() (int, error) {
+			n := 0
+			_, err := db.QueryEach(q, func([]relational.Value) error { n++; return nil })
+			return n, err
+		}
+	}
+	runs := cfg.runs()
+	var out []TextResult
+	add := func(name, q string) error {
+		r, err := measurePair(name, runs, stream(dbI, q), stream(dbA, q))
+		if err != nil {
+			return err
+		}
+		out = append(out, r)
+		return nil
+	}
+
+	// Equality on a low-cardinality attribute: one symbol compare per row
+	// on the interned side, full byte compare on the ablated side.
+	if err := add("text-eq-scan",
+		`SELECT id FROM item WHERE a_status = 'urn:catalog:status:active' AND a_category != 'urn:catalog:category:misc'`); err != nil {
+		return nil, err
+	}
+	// Transient hash join on vendor name: build keys on supplier.name_v,
+	// probe with item.a_vendor — symbol-keyed buckets when both interned.
+	if err := add("text-hash-join",
+		`SELECT i.id FROM item i, supplier s WHERE i.a_vendor = s.name_v`); err != nil {
+		return nil, err
+	}
+	// DISTINCT over two text columns: dedup keys are 5-byte symbol tags
+	// interned, full string encodings ablated.
+	if err := add("text-distinct",
+		`SELECT DISTINCT a_vendor, a_category FROM item`); err != nil {
+		return nil, err
+	}
+	// IN-subquery membership: the set is built from interned supplier
+	// names, probed with interned vendor values.
+	if err := add("text-in-subquery",
+		`SELECT id FROM item WHERE a_vendor IN (SELECT name_v FROM supplier WHERE region_v = 'north')`); err != nil {
+		return nil, err
+	}
+	// SOU reconstruction gated by a text predicate: the streaming read path
+	// with a symbol-comparable filter in front.
+	souOp := func(db *relational.DB) func() (int, error) {
+		return func() (int, error) {
+			subs, err := outerunion.Query(db, m, "item", "a_status = 'urn:catalog:status:discontinued'")
+			if err != nil {
+				return 0, err
+			}
+			n := 0
+			for _, st := range subs {
+				for _, ids := range st.IDs {
+					n += len(ids)
+				}
+			}
+			return n, nil
+		}
+	}
+	r, err := measurePair("text-sou-reconstruct", runs, souOp(dbI), souOp(dbA))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	return out, nil
+}
+
+// WriteText prints the paired suite.
+func WriteText(w io.Writer, res []TextResult) {
+	fmt.Fprintln(w, "# text — TEXT kernels, interned vs interning-disabled ablation (interleaved A/B)")
+	fmt.Fprintf(w, "%-22s %8s %14s %14s %9s %12s %12s %8s\n",
+		"kernel", "rows", "interned (s)", "ablated (s)", "speedup", "allocs I/op", "allocs A/op", "ratio")
+	for _, r := range res {
+		fmt.Fprintf(w, "%-22s %8d %14.6f %14.6f %8.2fx %12.1f %12.1f %8.3f\n",
+			r.Name, r.Interned.Rows, r.Interned.MinSeconds, r.Ablated.MinSeconds,
+			r.WallSpeedup, r.Interned.AllocsPerOp, r.Ablated.AllocsPerOp, r.AllocRatio)
+	}
+}

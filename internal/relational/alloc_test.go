@@ -89,6 +89,25 @@ func TestAllocPinOrderedRangeScan(t *testing.T) {
 	pinZero(t, "range scan", `SELECT c.id FROM par p, child c WHERE c.parentId = p.id AND c.pos >= 1 AND c.pos <= 2`, 8*2, 64*2)
 }
 
+// TestAllocPinSort: ORDER BY materializes and sorts every input row; with
+// the pooled sort scratch (arena + row headers reused across runs) the
+// per-row cost must stay near zero. A small epsilon absorbs the rare GC
+// clearing the sync.Pool mid-measurement (one arena regrow amortized over
+// the row delta), while still failing loudly on any true per-row
+// allocation — the pre-pool baseline was ~1 alloc/row.
+func TestAllocPinSort(t *testing.T) {
+	got := perRowAllocs(t, `SELECT id, payload FROM child ORDER BY payload, id`, 8*4, 64*4)
+	if got > 0.1 {
+		t.Errorf("sort: %.3f allocs/row, want ~0", got)
+	}
+}
+
+// TestAllocPinTextEquality: a TEXT = TEXT scan over interned columns must
+// not allocate per row (the symbol fast path compares two uint32s).
+func TestAllocPinTextEquality(t *testing.T) {
+	pinZero(t, "text equality scan", `SELECT id FROM child WHERE payload != 'c80'`, 8*4-1, 64*4-1)
+}
+
 // TestAllocPinHashJoinProbe: joining on an unindexed column builds one
 // transient hash table (its cost scales with the build side, which is held
 // constant here by probing a fixed-size build table) — the probe side must

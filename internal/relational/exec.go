@@ -282,49 +282,77 @@ func singleBinding(name string, t *Table, row []Value) *binding {
 	}
 }
 
-// resolve finds the value of a column reference in the binding.
-func (b *binding) resolve(table, col string) (Value, bool, error) {
-	if b == nil {
-		return Null, false, nil
-	}
+// locate finds the (source, column) indexes of a reference; src is -1 when
+// it does not resolve. For a given binding the answer is fixed — names and
+// schemas never change after construction — which is what lets the
+// evaluator memoize it per reference instead of re-running the
+// case-insensitive scans on every row.
+func (b *binding) locate(table, col string) (src, ci int, err error) {
 	if table != "" {
 		for i, n := range b.names {
 			if strings.EqualFold(n, table) {
 				ci := b.srcs[i].columnIndex(col)
 				if ci < 0 {
-					return Null, false, fmt.Errorf("relational: source %s has no column %q", table, col)
+					return -1, -1, fmt.Errorf("relational: source %s has no column %q", table, col)
 				}
-				if b.rows[i] == nil {
-					return Null, false, nil
-				}
-				return b.rows[i][ci], true, nil
+				return i, ci, nil
 			}
 		}
-		return Null, false, nil
+		return -1, -1, nil
 	}
-	found := false
-	var val Value
+	src, ci = -1, -1
 	for i := range b.names {
-		ci := b.srcs[i].columnIndex(col)
-		if ci < 0 {
+		c := b.srcs[i].columnIndex(col)
+		if c < 0 {
 			continue
 		}
-		if found {
-			return Null, false, fmt.Errorf("relational: ambiguous column %q", col)
+		if src >= 0 {
+			return -1, -1, fmt.Errorf("relational: ambiguous column %q", col)
 		}
-		found = true
-		if b.rows[i] != nil {
-			val = b.rows[i][ci]
-		}
+		src, ci = i, c
 	}
-	return val, found, nil
+	return src, ci, nil
+}
+
+// resolve finds the value of a column reference in the binding.
+func (b *binding) resolve(table, col string) (Value, bool, error) {
+	if b == nil {
+		return Null, false, nil
+	}
+	si, ci, err := b.locate(table, col)
+	if err != nil || si < 0 {
+		return Null, false, err
+	}
+	if b.rows[si] == nil {
+		// A qualified reference to an unbound source is "not found" (the
+		// evaluator reports it); an unqualified one reads as NULL.
+		return Null, table == "", nil
+	}
+	return b.rows[si][ci], true, nil
 }
 
 // execSelect materializes a SELECT: CTEs are evaluated into the
 // environment, each body branch compiles into a streaming pipeline, and the
-// drained rows form the result.
+// drained rows form the result. Result values are sym-stripped: symbols are
+// an engine-internal annotation, and the documented Value contract — == and
+// map-key equality coincide with same-kind SQL equality — must hold for
+// everything a caller receives. (CTE materialization goes through
+// execSelectWant directly and keeps its symbols for downstream operators.)
 func (db *DB) execSelect(s *SelectStmt, env *execEnv) (*Rows, error) {
-	return db.execSelectWant(s, env, nil)
+	rows, err := db.execSelectWant(s, env, nil)
+	if rows != nil {
+		for _, r := range rows.Data {
+			stripSyms(r)
+		}
+	}
+	return rows, err
+}
+
+// stripSyms clears the intern symbols of a row in place.
+func stripSyms(row []Value) {
+	for i := range row {
+		row[i].sym = 0
+	}
 }
 
 // materializeCTEs evaluates a statement's CTEs into env, each steered by
@@ -383,7 +411,9 @@ func (db *DB) execSelectWant(s *SelectStmt, env *execEnv, extWant []OrderKey) (*
 
 // streamSelect drives a SELECT's pipeline row by row into fn without
 // materializing the top-level result (CTEs still materialize). fn must not
-// issue further statements on the same DB.
+// issue further statements on the same DB. Rows are sym-stripped before fn
+// sees them, like execSelect's materialized results (the pipeline's reused
+// buffer is rewritten every row, so stripping in place is safe).
 func (db *DB) streamSelect(s *SelectStmt, env *execEnv, fn func([]Value) error) ([]string, error) {
 	env = newEnvFrom(env)
 	if err := db.materializeCTEs(s, env, nil); err != nil {
@@ -405,6 +435,7 @@ func (db *DB) streamSelect(s *SelectStmt, env *execEnv, fn func([]Value) error) 
 		if !ok {
 			return cs.cols, nil
 		}
+		stripSyms(row)
 		if err := fn(row); err != nil {
 			return cs.cols, err
 		}
@@ -608,6 +639,19 @@ type exprEval struct {
 	args []Value
 	// inCache memoizes uncorrelated IN-subquery result sets per statement.
 	inCache map[*SelectStmt]map[Value]bool
+	// refs memoizes column-reference resolution per AST node and binding:
+	// the (source, column) indexes are fixed for a binding's lifetime, so
+	// after the first row each reference is two slice indexes instead of
+	// case-insensitive name scans. Keyed by node pointer — the cache lives
+	// per execution while AST nodes are shared read-only via the plan
+	// cache, so nothing is written to shared state.
+	refs map[*ColumnRef]refSlot
+}
+
+// refSlot is one memoized column-reference resolution.
+type refSlot struct {
+	bind     *binding
+	src, col int
 }
 
 // newEval builds an evaluator for one statement execution, binding the
@@ -637,6 +681,11 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 			}
 			return old[ci], nil
 		}
+		if slot, ok := ev.refs[x]; ok && slot.bind == bind {
+			if row := bind.rows[slot.src]; row != nil {
+				return row[slot.col], nil
+			}
+		}
 		v, ok, err := bind.resolve(x.Table, x.Name)
 		if err != nil {
 			return Null, err
@@ -646,6 +695,14 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 				return Null, fmt.Errorf("relational: unknown column %s.%s", x.Table, x.Name)
 			}
 			return Null, fmt.Errorf("relational: unknown column %q", x.Name)
+		}
+		if bind != nil {
+			if si, ci, lerr := bind.locate(x.Table, x.Name); lerr == nil && si >= 0 {
+				if ev.refs == nil {
+					ev.refs = make(map[*ColumnRef]refSlot, 8)
+				}
+				ev.refs[x] = refSlot{bind: bind, src: si, col: ci}
+			}
 		}
 		return v, nil
 	case *Binary:
@@ -739,7 +796,7 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 			if err != nil {
 				return Null, err
 			}
-			found := set[v.joinKey()]
+			found := set[v.symKey(ev.db.intern)]
 			return Bool(found != x.Negate), nil
 		}
 		found := false
@@ -764,10 +821,11 @@ func (ev *exprEval) eval(e Expr, bind *binding) (Value, error) {
 // subquerySet evaluates an uncorrelated IN-subquery once per statement and
 // memoizes the result set. This is what makes `NOT IN (SELECT id FROM
 // parent)` scans linear in the child table rather than quadratic — the cost
-// model behind the per-statement-trigger curves. Sets key on joinKey-
+// model behind the per-statement-trigger curves. Sets key on symKey-
 // normalized Values — membership probes hash the tagged value with no
-// literal formatting per row, and mixed int/text membership agrees with
-// the IN-list path's compareValues semantics.
+// literal formatting per row, interned text probes on its symbol, and mixed
+// int/text membership agrees with the IN-list path's compareValues
+// semantics.
 func (ev *exprEval) subquerySet(sel *SelectStmt) (map[Value]bool, error) {
 	if ev.inCache == nil {
 		ev.inCache = make(map[*SelectStmt]map[Value]bool)
@@ -785,7 +843,7 @@ func (ev *exprEval) subquerySet(sel *SelectStmt) (map[Value]bool, error) {
 	set := make(map[Value]bool, len(rows.Data))
 	for _, r := range rows.Data {
 		if !r[0].IsNull() {
-			set[r[0].joinKey()] = true
+			set[r[0].symKey(ev.db.intern)] = true
 		}
 	}
 	ev.inCache[sel] = set
@@ -808,6 +866,17 @@ func (ev *exprEval) evalBool(e Expr, bind *binding) (bool, error) {
 }
 
 func cmpSQL(op string, l, r Value) bool {
+	// Equality between interned TEXT values is a 4-byte id compare — the
+	// scan-predicate analogue of the sym-keyed hash paths. Ordering ops
+	// still need the byte compare (symbol ids carry no order).
+	if l.kind == KindText && r.kind == KindText && l.sym != 0 && r.sym != 0 {
+		switch op {
+		case "=":
+			return l.sym == r.sym
+		case "!=":
+			return l.sym != r.sym
+		}
+	}
 	c := compareValues(l, r)
 	switch op {
 	case "=":

@@ -1,0 +1,202 @@
+package relational
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// String interning. TEXT values in the shredded-XML workload repeat heavily
+// (attribute values, flag text, reference ids), so the DB maintains an
+// append-only table mapping each distinct stored string to a dense uint32
+// symbol id. Rows carry the id inline in their Values (value.go), letting
+// equality predicates, hash-index buckets, join builds, IN-sets, and
+// DISTINCT keys work on 4 bytes instead of string contents.
+//
+// Concurrency: reads are lock-free against an atomically published
+// snapshot; appends serialize on a mutex and maintain a dirty map that is
+// promoted to a fresh snapshot once enough entries (or enough read misses)
+// accumulate — the sync.Map recipe, specialized to an append-only string
+// table so ids are dense and promotion never copies the promoted map.
+//
+// Consistency contract: lookup(s) observes every getOrInsert that completed
+// before it started (reads fall back to the dirty map while unpromoted
+// entries exist), so within one database the symbol state of a string is a
+// pure function of the committed intern set — which is what keeps sym-keyed
+// and byte-keyed hash buckets from diverging on equal strings.
+
+// internSnap is one immutable published state: ids maps string → symbol id,
+// strs maps id-1 → canonical string. strs may share its backing array with
+// newer states (appends past its length never touch indexes a holder reads).
+type internSnap struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+type internTable struct {
+	// read is the lock-free snapshot. Nil until the first promotion.
+	read atomic.Pointer[internSnap]
+	// pending counts entries present in dirty but not yet in read; readers
+	// that miss the snapshot skip the locked fallback when it is zero.
+	pending atomic.Int64
+
+	mu sync.Mutex
+	// dirty is a superset of read.ids, cloned lazily on the first append
+	// after a promotion; nil while read is complete. Guarded by mu.
+	dirty map[string]uint32
+	// strs is the append-only id → string backing, guarded by mu for
+	// writes; published prefixes are immutable and read without the lock.
+	strs []string
+	// rmiss counts locked read-path misses since the last promotion;
+	// promotion happens once they exceed the unpromoted entry count, so a
+	// stream of absent-string lookups cannot get stuck on the mutex.
+	rmiss int
+
+	// hits counts lookups that found an existing symbol on the intern
+	// (get-or-insert) path; misses counts new symbols minted. The read-only
+	// lookup path deliberately does not count: it runs per probed row under
+	// concurrent readers, where a shared atomic add would serialize them.
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// maxSyms caps the id space; 0 is reserved for "not interned".
+const maxSyms = 1<<32 - 1
+
+// lookup returns the symbol id for s, or 0 when s has never been interned.
+// Lock-free whenever s is in the published snapshot or nothing is pending.
+func (t *internTable) lookup(s string) uint32 {
+	snap := t.read.Load()
+	if snap != nil {
+		if id, ok := snap.ids[s]; ok {
+			return id
+		}
+	}
+	if t.pending.Load() == 0 {
+		// Everything is promoted; the first load may have been stale, so
+		// re-check the current snapshot before declaring a miss.
+		if cur := t.read.Load(); cur != snap && cur != nil {
+			return cur.ids[s]
+		}
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty == nil {
+		// A promotion slipped in between the pending check and the lock;
+		// the current snapshot is complete.
+		if cur := t.read.Load(); cur != nil {
+			return cur.ids[s]
+		}
+		return 0
+	}
+	id := t.dirty[s]
+	if id == 0 {
+		t.rmiss++
+		if t.rmiss > int(t.pending.Load()) {
+			t.promoteLocked()
+		}
+	}
+	return id
+}
+
+// getOrInsert interns s, returning its symbol id and the canonical stored
+// string (callers keep the canonical so duplicate values share one backing
+// array). A full id space reports 0 and the caller's own string — values
+// simply stay uninterned past 2^32-1 distinct strings.
+func (t *internTable) getOrInsert(s string) (uint32, string) {
+	if snap := t.read.Load(); snap != nil {
+		if id, ok := snap.ids[s]; ok {
+			t.hits.Add(1)
+			return id, snap.strs[id-1]
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirty != nil {
+		if id, ok := t.dirty[s]; ok {
+			t.hits.Add(1)
+			return id, t.strs[id-1]
+		}
+	} else if snap := t.read.Load(); snap != nil {
+		// The unlocked check raced a promotion; re-check the current state.
+		if id, ok := snap.ids[s]; ok {
+			t.hits.Add(1)
+			return id, snap.strs[id-1]
+		}
+	}
+	if len(t.strs) >= maxSyms {
+		return 0, s
+	}
+	t.misses.Add(1)
+	if t.dirty == nil {
+		t.cloneReadLocked()
+	}
+	// Clone so the table never pins a caller's larger backing buffer (XML
+	// attribute values alias the parsed document).
+	canon := strings.Clone(s)
+	t.strs = append(t.strs, canon)
+	id := uint32(len(t.strs))
+	t.dirty[canon] = id
+	n := t.pending.Add(1)
+	// Promote once unpromoted entries reach a quarter of the table: the
+	// occasional re-clone in cloneReadLocked amortizes to O(1) per insert,
+	// and read misses between promotions stay bounded by the same fraction.
+	if n >= int64(len(t.strs))/4+16 {
+		t.promoteLocked()
+	}
+	return id, canon
+}
+
+// cloneReadLocked seeds dirty from the published snapshot. Caller holds mu.
+func (t *internTable) cloneReadLocked() {
+	snap := t.read.Load()
+	size := 16
+	if snap != nil {
+		size = len(snap.ids)*2 + 16
+	}
+	t.dirty = make(map[string]uint32, size)
+	if snap != nil {
+		for k, v := range snap.ids {
+			t.dirty[k] = v
+		}
+	}
+}
+
+// promoteLocked publishes dirty as the new read snapshot. The promoted map
+// is never mutated again (the next append clones it), so readers hold it
+// safely without the lock. Caller holds mu.
+func (t *internTable) promoteLocked() {
+	if t.dirty == nil {
+		return
+	}
+	t.read.Store(&internSnap{ids: t.dirty, strs: t.strs[:len(t.strs)]})
+	t.dirty = nil
+	t.rmiss = 0
+	// Order matters: the snapshot must be visible before pending drops to
+	// zero, so a reader observing pending == 0 finds every insert in it.
+	t.pending.Store(0)
+}
+
+// str returns the canonical string for a symbol id, or "" for 0 / unknown.
+func (t *internTable) str(id uint32) string {
+	if id == 0 {
+		return ""
+	}
+	if snap := t.read.Load(); snap != nil && int(id) <= len(snap.strs) {
+		return snap.strs[id-1]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) <= len(t.strs) {
+		return t.strs[id-1]
+	}
+	return ""
+}
+
+// size returns the number of interned strings.
+func (t *internTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.strs)
+}

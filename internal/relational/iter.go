@@ -69,6 +69,11 @@ type levelIter struct {
 
 	ht map[Value][]int // transient hash table (rowids / row indexes)
 
+	// skipCond is the gated conjunct the access path's hash probe already
+	// enforces (the probe candidate's source equality); checkConds skips
+	// it. Nil for non-hash access kinds, whose windows are re-checked.
+	skipCond Expr
+
 	outerLive bool
 	scanPos   int
 	bucket    []int
@@ -173,7 +178,7 @@ func (li *levelIter) startInner() error {
 		if v.IsNull() {
 			li.bucket = nil
 		} else {
-			li.bucket = li.ht[v.joinKey()]
+			li.bucket = li.ht[v.symKey(li.db.intern)]
 		}
 		li.bucketPos = 0
 	case accessOrderedProbe, accessRangeScan, accessOrderedScan:
@@ -278,12 +283,14 @@ func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table
 }
 
 // buildHash drains the level's source once into a transient hash table on
-// the probe column. Keys are joinKey-normalized Values, so hash equality
-// matches SQL equality across the int/string comparison the engine supports
-// while probes pay a struct hash, not interface hashing or string
-// formatting.
+// the probe column. Keys are symKey-normalized Values — interned text keys
+// on its symbol, so a TEXT-equality join hashes 8 fixed bytes per row — and
+// hash equality matches SQL equality across the int/string comparison the
+// engine supports while probes pay a struct hash, not interface hashing or
+// string formatting.
 func (li *levelIter) buildHash() error {
 	li.ht = make(map[Value][]int)
+	it := li.db.intern
 	ci := li.src.columnIndex(li.ap.probe.col)
 	if ci < 0 {
 		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.ap.probe.col)
@@ -294,7 +301,7 @@ func (li *levelIter) buildHash() error {
 				continue
 			}
 			li.ctr.rowsScanned++
-			k := row[ci].joinKey()
+			k := row[ci].symKey(it)
 			li.ht[k] = append(li.ht[k], rid)
 		}
 	} else {
@@ -303,7 +310,7 @@ func (li *levelIter) buildHash() error {
 				continue
 			}
 			li.ctr.rowsScanned++
-			k := row[ci].joinKey()
+			k := row[ci].symKey(it)
 			li.ht[k] = append(li.ht[k], i)
 		}
 	}
@@ -363,6 +370,12 @@ func (li *levelIter) advanceInner() (bool, error) {
 
 func (li *levelIter) checkConds() (bool, error) {
 	for _, c := range li.lp.conds {
+		if c == li.skipCond {
+			// Already enforced by the hash-keyed probe: bucket membership
+			// coincides with SQL equality (symKey), and NULL probe values
+			// yield no bucket.
+			continue
+		}
 		ok, err := li.ev.evalBool(c, li.bind)
 		if err != nil {
 			return false, err
@@ -512,8 +525,12 @@ func (a *aggIter) Next() ([]Value, bool, error) {
 // the tagged byte encoding of the row built in a reused buffer — the
 // map[string] lookup on a []byte conversion does not allocate, so duplicate
 // rows cost no allocation and only the first occurrence pays one key copy.
+// Interned text contributes its ≤6-byte symbol encoding instead of its
+// string bytes (appendValueKeySym), shrinking both the key build and the
+// retained first-occurrence copies on TEXT-heavy DISTINCTs.
 type distinctIter struct {
 	input rowIter
+	it    *internTable
 	seen  map[string]bool
 	kbuf  []byte
 }
@@ -529,7 +546,7 @@ func (d *distinctIter) Next() ([]Value, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		d.kbuf = appendRowKey(d.kbuf[:0], row)
+		d.kbuf = appendRowKeySym(d.kbuf[:0], row, d.it)
 		if d.seen[string(d.kbuf)] {
 			continue
 		}
@@ -582,20 +599,45 @@ type sortSpec struct {
 	desc bool
 }
 
+// sortScratch is the reusable backing store of one blocking sort: every
+// buffered row's values live contiguously in arena, rows holds the slice
+// headers the sort permutes, and offs records row boundaries during the
+// fill (arena may relocate as it grows, so headers are cut only after the
+// input is drained). Instances recycle through DB.sortPool, so a steady
+// stream of sorted queries reaches a high-water mark once and then copies
+// rows without allocating.
+type sortScratch struct {
+	arena []Value
+	offs  []int
+	rows  [][]Value
+}
+
 // sortIter materializes its input and emits it in key order. Sorting is the
 // only blocking operator in the pipeline; when the input already streams in
 // key order the compiler elides this operator entirely (order.go).
 type sortIter struct {
-	db    *DB
-	input rowIter
-	keys  []sortSpec
-	buf   [][]Value
-	pos   int
+	db      *DB
+	input   rowIter
+	keys    []sortSpec
+	scratch *sortScratch
+	buf     [][]Value
+	pos     int
 }
 
 func (s *sortIter) Open() error {
 	s.buf = nil
 	s.pos = 0
+	if s.scratch == nil {
+		if s.db != nil {
+			s.scratch, _ = s.db.sortPool.Get().(*sortScratch)
+		}
+		if s.scratch == nil {
+			s.scratch = &sortScratch{}
+		}
+	}
+	sc := s.scratch
+	sc.arena = sc.arena[:0]
+	sc.offs = sc.offs[:0]
 	if err := s.input.Open(); err != nil {
 		return err
 	}
@@ -608,9 +650,17 @@ func (s *sortIter) Open() error {
 			break
 		}
 		// The producer reuses its row buffer (rowIter contract); a blocking
-		// sort retains every row, so it takes its own copies.
-		s.buf = append(s.buf, append(make([]Value, 0, len(row)), row...))
+		// sort retains every row, so it copies each one — into the shared
+		// arena, not a per-row allocation.
+		sc.offs = append(sc.offs, len(sc.arena))
+		sc.arena = append(sc.arena, row...)
 	}
+	sc.offs = append(sc.offs, len(sc.arena))
+	sc.rows = sc.rows[:0]
+	for i := 0; i+1 < len(sc.offs); i++ {
+		sc.rows = append(sc.rows, sc.arena[sc.offs[i]:sc.offs[i+1]:sc.offs[i+1]])
+	}
+	s.buf = sc.rows
 	if s.db != nil {
 		s.db.stats.SortPasses.Add(1)
 		s.db.stats.RowsSorted.Add(int64(len(s.buf)))
@@ -620,7 +670,17 @@ func (s *sortIter) Open() error {
 	})
 	return nil
 }
-func (s *sortIter) Close() { s.input.Close() }
+
+// Close returns the scratch to the pool: rows handed out by Next point into
+// its arena, which the rowIter contract already declares invalid past Close.
+func (s *sortIter) Close() {
+	if s.scratch != nil && s.db != nil {
+		s.db.sortPool.Put(s.scratch)
+	}
+	s.scratch = nil
+	s.buf = nil
+	s.input.Close()
+}
 func (s *sortIter) Next() ([]Value, bool, error) {
 	if s.pos >= len(s.buf) {
 		return nil, false, nil
@@ -879,7 +939,7 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 	if len(bc.srcs) == 0 {
 		var it rowIter = &valuesIter{ev: ev, exprs: s.Exprs}
 		if s.Distinct {
-			it = &distinctIter{input: it}
+			it = &distinctIter{input: it, it: db.intern}
 		}
 		return it
 	}
@@ -893,7 +953,7 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 	}
 	var chain bindIter = &oneIter{}
 	for pos, lp := range bc.plan.levels {
-		chain = &levelIter{
+		li := &levelIter{
 			db:    db,
 			ev:    ev,
 			bind:  bind,
@@ -902,6 +962,11 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 			ap:    bc.access[pos],
 			input: chain,
 		}
+		switch li.ap.kind {
+		case accessIndexProbe, accessHashJoin:
+			li.skipCond = li.ap.probe.cond
+		}
+		chain = li
 	}
 	var it rowIter
 	if bc.aggregate {
@@ -911,7 +976,7 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 	}
 	if s.Distinct {
 		// distinctIter streams first occurrences, preserving input order.
-		it = &distinctIter{input: it}
+		it = &distinctIter{input: it, it: db.intern}
 	}
 	return it
 }

@@ -20,6 +20,13 @@ import (
 type probeCand struct {
 	col  string
 	expr Expr
+	// cond is the conjunct this candidate was derived from. When a
+	// hash-keyed access path (hash index probe, transient hash join) is
+	// chosen for the candidate, the probe enforces the equality exactly —
+	// symKey equality coincides with SQL equality, and NULLs are excluded
+	// on both the stored and probe sides — so the executor skips
+	// re-evaluating this conjunct per row.
+	cond Expr
 	// correlated reports whether expr references earlier sources (a join
 	// edge) rather than only constants/params/OLD.
 	correlated bool
@@ -144,6 +151,7 @@ func planSimple(s *SimpleSelect, srcs []*source) *simplePlan {
 				plan.levels[lvl].cands = append(plan.levels[lvl].cands, probeCand{
 					col:        col,
 					expr:       expr,
+					cond:       c,
 					correlated: len(refSlots(expr, srcs)) > 0,
 				})
 				continue
@@ -186,7 +194,7 @@ func planMatch(name string, t *Table, where Expr) levelPlan {
 	posOf := []int{0}
 	for _, c := range lp.conds {
 		if col, expr, ok := probeCandidate(c, 0, srcs, posOf, 0); ok {
-			lp.cands = append(lp.cands, probeCand{col: col, expr: expr})
+			lp.cands = append(lp.cands, probeCand{col: col, expr: expr, cond: c})
 			continue
 		}
 		if rc, ok := rangeCandidate(c, 0, srcs, posOf, 0); ok {

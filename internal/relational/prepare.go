@@ -60,6 +60,7 @@ func (p *Prepared) Exec(args ...Value) (int, error) {
 		p.db.mu.Lock()
 		defer p.db.mu.Unlock()
 		p.db.stats.Statements.Add(1)
+		p.db.internArgs(args)
 		return p.db.runAutocommit(p.stmt, args, p.src, args)
 	}()
 	if err != nil {
@@ -88,6 +89,7 @@ func (p *Prepared) Query(args ...Value) (*Rows, error) {
 	p.db.mu.RLock()
 	defer p.db.mu.RUnlock()
 	p.db.stats.Statements.Add(1)
+	p.db.internArgs(args)
 	env := newEnv(nil)
 	env.args = args
 	return p.db.execSelect(sel, env)
@@ -125,6 +127,10 @@ func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 	db.stmtMu.Unlock()
 	if hit && c.nparams == len(args) {
 		db.stats.PlanCacheHits.Add(1)
+		// Lifted TEXT literals resolve against the intern table (lookup
+		// only — query literals never mint symbols): a literal naming a
+		// stored string carries its id into every equality and probe below.
+		db.internArgs(args)
 		return c.stmt, args, nil
 	}
 	db.stats.PlanCacheMisses.Add(1)
@@ -155,6 +161,7 @@ func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 	}
 	db.stmts[shape] = &cachedStmt{stmt: stmt, nparams: np}
 	db.stmtMu.Unlock()
+	db.internArgs(args)
 	return stmt, args, nil
 }
 

@@ -8,6 +8,12 @@ import "strings"
 // row slices suffices.
 type DBSnapshot struct {
 	tables map[string]tableSnap
+	// src remembers which DB captured the snapshot: restoring into the same
+	// DB keeps row symbols as-is (its intern table is append-only, so they
+	// are still valid), while restoring into any other DB — or restoring a
+	// decoded on-disk snapshot, which has no symbols at all — re-interns
+	// every stored text so the sym invariant holds in the target.
+	src *DB
 }
 
 type tableSnap struct {
@@ -33,7 +39,7 @@ func (db *DB) Snapshot() *DBSnapshot {
 // (Checkpoint captures snapshot and log position under one shared-lock
 // acquisition so no commit can slip between them).
 func (db *DB) snapshotLocked() *DBSnapshot {
-	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables))}
+	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables)), src: db}
 	for key, t := range db.tables {
 		rows := make([][]Value, len(t.rows))
 		for i, r := range t.rows {
@@ -66,6 +72,7 @@ func (db *DB) Restore(s *DBSnapshot) {
 			delete(db.tables, key)
 		}
 	}
+	reintern := s.src != db
 	for key, snap := range s.tables {
 		t := db.tables[key]
 		if t == nil {
@@ -78,12 +85,22 @@ func (db *DB) Restore(s *DBSnapshot) {
 			}
 			cp := make([]Value, len(r))
 			copy(cp, r)
+			if reintern {
+				// Foreign symbols mean nothing here; clear them, then intern
+				// into this DB so restored rows key like inserted ones.
+				for ci := range cp {
+					if cp[ci].kind == KindText {
+						cp[ci].sym = 0
+						cp[ci] = t.internRowValue(cp[ci])
+					}
+				}
+			}
 			rows[i] = cp
 		}
 		t.rows = rows
 		t.live = snap.live
 		for col, idx := range t.index {
-			rebuilt := &hashIndex{col: idx.col, entries: make(map[Value][]int, len(idx.entries))}
+			rebuilt := &hashIndex{col: idx.col, entries: make(map[Value][]int, len(idx.entries)), it: idx.it}
 			for rid, row := range t.rows {
 				if row == nil || row[idx.col].IsNull() {
 					continue
@@ -93,12 +110,15 @@ func (db *DB) Restore(s *DBSnapshot) {
 			t.index[strings.ToLower(col)] = rebuilt
 		}
 		for name, oidx := range t.ordered {
-			if entries, ok := snap.ordered[name]; ok {
+			// Captured entries hold the source DB's Values (and so its
+			// symbols); they are only reusable when restoring into that DB.
+			if entries, ok := snap.ordered[name]; ok && !reintern {
 				oidx.tree = newBTreeFromSorted(entries)
 				oidx.stale = 0
 				continue
 			}
-			// Index created after the snapshot: rebuild from the rows.
+			// Index created after the snapshot (or a cross-DB restore):
+			// rebuild from the rows.
 			oidx.rebuild(t)
 		}
 		// Hash index objects were replaced above; invalidate access plans

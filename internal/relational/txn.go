@@ -294,6 +294,7 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (in
 		return 0, errTxDone
 	}
 	tx.db.stats.Statements.Add(1)
+	tx.db.internArgs(args)
 	mark := tx.log.mark()
 	env := newEnv(nil)
 	env.args = args
@@ -395,6 +396,7 @@ func (tx *Tx) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
 		return nil, errTxDone
 	}
 	tx.db.stats.Statements.Add(1)
+	tx.db.internArgs(args)
 	env := newEnv(nil)
 	env.args = args
 	return tx.db.execSelect(sel, env)

@@ -308,8 +308,12 @@ func TestSnapshotValueRoundTrip(t *testing.T) {
 			t.Fatalf("row %d tombstone mismatch", i)
 		}
 		for c := range want.rows[i] {
-			if got.rows[i][c] != want.rows[i][c] {
-				t.Fatalf("row %d col %d = %#v, want %#v", i, c, got.rows[i][c], want.rows[i][c])
+			// Intern symbols are runtime-only and never serialized, so the
+			// decoded row matches modulo sym (Restore re-interns).
+			w := want.rows[i][c]
+			w.sym = 0
+			if got.rows[i][c] != w {
+				t.Fatalf("row %d col %d = %#v, want %#v", i, c, got.rows[i][c], w)
 			}
 		}
 	}
@@ -375,6 +379,50 @@ func TestMixedEqualityConsistentAcrossAccessPaths(t *testing.T) {
 	sub := count(`SELECT k FROM t WHERE k IN (SELECT v FROM s)`)
 	if list != 1 || sub != list {
 		t.Errorf("IN paths disagree: list=%d subquery=%d, want both 1", list, sub)
+	}
+
+	// Interned variants: the same equalities must answer identically whether
+	// the text operands carry intern symbols (stored rows do), arrive as
+	// never-interned literals, or interning is off entirely. The symKey
+	// lookup fallback and the canonical-int fold running before the symbol
+	// fold are what keep these aligned.
+	for _, intern := range []bool{true, false} {
+		db2 := NewDB()
+		if !intern {
+			db2.DisableInterning()
+		}
+		db2.MustExec(`CREATE TABLE a (v VARCHAR(8))`)
+		db2.MustExec(`INSERT INTO a VALUES ('1'), ('x'), ('y')`)
+		db2.MustExec(`CREATE TABLE b (v VARCHAR(8))`)
+		db2.MustExec(`INSERT INTO b VALUES ('x'), ('z'), ('1')`)
+		count2 := func(q string) int {
+			rows, err := db2.Query(q)
+			if err != nil {
+				t.Fatalf("intern=%v %s: %v", intern, q, err)
+			}
+			return len(rows.Data)
+		}
+		// Text scan vs indexed probe vs hash join vs IN: all on TEXT = TEXT.
+		if got := count2(`SELECT v FROM a WHERE v = 'x'`); got != 1 {
+			t.Errorf("intern=%v text scan: got %d rows, want 1", intern, got)
+		}
+		db2.MustExec(`CREATE INDEX ia ON a (v)`)
+		if got := count2(`SELECT v FROM a WHERE v = 'x'`); got != 1 {
+			t.Errorf("intern=%v text indexed: got %d rows, want 1", intern, got)
+		}
+		if got := count2(`SELECT a.v FROM a, b WHERE a.v = b.v`); got != 2 {
+			t.Errorf("intern=%v text join: got %d rows, want 2 ('1' and 'x')", intern, got)
+		}
+		if got := count2(`SELECT v FROM a WHERE v IN (SELECT v FROM b)`); got != 2 {
+			t.Errorf("intern=%v text IN-subquery: got %d rows, want 2", intern, got)
+		}
+		// Mixed int/text across the intern boundary: interned '1' in a TEXT
+		// column must still equal INTEGER 1 and never equal '01'.
+		db2.MustExec(`CREATE TABLE n (k INTEGER)`)
+		db2.MustExec(`INSERT INTO n VALUES (1)`)
+		if got := count2(`SELECT n.k FROM n, a WHERE n.k = a.v`); got != 1 {
+			t.Errorf("intern=%v mixed join: got %d rows, want 1", intern, got)
+		}
 	}
 }
 
