@@ -27,16 +27,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, durability, micro, text, or all")
+		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, parallel, durability, micro, text, or all")
 		quick    = flag.Bool("quick", false, "reduced parameter grid")
 		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
 		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
+		workers  = flag.Int("workers", 8, "max worker budget for the parallel-executor sweep (-exp parallel)")
 		jsonPath = flag.String("json", "", "write experiment results as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Runs: *runs, Quick: *quick}
 	results := make(map[string]any)
-	if err := run(*exp, cfg, *readers, results); err != nil {
+	if err := run(*exp, cfg, *readers, *workers, results); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
@@ -72,7 +73,7 @@ var figures = []figRunner{
 	{"randdoc", bench.RunRandomizedDelete},
 }
 
-func run(exp string, cfg bench.Config, readers int, results map[string]any) error {
+func run(exp string, cfg bench.Config, readers, workers int, results map[string]any) error {
 	matched := false
 	for _, f := range figures {
 		if exp == "all" || exp == f.id {
@@ -114,6 +115,18 @@ func run(exp string, cfg bench.Config, readers int, results map[string]any) erro
 		}
 		results["readers"] = pts
 		bench.WriteConcurrentReads(os.Stdout, pts)
+		fmt.Println()
+	}
+	if exp == "parallel" {
+		// Like readers, a scheduling-sensitive scenario: opt-in rather than
+		// part of "all", so the default suite stays stable on small boxes.
+		matched = true
+		res, err := bench.RunParallel(cfg, workers)
+		if err != nil {
+			return fmt.Errorf("parallel: %w", err)
+		}
+		results["parallel"] = res
+		bench.WriteParallel(os.Stdout, res)
 		fmt.Println()
 	}
 	if exp == "all" || exp == "durability" {

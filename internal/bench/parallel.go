@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/outerunion"
+	"repro/internal/relational"
+	"repro/internal/shred"
+)
+
+// Parallel-executor benchmarks: each kernel is measured serial and at a
+// sweep of worker budgets on the SAME database, interleaved A/B within
+// each run pair so frequency scaling and cache state hit both sides
+// equally. Speedups are computed from min-of-N wall times; the parallel
+// counters confirm the fan-out actually engaged. On a single-core box
+// (GOMAXPROCS=1) the expected speedup is ~1.0× — the exchange adds only
+// its constant setup cost — so speedup claims are only meaningful on
+// multi-core hardware; the output header records GOMAXPROCS for that
+// reason.
+
+// ParallelResult is one (kernel, workers) measurement.
+type ParallelResult struct {
+	Kernel  string
+	Workers int
+	// Rows is the number of rows the kernel streams per run.
+	Rows int
+	// SerialSec and ParallelSec are min-of-N wall times for the same
+	// kernel at budget 1 and at Workers, interleaved run for run.
+	SerialSec   float64
+	ParallelSec float64
+	// Speedup is SerialSec / ParallelSec.
+	Speedup float64
+	// Fan-out counters accumulated across the measured parallel runs.
+	ParallelWorkers   int64
+	PartitionsScanned int64
+	ExchangeBatches   int64
+}
+
+// parallelScale sizes the document: quick keeps CI fast.
+func parallelScale(cfg Config) int {
+	if cfg.Quick {
+		return 60
+	}
+	return 400
+}
+
+// measureParallel interleaves serial and parallel runs of op: one warm-up
+// pair (discarded), then runs measured pairs, keeping the min on each
+// side. The row counts are cross-checked — a parallel kernel that returns
+// a different row count than serial is a correctness bug, not a
+// measurement.
+func measureParallel(db *relational.DB, name string, workers, runs int, op func() (int, error)) (ParallelResult, error) {
+	res := ParallelResult{Kernel: name, Workers: workers}
+	for i := 0; i <= runs; i++ {
+		db.SetParallelism(1)
+		start := time.Now()
+		sRows, err := op()
+		sSec := time.Since(start).Seconds()
+		if err != nil {
+			return res, fmt.Errorf("%s serial: %w", name, err)
+		}
+		db.SetParallelism(workers)
+		start = time.Now()
+		pRows, err := op()
+		pSec := time.Since(start).Seconds()
+		if err != nil {
+			return res, fmt.Errorf("%s workers=%d: %w", name, workers, err)
+		}
+		if pRows != sRows {
+			return res, fmt.Errorf("%s workers=%d: %d rows parallel, %d serial", name, workers, pRows, sRows)
+		}
+		if i == 0 {
+			db.ResetStats()
+			continue
+		}
+		res.Rows = sRows
+		if res.SerialSec == 0 || sSec < res.SerialSec {
+			res.SerialSec = sSec
+		}
+		if res.ParallelSec == 0 || pSec < res.ParallelSec {
+			res.ParallelSec = pSec
+		}
+	}
+	st := db.Stats()
+	res.ParallelWorkers = st.ParallelWorkers
+	res.PartitionsScanned = st.PartitionsScanned
+	res.ExchangeBatches = st.ExchangeBatches
+	if res.ParallelSec > 0 {
+		res.Speedup = res.SerialSec / res.ParallelSec
+	}
+	db.SetParallelism(1)
+	return res, nil
+}
+
+// RunParallel measures the parallel executor across a worker sweep
+// (1, 2, 4, 8, capped at maxWorkers) on four kernels: a filtered full
+// scan, a transient hash join, a grand aggregate, and the sorted
+// outer-union reconstruction.
+func RunParallel(cfg Config, maxWorkers int) ([]ParallelResult, error) {
+	sf := parallelScale(cfg)
+	doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: sf, Depth: 4, Fanout: 4, Seed: 5})
+	m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{OrderColumn: true})
+	if err != nil {
+		return nil, err
+	}
+	db := relational.NewDB()
+	if _, err := shred.Load(db, m, doc); err != nil {
+		return nil, err
+	}
+	t2, t3 := m.Table("e2").Name, m.Table("e3").Name
+
+	stream := func(q string) func() (int, error) {
+		return func() (int, error) {
+			n := 0
+			_, err := db.QueryEach(q, func([]relational.Value) error { n++; return nil })
+			return n, err
+		}
+	}
+	kernels := []struct {
+		name string
+		op   func() (int, error)
+	}{
+		{"scan-filter", stream(fmt.Sprintf(
+			`SELECT id, parentId, k2_v FROM %s WHERE k2_v >= 100000`, t2))},
+		{"hash-join", stream(fmt.Sprintf(
+			`SELECT P.id, C.id FROM %s P, %s C WHERE C.pos = P.pos`, t2, t3))},
+		{"aggregate", stream(fmt.Sprintf(
+			`SELECT COUNT(id), MIN(k3_v), MAX(k3_v) FROM %s`, t3))},
+		{"sou-reconstruct", func() (int, error) {
+			subs, err := outerunion.Query(db, m, "e1", "")
+			if err != nil {
+				return 0, err
+			}
+			n := 0
+			for _, st := range subs {
+				for _, ids := range st.IDs {
+					n += len(ids)
+				}
+			}
+			return n, nil
+		}},
+	}
+
+	runs := cfg.runs()
+	var out []ParallelResult
+	for _, k := range kernels {
+		for _, w := range []int{1, 2, 4, 8} {
+			if w > maxWorkers {
+				break
+			}
+			res, err := measureParallel(db, k.name, w, runs, k.op)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// WriteParallel prints the parallel suite as aligned columns.
+func WriteParallel(w io.Writer, res []ParallelResult) {
+	fmt.Fprintf(w, "# parallel — serial vs partitioned executor (min-of-N wall, interleaved A/B, GOMAXPROCS=%d)\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%-18s %8s %10s %12s %12s %8s %9s %11s %9s\n",
+		"kernel", "workers", "rows", "serial (s)", "parallel (s)", "speedup", "fan-outs", "partitions", "batches")
+	for _, r := range res {
+		fmt.Fprintf(w, "%-18s %8d %10d %12.6f %12.6f %7.2fx %9d %11d %9d\n",
+			r.Kernel, r.Workers, r.Rows, r.SerialSec, r.ParallelSec, r.Speedup,
+			r.ParallelWorkers, r.PartitionsScanned, r.ExchangeBatches)
+	}
+}

@@ -1,0 +1,69 @@
+package outerunion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/relational"
+	"repro/internal/shred"
+	"repro/internal/xmltree"
+)
+
+// TestParallelSOUEquivalence reconstructs every e1 subtree of a generated
+// document with the serial executor and with a 4-worker budget. The sorted
+// outer-union stream must be row-for-row identical under parallelism
+// (partition concatenation reproduces the serial stream, and the ORDER BY
+// contract pins document order), so the reconstructed subtrees — roots,
+// ids, child order — must serialize identically too.
+func TestParallelSOUEquivalence(t *testing.T) {
+	build := func(par int) (*relational.DB, *shred.Mapping) {
+		doc := datagen.Fixed(datagen.FixedParams{ScalingFactor: 3, Depth: 4, Fanout: 4, Seed: 21})
+		m, err := shred.BuildMapping(doc.DTD, doc.Root.Name, shred.Options{OrderColumn: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := relational.NewDB()
+		db.SetParallelism(par)
+		if _, err := shred.Load(db, m, doc); err != nil {
+			t.Fatal(err)
+		}
+		return db, m
+	}
+	render := func(subs []*Subtree) string {
+		var b strings.Builder
+		for _, s := range subs {
+			b.WriteString(xmltree.Serialize(s.Root))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	sdb, sm := build(1)
+	pdb, pm := build(4)
+	for _, q := range []struct{ target, where string }{
+		{"e1", ""},
+		{"e2", ""},
+		{"e1", "T.id > 10"},
+	} {
+		want, err := Query(sdb, sm, q.target, q.where)
+		if err != nil {
+			t.Fatalf("serial %s/%q: %v", q.target, q.where, err)
+		}
+		got, err := Query(pdb, pm, q.target, q.where)
+		if err != nil {
+			t.Fatalf("parallel %s/%q: %v", q.target, q.where, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s/%q: %d subtrees parallel, %d serial", q.target, q.where, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].RootID != want[i].RootID {
+				t.Fatalf("%s/%q: subtree %d root id %d != %d (document order lost)",
+					q.target, q.where, i, got[i].RootID, want[i].RootID)
+			}
+		}
+		if render(got) != render(want) {
+			t.Errorf("%s/%q: reconstructed subtrees diverge under parallelism", q.target, q.where)
+		}
+	}
+}

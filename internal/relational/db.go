@@ -53,6 +53,16 @@ type Stats struct {
 	// silently disabled.
 	InternHits   int64
 	InternMisses int64
+	// ParallelWorkers counts worker goroutines launched by the parallel
+	// executor (exchange scans, shared hash-join builds, CTE waves, DML
+	// read phases); PartitionsScanned counts driving-level partitions
+	// drained; ExchangeBatches counts row batches that crossed an exchange
+	// channel. All three stay zero under the default serial execution —
+	// a nonzero ParallelWorkers is the positive signal that a workload
+	// actually engaged the fan-out (parallel.go).
+	ParallelWorkers   int64
+	PartitionsScanned int64
+	ExchangeBatches   int64
 }
 
 // statCounters is the live, concurrently updated form of Stats. Readers run
@@ -73,6 +83,10 @@ type statCounters struct {
 	HashJoinBuilds  atomic.Int64
 	PlanCacheHits   atomic.Int64
 	PlanCacheMisses atomic.Int64
+
+	ParallelWorkers   atomic.Int64
+	PartitionsScanned atomic.Int64
+	ExchangeBatches   atomic.Int64
 }
 
 // DB is an embedded relational database.
@@ -111,6 +125,14 @@ type DB struct {
 	// arena) across sort executions, so a blocking sort's per-row copies
 	// write into a reused arena instead of allocating per row (iter.go).
 	sortPool sync.Pool
+
+	// parallelism is the per-statement worker budget (SetParallelism /
+	// Options.Parallelism); <= 1 means serial, the default. Read under
+	// db.mu in any mode, written under the exclusive lock. parActive
+	// counts workers currently running so nested constructs degrade to
+	// serial instead of oversubscribing the budget (parallel.go).
+	parallelism int
+	parActive   atomic.Int64
 
 	// stmts caches parsed statement templates by shape (prepare.go).
 	// Compiled plans live on the AST nodes themselves (plan.go), so they
@@ -221,6 +243,10 @@ func (db *DB) Stats() Stats {
 		HashJoinBuilds:  db.stats.HashJoinBuilds.Load(),
 		PlanCacheHits:   db.stats.PlanCacheHits.Load(),
 		PlanCacheMisses: db.stats.PlanCacheMisses.Load(),
+
+		ParallelWorkers:   db.stats.ParallelWorkers.Load(),
+		PartitionsScanned: db.stats.PartitionsScanned.Load(),
+		ExchangeBatches:   db.stats.ExchangeBatches.Load(),
 	}
 	if it := db.intern; it != nil {
 		s.InternHits = it.hits.Load()
@@ -245,6 +271,9 @@ func (db *DB) ResetStats() {
 	db.stats.HashJoinBuilds.Store(0)
 	db.stats.PlanCacheHits.Store(0)
 	db.stats.PlanCacheMisses.Store(0)
+	db.stats.ParallelWorkers.Store(0)
+	db.stats.PartitionsScanned.Store(0)
+	db.stats.ExchangeBatches.Store(0)
 	if it := db.intern; it != nil {
 		it.hits.Store(0)
 		it.misses.Store(0)

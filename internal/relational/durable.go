@@ -52,6 +52,9 @@ type Options struct {
 	// default; negative disables auto-checkpointing (crash tests need the
 	// log to stay put).
 	CheckpointBytes int64
+	// Parallelism is the per-statement worker budget for query execution
+	// (see SetParallelism); <= 1 means serial, the default.
+	Parallelism int
 }
 
 func (o Options) checkpointBytes() int64 {
@@ -280,6 +283,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db := NewDB()
+	db.SetParallelism(opts.Parallelism)
 	db.wal = l
 	db.walOpts = opts
 	db.replaying = true

@@ -77,7 +77,13 @@ func (db *DB) explainMatch(b *strings.Builder, name string, t *Table, where Expr
 	lp := planMatch(name, t, where)
 	src := &source{name: name, table: t}
 	ap := chooseAccessPlan(lp, src, 0, nil, true)
-	indentLine(b, depth, levelLine(lp, src, ap))
+	par := 1
+	if ap.kind == accessScan {
+		// The DML read phase parallelizes only the full-scan match
+		// (matchScanParallel); indexed matches stay serial.
+		par = db.parWorkersFor(t.live)
+	}
+	indentLine(b, depth, levelLine(lp, src, ap, par))
 }
 
 // explainTree is a statement's compiled form plus its CTEs' compiled
@@ -125,11 +131,11 @@ func (db *DB) explainSelect(b *strings.Builder, s *SelectStmt, env *execEnv, dep
 	if err != nil {
 		return err
 	}
-	renderSelectTree(b, et, depth)
+	db.renderSelectTree(b, et, depth)
 	return nil
 }
 
-func renderSelectTree(b *strings.Builder, et *explainTree, depth int) {
+func (db *DB) renderSelectTree(b *strings.Builder, et *explainTree, depth int) {
 	s, cs := et.stmt, et.cs
 	if cs.explicit {
 		keys := make([]string, len(s.OrderBy))
@@ -157,15 +163,15 @@ func renderSelectTree(b *strings.Builder, et *explainTree, depth int) {
 		depth++
 	}
 	for _, bc := range cs.bodies {
-		explainBody(b, bc, depth)
+		db.explainBody(b, bc, depth)
 	}
 	for _, cte := range s.With {
 		indentLine(b, depth, fmt.Sprintf("CTE %s", cte.Name))
-		renderSelectTree(b, et.kids[strings.ToLower(cte.Name)], depth+1)
+		db.renderSelectTree(b, et.kids[strings.ToLower(cte.Name)], depth+1)
 	}
 }
 
-func explainBody(b *strings.Builder, bc *bodyCompiled, depth int) {
+func (db *DB) explainBody(b *strings.Builder, bc *bodyCompiled, depth int) {
 	s := bc.sel
 	if s.Distinct {
 		indentLine(b, depth, "Distinct")
@@ -189,15 +195,31 @@ func explainBody(b *strings.Builder, bc *bodyCompiled, depth int) {
 		indentLine(b, depth, "Values")
 		return
 	}
+	// bodyWorkers is the same eligibility decision the executor makes, so
+	// the rendered plan matches what runs (CTE-driven bodies show serial —
+	// the EXPLAIN stub carries no rows to size the fan-out against).
+	par := db.bodyWorkers(bc)
+	if par > 1 {
+		indentLine(b, depth, fmt.Sprintf("Exchange (workers=%d, ordered)", par))
+		depth++
+	}
 	for pos := len(bc.plan.levels) - 1; pos >= 0; pos-- {
 		lp := bc.plan.levels[pos]
-		indentLine(b, depth, levelLine(lp, bc.srcs[lp.slot], bc.access[pos]))
+		lpar := 1
+		if par > 1 && (pos == 0 || bc.access[pos].kind == accessHashJoin) {
+			// The driving level partitions; hash-join levels share one
+			// parallel-built table across workers. Other inner levels
+			// replicate per worker unchanged.
+			lpar = par
+		}
+		indentLine(b, depth, levelLine(lp, bc.srcs[lp.slot], bc.access[pos], lpar))
 		depth++
 	}
 }
 
 // levelLine renders one join level: its access path and gated filters.
-func levelLine(lp levelPlan, src *source, ap accessPlan) string {
+// par > 1 prefixes the operator name with Parallel(k=n).
+func levelLine(lp levelPlan, src *source, ap accessPlan, par int) string {
 	label := src.name
 	if src.table != nil && !strings.EqualFold(src.table.Name, src.name) {
 		label = src.table.Name + " AS " + src.name
@@ -229,6 +251,11 @@ func levelLine(lp levelPlan, src *source, ap accessPlan) string {
 		line = fmt.Sprintf("SortedProbe %s (%s = %s) ordered [%s]", label, ap.probe.col, exprString(ap.probe.expr), strings.Join(cols, ", "))
 	default:
 		line = fmt.Sprintf("Scan %s", label)
+	}
+	if par > 1 {
+		if i := strings.IndexByte(line, ' '); i > 0 {
+			line = "Parallel" + line[:i] + fmt.Sprintf("(k=%d)", par) + line[i:]
+		}
 	}
 	if len(lp.conds) > 0 {
 		parts := make([]string, len(lp.conds))

@@ -1,0 +1,983 @@
+package relational
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel execution. The serial Volcano pipeline (iter.go) is the reference
+// semantics; everything here is an opt-in fan-out that must reproduce its
+// output stream exactly. The one idea that makes that cheap: partition the
+// driving level into contiguous chunks of its serial enumeration (ascending
+// rowid windows for heap scans, contiguous slices of the once-walked B+tree
+// bucket for ordered access), run a full clone of the pipeline per chunk,
+// and concatenate the per-chunk outputs in chunk order. The concatenation
+// IS the serial stream, row for row — so ORDER BY elision, merge contracts,
+// DISTINCT first-occurrence semantics, and the randomized equivalence tests
+// all hold by construction, with no re-sorting merge step to get wrong.
+//
+// Workers run on goroutines spawned by the statement's executing goroutine,
+// which holds db.mu (shared for queries, exclusive for DML); workers take
+// no locks of their own and only read shared structures (tables, indexes,
+// plans, the intern table), so the lock discipline is unchanged.
+
+const (
+	// parMinRows: driving inputs smaller than this stay serial — goroutine
+	// and channel setup costs more than the scan itself.
+	parMinRows = 64
+	// parChunkRows: minimum rows per partition; the fan-out never splits
+	// finer than this.
+	parChunkRows = 32
+	// parBatchRows: rows per exchange batch — one channel operation
+	// amortizes across this many rows.
+	parBatchRows = 128
+	// parChanBatches: batches buffered per partition channel before its
+	// producer blocks.
+	parChanBatches = 4
+)
+
+// SetParallelism sets the per-statement worker budget: statements may fan
+// out to at most n goroutines. n <= 1 (the default) keeps every statement
+// on its calling goroutine. Parallel plans produce byte-identical result
+// streams to serial ones, so this is purely a throughput knob. Must not be
+// called while a transaction is open on the same handle (it takes the
+// writer lock).
+func (db *DB) SetParallelism(n int) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	db.parallelism = n
+}
+
+// par returns the configured worker budget. Callers hold db.mu (any mode).
+func (db *DB) par() int {
+	if db.parallelism < 1 {
+		return 1
+	}
+	return db.parallelism
+}
+
+// parWorkersFor sizes a fan-out over n driving rows; 1 means stay serial.
+// Small inputs stay serial, each partition must get a useful chunk, and
+// workers already running are subtracted so nested constructs (a CTE body
+// inside a parallel wave, a subquery inside a worker) degrade to serial
+// instead of oversubscribing the budget.
+func (db *DB) parWorkersFor(n int) int {
+	k := db.par()
+	if k <= 1 || n < parMinRows {
+		return 1
+	}
+	if max := n / parChunkRows; k > max {
+		k = max
+	}
+	if active := int(db.parActive.Load()); active > 0 {
+		k -= active
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
+}
+
+// buildWorkersFor sizes the parallel phase of a shared hash-join build.
+// Unlike parWorkersFor it ignores parActive: the build runs inside a
+// sync.Once while every other worker of the query blocks on it, so the
+// budget is idle and free to spend.
+func (db *DB) buildWorkersFor(n int) int {
+	k := db.par()
+	if k <= 1 || n < parMinRows {
+		return 1
+	}
+	if max := n / parChunkRows; k > max {
+		k = max
+	}
+	if k < 2 {
+		return 1
+	}
+	return k
+}
+
+// cteWorkers sizes the fan-out for CTE materialization: up to one worker
+// per CTE in a dependency wave. CTE bodies are whole queries of unknown
+// cost, so there is no row-count gate — but a single CTE (or budget 1)
+// stays serial.
+func (db *DB) cteWorkers(n int) int {
+	k := db.par()
+	if k <= 1 || n < 2 {
+		return 1
+	}
+	if active := int(db.parActive.Load()); active > 0 {
+		k -= active
+	}
+	if k < 2 {
+		return 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// levelPart is one partition of a driving level's enumeration: a [lo, hi)
+// window over the heap/CTE row slice, or a pre-walked chunk of a B+tree
+// bucket (key-ordered rowids). Partitions are contiguous and ordered —
+// concatenating their outputs in partition order reproduces the serial
+// enumeration exactly, which is what preserves every ordering contract.
+type levelPart struct {
+	lo, hi int
+	bucket []int
+}
+
+// bodyWorker is one worker's private clone of a body pipeline: its own
+// binding, evaluator, and iterator chain. Per the rowIter buffer-reuse
+// contract every buffer in the chain is single-consumer, so cloning the
+// chain per worker is exactly what makes the contract hold across
+// goroutines.
+type bodyWorker struct {
+	sel   *SimpleSelect
+	bind  *binding
+	ev    *exprEval
+	chain bindIter
+	out   rowIter // projection over chain; nil for aggregate bodies
+}
+
+// buildBodyWorker clones the serial pipeline construction of buildBodyIter
+// for one partition, with hash-join levels sharing the query-wide sharded
+// table instead of building private ones.
+func (db *DB) buildBodyWorker(bc *bodyCompiled, env *execEnv, part *levelPart, shared []*parHashTable) *bodyWorker {
+	ev := newEval(db, env)
+	bind := &binding{
+		names: make([]string, len(bc.srcs)),
+		srcs:  bc.srcs,
+		rows:  make([][]Value, len(bc.srcs)),
+	}
+	for i, src := range bc.srcs {
+		bind.names[i] = strings.ToLower(src.name)
+	}
+	var chain bindIter = &oneIter{}
+	for pos, lp := range bc.plan.levels {
+		li := &levelIter{
+			db:    db,
+			ev:    ev,
+			bind:  bind,
+			src:   bc.srcs[lp.slot],
+			lp:    lp,
+			ap:    bc.access[pos],
+			input: chain,
+		}
+		switch li.ap.kind {
+		case accessIndexProbe, accessHashJoin:
+			li.skipCond = li.ap.probe.cond
+		}
+		if pos == 0 {
+			li.part = part
+		}
+		li.shared = shared[pos]
+		chain = li
+	}
+	w := &bodyWorker{sel: bc.sel, bind: bind, ev: ev, chain: chain}
+	if !bc.aggregate {
+		w.out = &projectIter{ev: ev, sel: bc.sel, bind: bind, input: chain}
+	}
+	return w
+}
+
+// buildParallelBody assembles the parallel form of a compiled body: K
+// pipeline clones over K driving-level partitions, feeding an ordered
+// exchange (or, for aggregate bodies, per-worker accumulators merged at
+// the end). Called only when bodyWorkers chose k > 1.
+func (db *DB) buildParallelBody(bc *bodyCompiled, env *execEnv, k int) rowIter {
+	shared := make([]*parHashTable, len(bc.plan.levels))
+	for pos := range bc.plan.levels {
+		if bc.access[pos].kind == accessHashJoin {
+			shared[pos] = &parHashTable{db: db}
+		}
+	}
+	parts := make([]*levelPart, k)
+	workers := make([]*bodyWorker, k)
+	for w := 0; w < k; w++ {
+		parts[w] = &levelPart{}
+		workers[w] = db.buildBodyWorker(bc, env, parts[w], shared)
+	}
+	// Partitions are computed at Open time (bucket walks can error and the
+	// data may change between statement executions of a cached plan).
+	prep := func() error { return db.partitionDriving(bc, env, parts) }
+	var it rowIter
+	if bc.aggregate {
+		it = &parallelAggIter{db: db, sel: bc.sel, prep: prep, workers: workers}
+	} else {
+		it = &exchangeIter{db: db, prep: prep, workers: workers}
+	}
+	if bc.sel.Distinct {
+		// The exchange emits the exact serial stream, so streaming first
+		// occurrences above it preserves serial DISTINCT semantics.
+		it = &distinctIter{input: it, it: db.intern}
+	}
+	return it
+}
+
+// partitionDriving fills the per-worker partitions of the driving level:
+// heap and CTE scans split into contiguous index windows; B+tree kinds walk
+// their window once — driving-level bounds are necessarily uncorrelated
+// (probe/range candidates only reference earlier-bound sources, and there
+// are none) — and split the key-ordered bucket into contiguous chunks.
+// Per-query access counters are charged here, once, exactly as the serial
+// enumeration would charge them; per-row counters stay with the workers.
+func (db *DB) partitionDriving(bc *bodyCompiled, env *execEnv, parts []*levelPart) error {
+	lvl0 := bc.plan.levels[0]
+	src := bc.srcs[lvl0.slot]
+	ap := bc.access[0]
+	var ctr levelCounters
+	defer ctr.flush(db)
+	if ap.kind == accessScan {
+		ctr.fullScans++
+		n := 0
+		if src.table != nil {
+			n = len(src.table.rows)
+		} else {
+			n = len(src.rows.Data)
+		}
+		spans := partitionSpans(n, len(parts))
+		for w, p := range parts {
+			p.lo, p.hi, p.bucket = spans[w][0], spans[w][1], nil
+		}
+		return nil
+	}
+	ev := newEval(db, env)
+	bind := &binding{
+		names: make([]string, len(bc.srcs)),
+		srcs:  bc.srcs,
+		rows:  make([][]Value, len(bc.srcs)),
+	}
+	for i, s := range bc.srcs {
+		bind.names[i] = strings.ToLower(s.name)
+	}
+	bucket, err := orderedBucketFor(&ctr, ev, &ap, src.table, bind, nil)
+	if err != nil {
+		return err
+	}
+	chunks := splitBucket(bucket, len(parts))
+	for w, p := range parts {
+		p.lo, p.hi, p.bucket = 0, 0, chunks[w]
+	}
+	return nil
+}
+
+// startPartition begins the driving level's slice of a partitioned
+// enumeration. The per-query access counters (full scan, range probe) were
+// charged when the partitions were cut; workers charge only per-row work.
+func (li *levelIter) startPartition() error {
+	switch li.ap.kind {
+	case accessScan:
+		li.scanPos = li.part.lo
+	default:
+		li.bucket = li.part.bucket
+		li.bucketPos = 0
+	}
+	return nil
+}
+
+// ---- ordered exchange ----
+
+// rowBatch is one vector of rows in flight from a worker to the exchange
+// consumer: values live contiguously in arena, offs marks row boundaries
+// (len(offs) = rows+1). Batches recycle through the exchange's free list,
+// so a steady stream reaches a high-water mark and stops allocating.
+type rowBatch struct {
+	arena []Value
+	offs  []int
+}
+
+func (b *rowBatch) reset() {
+	b.arena = b.arena[:0]
+	b.offs = append(b.offs[:0], 0)
+}
+
+func (b *rowBatch) rows() int { return len(b.offs) - 1 }
+
+func (b *rowBatch) row(i int) []Value { return b.arena[b.offs[i]:b.offs[i+1]] }
+
+func (b *rowBatch) add(row []Value) {
+	b.arena = append(b.arena, row...)
+	b.offs = append(b.offs, len(b.arena))
+}
+
+// exchangeIter is the ordered exchange operator: K workers drain their
+// partition's pipeline clone into bounded channels of row batches, and the
+// consumer concatenates the partition streams in partition order. Workers
+// produce concurrently — partition 1 fills its channel while partition 0
+// streams out — and because partitions are contiguous slices of the serial
+// driving enumeration, the concatenated output is row-for-row the serial
+// pipeline's. Each worker copies its pipeline's reused row buffer into the
+// batch (no buffer crosses goroutines); the consumer hands rows out
+// straight from the current batch's arena, valid until the next Next per
+// the rowIter contract.
+type exchangeIter struct {
+	db      *DB
+	prep    func() error
+	workers []*bodyWorker
+
+	chans []chan *rowBatch
+	errs  []error
+	quit  chan struct{}
+	free  chan *rowBatch
+	wg    sync.WaitGroup
+
+	cur   int
+	batch *rowBatch
+	pos   int
+
+	open    bool
+	batches int64
+}
+
+func (x *exchangeIter) Open() error {
+	if x.open {
+		x.shutdown()
+	}
+	x.cur, x.batch, x.pos, x.batches = 0, nil, 0, 0
+	if err := x.prep(); err != nil {
+		return err
+	}
+	k := len(x.workers)
+	x.db.parActive.Add(int64(k))
+	x.chans = make([]chan *rowBatch, k)
+	x.errs = make([]error, k)
+	x.quit = make(chan struct{})
+	if x.free == nil {
+		x.free = make(chan *rowBatch, k*(parChanBatches+2))
+	}
+	x.wg.Add(k)
+	for w := 0; w < k; w++ {
+		x.chans[w] = make(chan *rowBatch, parChanBatches)
+		go x.run(w)
+	}
+	x.open = true
+	return nil
+}
+
+// run drains one worker's pipeline into its partition channel. The error
+// slot is written before the deferred close, so the consumer observing the
+// closed channel also observes the error (channel close happens-before the
+// receive that reports it closed).
+func (x *exchangeIter) run(w int) {
+	defer x.wg.Done()
+	it := x.workers[w].out
+	ch := x.chans[w]
+	defer close(ch)
+	if err := it.Open(); err != nil {
+		x.errs[w] = err
+		return
+	}
+	defer it.Close()
+	batch := x.getBatch()
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			x.errs[w] = err
+			return
+		}
+		if !ok {
+			break
+		}
+		batch.add(row)
+		if batch.rows() >= parBatchRows {
+			if !x.send(ch, batch) {
+				return
+			}
+			batch = x.getBatch()
+		}
+	}
+	if batch.rows() > 0 {
+		x.send(ch, batch)
+	}
+}
+
+// send delivers a batch unless the consumer has quit (early Close with the
+// channel full — the select is what keeps producers from blocking forever).
+func (x *exchangeIter) send(ch chan *rowBatch, b *rowBatch) bool {
+	select {
+	case ch <- b:
+		return true
+	case <-x.quit:
+		return false
+	}
+}
+
+func (x *exchangeIter) getBatch() *rowBatch {
+	select {
+	case b := <-x.free:
+		b.reset()
+		return b
+	default:
+	}
+	b := &rowBatch{}
+	b.reset()
+	return b
+}
+
+func (x *exchangeIter) recycle(b *rowBatch) {
+	select {
+	case x.free <- b:
+	default:
+	}
+}
+
+func (x *exchangeIter) Next() ([]Value, bool, error) {
+	for {
+		if x.batch != nil {
+			if x.pos < x.batch.rows() {
+				row := x.batch.row(x.pos)
+				x.pos++
+				return row, true, nil
+			}
+			// The previous batch's rows are invalid as of this call (rowIter
+			// contract), so it can go back to the producers.
+			x.recycle(x.batch)
+			x.batch = nil
+		}
+		if x.cur >= len(x.chans) {
+			return nil, false, nil
+		}
+		b, ok := <-x.chans[x.cur]
+		if !ok {
+			if err := x.errs[x.cur]; err != nil {
+				return nil, false, err
+			}
+			x.cur++
+			continue
+		}
+		x.batches++
+		x.batch, x.pos = b, 0
+	}
+}
+
+func (x *exchangeIter) Close() { x.shutdown() }
+
+// shutdown tears the fan-out down: signal quit, drain every channel so
+// blocked producers unblock, join the workers, then flush the batched
+// parallel counters — the levelCounters pattern, one atomic add per query
+// rather than per batch.
+func (x *exchangeIter) shutdown() {
+	if !x.open {
+		return
+	}
+	x.open = false
+	close(x.quit)
+	for _, ch := range x.chans {
+		for range ch {
+		}
+	}
+	x.wg.Wait()
+	x.batch = nil
+	k := int64(len(x.workers))
+	x.db.parActive.Add(-k)
+	x.db.stats.ParallelWorkers.Add(k)
+	x.db.stats.PartitionsScanned.Add(k)
+	if x.batches != 0 {
+		x.db.stats.ExchangeBatches.Add(x.batches)
+		x.batches = 0
+	}
+}
+
+// ---- parallel aggregation ----
+
+// parallelAggIter evaluates an aggregate body with per-worker accumulators
+// merged at the end: each worker folds its partition of the join through
+// its own accumulator set, and the merged leaves (COUNT sums, MIN/MAX
+// combines) feed the same result renderer the serial aggIter uses.
+// Aggregation is a barrier by nature, so this is aggregate algebra rather
+// than row exchange — no batch traffic at all.
+type parallelAggIter struct {
+	db      *DB
+	sel     *SimpleSelect
+	prep    func() error
+	workers []*bodyWorker
+	buf     []Value
+	done    bool
+}
+
+func (a *parallelAggIter) Open() error { a.done = false; return nil }
+func (a *parallelAggIter) Close()      {}
+
+func (a *parallelAggIter) Next() ([]Value, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	a.done = true
+	if err := a.prep(); err != nil {
+		return nil, false, err
+	}
+	k := len(a.workers)
+	a.db.parActive.Add(int64(k))
+	states := make([][]*aggAccumulator, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			states[w], errs[w] = a.workers[w].runAgg()
+		}(w)
+	}
+	wg.Wait()
+	a.db.parActive.Add(int64(-k))
+	a.db.stats.ParallelWorkers.Add(int64(k))
+	a.db.stats.PartitionsScanned.Add(int64(k))
+	for _, err := range errs {
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	merged := make([]*aggAccumulator, len(a.sel.Exprs))
+	for i := range merged {
+		merged[i] = &aggAccumulator{}
+	}
+	for w := 0; w < k; w++ {
+		for i, st := range states[w] {
+			if st != nil {
+				merged[i].merge(st)
+			}
+		}
+	}
+	ev := a.workers[0].ev
+	if cap(a.buf) < len(a.sel.Exprs) {
+		a.buf = make([]Value, len(a.sel.Exprs))
+	}
+	row := a.buf[:len(a.sel.Exprs)]
+	for i, se := range a.sel.Exprs {
+		row[i] = merged[i].result(ev, se.Expr)
+	}
+	return row, true, nil
+}
+
+// runAgg drains the worker's partition through private accumulators.
+func (w *bodyWorker) runAgg() ([]*aggAccumulator, error) {
+	if err := w.chain.Open(); err != nil {
+		return nil, err
+	}
+	defer w.chain.Close()
+	state := make([]*aggAccumulator, len(w.sel.Exprs))
+	for {
+		ok, err := w.chain.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return state, nil
+		}
+		for i, se := range w.sel.Exprs {
+			if state[i] == nil {
+				state[i] = &aggAccumulator{}
+			}
+			if err := state[i].feed(w.ev, se.Expr, w.bind); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// ---- shared hash-join table ----
+
+// parHashTable is a query-wide transient hash-join table shared by every
+// worker pipeline, sharded so the build itself parallelizes: build workers
+// scan contiguous chunks of the source into per-(chunk, shard) sub-tables
+// keyed by symKey, then one merge worker per shard concatenates the chunks
+// in chunk order. Chunks are ascending index ranges, so every bucket's
+// rowids come out ascending — bit-identical to the serial buildHash — and
+// probe results are row-for-row the serial ones. After ensure the table is
+// immutable; probes read without synchronization.
+type parHashTable struct {
+	db     *DB
+	once   sync.Once
+	shards []map[Value][]int
+	err    error
+}
+
+// ensure builds the table exactly once; every worker calls it and all but
+// the first block until the build completes.
+func (h *parHashTable) ensure(src *source, col string) error {
+	h.once.Do(func() { h.err = h.build(src, col) })
+	return h.err
+}
+
+// lookup returns the bucket for a non-NULL symKey-normalized probe value.
+func (h *parHashTable) lookup(key Value) []int {
+	return h.shards[int(shardOf(key)%uint64(len(h.shards)))][key]
+}
+
+func (h *parHashTable) build(src *source, col string) error {
+	ci := src.columnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relational: source %s has no column %q", src.name, col)
+	}
+	var rows [][]Value
+	if src.table != nil {
+		rows = src.table.rows
+	} else {
+		rows = src.rows.Data
+	}
+	it := h.db.intern
+	var ctr levelCounters
+	defer ctr.flush(h.db)
+	k := h.db.buildWorkersFor(len(rows))
+	if k <= 1 {
+		// Small build side: one shard, built inline. Still shared — the
+		// point is one build for all probing workers, not k duplicates.
+		ht := make(map[Value][]int)
+		for rid, row := range rows {
+			if row == nil || row[ci].IsNull() {
+				continue
+			}
+			ctr.rowsScanned++
+			key := row[ci].symKey(it)
+			ht[key] = append(ht[key], rid)
+		}
+		ctr.hashJoinBuilds++
+		h.shards = []map[Value][]int{ht}
+		return nil
+	}
+	h.db.parActive.Add(int64(k))
+	defer h.db.parActive.Add(int64(-k))
+	spans := partitionSpans(len(rows), k)
+	sub := make([][]map[Value][]int, k) // [chunk][shard]
+	counts := make([]int64, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]map[Value][]int, k)
+			for s := range local {
+				local[s] = make(map[Value][]int)
+			}
+			var scanned int64
+			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
+				row := rows[rid]
+				if row == nil || row[ci].IsNull() {
+					continue
+				}
+				scanned++
+				key := row[ci].symKey(it)
+				s := int(shardOf(key) % uint64(k))
+				local[s][key] = append(local[s][key], rid)
+			}
+			sub[w] = local
+			counts[w] = scanned
+		}(w)
+	}
+	wg.Wait()
+	shards := make([]map[Value][]int, k)
+	for s := 0; s < k; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			m := make(map[Value][]int)
+			for w := 0; w < k; w++ {
+				for key, bucket := range sub[w][s] {
+					m[key] = append(m[key], bucket...)
+				}
+			}
+			shards[s] = m
+		}(s)
+	}
+	wg.Wait()
+	for _, c := range counts {
+		ctr.rowsScanned += c
+	}
+	ctr.hashJoinBuilds++
+	h.db.stats.ParallelWorkers.Add(int64(k))
+	h.shards = shards
+	return nil
+}
+
+// shardOf hashes a symKey-normalized value for shard routing. Quality only
+// needs to spread keys across a handful of shards; correctness only needs
+// determinism within one build, which holds because symKey normalization
+// is a pure function of the value.
+func shardOf(v Value) uint64 {
+	if v.kind == KindText {
+		// Uninterned text (interning disabled, or never-stored strings):
+		// FNV-1a over the bytes.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= 1099511628211
+		}
+		return h
+	}
+	// Int payloads (KindInt, interned-symbol keys): splitmix64 finisher.
+	x := uint64(v.i) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ---- parallel CTE materialization (concurrent SOU branches) ----
+
+// materializeCTEsParallel evaluates a statement's CTEs in dependency
+// waves: CTEs whose table references reach only already-published CTEs run
+// concurrently — the Sorted Outer Union's sibling branches, which all hang
+// off the same ancestor chain — and each wave publishes its results into
+// env before the next starts, so workers only ever read the environment.
+// Results are identical to the serial loop's: each CTE's evaluation
+// depends only on its inputs, and publication order within a wave is a map
+// insert.
+func (db *DB) materializeCTEsParallel(s *SelectStmt, env *execEnv, wants map[string][]OrderKey, k int) error {
+	n := len(s.With)
+	// wave[i] = longest dependency chain below CTE i. Conservative: any
+	// table name mentioned anywhere in the CTE's statement counts as a
+	// use, so over-collection only costs wave width, never correctness.
+	wave := make([]int, n)
+	pos := make(map[string]int, n)
+	maxWave := 0
+	for i, cte := range s.With {
+		refs := make(map[string]bool)
+		collectTableRefs(cte.Select, refs)
+		for name := range refs {
+			if j, ok := pos[name]; ok && wave[j]+1 > wave[i] {
+				wave[i] = wave[j] + 1
+			}
+		}
+		if wave[i] > maxWave {
+			maxWave = wave[i]
+		}
+		pos[strings.ToLower(cte.Name)] = i
+	}
+	results := make([]*Rows, n)
+	for wv := 0; wv <= maxWave; wv++ {
+		var idxs []int
+		for i := range s.With {
+			if wave[i] == wv {
+				idxs = append(idxs, i)
+			}
+		}
+		if err := db.runCTEWave(s, env, wants, idxs, k, results); err != nil {
+			return err
+		}
+		for _, i := range idxs {
+			env.ctes[strings.ToLower(s.With[i].Name)] = results[i]
+		}
+	}
+	return nil
+}
+
+// runCTEWave materializes one wave of independent CTEs, fanning out to at
+// most k workers pulling indexes off a shared cursor.
+func (db *DB) runCTEWave(s *SelectStmt, env *execEnv, wants map[string][]OrderKey, idxs []int, k int, results []*Rows) error {
+	if len(idxs) == 1 {
+		i := idxs[0]
+		cte := s.With[i]
+		rows, err := db.materializeCTE(cte, env, wants[strings.ToLower(cte.Name)])
+		if err != nil {
+			return err
+		}
+		results[i] = rows
+		return nil
+	}
+	if k > len(idxs) {
+		k = len(idxs)
+	}
+	db.parActive.Add(int64(k))
+	defer db.parActive.Add(int64(-k))
+	errs := make([]error, len(idxs))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < k; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= len(idxs) || failed.Load() {
+					return
+				}
+				cte := s.With[idxs[j]]
+				rows, err := db.materializeCTE(cte, env, wants[strings.ToLower(cte.Name)])
+				if err != nil {
+					errs[j] = err
+					failed.Store(true)
+					return
+				}
+				results[idxs[j]] = rows
+			}
+		}()
+	}
+	wg.Wait()
+	db.stats.ParallelWorkers.Add(int64(k))
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectTableRefs gathers every table or CTE name a statement could read:
+// FROM items of every body, IN-subqueries in WHERE and select lists, and
+// nested WITH statements.
+func collectTableRefs(s *SelectStmt, out map[string]bool) {
+	for _, cte := range s.With {
+		collectTableRefs(cte.Select, out)
+	}
+	for _, body := range s.Body {
+		for _, f := range body.From {
+			out[strings.ToLower(f.Table)] = true
+		}
+		if body.Where != nil {
+			collectExprRefs(body.Where, out)
+		}
+		for _, se := range body.Exprs {
+			collectExprRefs(se.Expr, out)
+		}
+	}
+}
+
+func collectExprRefs(e Expr, out map[string]bool) {
+	switch x := e.(type) {
+	case *Binary:
+		collectExprRefs(x.L, out)
+		collectExprRefs(x.R, out)
+	case *Unary:
+		collectExprRefs(x.X, out)
+	case *IsNull:
+		collectExprRefs(x.X, out)
+	case *InExpr:
+		collectExprRefs(x.X, out)
+		for _, l := range x.List {
+			collectExprRefs(l, out)
+		}
+		if x.Select != nil {
+			collectTableRefs(x.Select, out)
+		}
+	case *FuncCall:
+		if x.Arg != nil {
+			collectExprRefs(x.Arg, out)
+		}
+	}
+}
+
+// ---- parallel DML read phase ----
+
+// matchScanParallel is the DML read phase's partitioned full scan: workers
+// check the gated conjuncts over contiguous rowid windows with private
+// evaluators and bindings, and the per-window match lists concatenate in
+// window order — ascending rowids, exactly the serial scan's output. It
+// runs under the exclusive statement lock; workers only read, and the
+// mutation phase that follows applies serially under the undo log. On
+// error, the lowest-window error is reported — the same error the serial
+// ascending scan would have hit first.
+func (db *DB) matchScanParallel(ctr *levelCounters, lp levelPlan, t *Table, name string, env *execEnv, k int) ([]int, error) {
+	db.parActive.Add(int64(k))
+	defer db.parActive.Add(int64(-k))
+	spans := partitionSpans(len(t.rows), k)
+	out := make([][]int, k)
+	errs := make([]error, k)
+	counts := make([]int64, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := newEval(db, env)
+			bind := singleBinding(name, t, nil)
+			var rids []int
+			var scanned int64
+			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
+				row := t.rows[rid]
+				if row == nil {
+					continue
+				}
+				scanned++
+				bind.rows[0] = row
+				keep := true
+				for _, c := range lp.conds {
+					ok, err := ev.evalBool(c, bind)
+					if err != nil {
+						errs[w], counts[w] = err, scanned
+						return
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					rids = append(rids, rid)
+				}
+			}
+			out[w], counts[w] = rids, scanned
+		}(w)
+	}
+	wg.Wait()
+	db.stats.ParallelWorkers.Add(int64(k))
+	db.stats.PartitionsScanned.Add(int64(k))
+	for _, c := range counts {
+		ctr.rowsScanned += c
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var rids []int
+	for _, part := range out {
+		rids = append(rids, part...)
+	}
+	return rids, nil
+}
+
+// updateValsParallel computes an UPDATE's new values for every matched row
+// before any mutation applies — the batched read phase. This is equivalent
+// to the serial interleaved loop because SET expressions read only the
+// current row (plus params and OLD), matched rowids are distinct, and the
+// serial loop's IN-subquery memoization also snapshots pre-statement state
+// (the subquery evaluates at the first row's SET, before any mutation).
+// Mutations then apply serially under the undo log, so rollback semantics
+// are untouched. On error nothing has mutated; the lowest-chunk error is
+// reported, which is the error the serial ascending loop hits first.
+func (db *DB) updateValsParallel(s *UpdateStmt, t *Table, rids []int, env *execEnv, k int) ([]Value, error) {
+	db.parActive.Add(int64(k))
+	defer db.parActive.Add(int64(-k))
+	nset := len(s.Set)
+	all := make([]Value, len(rids)*nset)
+	spans := partitionSpans(len(rids), k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := newEval(db, env)
+			bind := singleBinding(s.Table, t, nil)
+			for j := spans[w][0]; j < spans[w][1]; j++ {
+				bind.rows[0] = t.Row(rids[j])
+				for i, sc := range s.Set {
+					v, err := ev.eval(sc.Val, bind)
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					all[j*nset+i] = v
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	db.stats.ParallelWorkers.Add(int64(k))
+	db.stats.PartitionsScanned.Add(int64(k))
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}

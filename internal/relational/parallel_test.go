@@ -1,0 +1,266 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Serial≡parallel equivalence: every query must return the byte-identical
+// row sequence under SetParallelism(k) that it returns serially — not just
+// the same multiset. Partitioned pipelines concatenate contiguous chunks of
+// the serial enumeration in chunk order (parallel.go), so exact equality is
+// the contract, and these tests hold it across randomized documents, every
+// partitionable access kind, shared hash joins, parallel aggregation, CTE
+// waves, and the DML read phase.
+
+// buildParDoc loads a parent/child document big enough to clear the
+// parMinRows fan-out gate: ~40 parents, 300-600 kids. grp is deliberately
+// unindexed (transient hash joins); (parentId, pos) and (id) carry ordered
+// indexes (elided sorts, range scans); parentId carries a hash index
+// (indexed probes).
+func buildParDoc(t testing.TB, seed int64) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustExec(`CREATE TABLE Par (id INTEGER, grp INTEGER, name VARCHAR(20))`)
+	db.MustExec(`CREATE TABLE Kid (id INTEGER, parentId INTEGER, grp INTEGER, pos INTEGER, val VARCHAR(20))`)
+	db.MustExec(`CREATE INDEX pk_pid ON Kid (parentId)`)
+	db.MustExec(`CREATE ORDERED INDEX ok_id ON Kid (id)`)
+	db.MustExec(`CREATE ORDERED INDEX ok_pp ON Kid (parentId, pos)`)
+	rng := rand.New(rand.NewSource(seed))
+	nPar := 32 + rng.Intn(16)
+	for p := 1; p <= nPar; p++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO Par VALUES (%d, %d, 'p%d')`, p, rng.Intn(6), p))
+	}
+	nKid := 300 + rng.Intn(300)
+	ids := rng.Perm(nKid)
+	for _, i := range ids {
+		val := fmt.Sprintf("'v%d'", rng.Intn(8))
+		if rng.Intn(9) == 0 {
+			val = "NULL"
+		}
+		db.MustExec(fmt.Sprintf(`INSERT INTO Kid VALUES (%d, %d, %d, %d, %s)`,
+			1000+i, 1+rng.Intn(nPar), rng.Intn(6), rng.Intn(10), val))
+	}
+	// Holes in the rowid space: partitions must skip dead rows exactly the
+	// way the serial scan does.
+	for i := 0; i < 30; i++ {
+		db.MustExec(fmt.Sprintf(`DELETE FROM Kid WHERE id = %d`, 1000+rng.Intn(nKid)))
+	}
+	return db
+}
+
+// parallelQueries covers every shape the fan-out touches: partitioned heap
+// scans, range and ordered scans (elided sorts), indexed and transient hash
+// joins, parallel aggregation, DISTINCT, merges, CTE chains, IN-subqueries.
+var parallelQueries = []string{
+	`SELECT id, pos, val FROM Kid WHERE pos >= 2`,
+	`SELECT id, parentId FROM Kid`,
+	`SELECT id FROM Kid WHERE id > 1100 AND id <= 1400 ORDER BY id`,
+	`SELECT parentId, pos, id FROM Kid ORDER BY parentId, pos`,
+	`SELECT parentId, pos, id FROM Kid ORDER BY parentId DESC, pos DESC`,
+	`SELECT pos, val, id FROM Kid ORDER BY val, id`,
+	`SELECT P.name, K.id FROM Par P, Kid K WHERE K.parentId = P.id AND K.pos < 4`,
+	`SELECT P.id, K.id FROM Par P, Kid K WHERE K.grp = P.grp ORDER BY 1, 2`,
+	`SELECT COUNT(id), MIN(pos), MAX(id) FROM Kid WHERE pos >= 1`,
+	`SELECT COUNT(id) + MIN(id) FROM Kid`,
+	`SELECT DISTINCT grp FROM Kid ORDER BY grp`,
+	`SELECT DISTINCT val FROM Kid WHERE pos > 1`,
+	`SELECT id FROM Kid WHERE pos = 1 UNION ALL SELECT id FROM Kid WHERE pos = 2 ORDER BY id`,
+	`WITH a(id, grp) AS (SELECT id, grp FROM Kid WHERE pos >= 1),
+	      b(id) AS (SELECT a.id FROM a, Par P WHERE a.grp = P.grp)
+	 SELECT id FROM b ORDER BY id`,
+	`SELECT id FROM Kid WHERE parentId IN (SELECT id FROM Par WHERE grp = 2) ORDER BY id`,
+	`SELECT K.parentId, COUNT(K.id) FROM Kid K, Par P WHERE K.parentId = P.id AND P.grp < 4`,
+}
+
+func TestParallelSerialEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 7, 19, 41} {
+		db := buildParDoc(t, seed)
+		for _, sql := range parallelQueries {
+			db.SetParallelism(1)
+			want, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("seed %d serial: %q: %v", seed, sql, err)
+			}
+			for _, k := range []int{2, 4, 8} {
+				db.SetParallelism(k)
+				got, err := db.Query(sql)
+				if err != nil {
+					t.Fatalf("seed %d k=%d: %q: %v", seed, k, sql, err)
+				}
+				if rowsString(got) != rowsString(want) {
+					t.Errorf("seed %d k=%d: %q diverges from serial\nserial:\n%s\nparallel:\n%s",
+						seed, k, sql, rowsString(want), rowsString(got))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelUpdateDeleteEquivalence runs the same randomized DML script
+// against a serial and a parallel copy of the same document; final table
+// contents must match exactly, including after a mid-statement unique
+// violation rolls an UPDATE back.
+func TestParallelUpdateDeleteEquivalence(t *testing.T) {
+	for _, seed := range []int64{5, 13} {
+		serial := buildParDoc(t, seed)
+		paral := buildParDoc(t, seed)
+		paral.SetParallelism(4)
+		script := []string{
+			`UPDATE Kid SET pos = pos + 1 WHERE pos >= 3`,
+			`UPDATE Kid SET val = 'bumped' WHERE grp = 2 AND pos < 5`,
+			`UPDATE Kid SET grp = grp + 10 WHERE parentId IN (SELECT id FROM Par WHERE grp = 1)`,
+			`DELETE FROM Kid WHERE pos > 8`,
+			`DELETE FROM Kid WHERE grp = 13`,
+		}
+		for _, sql := range script {
+			ns, err := serial.Exec(sql)
+			if err != nil {
+				t.Fatalf("seed %d serial: %q: %v", seed, sql, err)
+			}
+			np, err := paral.Exec(sql)
+			if err != nil {
+				t.Fatalf("seed %d parallel: %q: %v", seed, sql, err)
+			}
+			if ns != np {
+				t.Fatalf("seed %d: %q affected %d rows serial, %d parallel", seed, sql, ns, np)
+			}
+		}
+		// A full-scan UPDATE that violates id uniqueness partway through:
+		// both copies must report the error and roll the statement back.
+		bad := `UPDATE Kid SET id = 77 WHERE pos >= 0`
+		if _, err := serial.Exec(bad); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("seed %d serial: expected duplicate error, got %v", seed, err)
+		}
+		if _, err := paral.Exec(bad); err == nil || !strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("seed %d parallel: expected duplicate error, got %v", seed, err)
+		}
+		dump := `SELECT id, parentId, grp, pos, val FROM Kid ORDER BY id`
+		a, err := serial.Query(dump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := paral.Query(dump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsString(a) != rowsString(b) {
+			t.Errorf("seed %d: table contents diverge after DML script\nserial:\n%s\nparallel:\n%s",
+				seed, rowsString(a), rowsString(b))
+		}
+	}
+}
+
+func TestParallelStatsCounters(t *testing.T) {
+	db := buildParDoc(t, 9)
+	db.SetParallelism(4)
+	db.ResetStats()
+	if _, err := db.Query(`SELECT id, pos FROM Kid WHERE pos >= 0`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.ParallelWorkers < 2 {
+		t.Errorf("ParallelWorkers = %d, want >= 2", st.ParallelWorkers)
+	}
+	if st.PartitionsScanned < st.ParallelWorkers {
+		t.Errorf("PartitionsScanned = %d, want >= workers (%d)", st.PartitionsScanned, st.ParallelWorkers)
+	}
+	if st.ExchangeBatches < st.PartitionsScanned {
+		t.Errorf("ExchangeBatches = %d, want >= partitions (%d)", st.ExchangeBatches, st.PartitionsScanned)
+	}
+}
+
+// TestParallelSmallInputStaysSerial: inputs under parMinRows must not fan
+// out regardless of the configured budget.
+func TestParallelSmallInputStaysSerial(t *testing.T) {
+	db := NewDB()
+	db.MustExec(`CREATE TABLE t (id INTEGER, x INTEGER)`)
+	for i := 0; i < parMinRows-1; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i%7))
+	}
+	db.SetParallelism(8)
+	db.ResetStats()
+	if _, err := db.Query(`SELECT id FROM t WHERE x > 2`); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Stats(); st.ParallelWorkers != 0 {
+		t.Errorf("small input fanned out: ParallelWorkers = %d", st.ParallelWorkers)
+	}
+}
+
+func TestParallelExplainRendering(t *testing.T) {
+	db := buildParDoc(t, 11)
+	db.SetParallelism(4)
+	plan, err := db.Explain(`SELECT id, pos FROM Kid WHERE pos >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "Exchange (workers=4, ordered)") {
+		t.Errorf("plan missing Exchange line:\n%s", plan)
+	}
+	if !strings.Contains(plan, "ParallelScan(k=4) Kid") {
+		t.Errorf("plan missing ParallelScan line:\n%s", plan)
+	}
+	plan, err = db.Explain(`UPDATE Kid SET pos = 0 WHERE val = 'v1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "ParallelScan(k=") {
+		t.Errorf("DML plan missing parallel match line:\n%s", plan)
+	}
+	// Serial budget renders the serial plan.
+	db.SetParallelism(1)
+	plan, err = db.Explain(`SELECT id, pos FROM Kid WHERE pos >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan, "Exchange") || strings.Contains(plan, "Parallel") {
+		t.Errorf("serial plan shows parallel operators:\n%s", plan)
+	}
+}
+
+// TestConcurrentParallelReaders drives parallel queries from several client
+// goroutines at once — the fan-out spawns workers under a shared db.mu, and
+// the race detector checks the whole arrangement.
+func TestConcurrentParallelReaders(t *testing.T) {
+	db := buildParDoc(t, 17)
+	db.SetParallelism(4)
+	want := make([]string, len(parallelQueries))
+	db.SetParallelism(1)
+	for i, sql := range parallelQueries {
+		r, err := db.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rowsString(r)
+	}
+	db.SetParallelism(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < len(parallelQueries); i++ {
+				q := (i + g) % len(parallelQueries)
+				r, err := db.Query(parallelQueries[q])
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %q: %v", g, parallelQueries[q], err)
+					return
+				}
+				if got := rowsString(r); got != want[q] {
+					errs <- fmt.Errorf("reader %d: %q diverged under concurrency", g, parallelQueries[q])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
