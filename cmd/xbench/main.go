@@ -31,13 +31,14 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced parameter grid")
 		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
 		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
+		writer   = flag.String("writer", "rollback", "writer mode for -exp readers: rollback (abort cycles), live (commit cycles), or both")
 		workers  = flag.Int("workers", 8, "max worker budget for the parallel-executor sweep (-exp parallel)")
 		jsonPath = flag.String("json", "", "write experiment results as JSON to this file")
 	)
 	flag.Parse()
 	cfg := bench.Config{Runs: *runs, Quick: *quick}
 	results := make(map[string]any)
-	if err := run(*exp, cfg, *readers, *workers, results); err != nil {
+	if err := run(*exp, cfg, *readers, *writer, *workers, results); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
 	}
@@ -73,7 +74,7 @@ var figures = []figRunner{
 	{"randdoc", bench.RunRandomizedDelete},
 }
 
-func run(exp string, cfg bench.Config, readers, workers int, results map[string]any) error {
+func run(exp string, cfg bench.Config, readers int, writer string, workers int, results map[string]any) error {
 	matched := false
 	for _, f := range figures {
 		if exp == "all" || exp == f.id {
@@ -109,13 +110,26 @@ func run(exp string, cfg bench.Config, readers, workers int, results map[string]
 	}
 	if exp == "readers" {
 		matched = true
-		pts, err := bench.RunConcurrentReaders(cfg, readers)
-		if err != nil {
-			return fmt.Errorf("readers: %w", err)
+		modes := []string{writer}
+		if writer == "both" {
+			modes = []string{"rollback", "live"}
 		}
-		results["readers"] = pts
-		bench.WriteConcurrentReads(os.Stdout, pts)
-		fmt.Println()
+		for _, mode := range modes {
+			if mode != "rollback" && mode != "live" {
+				return fmt.Errorf("readers: unknown writer mode %q (want rollback, live, or both)", mode)
+			}
+			pts, err := bench.RunConcurrentReaders(cfg, readers, mode)
+			if err != nil {
+				return fmt.Errorf("readers (%s writer): %w", mode, err)
+			}
+			key := "readers"
+			if mode == "live" {
+				key = "readers-live"
+			}
+			results[key] = pts
+			bench.WriteConcurrentReads(os.Stdout, pts)
+			fmt.Println()
+		}
 	}
 	if exp == "parallel" {
 		// Like readers, a scheduling-sensitive scenario: opt-in rather than

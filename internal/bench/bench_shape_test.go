@@ -250,7 +250,7 @@ func TestWriteFigureFormat(t *testing.T) {
 // is not asserted — it is bounded by GOMAXPROCS, which is 1 on CI-sized
 // containers.
 func TestConcurrentReadersShape(t *testing.T) {
-	pts, err := RunConcurrentReaders(Config{Runs: 1, Quick: true}, 2)
+	pts, err := RunConcurrentReaders(Config{Runs: 1, Quick: true}, 2, "rollback")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,10 +261,45 @@ func TestConcurrentReadersShape(t *testing.T) {
 		if p.Seconds <= 0 || p.QueriesSec <= 0 {
 			t.Errorf("degenerate point: %+v", p)
 		}
+		if p.Snapshots == 0 {
+			t.Errorf("writer registered no snapshots: %+v", p)
+		}
 	}
 	var b strings.Builder
 	WriteConcurrentReads(&b, pts)
 	if !strings.Contains(b.String(), "readers") {
 		t.Errorf("output missing header:\n%s", b.String())
+	}
+}
+
+// TestConcurrentReadersLiveWriterShape runs the live-commit variant: the
+// writer's renumber/restore transactions all commit, so readers overlap
+// genuine version chains, and the document must end at its base state.
+func TestConcurrentReadersLiveWriterShape(t *testing.T) {
+	pts, err := RunConcurrentReaders(Config{Runs: 1, Quick: true}, 2, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("unexpected points: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.QueriesSec <= 0 {
+			t.Errorf("degenerate point: %+v", p)
+		}
+		if p.WriterMode != "live" {
+			t.Errorf("point mode %q, want live", p.WriterMode)
+		}
+		if p.Snapshots == 0 {
+			t.Errorf("live writer registered no snapshots: %+v", p)
+		}
+		if p.Conflicts != 0 {
+			t.Errorf("single-writer workload reported %d conflicts", p.Conflicts)
+		}
+	}
+	var b strings.Builder
+	WriteConcurrentReads(&b, pts)
+	if !strings.Contains(b.String(), "live commits") {
+		t.Errorf("output missing live-writer header:\n%s", b.String())
 	}
 }

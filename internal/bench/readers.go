@@ -14,27 +14,41 @@ import (
 
 // ConcurrentReadPoint is one concurrent snapshot-read measurement: N reader
 // goroutines each run a fixed count of document-order Sorted-Outer-Union
-// reconstructions while one writer cycles pos-renumber transactions and
-// rollbacks. Seconds is the fastest (min-of-runs) wall time for all readers
-// to finish — the least GC-noisy estimator on a shared box — and Speedup is
-// aggregate throughput relative to the single-reader point, which a global
-// mutex would pin at ~1.0.
+// reconstructions while one writer cycles pos-renumber transactions —
+// rolled back (WriterMode "rollback") or committed (WriterMode "live").
+// Seconds is the fastest (min-of-runs) wall time for all readers to finish
+// — the least GC-noisy estimator on a shared box — and Speedup is aggregate
+// throughput relative to the single-reader point, which a global mutex
+// would pin at ~1.0. The MVCC counters are totals across the point's
+// measured runs: Snapshots registered by the writer's transactions,
+// ChainHops walked by readers overlapping uncommitted or superseded
+// versions, Conflicts hit by first-committer-wins, and Vacuumed versions
+// reclaimed once no snapshot needed them.
 type ConcurrentReadPoint struct {
 	Readers    int
 	Queries    int // per reader
+	WriterMode string
 	Seconds    float64
 	QueriesSec float64
 	Speedup    float64
+	Snapshots  int64
+	ChainHops  int64
+	Conflicts  int64
+	Vacuumed   int64
 }
 
-// RunConcurrentReaders measures reader scaling for 1..maxReaders
-// goroutines. Snapshot reads take the DB's shared lock, so throughput
-// should grow with N; the writer serializes against each read only at
-// transaction granularity.
-func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, error) {
+// RunConcurrentReaders measures reader scaling for 1..maxReaders goroutines
+// against a writer in the given mode: "rollback" cycles renumber
+// transactions that abort, "live" commits alternating renumber/restore
+// transactions so readers continuously observe snapshot boundaries. Reads
+// take the DB's shared lock and evaluate row visibility against their
+// snapshot, so throughput should grow with N; the writer serializes against
+// each read only at statement granularity.
+func RunConcurrentReaders(cfg Config, maxReaders int, writerMode string) ([]ConcurrentReadPoint, error) {
 	if maxReaders < 1 {
 		maxReaders = 4
 	}
+	live := writerMode == "live"
 	p := datagen.FixedParams{ScalingFactor: 40, Depth: 4, Fanout: 1, Seed: 1}
 	queries := 24
 	if cfg.Quick {
@@ -51,7 +65,9 @@ func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, er
 	if s.M.Table(target) == nil {
 		target = "e1"
 	}
-	renumber := fmt.Sprintf("UPDATE %s SET pos = pos + 1000", s.M.Table(target).Name)
+	table := s.M.Table(target).Name
+	renumber := fmt.Sprintf("UPDATE %s SET pos = pos + 1000", table)
+	restore := fmt.Sprintf("UPDATE %s SET pos = pos - 1000", table)
 
 	// Reader counts: powers of two up to maxReaders, always ending on it.
 	var counts []int
@@ -64,8 +80,9 @@ func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, er
 	base := 0.0
 	for _, readers := range counts {
 		best := 0.0
+		s.DB.ResetStats()
 		for i := 0; i <= cfg.runs(); i++ {
-			elapsed, err := measureReaders(s, target, renumber, readers, queries)
+			elapsed, err := measureReaders(s, target, renumber, restore, readers, queries, live)
 			if err != nil {
 				return nil, err
 			}
@@ -76,11 +93,17 @@ func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, er
 				best = elapsed
 			}
 		}
+		st := s.DB.Stats()
 		pt := ConcurrentReadPoint{
 			Readers:    readers,
 			Queries:    queries,
+			WriterMode: writerMode,
 			Seconds:    best,
 			QueriesSec: float64(readers*queries) / best,
+			Snapshots:  st.SnapshotsTaken,
+			ChainHops:  st.VersionChainHops,
+			Conflicts:  st.WriteConflicts,
+			Vacuumed:   st.VersionsVacuumed,
 		}
 		if base == 0 {
 			base = pt.QueriesSec
@@ -92,32 +115,67 @@ func RunConcurrentReaders(cfg Config, maxReaders int) ([]ConcurrentReadPoint, er
 }
 
 // measureReaders times one round: `readers` goroutines each running
-// `queries` SOU reconstructions against a rollback-cycling writer.
-func measureReaders(s *engine.Store, target, renumber string, readers, queries int) (float64, error) {
+// `queries` SOU reconstructions against the writer. A rollback writer
+// cycles renumber-then-abort; a live writer commits a renumber and then a
+// restoring transaction, so every committed state is one of two known
+// generations and version chains genuinely form and vacuum under load.
+func measureReaders(s *engine.Store, target, renumber, restore string, readers, queries int, live bool) (float64, error) {
+	// One synchronous cycle before the clock starts: at quick scale a round
+	// can finish before the writer goroutine is ever scheduled, and the
+	// scenario (and its MVCC counters) assumes the writer ran at all.
+	tx := s.DB.Begin()
+	if _, err := tx.Exec(renumber); err != nil {
+		tx.Rollback()
+		return 0, err
+	}
+	if err := tx.Rollback(); err != nil {
+		return 0, err
+	}
 	stop := make(chan struct{})
 	errs := make(chan error, readers+1)
 	var writerWG sync.WaitGroup
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
+		up := true
+		// A live writer stops only at cycle boundaries; if the last commit
+		// was the renumber half, restore the base state so the next round
+		// (and the next mode) starts from generation zero.
+		defer func() {
+			if live && !up {
+				if _, err := s.DB.Exec(restore); err != nil {
+					errs <- err
+				}
+			}
+		}()
 		for {
 			select {
 			case <-stop:
 				return
 			default:
 			}
+			stmt := renumber
+			if live && !up {
+				stmt = restore
+			}
 			tx := s.DB.Begin()
-			if _, err := tx.Exec(renumber); err != nil {
+			if _, err := tx.Exec(stmt); err != nil {
 				tx.Rollback()
 				errs <- err
 				return
 			}
-			if err := tx.Rollback(); err != nil {
+			if live {
+				if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+				up = !up
+			} else if err := tx.Rollback(); err != nil {
 				errs <- err
 				return
 			}
-			// Throttle: a writer spinning on the exclusive lock models no
-			// real workload and only measures lock fairness. A short pause
+			// Throttle: a writer spinning on the writer slot models no real
+			// workload and only measures lock fairness. A short pause
 			// between transactions keeps the writer active across the whole
 			// window while letting reads overlap — the behavior under test.
 			time.Sleep(500 * time.Microsecond)
@@ -153,11 +211,17 @@ func measureReaders(s *engine.Store, target, renumber string, readers, queries i
 // speedup ceiling is GOMAXPROCS — on a single-CPU container the curve is
 // necessarily flat, so the processor count is part of the record.
 func WriteConcurrentReads(w io.Writer, pts []ConcurrentReadPoint) {
-	fmt.Fprintf(w, "concurrent snapshot reads: SOU reconstruction vs pos-renumber writer (rollback cycles), GOMAXPROCS=%d\n",
-		runtime.GOMAXPROCS(0))
-	fmt.Fprintf(w, "%8s %10s %12s %12s %9s\n", "readers", "queries", "min-time(s)", "queries/s", "speedup")
+	mode := "rollback cycles"
+	if len(pts) > 0 && pts[0].WriterMode == "live" {
+		mode = "live commits"
+	}
+	fmt.Fprintf(w, "concurrent snapshot reads: SOU reconstruction vs pos-renumber writer (%s), GOMAXPROCS=%d\n",
+		mode, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%8s %10s %12s %12s %9s %10s %10s %10s %10s\n",
+		"readers", "queries", "min-time(s)", "queries/s", "speedup", "snapshots", "chainhops", "conflicts", "vacuumed")
 	for _, p := range pts {
-		fmt.Fprintf(w, "%8d %10d %12.4f %12.1f %8.2fx\n",
-			p.Readers, p.Readers*p.Queries, p.Seconds, p.QueriesSec, p.Speedup)
+		fmt.Fprintf(w, "%8d %10d %12.4f %12.1f %8.2fx %10d %10d %10d %10d\n",
+			p.Readers, p.Readers*p.Queries, p.Seconds, p.QueriesSec, p.Speedup,
+			p.Snapshots, p.ChainHops, p.Conflicts, p.Vacuumed)
 	}
 }

@@ -1,6 +1,7 @@
 package relational
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -63,6 +64,17 @@ type Stats struct {
 	ParallelWorkers   int64
 	PartitionsScanned int64
 	ExchangeBatches   int64
+	// SnapshotsTaken counts MVCC snapshots registered by explicit
+	// transactions (Begin / SQL BEGIN). VersionChainHops counts version-chain
+	// nodes walked by visibility checks — structurally zero while every table
+	// is single-version, which is what keeps the read fast path unchanged.
+	// WriteConflicts counts first-committer-wins aborts and intent
+	// collisions; VersionsVacuumed counts row versions reclaimed once no
+	// live snapshot could see them (mvcc.go).
+	SnapshotsTaken   int64
+	VersionChainHops int64
+	WriteConflicts   int64
+	VersionsVacuumed int64
 }
 
 // statCounters is the live, concurrently updated form of Stats. Readers run
@@ -87,17 +99,28 @@ type statCounters struct {
 	ParallelWorkers   atomic.Int64
 	PartitionsScanned atomic.Int64
 	ExchangeBatches   atomic.Int64
+
+	SnapshotsTaken   atomic.Int64
+	VersionChainHops atomic.Int64
+	WriteConflicts   atomic.Int64
+	VersionsVacuumed atomic.Int64
 }
 
 // DB is an embedded relational database.
 //
-// Concurrency model: statements and transactions hold the writer lock
-// exclusively; Query/QueryEach/Snapshot/Stats hold it shared. Because a
-// transaction — including the implicit one wrapping every top-level Exec —
-// holds the writer lock from its first mutation to commit or rollback,
-// shared-lock readers only ever observe a committed version of the data:
-// N goroutines can run Sorted-Outer-Union reconstruction concurrently, and
-// they serialize only against writers, never against each other.
+// Concurrency model: individual statements hold the writer lock exclusively;
+// Query/QueryEach/Snapshot/Stats hold it shared. An explicit transaction
+// (Begin / SQL BEGIN) no longer holds the writer lock between its
+// statements: it takes an MVCC snapshot at Begin, marks the rows it writes
+// with its transaction id, and readers evaluate row visibility against
+// their snapshot (mvcc.go). Readers therefore only ever observe a committed
+// version of the data — and they keep completing while a write transaction
+// sits open, blocking at most for the duration of one statement. N
+// goroutines can run Sorted-Outer-Union reconstruction concurrently,
+// serializing only against individual writer statements, never against each
+// other. Writers conflict first-committer-wins: per-table write intents
+// make an overlapping second writer abort with ErrWriteConflict instead of
+// blocking.
 type DB struct {
 	// mu is the data-plane reader/writer lock described above.
 	mu sync.RWMutex
@@ -142,9 +165,24 @@ type DB struct {
 	schemaVer int64
 
 	// undo is the active transaction's undo log (txn.go); non-nil exactly
-	// while a statement or explicit transaction is in progress. Accessed
+	// while a statement is executing under the exclusive lock. Accessed
 	// only under the exclusive lock.
 	undo *undoLog
+	// MVCC state (mvcc.go), all guarded by the writer lock. commitTS is the
+	// last committed transaction stamp; nextTxn numbers transactions for row
+	// marks. snaps maps open explicit transactions to their snapshot stamps
+	// (its minimum is the vacuum horizon). writer is the write context of
+	// the statement currently executing under the exclusive lock; row
+	// mutations route through it to decide physical vs versioned form.
+	// intentCh is closed and replaced whenever write intents release, waking
+	// autocommit statements queued behind an explicit transaction's intent.
+	// pendingVac queues committed version chains for the next vacuum pass.
+	commitTS   uint64
+	nextTxn    uint64
+	snaps      map[uint64]uint64
+	writer     *writeCtx
+	intentCh   chan struct{}
+	pendingVac []vacRec
 	// sqlTx is the transaction opened by a SQL-level BEGIN through DB.Exec,
 	// which subsequent DB.Exec calls join (single-session semantics).
 	// Atomic because the joining check runs before the lock is taken.
@@ -191,6 +229,8 @@ func NewDB() *DB {
 		byTable:  make(map[string][]*trigger),
 		stmts:    make(map[string]*cachedStmt),
 		intern:   &internTable{},
+		snaps:    make(map[uint64]uint64),
+		intentCh: make(chan struct{}),
 	}
 }
 
@@ -247,6 +287,11 @@ func (db *DB) Stats() Stats {
 		ParallelWorkers:   db.stats.ParallelWorkers.Load(),
 		PartitionsScanned: db.stats.PartitionsScanned.Load(),
 		ExchangeBatches:   db.stats.ExchangeBatches.Load(),
+
+		SnapshotsTaken:   db.stats.SnapshotsTaken.Load(),
+		VersionChainHops: db.stats.VersionChainHops.Load(),
+		WriteConflicts:   db.stats.WriteConflicts.Load(),
+		VersionsVacuumed: db.stats.VersionsVacuumed.Load(),
 	}
 	if it := db.intern; it != nil {
 		s.InternHits = it.hits.Load()
@@ -274,6 +319,10 @@ func (db *DB) ResetStats() {
 	db.stats.ParallelWorkers.Store(0)
 	db.stats.PartitionsScanned.Store(0)
 	db.stats.ExchangeBatches.Store(0)
+	db.stats.SnapshotsTaken.Store(0)
+	db.stats.VersionChainHops.Store(0)
+	db.stats.WriteConflicts.Store(0)
+	db.stats.VersionsVacuumed.Store(0)
 	if it := db.intern; it != nil {
 		it.hits.Store(0)
 		it.misses.Store(0)
@@ -328,9 +377,8 @@ func (db *DB) TableNames() []string {
 // instead of leaving earlier row mutations behind. BEGIN opens a SQL-level
 // transaction that subsequent Exec calls join until COMMIT or ROLLBACK;
 // while it is open the DB handle is single-session (concurrent use of Exec
-// is the caller's misuse, and DB.Query from the transaction's own goroutine
-// would self-deadlock — transactional reads go through the Tx returned by
-// Begin, or simply through Exec-visible state after COMMIT).
+// is the caller's misuse; DB.Query joins the transaction and sees its
+// uncommitted writes).
 func (db *DB) Exec(sql string) (int, error) {
 	if tx := db.sqlTx.Load(); tx != nil {
 		n, err := tx.Exec(sql)
@@ -352,28 +400,22 @@ func (db *DB) Exec(sql string) (int, error) {
 
 // execAutocommitLocked is Exec's writer-lock critical section. The unlock
 // is deferred so a panic inside statement execution cannot strand the
-// exclusive lock — except for BEGIN, which intentionally keeps holding it
-// on behalf of the new SQL-level transaction. done=true means the caller
-// has nothing left to do (transaction control, or an error).
+// exclusive lock. done=true means the caller has nothing left to do
+// (transaction control, or an error).
 func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, done bool) {
 	db.mu.Lock()
-	keepLock := false
-	defer func() {
-		if !keepLock {
-			db.mu.Unlock()
-		}
-	}()
+	defer db.mu.Unlock()
 	stmt, args, err := db.prepared(sql)
 	if err != nil {
 		return 0, 0, err, true
 	}
 	switch stmt.(type) {
 	case *BeginStmt:
-		// The new transaction keeps holding the writer lock; COMMIT or
-		// ROLLBACK through a later Exec releases it.
+		// The new SQL-level transaction takes an MVCC snapshot and claims
+		// write intents lazily; it does not hold the writer lock between
+		// statements (mvcc.go).
 		db.stats.Statements.Add(1)
 		db.beginLocked(true)
-		keepLock = true
 		return 0, 0, nil, true
 	case *CommitStmt, *RollbackStmt:
 		return 0, 0, fmt.Errorf("relational: no open transaction"), true
@@ -387,40 +429,76 @@ func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, do
 // appending its redo record (src text, or src shape plus logArgs for
 // prepared statements) to the log on success. The returned LSN is what the
 // caller passes to afterCommit once the writer lock is released. Caller
-// holds the writer lock.
+// holds the writer lock; the lock is held on return, but may have been
+// released and reacquired while waiting behind an explicit transaction's
+// write intent.
 func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value) (int, uint64, error) {
 	log := newUndoLog()
-	db.undo = log
-	env := newEnv(nil)
-	env.args = args
-	n, err := db.execStmt(stmt, env)
-	db.undo = nil
-	if err != nil {
-		log.rollbackTo(0)
-		return 0, 0, err
-	}
-	log.commit()
-	var lsn uint64
-	if db.durable() {
-		if logged, note := classifyStmt(stmt); logged {
-			lsn, err = db.applyRedoLocked([]redoStmt{{sql: src, args: logArgs, note: note}})
-			if err != nil {
-				return 0, 0, fmt.Errorf("relational: logging commit: %w", err)
-			}
+	for {
+		env := newEnv(nil)
+		env.args = args
+		// While explicit transactions hold snapshots, writes go down the
+		// versioned path so those snapshots keep their view; with none open
+		// the statement mutates physically, exactly as before MVCC. The
+		// implicit transaction reads latest-committed (allTS): it runs under
+		// the exclusive lock, so that is a consistent snapshot.
+		var w *writeCtx
+		if len(db.snaps) > 0 {
+			db.nextTxn++
+			w = &writeCtx{txnID: db.nextTxn, snapTS: allTS}
+			db.writer = w
+			env.snap = snapshot{ts: allTS, self: w.txnID}
 		}
+		db.undo = log
+		n, err := db.execStmt(stmt, env)
+		db.undo = nil
+		db.writer = nil
+		if err == nil {
+			stamp := db.stampCommitLocked(log, w)
+			if w != nil {
+				db.releaseIntentsLocked(w)
+				db.vacuumPendingLocked()
+			}
+			log.commit()
+			var lsn uint64
+			if db.durable() {
+				if logged, note := classifyStmt(stmt); logged {
+					lsn, err = db.applyRedoLocked([]redoStmt{{sql: src, args: logArgs, note: note}}, stamp)
+					if err != nil {
+						return 0, 0, fmt.Errorf("relational: logging commit: %w", err)
+					}
+				}
+			}
+			return n, lsn, nil
+		}
+		log.rollbackTo(0)
+		if w != nil {
+			db.releaseIntentsLocked(w)
+		}
+		if !errors.Is(err, errIntentBusy) {
+			return 0, 0, err
+		}
+		// An explicit transaction holds a write intent on a table this
+		// statement needs. Autocommit statements wait rather than abort:
+		// capture the broadcast channel under the lock, wait unlocked (so
+		// the intent holder can commit), then retry from scratch.
+		ch := db.intentCh
+		db.mu.Unlock()
+		<-ch
+		db.mu.Lock()
 	}
-	return n, lsn, nil
 }
 
 // Query executes a SELECT, returning its result rows. Like Exec, it reuses
 // cached statement templates by shape. Queries take the shared lock: any
-// number of them run concurrently, serialized only against writers — and
-// since writers hold the exclusive lock for whole transactions, a query
-// always observes a committed version of the database. During an open
-// SQL-level transaction the query joins it, like Exec does (single-session
-// semantics: it sees the transaction's uncommitted writes instead of
-// deadlocking against its writer lock); handle transactions (Begin) are
-// not joined, so concurrent readers keep full isolation there.
+// number of them run concurrently, serialized only against individual
+// writer statements — and since uncommitted writes are marked with their
+// transaction id, a query always observes a committed version of the
+// database, even while a write transaction sits open (mvcc.go). During an
+// open SQL-level transaction the query joins it, like Exec does
+// (single-session semantics: it sees the transaction's uncommitted writes);
+// handle transactions (Begin) are not joined, so concurrent readers keep
+// full isolation there.
 func (db *DB) Query(sql string) (*Rows, error) {
 	if tx := db.sqlTx.Load(); tx != nil {
 		rows, err := tx.Query(sql)
@@ -521,20 +599,36 @@ type Rows struct {
 	// a consumer joining below this result needs before refining its order
 	// with deeper keys (equal-key rows would restart the deeper order).
 	orderUnique bool
+	// est is a predicted row count for results that carry no Data — EXPLAIN
+	// stubs stand in for CTE materializations, and the parallel planner
+	// sizes its fan-out against est so predicted plans agree with runtime.
+	est int
 }
 
 // execEnv carries named CTE results, the OLD row binding for trigger
-// bodies, and the prepared-statement arguments of the enclosing execution.
+// bodies, the prepared-statement arguments of the enclosing execution, and
+// the MVCC snapshot row visibility is evaluated against.
 type execEnv struct {
 	ctes   map[string]*Rows
 	old    []Value
 	oldTab *Table
 	args   []Value
 	parent *execEnv
+	// snap is the visibility snapshot (mvcc.go). Plain reads and physical
+	// statements use {ts: allTS} (everything committed, which the lock makes
+	// consistent); transactional execution narrows it to the transaction's
+	// snapshot stamp plus its own in-flight writes.
+	snap snapshot
 }
 
 func newEnv(parent *execEnv) *execEnv {
-	return &execEnv{ctes: make(map[string]*Rows), parent: parent}
+	e := &execEnv{ctes: make(map[string]*Rows), parent: parent}
+	if parent != nil {
+		e.snap = parent.snap
+	} else {
+		e.snap = snapshot{ts: allTS}
+	}
+	return e
 }
 
 // lookupArgs returns the nearest bound argument vector up the environment

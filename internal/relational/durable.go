@@ -183,8 +183,10 @@ func (db *DB) durable() bool { return db.wal != nil }
 // applyRedoLocked folds a committed transaction's statements into the
 // schema history and appends its commit record to the log, returning the
 // LSN the caller must wait on after releasing the writer lock (0 when
-// nothing was logged). Caller holds the writer lock.
-func (db *DB) applyRedoLocked(redo []redoStmt) (uint64, error) {
+// nothing was logged). stamp is the MVCC commit stamp the transaction
+// committed under; it rides in the record so recovery restores the stamp
+// counter past every replayed transaction. Caller holds the writer lock.
+func (db *DB) applyRedoLocked(redo []redoStmt, stamp uint64) (uint64, error) {
 	if len(redo) == 0 || !db.durable() {
 		return 0, nil
 	}
@@ -212,7 +214,7 @@ func (db *DB) applyRedoLocked(redo []redoStmt) (uint64, error) {
 		}
 		stmts[i] = ws
 	}
-	lsn, err := db.wal.Append(stmts)
+	lsn, err := db.wal.Append(stmts, stamp)
 	if err != nil {
 		// The in-memory commit already happened (the undo log is gone), so
 		// the caller sees an error for work that is visible in memory —
@@ -314,8 +316,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		}
 		db.Restore(snap)
 	}
-	if err := l.Replay(func(stmts []wal.Stmt) error {
-		return db.replayCommit(stmts)
+	if err := l.Replay(func(stamp uint64, stmts []wal.Stmt) error {
+		return db.replayCommit(stamp, stmts)
 	}); err != nil {
 		return nil, err
 	}
@@ -336,8 +338,15 @@ func (db *DB) RecoveredCommits() int {
 // replayCommit re-executes one logged transaction. Replay runs
 // single-threaded before the DB is shared, each record holds a fully
 // committed transaction, and statement execution is deterministic, so
-// statements re-run through the ordinary autocommit path.
-func (db *DB) replayCommit(stmts []wal.Stmt) error {
+// statements re-run through the ordinary autocommit path. Replay itself is
+// unversioned (no snapshot is registered on a recovering DB, so every
+// replayed statement takes the physical single-version path); the logged
+// stamp only advances the stamp counter, keeping post-recovery stamps
+// monotonic with the pre-crash history.
+func (db *DB) replayCommit(stamp uint64, stmts []wal.Stmt) error {
+	if stamp > db.commitTS {
+		db.commitTS = stamp
+	}
 	for _, s := range stmts {
 		if len(s.Args) == 0 {
 			if _, err := db.Exec(s.SQL); err != nil {
@@ -397,7 +406,10 @@ func (db *DB) LogBulk(sqls []string) error {
 		func() {
 			db.mu.Lock()
 			defer db.mu.Unlock()
-			lsn, err = db.wal.Append(stmts)
+			// Bulk loads are commits too: each record gets its own stamp so
+			// the recovered stamp counter covers them.
+			db.commitTS++
+			lsn, err = db.wal.Append(stmts, db.commitTS)
 		}()
 		if err != nil {
 			return err

@@ -143,7 +143,7 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 	ev := newEval(db, env)
 	vals := make([]Value, len(s.Set))
 	for _, rid := range rids {
-		binding := singleBinding(s.Table, t, t.Row(rid))
+		binding := singleBinding(s.Table, t, t.visibleRow(rid, env.snap))
 		for i, sc := range s.Set {
 			v, err := ev.eval(sc.Val, binding)
 			if err != nil {
@@ -190,7 +190,7 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 			return nil, err
 		}
 		for _, rid := range ap.idx.probe(v) {
-			row := t.Row(rid)
+			row := t.visibleRow(rid, env.snap)
 			if row == nil {
 				continue
 			}
@@ -208,12 +208,12 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 	case accessOrderedProbe, accessRangeScan:
 		// Walk the B+tree window; bound expressions are constants or OLD
 		// references here (single-table DML), evaluated once.
-		bucket, err := orderedBucketFor(&ctr, ev, &ap, t, bind, nil)
+		bucket, err := orderedBucketFor(&ctr, ev, &ap, t, bind, env.snap, nil)
 		if err != nil {
 			return nil, err
 		}
 		for _, rid := range bucket {
-			row := t.Row(rid)
+			row := t.visibleRow(rid, env.snap)
 			if row == nil {
 				continue
 			}
@@ -236,6 +236,9 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		return db.matchScanParallel(&ctr, lp, t, name, env, k)
 	}
 	for rid, row := range t.rows {
+		if t.vers > 0 {
+			row = t.visibleRow(rid, env.snap)
+		}
 		if row == nil {
 			continue
 		}

@@ -115,6 +115,7 @@ func (db *DB) predictSelect(s *SelectStmt, env *execEnv, extWant []OrderKey) (*e
 		stub := &Rows{Cols: cteColumns(cte)}
 		stub.order, stub.consts, stub.orderUnique = kid.cs.achievedOrder()
 		stub.single = kid.cs.singleRow
+		stub.est = kid.cs.estRows()
 		env.ctes[key] = stub
 		et.kids[key] = kid
 	}
@@ -124,6 +125,38 @@ func (db *DB) predictSelect(s *SelectStmt, env *execEnv, extWant []OrderKey) (*e
 	}
 	et.cs = cs
 	return et, nil
+}
+
+// estRows predicts a compiled statement's output cardinality so EXPLAIN's
+// fan-out sizing of CTE consumers agrees with the executor, which sizes
+// against the materialized row count (bodyWorkers). The estimate is coarse
+// — each body contributes its driving source's row count, single-row
+// statements contribute one — but the fan-out decision only needs the
+// right side of the parMinRows/parChunkRows thresholds, not an exact
+// cardinality.
+func (cs *selectCompiled) estRows() int {
+	if cs.singleRow {
+		return 1
+	}
+	n := 0
+	for _, bc := range cs.bodies {
+		switch {
+		case bc.aggregate || len(bc.srcs) == 0:
+			n++
+		case bc.plan != nil && len(bc.plan.levels) > 0:
+			src := bc.srcs[bc.plan.levels[0].slot]
+			if src.table != nil {
+				n += src.table.live
+			} else if src.rows != nil {
+				if len(src.rows.Data) > 0 {
+					n += len(src.rows.Data)
+				} else {
+					n += src.rows.est
+				}
+			}
+		}
+	}
+	return n
 }
 
 func (db *DB) explainSelect(b *strings.Builder, s *SelectStmt, env *execEnv, depth int, extWant []OrderKey) error {
@@ -196,8 +229,8 @@ func (db *DB) explainBody(b *strings.Builder, bc *bodyCompiled, depth int) {
 		return
 	}
 	// bodyWorkers is the same eligibility decision the executor makes, so
-	// the rendered plan matches what runs (CTE-driven bodies show serial —
-	// the EXPLAIN stub carries no rows to size the fan-out against).
+	// the rendered plan matches what runs; CTE-driven bodies size against
+	// the stub's predicted cardinality (Rows.est).
 	par := db.bodyWorkers(bc)
 	if par > 1 {
 		indentLine(b, depth, fmt.Sprintf("Exchange (workers=%d, ordered)", par))

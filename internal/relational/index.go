@@ -59,6 +59,17 @@ func (t *Table) CreateIndex(col string) error {
 		}
 		idx.add(row[ci], rid)
 	}
+	// Versioned tables: superseded chain versions are still visible to open
+	// snapshots, so their values must be probeable too (mvcc.go).
+	if t.vers > 0 {
+		for rid := range t.meta {
+			for v := t.meta[rid].older; v != nil; v = v.older {
+				if val := v.row[ci]; !val.IsNull() {
+					idx.addIfAbsent(val, rid)
+				}
+			}
+		}
+	}
 	t.index[key] = idx
 	t.indexEpoch++
 	return nil
@@ -150,6 +161,19 @@ func (idx *hashIndex) add(v Value, rid int) {
 	idx.entries[k] = append(idx.entries[k], rid)
 }
 
+// addIfAbsent indexes rid under v unless that exact entry already exists.
+// Versioned updates keep old-value entries alive for snapshot readers, so a
+// value flipped away and back again must not double-index the row (mvcc.go).
+func (idx *hashIndex) addIfAbsent(v Value, rid int) {
+	k := v.symKey(idx.it)
+	for _, r := range idx.entries[k] {
+		if r == rid {
+			return
+		}
+	}
+	idx.entries[k] = append(idx.entries[k], rid)
+}
+
 func (idx *hashIndex) remove(v Value, rid int) {
 	k := v.symKey(idx.it)
 	rids := idx.entries[k]
@@ -230,6 +254,18 @@ func (t *Table) CreateOrderedIndex(cols ...string) error {
 		}
 		idx.tree.insert(idx.keyFor(rid, row))
 	}
+	// Versioned tables: index superseded chain versions' keys as well, so
+	// snapshot readers can reach them (remove-then-insert keeps each key
+	// unique; see mvcc.go).
+	if t.vers > 0 {
+		for rid := range t.meta {
+			for v := t.meta[rid].older; v != nil; v = v.older {
+				k := idx.keyFor(rid, v.row)
+				idx.tree.remove(k)
+				idx.tree.insert(k)
+			}
+		}
+	}
 	t.ordered[key] = idx
 	t.refreshOrderedList()
 	t.indexEpoch++
@@ -308,6 +344,16 @@ func (idx *orderedIndex) covers(ci int) bool {
 // NULL are excluded by bounds but included by full walks, mirroring how a
 // WHERE conjunct would reject them while ORDER BY keeps them.
 func (idx *orderedIndex) scanRange(prefix []Value, lo, hi rangeBound, desc bool, out []int) []int {
+	return idx.scanRangeVis(prefix, lo, hi, desc, out, nil)
+}
+
+// scanRangeVis is scanRange with an entry filter: keep (when non-nil) is
+// consulted per entry before emission. Versioned tables pass a visibility
+// filter — a rowid can sit in the tree under both its old and new keys, and
+// only the entry matching the snapshot-visible row's key may be emitted
+// (mvcc.go); the filter runs inside the walk so group-boundary detection in
+// descending scans only sees surviving entries.
+func (idx *orderedIndex) scanRangeVis(prefix []Value, lo, hi rangeBound, desc bool, out []int, keep func(k bkey) bool) []int {
 	for _, v := range prefix {
 		if v.IsNull() {
 			return out
@@ -348,6 +394,10 @@ func (idx *orderedIndex) scanRange(prefix []Value, lo, hi rangeBound, desc bool,
 			if !ok || pastHigh(k) {
 				break
 			}
+			if keep != nil && !keep(k) {
+				c.advance()
+				continue
+			}
 			if len(tmp) == 0 || compareBVals(k, prev) != 0 {
 				starts = append(starts, len(tmp))
 			}
@@ -370,7 +420,9 @@ func (idx *orderedIndex) scanRange(prefix []Value, lo, hi rangeBound, desc bool,
 		if !ok || pastHigh(k) {
 			return out
 		}
-		out = append(out, k.rid)
+		if keep == nil || keep(k) {
+			out = append(out, k.rid)
+		}
 		c.advance()
 	}
 }

@@ -80,8 +80,15 @@ type levelIter struct {
 
 	// skipCond is the gated conjunct the access path's hash probe already
 	// enforces (the probe candidate's source equality); checkConds skips
-	// it. Nil for non-hash access kinds, whose windows are re-checked.
+	// it. Nil for non-hash access kinds, whose windows are re-checked — and
+	// nil for persistent-index probes on versioned tables, where a bucket
+	// entry may belong to a superseded version and the equality must be
+	// re-evaluated against the visible row (mvcc.go).
 	skipCond Expr
+
+	// sn is the snapshot this pipeline's row visibility is evaluated
+	// against (mvcc.go); {ts: allTS} outside transactions.
+	sn snapshot
 
 	outerLive bool
 	scanPos   int
@@ -218,21 +225,27 @@ func (li *levelIter) startInner() error {
 		li.bucket = append(li.bucket[:0], li.ap.idx.probe(v)...)
 		li.bucketPos = 0
 		t := li.src.table
-		terms := li.ap.innerOrder
+		if t.vers > 0 {
+			// Versioned table: drop entries with no visible row, then sort
+			// by the visible versions' values — the in-place row may carry
+			// a foreign uncommitted write.
+			kept := li.bucket[:0]
+			for _, rid := range li.bucket {
+				if t.visibleRow(rid, li.sn) != nil {
+					kept = append(kept, rid)
+				}
+			}
+			li.bucket = kept
+			sort.SliceStable(li.bucket, func(a, b int) bool {
+				ra := t.visibleRow(li.bucket[a], li.sn)
+				rb := t.visibleRow(li.bucket[b], li.sn)
+				return li.lessByInner(ra, rb, a, b)
+			})
+			return nil
+		}
 		sort.SliceStable(li.bucket, func(a, b int) bool {
 			ra, rb := t.Row(li.bucket[a]), t.Row(li.bucket[b])
-			for _, ot := range terms {
-				c := compareValues(ra[ot.col], rb[ot.col])
-				if c == 0 {
-					continue
-				}
-				if ot.desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			// Rowid tiebreak reproduces the stable sort's tie order.
-			return li.bucket[a] < li.bucket[b]
+			return li.lessByInner(ra, rb, a, b)
 		})
 	default:
 		li.ctr.fullScans++
@@ -241,10 +254,27 @@ func (li *levelIter) startInner() error {
 	return nil
 }
 
+// lessByInner compares two bucket rows by the access path's innerOrder
+// terms, tiebreaking on bucket position to reproduce the stable sort's
+// tie order.
+func (li *levelIter) lessByInner(ra, rb []Value, a, b int) bool {
+	for _, ot := range li.ap.innerOrder {
+		c := compareValues(ra[ot.col], rb[ot.col])
+		if c == 0 {
+			continue
+		}
+		if ot.desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return li.bucket[a] < li.bucket[b]
+}
+
 // orderedBucket walks the level's B+tree index for the current input
 // tuple, collecting matching rowids in key order.
 func (li *levelIter) orderedBucket() ([]int, error) {
-	return orderedBucketFor(&li.ctr, li.ev, &li.ap, li.src.table, li.bind, li.bucket[:0])
+	return orderedBucketFor(&li.ctr, li.ev, &li.ap, li.src.table, li.bind, li.sn, li.bucket[:0])
 }
 
 // orderedBucketFor evaluates an ordered access path's prefix and bounds
@@ -254,7 +284,7 @@ func (li *levelIter) orderedBucket() ([]int, error) {
 // iterator (which would force its stack-allocated binding to escape). The
 // prefix array and bounds stay on the stack: a range probe per outer row
 // allocates nothing beyond the caller's reused bucket.
-func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table, bind *binding, buf []int) ([]int, error) {
+func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table, bind *binding, sn snapshot, buf []int) ([]int, error) {
 	// Deletions only tombstone B+tree entries; readers skip entries whose
 	// row is gone. Compaction happens at transaction commit (txn.go): this
 	// path now runs under the shared lock, where rebuilding the tree would
@@ -300,7 +330,12 @@ func orderedBucketFor(ctr *levelCounters, ev *exprEval, ap *accessPlan, t *Table
 	default:
 		ctr.indexProbes++
 	}
-	return ap.oidx.scanRange(prefix, lo, hi, ap.desc, buf), nil
+	// visKeep is nil on single-version tables (the common case): the walk
+	// takes the zero-overhead path. On versioned tables it both hides
+	// entries whose visible row doesn't carry the entry's key (superseded
+	// versions, uncommitted foreign writes) and dedups rows indexed under
+	// old and new keys at once.
+	return ap.oidx.scanRangeVis(prefix, lo, hi, ap.desc, buf, t.visKeep(ap.oidx, sn)), nil
 }
 
 // buildHash drains the level's source once into a transient hash table on
@@ -318,6 +353,9 @@ func (li *levelIter) buildHash() error {
 	}
 	if t := li.src.table; t != nil {
 		for rid, row := range t.rows {
+			if t.vers > 0 {
+				row = t.visibleRow(rid, li.sn)
+			}
 			if row == nil || row[ci].IsNull() {
 				continue
 			}
@@ -352,7 +390,11 @@ func (li *levelIter) advanceInner() (bool, error) {
 			rid := li.bucket[li.bucketPos]
 			li.bucketPos++
 			if t := li.src.table; t != nil {
-				row = t.Row(rid)
+				if t.vers == 0 {
+					row = t.Row(rid)
+				} else {
+					row = t.visibleRow(rid, li.sn)
+				}
 			} else {
 				row = li.src.rows.Data[rid]
 			}
@@ -365,14 +407,28 @@ func (li *levelIter) advanceInner() (bool, error) {
 				if li.part != nil {
 					end = li.part.hi
 				}
-				for li.scanPos < end && t.rows[li.scanPos] == nil {
+				if t.vers == 0 {
+					for li.scanPos < end && t.rows[li.scanPos] == nil {
+						li.scanPos++
+					}
+					if li.scanPos >= end {
+						return false, nil
+					}
+					row = t.rows[li.scanPos]
 					li.scanPos++
+				} else {
+					row = nil
+					for li.scanPos < end {
+						row = t.visibleRow(li.scanPos, li.sn)
+						li.scanPos++
+						if row != nil {
+							break
+						}
+					}
+					if row == nil {
+						return false, nil
+					}
 				}
-				if li.scanPos >= end {
-					return false, nil
-				}
-				row = t.rows[li.scanPos]
-				li.scanPos++
 			} else {
 				end := len(li.src.rows.Data)
 				if li.part != nil {
@@ -993,10 +1049,18 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 			lp:    lp,
 			ap:    bc.access[pos],
 			input: chain,
+			sn:    env.snap,
 		}
 		switch li.ap.kind {
-		case accessIndexProbe, accessHashJoin:
+		case accessHashJoin:
 			li.skipCond = li.ap.probe.cond
+		case accessIndexProbe:
+			// A persistent hash index on a versioned table may hold
+			// entries for superseded versions; keep the probe conjunct so
+			// checkConds re-validates equality against the visible row.
+			if li.src.table == nil || li.src.table.vers == 0 {
+				li.skipCond = li.ap.probe.cond
+			}
 		}
 		chain = li
 	}

@@ -168,10 +168,17 @@ func (db *DB) buildBodyWorker(bc *bodyCompiled, env *execEnv, part *levelPart, s
 			lp:    lp,
 			ap:    bc.access[pos],
 			input: chain,
+			sn:    env.snap,
 		}
 		switch li.ap.kind {
-		case accessIndexProbe, accessHashJoin:
+		case accessHashJoin:
 			li.skipCond = li.ap.probe.cond
+		case accessIndexProbe:
+			// Same visibility rule as buildBodyIter: persistent-index
+			// buckets on versioned tables may hold superseded entries.
+			if li.src.table == nil || li.src.table.vers == 0 {
+				li.skipCond = li.ap.probe.cond
+			}
 		}
 		if pos == 0 {
 			li.part = part
@@ -194,7 +201,7 @@ func (db *DB) buildParallelBody(bc *bodyCompiled, env *execEnv, k int) rowIter {
 	shared := make([]*parHashTable, len(bc.plan.levels))
 	for pos := range bc.plan.levels {
 		if bc.access[pos].kind == accessHashJoin {
-			shared[pos] = &parHashTable{db: db}
+			shared[pos] = &parHashTable{db: db, sn: env.snap}
 		}
 	}
 	parts := make([]*levelPart, k)
@@ -256,7 +263,7 @@ func (db *DB) partitionDriving(bc *bodyCompiled, env *execEnv, parts []*levelPar
 	for i, s := range bc.srcs {
 		bind.names[i] = strings.ToLower(s.name)
 	}
-	bucket, err := orderedBucketFor(&ctr, ev, &ap, src.table, bind, nil)
+	bucket, err := orderedBucketFor(&ctr, ev, &ap, src.table, bind, env.snap, nil)
 	if err != nil {
 		return err
 	}
@@ -593,6 +600,7 @@ func (w *bodyWorker) runAgg() ([]*aggAccumulator, error) {
 // immutable; probes read without synchronization.
 type parHashTable struct {
 	db     *DB
+	sn     snapshot // visibility snapshot for versioned build sources
 	once   sync.Once
 	shards []map[Value][]int
 	err    error
@@ -616,8 +624,10 @@ func (h *parHashTable) build(src *source, col string) error {
 		return fmt.Errorf("relational: source %s has no column %q", src.name, col)
 	}
 	var rows [][]Value
-	if src.table != nil {
-		rows = src.table.rows
+	tbl := src.table
+	vers := tbl != nil && tbl.vers > 0
+	if tbl != nil {
+		rows = tbl.rows
 	} else {
 		rows = src.rows.Data
 	}
@@ -630,6 +640,9 @@ func (h *parHashTable) build(src *source, col string) error {
 		// point is one build for all probing workers, not k duplicates.
 		ht := make(map[Value][]int)
 		for rid, row := range rows {
+			if vers {
+				row = tbl.visibleRow(rid, h.sn)
+			}
 			if row == nil || row[ci].IsNull() {
 				continue
 			}
@@ -658,6 +671,9 @@ func (h *parHashTable) build(src *source, col string) error {
 			var scanned int64
 			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
 				row := rows[rid]
+				if vers {
+					row = tbl.visibleRow(rid, h.sn)
+				}
 				if row == nil || row[ci].IsNull() {
 					continue
 				}
@@ -893,6 +909,9 @@ func (db *DB) matchScanParallel(ctr *levelCounters, lp levelPlan, t *Table, name
 			var scanned int64
 			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
 				row := t.rows[rid]
+				if t.vers > 0 {
+					row = t.visibleRow(rid, env.snap)
+				}
 				if row == nil {
 					continue
 				}
@@ -959,7 +978,7 @@ func (db *DB) updateValsParallel(s *UpdateStmt, t *Table, rids []int, env *execE
 			ev := newEval(db, env)
 			bind := singleBinding(s.Table, t, nil)
 			for j := spans[w][0]; j < spans[w][1]; j++ {
-				bind.rows[0] = t.Row(rids[j])
+				bind.rows[0] = t.visibleRow(rids[j], env.snap)
 				for i, sc := range s.Set {
 					v, err := ev.eval(sc.Val, bind)
 					if err != nil {

@@ -187,9 +187,9 @@ func (db *DB) matchPlanFor(slot **levelPlan, name string, t *Table, where Expr) 
 // enumeration is computed once per query (partitionableKind); everything
 // downstream of it — inner probes, hash joins, filters, projection —
 // replicates per worker unchanged. EXPLAIN consults the same decision, so
-// the rendered plan matches what runs; the one exception is a body driven
-// by a CTE source, where EXPLAIN's rowless stub predicts serial while the
-// materialized execution may fan out.
+// the rendered plan matches what runs; a body driven by a CTE source sizes
+// against the materialized row count at runtime and against the stub's
+// predicted cardinality (Rows.est) at EXPLAIN time.
 func (db *DB) bodyWorkers(bc *bodyCompiled) int {
 	if db.par() <= 1 || bc.plan == nil || len(bc.plan.levels) == 0 || len(bc.access) == 0 {
 		return 1
@@ -203,6 +203,11 @@ func (db *DB) bodyWorkers(bc *bodyCompiled) int {
 		n = src.table.live
 	} else if src.rows != nil {
 		n = len(src.rows.Data)
+		if n == 0 {
+			// EXPLAIN stub: no materialized rows, size the fan-out
+			// against the predicted cardinality instead.
+			n = src.rows.est
+		}
 	}
 	return db.parWorkersFor(n)
 }

@@ -41,17 +41,33 @@ func (db *DB) Snapshot() *DBSnapshot {
 func (db *DB) snapshotLocked() *DBSnapshot {
 	s := &DBSnapshot{tables: make(map[string]tableSnap, len(db.tables)), src: db}
 	for key, t := range db.tables {
+		// Versioned tables (an open transaction's marks, or chains kept
+		// alive for a registered reader) are captured at the latest
+		// committed state: uncommitted inserts become holes, uncommitted
+		// deletes keep their committed version.
+		vers := t.vers > 0
 		rows := make([][]Value, len(t.rows))
+		live := 0
 		for i, r := range t.rows {
+			if vers {
+				r = t.visibleRow(i, snapshot{ts: allTS})
+			}
 			if r == nil {
 				continue
 			}
 			cp := make([]Value, len(r))
 			copy(cp, r)
 			rows[i] = cp
+			live++
 		}
-		snap := tableSnap{rows: rows, live: t.live}
-		if len(t.ordered) > 0 {
+		if !vers {
+			live = t.live
+		}
+		snap := tableSnap{rows: rows, live: live}
+		if len(t.ordered) > 0 && !vers {
+			// Single-version fast path only: versioned trees may hold
+			// entries for superseded versions, so Restore rebuilds those
+			// from the captured rows instead.
 			snap.ordered = make(map[string][]bkey, len(t.ordered))
 			for name, oidx := range t.ordered {
 				snap.ordered[name] = oidx.tree.collectLive(t, make([]bkey, 0, t.live))
@@ -99,6 +115,12 @@ func (db *DB) Restore(s *DBSnapshot) {
 		}
 		t.rows = rows
 		t.live = snap.live
+		// Restored rows are single-version by construction; drop any
+		// version metadata left over from the restored-over state.
+		t.meta = nil
+		t.vers = 0
+		t.intentTxn = 0
+		t.lastCommit = 0
 		for col, idx := range t.index {
 			rebuilt := &hashIndex{col: idx.col, entries: make(map[Value][]int, len(idx.entries)), it: idx.it}
 			for rid, row := range t.rows {

@@ -85,6 +85,39 @@ type Table struct {
 	// before the table is dropped). Lazy symKey lookups keep such rows
 	// keying identically to interned copies of the same strings.
 	noIntern bool
+
+	// MVCC state (mvcc.go), guarded by the DB writer lock. meta holds
+	// per-row version metadata (allocated lazily, only once versioned writes
+	// happen); vers counts rows whose metadata is non-trivial — the
+	// single-version fast paths gate on vers == 0. intentTxn is the open
+	// transaction holding a write intent on the table (0 = none), and
+	// lastCommit is the stamp of the last commit that touched it, which
+	// first-committer-wins checks against a claimer's snapshot.
+	meta       []rowMeta
+	vers       int
+	intentTxn  uint64
+	lastCommit uint64
+}
+
+// writerCtx returns the active write context when this table's mutations
+// must take the versioned form (an open snapshot could observe intermediate
+// state), nil for plain physical writes. db.writer is set for every explicit
+// transaction statement, and for autocommit statements only while explicit
+// snapshots are registered.
+func (t *Table) writerCtx() *writeCtx {
+	if t.db == nil {
+		return nil
+	}
+	return t.db.writer
+}
+
+// writeSnap is the snapshot the executing writer statement reads at — its
+// write context's view when one is active, latest-committed otherwise.
+func (t *Table) writeSnap() snapshot {
+	if w := t.writerCtx(); w != nil {
+		return w.snap()
+	}
+	return snapshot{ts: allTS}
 }
 
 // internRowValue interns a stored TEXT value into the owning DB's table,
@@ -125,6 +158,12 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	if len(vals) != len(t.Schema.Columns) {
 		return 0, fmt.Errorf("relational: table %s expects %d values, got %d", t.Name, len(t.Schema.Columns), len(vals))
 	}
+	w := t.writerCtx()
+	if w != nil {
+		if err := t.db.claimIntentLocked(t); err != nil {
+			return 0, err
+		}
+	}
 	row := make([]Value, len(vals))
 	for i, v := range vals {
 		cv, err := coerce(v, t.Schema.Columns[i].Type)
@@ -145,7 +184,16 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	rid := len(t.rows)
 	t.rows = append(t.rows, row)
 	t.live++
-	if t.db != nil && t.db.undo != nil {
+	if w != nil {
+		// Versioned insert: the row is physically present but marked, so
+		// only its own transaction sees it until commit.
+		t.ensureMeta()
+		t.meta[rid].begin = markBit | w.txnID
+		t.vers++
+		if t.db.undo != nil {
+			t.db.undo.recordInsertV(t, rid)
+		}
+	} else if t.db != nil && t.db.undo != nil {
 		t.db.undo.recordInsert(t, rid)
 	}
 	for _, idx := range t.index {
@@ -160,12 +208,31 @@ func (t *Table) Insert(vals []Value) (int, error) {
 }
 
 // Delete tombstones a row and unindexes it. It returns the deleted row's
-// values for trigger OLD bindings.
+// values for trigger OLD bindings. In versioned mode the row and its index
+// entries stay physically in place — only the version metadata records the
+// deletion, and vacuum removes the row once no snapshot can see it.
 func (t *Table) Delete(rid int) ([]Value, error) {
 	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
 		return nil, fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
 	row := t.rows[rid]
+	if w := t.writerCtx(); w != nil {
+		if err := t.db.claimIntentLocked(t); err != nil {
+			return nil, err
+		}
+		t.ensureMeta()
+		m := &t.meta[rid]
+		wasVers := m.begin != 0 || m.end != 0 || m.older != nil
+		m.end = markBit | w.txnID
+		if !wasVers {
+			t.vers++
+		}
+		t.live--
+		if t.db.undo != nil {
+			t.db.undo.recordDeleteV(t, rid, wasVers)
+		}
+		return row, nil
+	}
 	if t.db != nil && t.db.undo != nil {
 		t.db.undo.recordDelete(t, rid, row)
 	}
@@ -191,6 +258,9 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 func (t *Table) Update(rid int, cols []int, vals []Value) error {
 	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
 		return fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
+	}
+	if w := t.writerCtx(); w != nil {
+		return t.updateVersioned(rid, cols, vals, w)
 	}
 	row := t.rows[rid]
 	if t.db != nil && t.db.undo != nil {
@@ -243,13 +313,120 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 	return nil
 }
 
+// updateVersioned is Update's MVCC form: instead of overwriting in place
+// behind the reader lock, it pushes the pre-image onto the row's version
+// chain, marks the current row with the writer's transaction id, and adds
+// (never removes) index entries — old-value entries stay live for snapshot
+// readers until vacuum reclaims them.
+func (t *Table) updateVersioned(rid int, cols []int, vals []Value, w *writeCtx) error {
+	if err := t.db.claimIntentLocked(t); err != nil {
+		return err
+	}
+	row := t.rows[rid]
+	t.ensureMeta()
+	m := &t.meta[rid]
+	wasVers := m.begin != 0 || m.end != 0 || m.older != nil
+	mark := markBit | w.txnID
+	pre := make([]Value, len(row))
+	copy(pre, row)
+	node := &rowVersion{begin: m.begin, end: mark, row: pre, older: m.older}
+	m.begin = mark
+	m.older = node
+	if !wasVers {
+		t.vers++
+	}
+	if t.db.undo != nil {
+		t.db.undo.recordUpdateV(t, rid, node, wasVers)
+	}
+	for i, ci := range cols {
+		cv, err := coerce(vals[i], t.Schema.Columns[ci].Type)
+		if err != nil {
+			return fmt.Errorf("relational: table %s column %s: %w", t.Name, t.Schema.Columns[ci].Name, err)
+		}
+		cv = t.internRowValue(cv)
+		if t.uniqueCols[ci] && !cv.IsNull() && t.uniqueViolated(ci, cv, rid) {
+			return fmt.Errorf("relational: duplicate value %s for unique column %s.%s",
+				valueString(cv), t.Name, t.Schema.Columns[ci].Name)
+		}
+		for _, idx := range t.index {
+			if idx.col != ci {
+				continue
+			}
+			if !cv.IsNull() && compareValues(cv, row[ci]) != 0 {
+				idx.addIfAbsent(cv, rid)
+			}
+		}
+		row[ci] = cv
+	}
+	// The old B+tree keys stay for snapshot readers; insert the row's new
+	// key unless some version already carries it (remove-then-insert keeps
+	// the entry set exact — a key can appear only once).
+	for _, oidx := range t.orderedList {
+		nk := oidx.keyFor(rid, row)
+		if compareBKeys(nk, oidx.keyFor(rid, pre)) != 0 {
+			oidx.tree.remove(nk)
+			oidx.tree.insert(nk)
+		}
+	}
+	return nil
+}
+
 // uniqueViolated reports whether a live row other than exclude already
 // holds v in column ci. Uniqueness is a data invariant, not an index
 // property — order planning's single-row and pinning elisions keep trusting
 // uniqueCols after DropIndex (explicitly supported for ablation) — so
 // enforcement must survive ablation too: it prefers the hash index, falls
 // back to an ordered index led by the column, and finally scans the heap.
+// Versioned tables route through the visibility-aware form: index entries
+// can belong to superseded versions or to rows another snapshot deleted.
 func (t *Table) uniqueViolated(ci int, v Value, exclude int) bool {
+	if t.vers > 0 {
+		return t.uniqueViolatedVers(ci, v, exclude)
+	}
+	return t.uniqueViolatedPhys(ci, v, exclude)
+}
+
+func (t *Table) uniqueViolatedVers(ci int, v Value, exclude int) bool {
+	sn := t.writeSnap()
+	hit := func(rid int) bool {
+		if rid == exclude {
+			return false
+		}
+		row := t.visibleRow(rid, sn)
+		return row != nil && compareValues(row[ci], v) == 0
+	}
+	for _, idx := range t.index {
+		if idx.col != ci {
+			continue
+		}
+		for _, rid := range idx.probe(v) {
+			if hit(rid) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, oidx := range t.orderedList {
+		if oidx.cols[0] != ci {
+			continue
+		}
+		b := rangeBound{val: v, incl: true, set: true}
+		for _, rid := range oidx.scanRange(nil, b, b, false, nil) {
+			if hit(rid) {
+				return true
+			}
+		}
+		return false
+	}
+	for rid := range t.rows {
+		if hit(rid) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) uniqueViolatedPhys(ci int, v Value, exclude int) bool {
 	for _, idx := range t.index {
 		if idx.col != ci {
 			continue

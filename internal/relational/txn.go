@@ -18,11 +18,14 @@ import (
 // Undo logging was chosen over copy-on-write table versions: mutations stay
 // in place (no per-statement table copies, so bulk loads and renumber
 // UPDATEs keep their PR 1/PR 2 cost), and the log's size is proportional to
-// the statement's write set, not the table. The price is that readers must
-// not observe a mutation epoch in progress — which the DB's reader/writer
-// lock already guarantees: a transaction holds the writer lock from BEGIN
-// to COMMIT/ROLLBACK, so shared-lock readers only ever see committed state
-// (see db.go).
+// the statement's write set, not the table. Readers must not observe a
+// mutation epoch in progress; autocommit statements get that from the
+// writer lock alone, while explicit transactions — which release the lock
+// between statements — additionally mark their writes with their
+// transaction id so concurrent snapshot readers resolve to the pre-image on
+// the version chain instead (mvcc.go). The undo log doubles as the version
+// chain's spine: rollback unmarks versions rather than replaying pre-images
+// blindly, and commit flips the marks to the allocated commit stamp.
 
 // errTxDone is returned by operations on a finished transaction.
 var errTxDone = fmt.Errorf("relational: transaction has already been committed or rolled back")
@@ -61,6 +64,12 @@ const (
 	// triggers) via a recorded closure. DDL is rare, so the per-entry
 	// closure allocation stays off the row-mutation hot path.
 	undoDDL
+	// Versioned forms (mvcc.go): the mutation marked row versions instead of
+	// (or in addition to) mutating physically, and undo must clear the marks
+	// and restore the chain. Entries carry v != nil.
+	undoInsertV
+	undoDeleteV
+	undoUpdateV
 )
 
 // undoEntry is one reversible mutation. For undoDelete, row is the removed
@@ -72,6 +81,19 @@ type undoEntry struct {
 	rid  int
 	row  []Value
 	fn   func()
+	// v carries the version-chain bookkeeping of a versioned mutation
+	// (non-nil exactly for the *V kinds); commit stamping keys off it.
+	v *vUndo
+}
+
+// vUndo is the versioned-mutation undo payload. node is the chain node an
+// update pushed (its begin/older restore the pre-update metadata); wasVers
+// reports whether the row already had non-trivial metadata before this
+// mutation (false means undo returns the row to plain form and decrements
+// the table's version count).
+type vUndo struct {
+	node    *rowVersion
+	wasVers bool
 }
 
 // undoLog accumulates a transaction's reversible mutations in order.
@@ -115,6 +137,21 @@ func (l *undoLog) recordUpdate(t *Table, rid int, row []Value) {
 
 func (l *undoLog) recordDDL(fn func()) {
 	l.entries = append(l.entries, undoEntry{kind: undoDDL, fn: fn})
+}
+
+func (l *undoLog) recordInsertV(t *Table, rid int) {
+	l.note(t)
+	l.entries = append(l.entries, undoEntry{kind: undoInsertV, t: t, rid: rid, v: &vUndo{}})
+}
+
+func (l *undoLog) recordDeleteV(t *Table, rid int, wasVers bool) {
+	l.note(t)
+	l.entries = append(l.entries, undoEntry{kind: undoDeleteV, t: t, rid: rid, v: &vUndo{wasVers: wasVers}})
+}
+
+func (l *undoLog) recordUpdateV(t *Table, rid int, node *rowVersion, wasVers bool) {
+	l.note(t)
+	l.entries = append(l.entries, undoEntry{kind: undoUpdateV, t: t, rid: rid, v: &vUndo{node: node, wasVers: wasVers}})
 }
 
 // mark returns a position to roll back to — the statement boundary inside a
@@ -189,6 +226,54 @@ func (l *undoLog) rollbackTo(mark int) {
 			}
 			// Copy the pre-image back in place, preserving row identity.
 			copy(cur, e.row)
+		case undoInsertV:
+			// A marked insert is physically present but visible only to its
+			// own transaction; undo removes it exactly like undoInsert and
+			// clears the version metadata.
+			row := e.t.rows[e.rid]
+			for _, idx := range e.t.index {
+				if v := row[idx.col]; !v.IsNull() {
+					idx.remove(v, e.rid)
+				}
+			}
+			for _, oidx := range e.t.orderedList {
+				oidx.tree.remove(oidx.keyFor(e.rid, row))
+			}
+			e.t.rows[e.rid] = nil
+			e.t.live--
+			e.t.meta[e.rid] = rowMeta{}
+			e.t.vers--
+			if e.rid == len(e.t.rows)-1 {
+				e.t.rows = e.t.rows[:e.rid]
+				if len(e.t.meta) > len(e.t.rows) {
+					e.t.meta = e.t.meta[:len(e.t.rows)]
+				}
+			}
+		case undoDeleteV:
+			// A versioned delete only marked the row's end; clearing the mark
+			// resurrects it (row and index entries never moved).
+			e.t.meta[e.rid].end = 0
+			e.t.live++
+			if !e.v.wasVers {
+				e.t.vers--
+			}
+		case undoUpdateV:
+			// Restore the pre-update metadata from the chain node the update
+			// pushed, drop the index entries only the undone newest version
+			// added (entries carried by a surviving version stay), and copy
+			// the pre-image back in place, preserving row identity.
+			cur := e.t.rows[e.rid]
+			node := e.v.node
+			survivors := [][]Value{node.row}
+			for v := node.older; v != nil; v = v.older {
+				survivors = append(survivors, v.row)
+			}
+			e.t.dropVersionKeys(e.rid, cur, survivors)
+			copy(cur, node.row)
+			e.t.meta[e.rid] = rowMeta{begin: node.begin, older: node.older}
+			if !e.v.wasVers {
+				e.t.vers--
+			}
 		case undoDDL:
 			e.fn()
 		}
@@ -205,6 +290,13 @@ func (l *undoLog) rollbackTo(mark int) {
 // threshold is always observed at some commit. Caller holds the writer lock.
 func (l *undoLog) commit() {
 	for t := range l.touched {
+		// Versioned tables defer compaction: rebuild() keeps live rows only,
+		// which would drop chain-version keys open snapshots still probe.
+		// Vacuum removes tree entries eagerly on such tables instead, so
+		// stale never grows while versions exist (mvcc.go).
+		if t.vers > 0 {
+			continue
+		}
 		for _, oidx := range t.orderedList {
 			if oidx.stale > t.live {
 				oidx.rebuild(t)
@@ -216,15 +308,25 @@ func (l *undoLog) commit() {
 
 // ---- transactions ----
 
-// Tx is an open transaction. It holds the database's writer lock from Begin
-// until Commit or Rollback, so its statements never interleave with other
-// writers and shared-lock readers only ever observe committed state (the
-// snapshot-read guarantee). Tx methods serialize on an internal mutex, so
-// goroutines that join a SQL-level transaction through DB.Exec/DB.Query
-// cannot race the transaction's own statements — they interleave into it.
+// Tx is an open transaction. It takes an MVCC snapshot at Begin and holds
+// the database's writer lock only per statement and for the commit critical
+// section — never between statements — so concurrent DB.Query readers keep
+// running against committed state while the transaction sits open
+// (mvcc.go). Its reads observe the snapshot plus its own uncommitted
+// writes; its writes take per-table write intents, and an overlapping
+// writer aborts first-committer-wins. Tx methods serialize on an internal
+// mutex, so goroutines that join a SQL-level transaction through
+// DB.Exec/DB.Query cannot race the transaction's own statements — they
+// interleave into it.
 type Tx struct {
 	db  *DB
 	log *undoLog
+	// id is the transaction's mark identity; snapTS the commit stamp its
+	// snapshot was taken at. wctx is the write context installed as
+	// db.writer for the duration of each statement.
+	id     uint64
+	snapTS uint64
+	wctx   writeCtx
 	// sqlLevel marks a transaction opened by a SQL BEGIN through DB.Exec:
 	// subsequent DB.Exec/Query calls join it (single-session semantics,
 	// like one SQLite connection) until COMMIT/ROLLBACK.
@@ -235,21 +337,28 @@ type Tx struct {
 	done bool
 }
 
-// Begin opens an explicit transaction, acquiring the writer lock until
-// Commit or Rollback. While the transaction is open, DB.Query and DB.Exec
-// from other goroutines block (they would otherwise observe or interleave
-// with uncommitted state); the transaction's own reads and writes go
-// through the Tx methods.
+// Begin opens an explicit transaction: a short critical section registers
+// its snapshot, after which the writer lock is released — concurrent
+// readers and other writers proceed, isolated from this transaction's
+// writes by version visibility (mvcc.go).
 func (db *DB) Begin() *Tx {
 	db.mu.Lock()
-	return db.beginLocked(false)
+	tx := db.beginLocked(false)
+	db.mu.Unlock()
+	return tx
 }
 
-// beginLocked installs a fresh transaction; caller holds the writer lock
-// and keeps holding it on behalf of the returned Tx.
+// beginLocked installs a fresh transaction: allocates its id, snapshots the
+// current commit stamp, and registers the snapshot (which switches writers
+// into versioned mode until it unregisters). Caller holds the writer lock.
 func (db *DB) beginLocked(sqlLevel bool) *Tx {
+	db.nextTxn++
 	tx := &Tx{db: db, log: newUndoLog(), sqlLevel: sqlLevel}
-	db.undo = tx.log
+	tx.id = db.nextTxn
+	tx.snapTS = db.commitTS
+	tx.wctx = writeCtx{txnID: tx.id, snapTS: tx.snapTS, explicit: true}
+	db.snaps[tx.id] = tx.snapTS
+	db.stats.SnapshotsTaken.Add(1)
 	if sqlLevel {
 		db.sqlTx.Store(tx)
 	}
@@ -293,12 +402,24 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (in
 	if tx.done {
 		return 0, errTxDone
 	}
-	tx.db.stats.Statements.Add(1)
-	tx.db.internArgs(args)
+	db := tx.db
+	db.stats.Statements.Add(1)
+	db.internArgs(args)
+	// The writer lock is held per statement: the transaction's undo log and
+	// write context install for the duration of execution, then come back
+	// out so readers and other writers can run between this transaction's
+	// statements.
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	mark := tx.log.mark()
+	db.undo = tx.log
+	db.writer = &tx.wctx
 	env := newEnv(nil)
 	env.args = args
-	n, err := tx.db.execStmt(stmt, env)
+	env.snap = snapshot{ts: tx.snapTS, self: tx.id}
+	n, err := db.execStmt(stmt, env)
+	db.undo = nil
+	db.writer = nil
 	if err != nil {
 		tx.log.rollbackTo(mark)
 		return 0, err
@@ -335,8 +456,11 @@ func (tx *Tx) Query(sql string) (*Rows, error) {
 		return nil, errTxDone
 	}
 	tx.db.stats.Statements.Add(1)
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
 	env := newEnv(nil)
 	env.args = args
+	env.snap = snapshot{ts: tx.snapTS, self: tx.id}
 	return tx.db.execSelect(sel, env)
 }
 
@@ -357,8 +481,11 @@ func (tx *Tx) QueryEach(sql string, fn func(row []Value) error) ([]string, error
 		return nil, errTxDone
 	}
 	tx.db.stats.Statements.Add(1)
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
 	env := newEnv(nil)
 	env.args = args
+	env.snap = snapshot{ts: tx.snapTS, self: tx.id}
 	return tx.db.streamSelect(sel, env, fn)
 }
 
@@ -397,16 +524,20 @@ func (tx *Tx) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
 	}
 	tx.db.stats.Statements.Add(1)
 	tx.db.internArgs(args)
+	tx.db.mu.RLock()
+	defer tx.db.mu.RUnlock()
 	env := newEnv(nil)
 	env.args = args
+	env.snap = snapshot{ts: tx.snapTS, self: tx.id}
 	return tx.db.execSelect(sel, env)
 }
 
-// Commit makes the transaction's effects permanent and releases the writer
-// lock. On a durable DB the transaction's commit record is appended while
-// the lock is still held (log order = commit order) and the fsync wait
-// happens after release, so readers unblocked by the commit never wait for
-// the disk.
+// Commit makes the transaction's effects permanent. Under the writer lock
+// it allocates the commit stamp, flips the transaction's uncommitted marks
+// to it, releases its write intents, unregisters its snapshot, piggybacks a
+// vacuum pass, and appends the stamped commit record (log order = commit
+// order); the fsync wait happens after release, so readers unblocked by the
+// commit never wait for the disk.
 func (tx *Tx) Commit() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -415,9 +546,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	db := tx.db
-	db.undo = nil
+	db.mu.Lock()
+	stamp := db.stampCommitLocked(tx.log, &tx.wctx)
+	db.releaseIntentsLocked(&tx.wctx)
+	delete(db.snaps, tx.id)
+	db.vacuumPendingLocked()
 	tx.log.commit()
-	lsn, werr := db.applyRedoLocked(tx.log.redo)
+	lsn, werr := db.applyRedoLocked(tx.log.redo, stamp)
 	if tx.sqlLevel {
 		db.sqlTx.Store(nil)
 	}
@@ -428,8 +563,10 @@ func (tx *Tx) Commit() error {
 	return db.afterCommit(lsn)
 }
 
-// Rollback reverses every effect of the transaction and releases the writer
-// lock.
+// Rollback reverses every effect of the transaction: marked versions come
+// back out of the chains (restoring pre-images in place), write intents
+// release, and the snapshot unregisters — with the last snapshot gone, a
+// vacuum pass returns every table to single-version form.
 func (tx *Tx) Rollback() error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
@@ -438,8 +575,11 @@ func (tx *Tx) Rollback() error {
 	}
 	tx.done = true
 	db := tx.db
+	db.mu.Lock()
 	tx.log.rollbackTo(0)
-	db.undo = nil
+	db.releaseIntentsLocked(&tx.wctx)
+	delete(db.snaps, tx.id)
+	db.vacuumPendingLocked()
 	if tx.sqlLevel {
 		db.sqlTx.Store(nil)
 	}

@@ -18,13 +18,20 @@ func FuzzDecodeCommit(f *testing.F) {
 		{{SQL: "UPDATE t SET v = ?", Args: []Value{{Kind: KindText, Str: "quote''d"}, {Kind: KindInt, Int: -5}, {}}}},
 	}
 	for _, rec := range seedRecords {
-		payload, err := encodeCommit(7, rec)
+		payload, err := encodeCommit(7, 42, rec)
 		if err != nil {
 			f.Fatal(err)
 		}
 		f.Add(payload)
 		// Also seed the framed form so the frame reader gets coverage.
 		f.Add(frame(payload))
+		// And a legacy kind-1 (pre-stamp) payload: v2 framing minus the
+		// stamp, with the kind byte rewritten. Recovery of old logs goes
+		// through the same decoder.
+		v1 := append([]byte(nil), payload[:9]...)
+		v1[8] = recCommit
+		v1 = append(v1, payload[17:]...)
+		f.Add(v1)
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 255})
@@ -33,22 +40,23 @@ func FuzzDecodeCommit(f *testing.F) {
 		// The frame reader must reject or accept without panicking.
 		if payload, rest, ok := readFrame(data); ok {
 			_ = rest
-			_, _, _ = DecodeCommit(payload)
+			_, _, _, _ = DecodeCommit(payload)
 		}
-		lsn, stmts, err := DecodeCommit(data)
+		lsn, stamp, stmts, err := DecodeCommit(data)
 		if err != nil {
 			return
 		}
-		// Valid decode: re-encoding must round-trip.
-		re, err := encodeCommit(lsn, stmts)
+		// Valid decode: re-encoding must round-trip. Legacy kind-1 input
+		// re-encodes as v2 with stamp 0, which decodes back identically.
+		re, err := encodeCommit(lsn, stamp, stmts)
 		if err != nil {
 			t.Fatalf("decoded record failed to re-encode: %v", err)
 		}
-		lsn2, stmts2, err := DecodeCommit(re)
+		lsn2, stamp2, stmts2, err := DecodeCommit(re)
 		if err != nil {
 			t.Fatalf("re-encoded record failed to decode: %v", err)
 		}
-		if lsn2 != lsn || !reflect.DeepEqual(stmts2, stmts) {
+		if lsn2 != lsn || stamp2 != stamp || !reflect.DeepEqual(stmts2, stmts) {
 			t.Fatalf("round-trip mismatch")
 		}
 	})

@@ -45,15 +45,19 @@ type Stmt struct {
 // covers the payload only. Commit payload layout:
 //
 //	u64  lsn
-//	u8   kind (recCommit)
+//	u8   kind (recCommit or recCommitV2)
+//	u64  commit stamp           (recCommitV2 only)
 //	uv   statement count
 //	per statement: uv len, sql bytes, uv nargs, per arg: tagged value
 //
 // Tagged values: 0x00 = NULL, 0x01 = int64 (zigzag varint), 0x02 = string
-// (uvarint length + bytes).
+// (uvarint length + bytes). recCommitV2 adds the MVCC commit stamp so
+// recovery can restore the stamp counter past every replayed transaction;
+// kind-1 records (pre-stamp logs) decode with stamp 0 and remain replayable.
 const (
 	frameHeaderSize = 8
 	recCommit       = byte(1)
+	recCommitV2     = byte(2)
 	// maxFrameSize bounds a frame length read from disk: anything larger is
 	// treated as corruption, not an allocation request.
 	maxFrameSize = 1 << 28
@@ -109,11 +113,14 @@ func ReadValue(b []byte) (Value, []byte, error) {
 	}
 }
 
-// encodeCommit renders a commit record payload.
-func encodeCommit(lsn uint64, stmts []Stmt) ([]byte, error) {
+// encodeCommit renders a commit record payload. New records are always v2:
+// the commit stamp rides in every frame even when zero, so the format has
+// one write path.
+func encodeCommit(lsn, stamp uint64, stmts []Stmt) ([]byte, error) {
 	b := make([]byte, 0, 64)
 	b = binary.BigEndian.AppendUint64(b, lsn)
-	b = append(b, recCommit)
+	b = append(b, recCommitV2)
+	b = binary.BigEndian.AppendUint64(b, stamp)
 	b = binary.AppendUvarint(b, uint64(len(stmts)))
 	var err error
 	for _, s := range stmts {
@@ -132,46 +139,56 @@ func encodeCommit(lsn uint64, stmts []Stmt) ([]byte, error) {
 // DecodeCommit parses a commit record payload. Corrupt input of any shape
 // returns an error; it must never panic (FuzzDecodeCommit drives random
 // corruption through it).
-func DecodeCommit(payload []byte) (lsn uint64, stmts []Stmt, err error) {
+func DecodeCommit(payload []byte) (lsn, stamp uint64, stmts []Stmt, err error) {
 	if len(payload) < 9 {
-		return 0, nil, fmt.Errorf("wal: short record payload")
+		return 0, 0, nil, fmt.Errorf("wal: short record payload")
 	}
 	lsn = binary.BigEndian.Uint64(payload)
-	if payload[8] != recCommit {
-		return 0, nil, fmt.Errorf("wal: unknown record kind %d", payload[8])
+	var b []byte
+	switch payload[8] {
+	case recCommit:
+		// Pre-stamp record: no MVCC commit stamp on the wire, decode as 0.
+		b = payload[9:]
+	case recCommitV2:
+		if len(payload) < 17 {
+			return 0, 0, nil, fmt.Errorf("wal: short v2 record payload")
+		}
+		stamp = binary.BigEndian.Uint64(payload[9:])
+		b = payload[17:]
+	default:
+		return 0, 0, nil, fmt.Errorf("wal: unknown record kind %d", payload[8])
 	}
-	b := payload[9:]
 	count, n := binary.Uvarint(b)
 	if n <= 0 || count > uint64(len(b)) {
-		return 0, nil, fmt.Errorf("wal: bad statement count")
+		return 0, 0, nil, fmt.Errorf("wal: bad statement count")
 	}
 	b = b[n:]
 	stmts = make([]Stmt, 0, count)
 	for i := uint64(0); i < count; i++ {
 		ln, n := binary.Uvarint(b)
 		if n <= 0 || ln > uint64(len(b)-n) {
-			return 0, nil, fmt.Errorf("wal: bad statement length")
+			return 0, 0, nil, fmt.Errorf("wal: bad statement length")
 		}
 		s := Stmt{SQL: string(b[n : n+int(ln)])}
 		b = b[n+int(ln):]
 		nargs, n := binary.Uvarint(b)
 		if n <= 0 || nargs > uint64(len(b)) {
-			return 0, nil, fmt.Errorf("wal: bad argument count")
+			return 0, 0, nil, fmt.Errorf("wal: bad argument count")
 		}
 		b = b[n:]
 		for j := uint64(0); j < nargs; j++ {
 			var v Value
 			if v, b, err = ReadValue(b); err != nil {
-				return 0, nil, err
+				return 0, 0, nil, err
 			}
 			s.Args = append(s.Args, v)
 		}
 		stmts = append(stmts, s)
 	}
 	if len(b) != 0 {
-		return 0, nil, fmt.Errorf("wal: %d trailing bytes in record", len(b))
+		return 0, 0, nil, fmt.Errorf("wal: %d trailing bytes in record", len(b))
 	}
-	return lsn, stmts, nil
+	return lsn, stamp, stmts, nil
 }
 
 // frame wraps a payload with the length + CRC header.

@@ -271,7 +271,7 @@ func (l *Log) validateSegments() error {
 				l.segs = l.segs[:i+1]
 				return nil
 			}
-			lsn, _, derr := DecodeCommit(payload)
+			lsn, _, _, derr := DecodeCommit(payload)
 			if derr != nil {
 				// Framed correctly but undecodable: same treatment.
 				if err := os.Truncate(seg.path, int64(off)); err != nil {
@@ -314,12 +314,14 @@ func (l *Log) addSegment() error {
 	return nil
 }
 
-// Append writes one commit record and returns its LSN. The write reaches
-// the OS before Append returns (a process crash cannot lose it); stable
-// storage is governed by WaitDurable and the sync policy. Callers serialize
-// Append with their own commit ordering (the database's writer lock), so
-// record order always matches commit order.
-func (l *Log) Append(stmts []Stmt) (uint64, error) {
+// Append writes one commit record and returns its LSN. stamp is the MVCC
+// commit stamp the transaction committed under (0 when the engine has no
+// versioned state); it rides in the record so recovery restores the stamp
+// counter. The write reaches the OS before Append returns (a process crash
+// cannot lose it); stable storage is governed by WaitDurable and the sync
+// policy. Callers serialize Append with their own commit ordering (the
+// database's writer lock), so record order always matches commit order.
+func (l *Log) Append(stmts []Stmt, stamp uint64) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -328,7 +330,7 @@ func (l *Log) Append(stmts []Stmt) (uint64, error) {
 	if l.appendErr != nil {
 		return 0, l.appendErr
 	}
-	payload, err := encodeCommit(l.lsn+1, stmts)
+	payload, err := encodeCommit(l.lsn+1, stamp, stmts)
 	if err != nil {
 		return 0, err
 	}
@@ -521,8 +523,9 @@ func (l *Log) CheckpointLSN() uint64 {
 }
 
 // Replay streams every intact commit record past the checkpoint, in LSN
-// order, to fn. Call it once, after Open and before the first Append.
-func (l *Log) Replay(fn func(stmts []Stmt) error) error {
+// order, to fn along with its commit stamp (0 for pre-stamp records). Call
+// it once, after Open and before the first Append.
+func (l *Log) Replay(fn func(stamp uint64, stmts []Stmt) error) error {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segs...)
 	ckpt := uint64(0)
@@ -544,12 +547,12 @@ func (l *Log) Replay(fn func(stmts []Stmt) error) error {
 				// race with an external writer, which is unsupported.
 				return fmt.Errorf("wal: unexpected corrupt frame during replay in %s", seg.path)
 			}
-			lsn, stmts, err := DecodeCommit(payload)
+			lsn, stamp, stmts, err := DecodeCommit(payload)
 			if err != nil {
 				return err
 			}
 			if lsn > ckpt {
-				if err := fn(stmts); err != nil {
+				if err := fn(stamp, stmts); err != nil {
 					return fmt.Errorf("wal: replaying record %d: %w", lsn, err)
 				}
 				n++

@@ -39,7 +39,7 @@ func mustOpen(t *testing.T, dir string, opts Options) *Log {
 func replayAll(t *testing.T, l *Log) [][]Stmt {
 	t.Helper()
 	var out [][]Stmt
-	if err := l.Replay(func(stmts []Stmt) error {
+	if err := l.Replay(func(stamp uint64, stmts []Stmt) error {
 		cp := append([]Stmt(nil), stmts...)
 		out = append(out, cp)
 		return nil
@@ -59,7 +59,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 		{stmt("INSERT INTO u VALUES (?)", nil)},
 	}
 	for i, rec := range records {
-		lsn, err := l.Append(rec)
+		lsn, err := l.Append(rec, uint64(i+100))
 		if err != nil {
 			t.Fatalf("Append %d: %v", i, err)
 		}
@@ -83,6 +83,19 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	if l2.RecoveredCommits != len(records) {
 		t.Fatalf("RecoveredCommits = %d, want %d", l2.RecoveredCommits, len(records))
 	}
+	// Commit stamps survive the round trip in record order.
+	var stamps []uint64
+	if err := l2.Replay(func(stamp uint64, _ []Stmt) error {
+		stamps = append(stamps, stamp)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay (stamps): %v", err)
+	}
+	for i, s := range stamps {
+		if s != uint64(i+100) {
+			t.Fatalf("stamp %d = %d, want %d", i, s, i+100)
+		}
+	}
 }
 
 func TestSegmentRotation(t *testing.T) {
@@ -92,7 +105,7 @@ func TestSegmentRotation(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		rec := []Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d, 'some padding text')", i))}
 		want = append(want, rec)
-		if _, err := l.Append(rec); err != nil {
+		if _, err := l.Append(rec, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -119,7 +132,7 @@ func TestTornTailTruncation(t *testing.T) {
 		for i := 0; i < 10; i++ {
 			rec := []Stmt{stmt("INSERT INTO t VALUES (?, ?)", int64(i), fmt.Sprintf("val-%d", i))}
 			recs = append(recs, rec)
-			if _, err := l.Append(rec); err != nil {
+			if _, err := l.Append(rec, 0); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -180,7 +193,7 @@ func TestCorruptMidLogStopsReplay(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, dir, Options{Sync: SyncOff, SegmentSize: 96})
 	for i := 0; i < 20; i++ {
-		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -213,7 +226,7 @@ func TestCheckpointTruncatesAndSkips(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, dir, Options{Sync: SyncOff, SegmentSize: 96})
 	for i := 0; i < 10; i++ {
-		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,7 +237,7 @@ func TestCheckpointTruncatesAndSkips(t *testing.T) {
 	for i := 10; i < 14; i++ {
 		rec := []Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}
 		tail = append(tail, rec)
-		if _, err := l.Append(rec); err != nil {
+		if _, err := l.Append(rec, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -258,7 +271,7 @@ func TestCorruptCheckpointFallsBack(t *testing.T) {
 	dir := t.TempDir()
 	l := mustOpen(t, dir, Options{Sync: SyncOff})
 	for i := 0; i < 5; i++ {
-		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}); err != nil {
+		if _, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d)", i))}, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -292,7 +305,7 @@ func TestGroupCommitConcurrent(t *testing.T) {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				lsn, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", c, i))})
+				lsn, err := l.Append([]Stmt{stmt(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", c, i))}, 0)
 				if err != nil {
 					errs <- err
 					return
