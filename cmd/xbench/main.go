@@ -27,20 +27,30 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, parallel, durability, micro, text, or all")
+		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, parallel, durability, micro, text, obsv, or all")
 		quick    = flag.Bool("quick", false, "reduced parameter grid")
 		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
 		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
 		writer   = flag.String("writer", "rollback", "writer mode for -exp readers: rollback (abort cycles), live (commit cycles), or both")
 		workers  = flag.Int("workers", 8, "max worker budget for the parallel-executor sweep (-exp parallel)")
 		jsonPath = flag.String("json", "", "write experiment results as JSON to this file")
+		stats    = flag.Bool("stats", false, "print the aggregated engine Stats counters as JSON after the run")
+		trace    = flag.Bool("trace", false, "capture statement trace spans in the obsv experiment")
 	)
 	flag.Parse()
 	cfg := bench.Config{Runs: *runs, Quick: *quick}
+	bench.CollectStats(*stats)
 	results := make(map[string]any)
-	if err := run(*exp, cfg, *readers, *writer, *workers, results); err != nil {
+	if err := run(*exp, cfg, *readers, *writer, *workers, *trace, results); err != nil {
 		fmt.Fprintln(os.Stderr, "xbench:", err)
 		os.Exit(1)
+	}
+	if *stats {
+		fmt.Println("engine stats (aggregated over measured runs):")
+		if err := bench.WriteStats(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
 	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, results); err != nil {
@@ -74,7 +84,7 @@ var figures = []figRunner{
 	{"randdoc", bench.RunRandomizedDelete},
 }
 
-func run(exp string, cfg bench.Config, readers int, writer string, workers int, results map[string]any) error {
+func run(exp string, cfg bench.Config, readers int, writer string, workers int, trace bool, results map[string]any) error {
 	matched := false
 	for _, f := range figures {
 		if exp == "all" || exp == f.id {
@@ -161,6 +171,16 @@ func run(exp string, cfg bench.Config, readers int, writer string, workers int, 
 		}
 		results["text"] = res
 		bench.WriteText(os.Stdout, res)
+		fmt.Println()
+	}
+	if exp == "all" || exp == "obsv" {
+		matched = true
+		res, err := bench.RunObsv(cfg, trace)
+		if err != nil {
+			return fmt.Errorf("obsv: %w", err)
+		}
+		results["obsv"] = res
+		bench.WriteObsv(os.Stdout, res)
 		fmt.Println()
 	}
 	if exp == "all" || exp == "micro" {

@@ -127,6 +127,7 @@ func measure(runs int, setup func() (*engine.Store, error), op func(*engine.Stor
 				pt.MinSeconds = elapsed
 			}
 			st := s.DB.Stats()
+			recordStatsDelta(st)
 			pt.Statements = st.Statements
 			pt.RowsScanned = st.RowsScanned
 			pt.IndexProbes = st.IndexProbes
@@ -481,6 +482,7 @@ func RunASRPath(cfg Config) ([]ASRPathPoint, error) {
 				ASRRows:      db.Table("ASR").RowCount(),
 			})
 		}
+		recordStats(db)
 	}
 	return out, nil
 }

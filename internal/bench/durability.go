@@ -122,6 +122,7 @@ func timeCommits(mode relational.SyncMode, committers, commits int) (float64, er
 		return 0, err
 	default:
 	}
+	recordStats(db)
 	return elapsed, nil
 }
 

@@ -201,6 +201,8 @@ func RunMicro(cfg Config) ([]MicroResult, error) {
 	}); err != nil {
 		return nil, err
 	}
+	recordStats(db)
+	recordStats(cdb)
 	return out, nil
 }
 

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/relational"
+)
+
+// The obsv experiment prices the observability layer itself: commit latency
+// distributions straight from the engine's always-on histograms (rather
+// than wall-clocking from outside), and an A/B measurement of the tracing
+// hook's per-statement cost — the number that backs the "zero overhead when
+// off, cheap when on" design claim.
+
+// ObsvCommitPoint is one fsync mode's commit latency distribution, read
+// from the engine's commit_ns_<mode> histogram after a serial update burst.
+type ObsvCommitPoint struct {
+	Mode    string
+	Commits int64
+	P50us   float64
+	P99us   float64
+	MeanUs  float64
+}
+
+// ObsvOverhead is the tracing A/B: the same query batch timed with the
+// trace gate off and with a hook registered.
+type ObsvOverhead struct {
+	Statements  int
+	OffNsPerOp  float64
+	OnNsPerOp   float64
+	OverheadPct float64
+}
+
+// ObsvTrace is one captured statement span (the -trace flag's output).
+type ObsvTrace struct {
+	Kind     string
+	SQL      string
+	TotalUs  float64
+	CommitUs float64
+	Rows     int
+}
+
+// ObsvResult bundles the experiment's three views.
+type ObsvResult struct {
+	Commit   []ObsvCommitPoint
+	Overhead ObsvOverhead
+	Analyze  string
+	Traces   []ObsvTrace
+}
+
+// RunObsv measures commit latency per fsync mode via the metrics layer,
+// the tracing on/off overhead, and captures an EXPLAIN ANALYZE of a
+// representative join. With trace set, it also records the spans of a
+// small durable workload.
+func RunObsv(cfg Config, trace bool) (*ObsvResult, error) {
+	res := &ObsvResult{}
+	commits := 96
+	if cfg.Quick {
+		commits = 24
+	}
+	for _, mode := range []relational.SyncMode{relational.SyncAlways, relational.SyncGroup, relational.SyncOff} {
+		pt, err := obsvCommitLatency(mode, commits)
+		if err != nil {
+			return nil, err
+		}
+		res.Commit = append(res.Commit, pt)
+	}
+
+	over, analyze, err := obsvOverhead(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Overhead = over
+	res.Analyze = analyze
+
+	if trace {
+		spans, err := obsvTraces()
+		if err != nil {
+			return nil, err
+		}
+		res.Traces = spans
+	}
+	return res, nil
+}
+
+// obsvCommitLatency runs a serial single-row-update burst under one fsync
+// mode and reads the distribution back from the commit histogram.
+func obsvCommitLatency(mode relational.SyncMode, commits int) (ObsvCommitPoint, error) {
+	var pt ObsvCommitPoint
+	dir, err := os.MkdirTemp("", "xbench-obsv-")
+	if err != nil {
+		return pt, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := relational.Open(dir, relational.Options{Sync: mode, CheckpointBytes: -1})
+	if err != nil {
+		return pt, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE item (id INTEGER, v VARCHAR(64))"); err != nil {
+		return pt, err
+	}
+	if _, err := db.Exec("INSERT INTO item VALUES (1, 'seed')"); err != nil {
+		return pt, err
+	}
+	upd, err := db.Prepare("UPDATE item SET v = ? WHERE id = 1")
+	if err != nil {
+		return pt, err
+	}
+	for i := 0; i < commits; i++ {
+		if _, err := upd.Exec(relational.Text(fmt.Sprintf("v%d", i))); err != nil {
+			return pt, err
+		}
+	}
+	recordStats(db)
+	h := db.Metrics().Histograms["commit_ns_"+mode.String()]
+	pt = ObsvCommitPoint{
+		Mode:    mode.String(),
+		Commits: h.Count,
+		P50us:   float64(h.Quantile(0.50)) / 1e3,
+		P99us:   float64(h.Quantile(0.99)) / 1e3,
+		MeanUs:  h.Mean() / 1e3,
+	}
+	return pt, nil
+}
+
+// obsvDB builds the in-memory fixture the overhead A/B and the ANALYZE
+// demo share: an indexed parent/child pair sized for a measurable join.
+func obsvDB(rows int) (*relational.DB, error) {
+	db := relational.NewDB()
+	stmts := []string{
+		"CREATE TABLE par (id INTEGER, grp INTEGER)",
+		"CREATE TABLE kid (id INTEGER, parentId INTEGER, v INTEGER)",
+		"CREATE INDEX k_pid ON kid (parentId)",
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return nil, err
+		}
+	}
+	for p := 0; p < rows/8; p++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO par VALUES (%d, %d)", p, p%4)); err != nil {
+			return nil, err
+		}
+		for c := 0; c < 8; c++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO kid VALUES (%d, %d, %d)", p*8+c, p, c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func obsvOverhead(cfg Config) (ObsvOverhead, string, error) {
+	var over ObsvOverhead
+	rows := 4096
+	iters := 300
+	if cfg.Quick {
+		rows, iters = 1024, 60
+	}
+	db, err := obsvDB(rows)
+	if err != nil {
+		return over, "", err
+	}
+	const q = "SELECT k.id FROM par p, kid k WHERE k.parentId = p.id AND k.v < 6"
+	batch := func() error {
+		for i := 0; i < iters; i++ {
+			if _, err := db.QueryEach(q, func([]Value) error { return nil }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	timeBatch := func() (float64, error) {
+		best := 0.0
+		for r := 0; r <= cfg.runs(); r++ {
+			start := time.Now()
+			if err := batch(); err != nil {
+				return 0, err
+			}
+			el := time.Since(start).Seconds()
+			if r == 0 {
+				continue
+			}
+			if best == 0 || el < best {
+				best = el
+			}
+		}
+		return best, nil
+	}
+	off, err := timeBatch()
+	if err != nil {
+		return over, "", err
+	}
+	cancel := db.OnTrace(func(*relational.QueryTrace) {})
+	on, err := timeBatch()
+	cancel()
+	if err != nil {
+		return over, "", err
+	}
+	over = ObsvOverhead{
+		Statements: iters,
+		OffNsPerOp: off / float64(iters) * 1e9,
+		OnNsPerOp:  on / float64(iters) * 1e9,
+	}
+	if off > 0 {
+		over.OverheadPct = (on - off) / off * 100
+	}
+
+	analyze, err := db.ExplainAnalyze(q)
+	if err != nil {
+		return over, "", err
+	}
+	recordStats(db)
+	return over, analyze, nil
+}
+
+// Value aliases the relational row value for the QueryEach callback above.
+type Value = relational.Value
+
+// obsvTraces runs a short durable workload with a trace hook registered and
+// returns the captured spans.
+func obsvTraces() ([]ObsvTrace, error) {
+	dir, err := os.MkdirTemp("", "xbench-trace-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := relational.Open(dir, relational.Options{Sync: relational.SyncGroup, CheckpointBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	var spans []ObsvTrace
+	cancel := db.OnTrace(func(qt *relational.QueryTrace) {
+		spans = append(spans, ObsvTrace{
+			Kind:     qt.Kind,
+			SQL:      qt.SQL,
+			TotalUs:  float64(qt.Total) / 1e3,
+			CommitUs: float64(qt.Commit) / 1e3,
+			Rows:     qt.Rows,
+		})
+	})
+	defer cancel()
+	work := []string{
+		"CREATE TABLE evt (id INTEGER, tag VARCHAR(16))",
+		"INSERT INTO evt VALUES (1, 'open')",
+		"INSERT INTO evt VALUES (2, 'close')",
+		"UPDATE evt SET tag = 'seen' WHERE id = 1",
+		"SELECT id FROM evt WHERE tag != ''",
+	}
+	for _, s := range work {
+		if strings.HasPrefix(s, "SELECT") {
+			if _, err := db.Query(s); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if _, err := db.Exec(s); err != nil {
+			return nil, err
+		}
+	}
+	recordStats(db)
+	return spans, nil
+}
+
+// WriteObsv renders the experiment like the figure tables.
+func WriteObsv(w io.Writer, res *ObsvResult) {
+	fmt.Fprintln(w, "obsv: commit latency from the engine's metrics layer (single-row updates)")
+	fmt.Fprintf(w, "%8s %9s %10s %10s %10s\n", "fsync", "commits", "p50(us)", "p99(us)", "mean(us)")
+	for _, p := range res.Commit {
+		fmt.Fprintf(w, "%8s %9d %10.1f %10.1f %10.1f\n", p.Mode, p.Commits, p.P50us, p.P99us, p.MeanUs)
+	}
+	o := res.Overhead
+	fmt.Fprintf(w, "\nobsv: tracing overhead, %d-statement query batch (min-of-runs)\n", o.Statements)
+	fmt.Fprintf(w, "%12s %12s %10s\n", "off(ns/op)", "on(ns/op)", "delta")
+	fmt.Fprintf(w, "%12.0f %12.0f %9.1f%%\n", o.OffNsPerOp, o.OnNsPerOp, o.OverheadPct)
+	fmt.Fprintln(w, "\nobsv: EXPLAIN ANALYZE, indexed join")
+	fmt.Fprintln(w, res.Analyze)
+	if len(res.Traces) > 0 {
+		fmt.Fprintln(w, "obsv: statement traces (durable workload, group fsync)")
+		fmt.Fprintf(w, "%-10s %10s %10s %6s  %s\n", "kind", "total(us)", "commit(us)", "rows", "sql")
+		for _, tr := range res.Traces {
+			fmt.Fprintf(w, "%-10s %10.1f %10.1f %6d  %s\n", tr.Kind, tr.TotalUs, tr.CommitUs, tr.Rows, tr.SQL)
+		}
+	}
+}

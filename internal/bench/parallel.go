@@ -159,6 +159,7 @@ func RunParallel(cfg Config, maxWorkers int) ([]ParallelResult, error) {
 			out = append(out, res)
 		}
 	}
+	recordStats(db)
 	return out, nil
 }
 

@@ -94,6 +94,7 @@ func RunConcurrentReaders(cfg Config, maxReaders int, writerMode string) ([]Conc
 			}
 		}
 		st := s.DB.Stats()
+		recordStatsDelta(st)
 		pt := ConcurrentReadPoint{
 			Readers:    readers,
 			Queries:    queries,

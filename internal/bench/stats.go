@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"reflect"
+	"sync"
+
+	"repro/internal/relational"
+)
+
+// Stats aggregation behind `xbench -stats`: experiments retire their
+// databases through recordStats (or hand over per-run deltas via
+// recordStatsDelta), and when armed the counters accumulate into one
+// process-wide total that xbench dumps as JSON after the run — a
+// mechanical record of how much engine work an experiment grid performed.
+
+var statsAgg struct {
+	mu    sync.Mutex
+	armed bool
+	total relational.Stats
+}
+
+// CollectStats arms (or disarms) stats aggregation and clears the total.
+func CollectStats(on bool) {
+	statsAgg.mu.Lock()
+	statsAgg.armed = on
+	statsAgg.total = relational.Stats{}
+	statsAgg.mu.Unlock()
+}
+
+// recordStats folds db's cumulative counters into the aggregate; call it
+// when an experiment is done with a database.
+func recordStats(db *relational.DB) {
+	statsAgg.mu.Lock()
+	defer statsAgg.mu.Unlock()
+	if !statsAgg.armed {
+		return
+	}
+	addStats(&statsAgg.total, db.Stats())
+}
+
+// recordStatsDelta folds an already-read delta (measure() reads one per
+// timed run, resetting the database's counters between runs).
+func recordStatsDelta(st relational.Stats) {
+	statsAgg.mu.Lock()
+	defer statsAgg.mu.Unlock()
+	if !statsAgg.armed {
+		return
+	}
+	addStats(&statsAgg.total, st)
+}
+
+// addStats sums field-wise by reflection: Stats is a flat struct of int64
+// counters, so reflection keeps the aggregator correct as fields are
+// added. Not a hot path.
+func addStats(dst *relational.Stats, s relational.Stats) {
+	dv := reflect.ValueOf(dst).Elem()
+	sv := reflect.ValueOf(s)
+	for i := 0; i < sv.NumField(); i++ {
+		dv.Field(i).SetInt(dv.Field(i).Int() + sv.Field(i).Int())
+	}
+}
+
+// WriteStats dumps the aggregate as one indented JSON object.
+func WriteStats(w io.Writer) error {
+	statsAgg.mu.Lock()
+	total := statsAgg.total
+	statsAgg.mu.Unlock()
+	b, err := json.MarshalIndent(total, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

@@ -186,6 +186,8 @@ func RunText(cfg Config) ([]TextResult, error) {
 		return nil, err
 	}
 	out = append(out, r)
+	recordStats(dbI)
+	recordStats(dbA)
 	return out, nil
 }
 

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestStoreExplainAnalyze: the Store forwards EXPLAIN ANALYZE to its
+// relational substrate; an analyzed scan over a shredded table carries
+// actual row counts.
+func TestStoreExplainAnalyze(t *testing.T) {
+	s := openCust(t, Options{})
+	tbl := s.M.Table("Customer").Name
+	out, err := s.ExplainAnalyze("SELECT id FROM " + tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(actual ") {
+		t.Errorf("no actuals in analyzed plan:\n%s", out)
+	}
+	if !strings.Contains(out, "Execution: rows=") {
+		t.Errorf("no execution footer:\n%s", out)
+	}
+}
+
+// TestStoreTracing: an XML-level update fans out into traced SQL
+// statements; the store-level hook observes them and the metrics dump stays
+// valid JSON.
+func TestStoreTracing(t *testing.T) {
+	s := openCust(t, Options{})
+	var n int
+	cancel := s.OnTrace(func(qt *relational.QueryTrace) { n++ })
+	if _, err := s.DeleteSubtrees("Customer", "Name_v = 'John'"); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if n == 0 {
+		t.Error("delete produced no trace spans")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("invalid metrics JSON: %v", err)
+	}
+	if _, ok := m["commit_ns_mem"]; !ok {
+		t.Error("commit histogram missing from store metrics dump")
+	}
+}
+
+// TestStoreSlowQueryLog: the trace ring is reachable through the Store.
+func TestStoreSlowQueryLog(t *testing.T) {
+	s := openCust(t, Options{})
+	s.EnableTraceLog(8)
+	tbl := s.M.Table("Order").Name
+	if _, err := s.DB.Query("SELECT id FROM " + tbl); err != nil {
+		t.Fatal(err)
+	}
+	log := s.TraceLog()
+	if len(log) == 0 {
+		t.Fatal("trace ring empty after a traced query")
+	}
+	last := log[len(log)-1]
+	if !strings.Contains(last.SQL, tbl) {
+		t.Errorf("last ring entry = %q, want the %s query", last.SQL, tbl)
+	}
+	s.EnableTraceLog(0)
+}

@@ -1,0 +1,382 @@
+// Package metrics is a small, allocation-free instrumentation layer:
+// atomic counters, gauges, and fixed-bucket latency histograms, collected
+// into a Registry that snapshots on demand and dumps in an expvar-compatible
+// flat-JSON form.
+//
+// Every method is safe on a nil receiver and does nothing there, so call
+// sites can hold an optional *Histogram and observe unconditionally — a nil
+// field is a disabled metric at the cost of one branch. The hot-path methods
+// (Add, Set, Observe) never allocate and never take a lock; registration and
+// Snapshot are mutex-guarded and expected to be rare.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n. No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two buckets. Bucket i counts
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds v==0,
+// bucket i (i>0) holds 2^(i-1) <= v < 2^i. 64 buckets cover the full
+// non-negative int64 range (bits.Len64 of MaxInt64 is 63), so nanosecond
+// latencies from <1ns to ~292y all land somewhere without configuration.
+const histBuckets = 64
+
+// Histogram is a fixed-bucket log2 histogram. Observations are int64s —
+// by convention nanoseconds for latencies, but any non-negative magnitude
+// (batch sizes, rows reclaimed) works. Negative observations clamp to 0.
+type Histogram struct {
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	min    atomic.Int64 // stored negated so zero-value means "unset"
+	bucket [histBuckets]atomic.Int64
+}
+
+// Observe records one observation. No-op on a nil receiver; allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.bucket[bits.Len64(uint64(v))].Add(1)
+	for {
+		// max starts at 0 and v >= 0, so "not above current" always means
+		// "nothing to record".
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		// min is stored as -(v+1): 0 means no observation yet.
+		if cur != 0 && -(cur+1) <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, -(v + 1)) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in nanoseconds.
+// No-op on a nil receiver.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(int64(time.Since(t0)))
+	}
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe calls
+// may land between field reads; the snapshot is consistent enough for
+// reporting, not a linearizable cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	if m := h.min.Load(); m != 0 {
+		s.Min = -(m + 1)
+	}
+	for i := range h.bucket {
+		if n := h.bucket[i].Load(); n != 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Low: bucketLow(i), High: bucketHigh(i), N: n})
+		}
+	}
+	return s
+}
+
+// bucketLow returns the inclusive lower bound of bucket i.
+func bucketLow(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return int64(1) << (i - 1)
+}
+
+// bucketHigh returns the inclusive upper bound of bucket i.
+func bucketHigh(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// BucketCount is one non-empty histogram bucket: N observations in
+// [Low, High].
+type BucketCount struct {
+	Low  int64 `json:"low"`
+	High int64 `json:"high"`
+	N    int64 `json:"n"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Only non-empty
+// buckets appear.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Min     int64         `json:"min"`
+	Max     int64         `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Mean returns the arithmetic mean of observations, or 0 if empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an estimate of the p-quantile (p in [0,1]) assuming a
+// uniform distribution within each bucket. With log2 buckets the estimate
+// is within 2× of the true value — adequate for p50/p99 reporting.
+func (s HistogramSnapshot) Quantile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var seen float64
+	for _, b := range s.Buckets {
+		if seen+float64(b.N) >= rank {
+			frac := 0.0
+			if b.N > 0 {
+				frac = (rank - seen) / float64(b.N)
+			}
+			v := float64(b.Low) + frac*float64(b.High-b.Low)
+			est := int64(v)
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+		seen += float64(b.N)
+	}
+	return s.Max
+}
+
+// Registry is a named collection of metrics. Get-or-create accessors make
+// wiring order-independent: the first caller to name a metric creates it,
+// later callers share it.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil (a disabled counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+// Returns nil (a disabled gauge) on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Returns nil (a disabled histogram) on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every registered metric.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. Nil-safe.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]int64, len(r.counts))
+		for name, c := range r.counts {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the registry in expvar's flat-object style: one JSON
+// object whose keys are metric names in sorted order. Counters and gauges
+// render as bare numbers; histograms as {"count":…,"sum":…,"min":…,
+// "max":…,"mean":…,"p50":…,"p99":…}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprint(w, "{"); err != nil {
+		return err
+	}
+	for i, name := range names {
+		sep := ",\n"
+		if i == 0 {
+			sep = "\n"
+		}
+		var err error
+		if v, ok := s.Counters[name]; ok {
+			_, err = fmt.Fprintf(w, "%s%q: %d", sep, name, v)
+		} else if v, ok := s.Gauges[name]; ok {
+			_, err = fmt.Fprintf(w, "%s%q: %d", sep, name, v)
+		} else {
+			h := s.Histograms[name]
+			_, err = fmt.Fprintf(w, "%s%q: {\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %.1f, \"p50\": %d, \"p99\": %d}",
+				sep, name, h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.Quantile(0.50), h.Quantile(0.99))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprint(w, "\n}\n")
+	return err
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Add(5)
+	g.Set(5)
+	g.Add(1)
+	h.Observe(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil metric returned a value")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatal("nil histogram snapshot not empty")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry created metrics")
+	}
+	if s := r.Snapshot(); s.Counters != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stmts")
+	c.Add(3)
+	r.Counter("stmts").Add(2) // same underlying counter
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	vals := []int64{0, 1, 2, 3, 4, 100, 1000, -5}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(vals))
+	}
+	if s.Sum != 0+1+2+3+4+100+1000+0 { // -5 clamps to 0
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("min/max = %d/%d, want 0/1000", s.Min, s.Max)
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		if b.Low > b.High {
+			t.Fatalf("bucket [%d,%d] inverted", b.Low, b.High)
+		}
+		n += b.N
+	}
+	if n != s.Count {
+		t.Fatalf("bucket total %d != count %d", n, s.Count)
+	}
+	// 100 lands in [64,127].
+	found := false
+	for _, b := range s.Buckets {
+		if b.Low <= 100 && 100 <= b.High && b.Low == 64 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no [64,127] bucket for 100: %+v", s.Buckets)
+	}
+}
+
+func TestHistogramMinTracksSmallest(t *testing.T) {
+	var h Histogram
+	h.Observe(50)
+	h.Observe(10)
+	h.Observe(90)
+	s := h.Snapshot()
+	if s.Min != 10 || s.Max != 90 {
+		t.Fatalf("min/max = %d/%d, want 10/90", s.Min, s.Max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.5)
+	// log2 buckets: estimate within 2x of the true median (500).
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %d, want within [250,1000]", p50)
+	}
+	if q := s.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	if q := s.Quantile(0); q < 1 {
+		t.Fatalf("p0 = %d, want >= 1", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean not zero")
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 0 || s.Max != workers*per-1 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("commits").Add(3)
+	r.Gauge("open_txns").Set(1)
+	r.Histogram("commit_ns").Observe(1500)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"commits": 3`, `"open_txns": 1`, `"commit_ns"`, `"count": 1`, `"sum": 1500`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteJSON output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestObserveAllocs(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(123) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -108,6 +108,29 @@ func TestAllocPinTextEquality(t *testing.T) {
 	pinZero(t, "text equality scan", `SELECT id FROM child WHERE payload != 'c80'`, 8*4-1, 64*4-1)
 }
 
+// TestAllocPinTracingOn: with a trace hook registered, the per-statement
+// span is one fixed allocation — the per-row path must stay untouched, so
+// differencing small/large still yields zero. (The tracing-OFF path is
+// pinned by every other test in this file: they all run with db.obs nil.)
+func TestAllocPinTracingOn(t *testing.T) {
+	q := `SELECT id, payload FROM child WHERE pos < 3`
+	small := allocDB(t, 8)
+	large := allocDB(t, 64)
+	defer small.OnTrace(func(*QueryTrace) {})()
+	defer large.OnTrace(func(*QueryTrace) {})()
+	nSmall := streamCount(t, small, q)
+	nLarge := streamCount(t, large, q)
+	if nSmall != 8*3 || nLarge != 64*3 {
+		t.Fatalf("row counts = %d/%d", nSmall, nLarge)
+	}
+	const runs = 20
+	aSmall := testing.AllocsPerRun(runs, func() { streamCount(t, small, q) })
+	aLarge := testing.AllocsPerRun(runs, func() { streamCount(t, large, q) })
+	if got := (aLarge - aSmall) / float64(nLarge-nSmall); got > 0 {
+		t.Errorf("tracing-on scan: %.3f allocs/row, want 0", got)
+	}
+}
+
 // TestAllocPinHashJoinProbe: joining on an unindexed column builds one
 // transient hash table (its cost scales with the build side, which is held
 // constant here by probing a fixed-size build table) — the probe side must

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -202,6 +203,16 @@ type DB struct {
 	// is lost after its in-memory effects became visible, every later
 	// commit fails rather than widen the memory/log divergence.
 	redoErr error
+	// obs is the published tracing configuration (trace.go); nil — the
+	// default — means tracing is off, and the per-statement check is one
+	// atomic load. obsMu serializes the copy-on-write updates that publish
+	// it; nextHookID numbers OnTrace registrations for cancellation.
+	obs        atomic.Pointer[obsState]
+	obsMu      sync.Mutex
+	nextHookID atomic.Uint64
+	// met holds the always-on engine latency histograms (trace.go).
+	// Non-nil for every DB.
+	met *engineMetrics
 	// ckptMu guards the auto-checkpoint lifecycle: ckptBusy admits one at
 	// a time, closing stops new ones from starting, and ckptWG lets Close
 	// join the in-flight one (Add only ever happens under ckptMu with
@@ -231,6 +242,7 @@ func NewDB() *DB {
 		intern:   &internTable{},
 		snaps:    make(map[uint64]uint64),
 		intentCh: make(chan struct{}),
+		met:      newEngineMetrics(),
 	}
 }
 
@@ -388,26 +400,46 @@ func (db *DB) Exec(sql string) (int, error) {
 		// The transaction ended between the check and the join; fall
 		// through to autocommit execution.
 	}
-	n, lsn, err, done := db.execAutocommitLocked(sql)
+	start := time.Now()
+	qt := db.traceBegin("exec", sql)
+	n, lsn, err, done := db.execAutocommitLocked(sql, qt)
 	if done || err != nil {
+		db.traceFinish(qt, n, err)
 		return n, err
 	}
 	// The fsync wait happens here, outside the lock: readers blocked on the
 	// statement see its effects as soon as the in-memory commit finishes,
 	// and never wait behind the disk.
-	return n, db.afterCommit(lsn)
+	err = db.afterCommit(lsn, qt)
+	if err == nil {
+		db.met.commit.ObserveSince(start)
+	}
+	db.traceFinish(qt, n, err)
+	return n, err
 }
 
 // execAutocommitLocked is Exec's writer-lock critical section. The unlock
 // is deferred so a panic inside statement execution cannot strand the
 // exclusive lock. done=true means the caller has nothing left to do
 // (transaction control, or an error).
-func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, done bool) {
+func (db *DB) execAutocommitLocked(sql string, qt *QueryTrace) (n int, lsn uint64, err error, done bool) {
+	lockStart := time.Now()
 	db.mu.Lock()
+	db.met.lockWait.ObserveSince(lockStart)
 	defer db.mu.Unlock()
-	stmt, args, err := db.prepared(sql)
+	if qt != nil {
+		qt.LockWait = time.Since(lockStart)
+	}
+	prepStart := time.Now()
+	stmt, args, hit, err := db.prepared(sql)
 	if err != nil {
 		return 0, 0, err, true
+	}
+	if qt != nil {
+		qt.CacheHit = hit
+		if !hit {
+			qt.Parse = time.Since(prepStart)
+		}
 	}
 	switch stmt.(type) {
 	case *BeginStmt:
@@ -421,7 +453,7 @@ func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, do
 		return 0, 0, fmt.Errorf("relational: no open transaction"), true
 	}
 	db.stats.Statements.Add(1)
-	n, lsn, err = db.runAutocommit(stmt, args, sql, nil)
+	n, lsn, err = db.runAutocommit(stmt, args, sql, nil, qt, nil)
 	return n, lsn, err, false
 }
 
@@ -432,11 +464,12 @@ func (db *DB) execAutocommitLocked(sql string) (n int, lsn uint64, err error, do
 // holds the writer lock; the lock is held on return, but may have been
 // released and reacquired while waiting behind an explicit transaction's
 // write intent.
-func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value) (int, uint64, error) {
+func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value, qt *QueryTrace, an *analyzeRun) (int, uint64, error) {
 	log := newUndoLog()
 	for {
 		env := newEnv(nil)
 		env.args = args
+		env.an = an
 		// While explicit transactions hold snapshots, writes go down the
 		// versioned path so those snapshots keep their view; with none open
 		// the statement mutates physically, exactly as before MVCC. The
@@ -449,11 +482,22 @@ func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value
 			db.writer = w
 			env.snap = snapshot{ts: allTS, self: w.txnID}
 		}
+		var execStart time.Time
+		if qt != nil {
+			execStart = time.Now()
+		}
 		db.undo = log
 		n, err := db.execStmt(stmt, env)
 		db.undo = nil
 		db.writer = nil
+		if qt != nil {
+			qt.Execute += time.Since(execStart)
+		}
 		if err == nil {
+			var commitStart time.Time
+			if qt != nil {
+				commitStart = time.Now()
+			}
 			stamp := db.stampCommitLocked(log, w)
 			if w != nil {
 				db.releaseIntentsLocked(w)
@@ -468,6 +512,9 @@ func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value
 						return 0, 0, fmt.Errorf("relational: logging commit: %w", err)
 					}
 				}
+			}
+			if qt != nil {
+				qt.Commit += time.Since(commitStart)
 			}
 			return n, lsn, nil
 		}
@@ -484,7 +531,14 @@ func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value
 		// the intent holder can commit), then retry from scratch.
 		ch := db.intentCh
 		db.mu.Unlock()
+		waitStart := time.Now()
 		<-ch
+		db.met.intentWait.ObserveSince(waitStart)
+		db.met.intentRetries.Add(1)
+		if qt != nil {
+			qt.IntentWait += time.Since(waitStart)
+			qt.Retries++
+		}
 		db.mu.Lock()
 	}
 }
@@ -500,6 +554,9 @@ func (db *DB) runAutocommit(stmt Stmt, args []Value, src string, logArgs []Value
 // handle transactions (Begin) are not joined, so concurrent readers keep
 // full isolation there.
 func (db *DB) Query(sql string) (*Rows, error) {
+	if rows, handled, err := db.dispatchExplain(sql); handled {
+		return rows, err
+	}
 	if tx := db.sqlTx.Load(); tx != nil {
 		rows, err := tx.Query(sql)
 		if err != errTxDone {
@@ -508,11 +565,40 @@ func (db *DB) Query(sql string) (*Rows, error) {
 		// The transaction ended between the check and the join; fall
 		// through to a normal committed-state read.
 	}
+	qt := db.traceBegin("query", sql)
+	rows, err := db.queryLocked(sql, qt)
+	n := 0
+	if rows != nil {
+		n = len(rows.Data)
+	}
+	db.traceFinish(qt, n, err)
+	return rows, err
+}
+
+// queryLocked is Query's shared-lock critical section.
+func (db *DB) queryLocked(sql string, qt *QueryTrace) (*Rows, error) {
+	var lockStart time.Time
+	if qt != nil {
+		lockStart = time.Now()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	stmt, args, err := db.prepared(sql)
+	if qt != nil {
+		qt.LockWait = time.Since(lockStart)
+	}
+	var prepStart time.Time
+	if qt != nil {
+		prepStart = time.Now()
+	}
+	stmt, args, hit, err := db.prepared(sql)
 	if err != nil {
 		return nil, err
+	}
+	if qt != nil {
+		qt.CacheHit = hit
+		if !hit {
+			qt.Parse = time.Since(prepStart)
+		}
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
@@ -540,11 +626,46 @@ func (db *DB) QueryEach(sql string, fn func(row []Value) error) ([]string, error
 			return cols, err
 		}
 	}
+	qt := db.traceBegin("query-each", sql)
+	rows := 0
+	if qt != nil {
+		// Count streamed rows for the trace without touching the untraced
+		// path's call chain.
+		inner := fn
+		fn = func(row []Value) error {
+			rows++
+			return inner(row)
+		}
+	}
+	cols, err := db.queryEachLocked(sql, qt, fn)
+	db.traceFinish(qt, rows, err)
+	return cols, err
+}
+
+// queryEachLocked is QueryEach's shared-lock critical section.
+func (db *DB) queryEachLocked(sql string, qt *QueryTrace, fn func(row []Value) error) ([]string, error) {
+	var lockStart time.Time
+	if qt != nil {
+		lockStart = time.Now()
+	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	stmt, args, err := db.prepared(sql)
+	if qt != nil {
+		qt.LockWait = time.Since(lockStart)
+	}
+	var prepStart time.Time
+	if qt != nil {
+		prepStart = time.Now()
+	}
+	stmt, args, hit, err := db.prepared(sql)
 	if err != nil {
 		return nil, err
+	}
+	if qt != nil {
+		qt.CacheHit = hit
+		if !hit {
+			qt.Parse = time.Since(prepStart)
+		}
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
@@ -619,12 +740,18 @@ type execEnv struct {
 	// consistent); transactional execution narrows it to the transaction's
 	// snapshot stamp plus its own in-flight writes.
 	snap snapshot
+	// an, when non-nil, is the EXPLAIN ANALYZE collection run this
+	// execution reports per-operator actuals into (analyze.go). Nil on
+	// every ordinary execution: iterator construction checks it once and
+	// builds the uninstrumented pipeline.
+	an *analyzeRun
 }
 
 func newEnv(parent *execEnv) *execEnv {
 	e := &execEnv{ctes: make(map[string]*Rows), parent: parent}
 	if parent != nil {
 		e.snap = parent.snap
+		e.an = parent.an
 	} else {
 		e.snap = snapshot{ts: allTS}
 	}

@@ -55,6 +55,11 @@ type Options struct {
 	// Parallelism is the per-statement worker budget for query execution
 	// (see SetParallelism); <= 1 means serial, the default.
 	Parallelism int
+	// SlowQuery, when positive, arms the slow-query log: statements whose
+	// total latency reaches the threshold are traced and retained in the
+	// recent-statements ring (see DB.SetSlowQuery / DB.TraceLog). Zero
+	// leaves tracing off.
+	SlowQuery time.Duration
 }
 
 func (o Options) checkpointBytes() int64 {
@@ -64,8 +69,16 @@ func (o Options) checkpointBytes() int64 {
 	return o.CheckpointBytes
 }
 
-func (o Options) walOptions() wal.Options {
-	return wal.Options{Sync: o.Sync, GroupWindow: o.GroupWindow, SegmentSize: o.SegmentSize}
+// walOptions derives the log's configuration, wiring the DB's metrics
+// registry into the log's append/fsync/batch observation points.
+func (o Options) walOptions(met *engineMetrics) wal.Options {
+	w := wal.Options{Sync: o.Sync, GroupWindow: o.GroupWindow, SegmentSize: o.SegmentSize}
+	if met != nil {
+		w.AppendHist = met.reg.Histogram("wal_append_ns")
+		w.FsyncHist = met.reg.Histogram("wal_fsync_ns")
+		w.BatchHist = met.reg.Histogram("wal_batch_commits")
+	}
+	return w
 }
 
 // ddlKind classifies a schema statement for history compaction.
@@ -228,12 +241,19 @@ func (db *DB) applyRedoLocked(redo []redoStmt, stamp uint64) (uint64, error) {
 
 // afterCommit completes a commit after the writer lock is released: it
 // waits for the record to reach stable storage under the configured policy
-// and runs the auto-checkpoint trigger.
-func (db *DB) afterCommit(lsn uint64) error {
+// and runs the auto-checkpoint trigger. qt, when non-nil, receives the
+// durability wait as its FsyncWait span.
+func (db *DB) afterCommit(lsn uint64, qt *QueryTrace) error {
 	if lsn == 0 || db.wal == nil {
 		return nil
 	}
-	if err := db.wal.WaitDurable(lsn); err != nil {
+	waitStart := time.Now()
+	err := db.wal.WaitDurable(lsn)
+	db.met.fsyncWait.ObserveSince(waitStart)
+	if qt != nil {
+		qt.FsyncWait = time.Since(waitStart)
+	}
+	if err != nil {
 		return fmt.Errorf("relational: commit not durable: %w", err)
 	}
 	db.maybeCheckpoint()
@@ -280,11 +300,14 @@ func (db *DB) maybeCheckpoint() {
 // processes concurrently is caller misuse (the embedded-database model,
 // like SQLite without its file locks).
 func Open(dir string, opts Options) (*DB, error) {
-	l, err := wal.Open(dir, opts.walOptions())
+	// The DB (and its metrics registry) exists before the log so the log's
+	// append/fsync observation points can ride wal.Options.
+	db := NewDB()
+	db.met.useSyncMode(opts.Sync)
+	l, err := wal.Open(dir, opts.walOptions(db.met))
 	if err != nil {
 		return nil, err
 	}
-	db := NewDB()
 	db.SetParallelism(opts.Parallelism)
 	db.wal = l
 	db.walOpts = opts
@@ -322,6 +345,11 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.replaying = false
+	// Armed after replay so recovery re-execution does not pollute the
+	// slow-query log.
+	if opts.SlowQuery > 0 {
+		db.SetSlowQuery(opts.SlowQuery)
+	}
 	ok = true
 	return db, nil
 }
@@ -415,7 +443,7 @@ func (db *DB) LogBulk(sqls []string) error {
 			return err
 		}
 	}
-	return db.afterCommit(lsn)
+	return db.afterCommit(lsn, nil)
 }
 
 // Checkpoint serializes the schema history and a data snapshot into a

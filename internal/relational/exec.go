@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 )
 
 // ---- DML execution ----
@@ -164,7 +165,7 @@ func (db *DB) execUpdate(s *UpdateStmt, env *execEnv) (int, error) {
 // the same chooseAccessPlan the SELECT pipeline uses; the plan is compiled
 // into the statement node. The loop itself is direct rather than an
 // iterator chain: trigger bodies run it once per firing, so it stays lean.
-func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr, env *execEnv) ([]int, error) {
+func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr, env *execEnv) (rids []int, err error) {
 	lp := db.matchPlanFor(planSlot, name, t, where)
 	ev := newEval(db, env)
 	bind := singleBinding(name, t, nil)
@@ -178,9 +179,22 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		}
 		return true, nil
 	}
-	var rids []int
 	var ctr levelCounters
 	defer ctr.flush(db)
+	if an := env.an; an != nil {
+		// EXPLAIN ANALYZE record for the DML access path, keyed by the
+		// statement's plan slot. Registered after the flush defer so the
+		// fold (LIFO) sees the batch before it zeroes.
+		m := an.op(planSlot, anMatch)
+		m.loops.Add(1)
+		t0 := time.Now()
+		defer func() {
+			m.rows.Add(int64(len(rids)))
+			m.scanned.Add(ctr.rowsScanned)
+			m.probes.Add(ctr.indexProbes + ctr.rangeProbes)
+			m.ns.Add(int64(time.Since(t0)))
+		}()
+	}
 	ap := chooseAccessPlan(lp, bind.srcs[0], 0, nil, true)
 	switch ap.kind {
 	case accessIndexProbe:
@@ -231,6 +245,10 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 	}
 	ctr.fullScans++
 	if k := db.parWorkersFor(t.live); k > 1 {
+		if an := env.an; an != nil {
+			m := an.op(planSlot, anMatch)
+			m.workers, m.parts = k, k
+		}
 		// Partitioned read phase: window match lists concatenate in rowid
 		// order, reproducing this loop's output exactly (parallel.go).
 		return db.matchScanParallel(&ctr, lp, t, name, env, k)

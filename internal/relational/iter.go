@@ -100,6 +100,11 @@ type levelIter struct {
 	// readers, an atomic add per scanned row turns the stats cache line
 	// into a serialization point and erases the reader-parallel speedup.
 	ctr levelCounters
+
+	// anm, when non-nil, is this level's EXPLAIN ANALYZE record
+	// (analyze.go); Close folds the batched counters into it before they
+	// flush. Nil on every ordinary execution.
+	anm *opMetrics
 }
 
 // levelCounters accumulates hot-path statistics locally during one
@@ -141,6 +146,12 @@ func (li *levelIter) Open() error {
 }
 
 func (li *levelIter) Close() {
+	if li.anm != nil {
+		// Fold before flush: flush zeroes the batch, so a second Close
+		// (compound iterators may re-close abandoned children) adds nothing.
+		li.anm.scanned.Add(li.ctr.rowsScanned)
+		li.anm.probes.Add(li.ctr.indexProbes + li.ctr.rangeProbes)
+	}
 	li.ctr.flush(li.db)
 	li.input.Close()
 }
@@ -1021,10 +1032,17 @@ func (db *DB) compileSimple(s *SimpleSelect, env *execEnv, keys []sortSpec, srcs
 func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 	s := bc.sel
 	ev := newEval(db, env)
+	an := env.an
 	if len(bc.srcs) == 0 {
 		var it rowIter = &valuesIter{ev: ev, exprs: s.Exprs}
+		if an != nil {
+			it = &instrRow{in: it, m: an.op(bc, anProject)}
+		}
 		if s.Distinct {
 			it = &distinctIter{input: it, it: db.intern}
+			if an != nil {
+				it = &instrRow{in: it, m: an.op(bc, anDistinct)}
+			}
 		}
 		return it
 	}
@@ -1063,6 +1081,11 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 			}
 		}
 		chain = li
+		if an != nil {
+			m := an.op(bc, pos)
+			li.anm = m
+			chain = &instrBind{in: li, m: m}
+		}
 	}
 	var it rowIter
 	if bc.aggregate {
@@ -1070,9 +1093,15 @@ func (db *DB) buildBodyIter(bc *bodyCompiled, env *execEnv) rowIter {
 	} else {
 		it = &projectIter{ev: ev, sel: s, bind: bind, input: chain}
 	}
+	if an != nil {
+		it = &instrRow{in: it, m: an.op(bc, anProject)}
+	}
 	if s.Distinct {
 		// distinctIter streams first occurrences, preserving input order.
 		it = &distinctIter{input: it, it: db.intern}
+		if an != nil {
+			it = &instrRow{in: it, m: an.op(bc, anDistinct)}
+		}
 	}
 	return it
 }
@@ -1237,6 +1266,10 @@ func (db *DB) buildSelectIter(s *SelectStmt, env *execEnv, extWant []OrderKey) (
 	if err != nil {
 		return nil, nil, err
 	}
+	an := env.an
+	if an != nil {
+		an.noteSelect(s, cs)
+	}
 	parts := make([]rowIter, len(cs.bodies))
 	for i, bc := range cs.bodies {
 		parts[i] = db.buildBodyIter(bc, env)
@@ -1245,13 +1278,22 @@ func (db *DB) buildSelectIter(s *SelectStmt, env *execEnv, extWant []OrderKey) (
 	switch {
 	case cs.explicit && cs.elide && len(parts) > 1:
 		top = &mergeIter{parts: parts, keys: cs.keys}
+		if an != nil {
+			top = &instrRow{in: top, m: an.op(cs, anMerge)}
+		}
 	case len(parts) == 1:
 		top = parts[0]
 	default:
 		top = &unionIter{parts: parts}
+		if an != nil {
+			top = &instrRow{in: top, m: an.op(cs, anUnion)}
+		}
 	}
 	if cs.explicit && !cs.elide {
 		top = &sortIter{db: db, input: top, keys: cs.keys}
+		if an != nil {
+			top = &instrRow{in: top, m: an.op(cs, anSort)}
+		}
 	}
 	return top, cs, nil
 }

@@ -206,6 +206,7 @@ func (db *DB) claimIntentLocked(t *Table) error {
 	}
 	if t.intentTxn != 0 {
 		db.stats.WriteConflicts.Add(1)
+		db.met.conflicts.Add(1)
 		if w.explicit {
 			return fmt.Errorf("%w: table %s is claimed by a concurrent transaction", ErrWriteConflict, t.Name)
 		}
@@ -213,6 +214,7 @@ func (db *DB) claimIntentLocked(t *Table) error {
 	}
 	if w.explicit && t.lastCommit > w.snapTS {
 		db.stats.WriteConflicts.Add(1)
+		db.met.conflicts.Add(1)
 		return fmt.Errorf("%w: table %s was modified after this transaction began", ErrWriteConflict, t.Name)
 	}
 	t.intentTxn = w.txnID
@@ -315,6 +317,7 @@ func (db *DB) vacuumPendingLocked() {
 	if len(db.pendingVac) == 0 {
 		return
 	}
+	before := db.stats.VersionsVacuumed.Load()
 	horizon := db.vacuumHorizonLocked()
 	keep := db.pendingVac[:0]
 	for _, r := range db.pendingVac {
@@ -326,6 +329,9 @@ func (db *DB) vacuumPendingLocked() {
 		db.pendingVac[i] = vacRec{}
 	}
 	db.pendingVac = keep
+	if n := db.stats.VersionsVacuumed.Load() - before; n > 0 {
+		db.met.vacuumReclaim.Observe(n)
+	}
 }
 
 // vacuumRow truncates what the horizon allows of row rid's version state,

@@ -184,6 +184,12 @@ func (db *DB) buildBodyWorker(bc *bodyCompiled, env *execEnv, part *levelPart, s
 			li.part = part
 		}
 		li.shared = shared[pos]
+		if an := env.an; an != nil {
+			// Workers fold scan/probe counts only (atomic, shared across the
+			// K clones); no timing wrappers — summing wall time across
+			// concurrent goroutines would overstate the level's cost.
+			li.anm = an.op(bc, pos)
+		}
 		chain = li
 	}
 	w := &bodyWorker{sel: bc.sel, bind: bind, ev: ev, chain: chain}
@@ -202,6 +208,9 @@ func (db *DB) buildParallelBody(bc *bodyCompiled, env *execEnv, k int) rowIter {
 	for pos := range bc.plan.levels {
 		if bc.access[pos].kind == accessHashJoin {
 			shared[pos] = &parHashTable{db: db, sn: env.snap}
+			if an := env.an; an != nil {
+				shared[pos].anm = an.op(bc, pos)
+			}
 		}
 	}
 	parts := make([]*levelPart, k)
@@ -219,10 +228,18 @@ func (db *DB) buildParallelBody(bc *bodyCompiled, env *execEnv, k int) rowIter {
 	} else {
 		it = &exchangeIter{db: db, prep: prep, workers: workers}
 	}
+	if an := env.an; an != nil {
+		m := an.op(bc, anExchange)
+		m.workers, m.parts = k, len(parts)
+		it = &instrRow{in: it, m: m}
+	}
 	if bc.sel.Distinct {
 		// The exchange emits the exact serial stream, so streaming first
 		// occurrences above it preserves serial DISTINCT semantics.
 		it = &distinctIter{input: it, it: db.intern}
+		if an := env.an; an != nil {
+			it = &instrRow{in: it, m: an.op(bc, anDistinct)}
+		}
 	}
 	return it
 }
@@ -240,6 +257,15 @@ func (db *DB) partitionDriving(bc *bodyCompiled, env *execEnv, parts []*levelPar
 	ap := bc.access[0]
 	var ctr levelCounters
 	defer ctr.flush(db)
+	if an := env.an; an != nil {
+		// Registered after the flush defer, so it runs first (LIFO) while
+		// the batch still holds the partition-cut charges.
+		m := an.op(bc, 0)
+		defer func() {
+			m.scanned.Add(ctr.rowsScanned)
+			m.probes.Add(ctr.indexProbes + ctr.rangeProbes)
+		}()
+	}
 	if ap.kind == accessScan {
 		ctr.fullScans++
 		n := 0
@@ -377,6 +403,10 @@ func (x *exchangeIter) run(w int) {
 	ch := x.chans[w]
 	defer close(ch)
 	if err := it.Open(); err != nil {
+		// Close even though Open failed: a level may have opened (and
+		// counted work) before a later one errored, and its batched
+		// counters must still flush (iter.go).
+		it.Close()
 		x.errs[w] = err
 		return
 	}
@@ -565,6 +595,9 @@ func (a *parallelAggIter) Next() ([]Value, bool, error) {
 // runAgg drains the worker's partition through private accumulators.
 func (w *bodyWorker) runAgg() ([]*aggAccumulator, error) {
 	if err := w.chain.Open(); err != nil {
+		// Same as the exchange worker: flush whatever opened before the
+		// error by closing the partial chain.
+		w.chain.Close()
 		return nil, err
 	}
 	defer w.chain.Close()
@@ -604,6 +637,9 @@ type parHashTable struct {
 	once   sync.Once
 	shards []map[Value][]int
 	err    error
+	// anm, when non-nil, receives the build-side scan count for EXPLAIN
+	// ANALYZE (analyze.go).
+	anm *opMetrics
 }
 
 // ensure builds the table exactly once; every worker calls it and all but
@@ -634,6 +670,10 @@ func (h *parHashTable) build(src *source, col string) error {
 	it := h.db.intern
 	var ctr levelCounters
 	defer ctr.flush(h.db)
+	if h.anm != nil {
+		// Runs before the flush defer zeroes the batch (LIFO).
+		defer func() { h.anm.scanned.Add(ctr.rowsScanned) }()
+	}
 	k := h.db.buildWorkersFor(len(rows))
 	if k <= 1 {
 		// Small build side: one shard, built inline. Still shared — the

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Prepared statements and the shape-keyed plan cache. Every Exec/Query is
@@ -53,20 +54,36 @@ func (p *Prepared) Exec(args ...Value) (int, error) {
 			return n, err
 		}
 	}
+	start := time.Now()
+	qt := p.db.traceBegin("prepared-exec", p.src)
+	if qt != nil {
+		qt.CacheHit = true // prepared statements are pre-parsed by definition
+	}
 	// The closure scopes the deferred unlock to the in-memory commit, so a
 	// panic cannot strand the writer lock while the fsync wait below still
 	// runs outside it.
 	n, lsn, err := func() (int, uint64, error) {
+		lockStart := time.Now()
 		p.db.mu.Lock()
+		p.db.met.lockWait.ObserveSince(lockStart)
 		defer p.db.mu.Unlock()
+		if qt != nil {
+			qt.LockWait = time.Since(lockStart)
+		}
 		p.db.stats.Statements.Add(1)
 		p.db.internArgs(args)
-		return p.db.runAutocommit(p.stmt, args, p.src, args)
+		return p.db.runAutocommit(p.stmt, args, p.src, args, qt, nil)
 	}()
 	if err != nil {
+		p.db.traceFinish(qt, 0, err)
 		return 0, err
 	}
-	return n, p.db.afterCommit(lsn)
+	err = p.db.afterCommit(lsn, qt)
+	if err == nil {
+		p.db.met.commit.ObserveSince(start)
+	}
+	p.db.traceFinish(qt, n, err)
+	return n, err
 }
 
 // Query runs a prepared SELECT with the given parameter values, under the
@@ -108,13 +125,14 @@ type cachedStmt struct {
 const stmtCacheLimit = 512
 
 // prepared resolves sql through the shape cache, parsing at most once per
-// statement shape. It returns the (shared, read-only) AST and the literal
-// values to bind. The cache has its own lock (both shared-lock readers and
-// exclusive writers populate it), so callers hold db.mu in either mode.
-func (db *DB) prepared(sql string) (Stmt, []Value, error) {
+// statement shape. It returns the (shared, read-only) AST, the literal
+// values to bind, and whether the template came from the cache. The cache
+// has its own lock (both shared-lock readers and exclusive writers populate
+// it), so callers hold db.mu in either mode.
+func (db *DB) prepared(sql string) (Stmt, []Value, bool, error) {
 	toks, err := lexSQL(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	_, shape, args, ok := liftLiterals(toks, len(sql), false)
 	if !ok {
@@ -131,7 +149,7 @@ func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 		// only — query literals never mint symbols): a literal naming a
 		// stored string carries its id into every equality and probe below.
 		db.internArgs(args)
-		return c.stmt, args, nil
+		return c.stmt, args, true, nil
 	}
 	db.stats.PlanCacheMisses.Add(1)
 	ptoks := toks
@@ -142,13 +160,13 @@ func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 	}
 	stmt, np, err := parseTokens(ptoks, sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	if np != len(args) {
 		if len(args) == 0 && np > 0 {
-			return nil, nil, fmt.Errorf("relational: statement contains ? placeholders; use Prepare")
+			return nil, nil, false, fmt.Errorf("relational: statement contains ? placeholders; use Prepare")
 		}
-		return nil, nil, fmt.Errorf("relational: internal: %d params for %d lifted literals", np, len(args))
+		return nil, nil, false, fmt.Errorf("relational: internal: %d params for %d lifted literals", np, len(args))
 	}
 	db.stmtMu.Lock()
 	if len(db.stmts) >= stmtCacheLimit {
@@ -162,7 +180,7 @@ func (db *DB) prepared(sql string) (Stmt, []Value, error) {
 	db.stmts[shape] = &cachedStmt{stmt: stmt, nparams: np}
 	db.stmtMu.Unlock()
 	db.internArgs(args)
-	return stmt, args, nil
+	return stmt, args, false, nil
 }
 
 // liftLiterals walks a token stream lifting literal tokens into `?`

@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Transactions. The paper's §6.3 execution model requires an update
@@ -369,7 +370,7 @@ func (db *DB) beginLocked(sqlLevel bool) *Tx {
 // rolls back to its own start (statement atomicity); the transaction stays
 // open. COMMIT and ROLLBACK statements finish the transaction.
 func (tx *Tx) Exec(sql string) (int, error) {
-	stmt, args, err := tx.db.prepared(sql)
+	stmt, args, _, err := tx.db.prepared(sql)
 	if err != nil {
 		return 0, err
 	}
@@ -397,6 +398,20 @@ func (tx *Tx) Exec(sql string) (int, error) {
 // the open transaction. src and logArgs are the statement's redo form: the
 // raw text (logArgs nil) or the `?` shape plus its bound arguments.
 func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (int, error) {
+	qt := tx.db.traceBegin("tx-exec", src)
+	n, err := tx.execStmtSpan(stmt, args, src, logArgs, qt)
+	if err == errTxDone {
+		// The caller falls through to a fresh autocommit execution, which
+		// opens its own span; this one never ran a statement.
+		return n, err
+	}
+	tx.db.traceFinish(qt, n, err)
+	return n, err
+}
+
+// execStmtSpan is execStmt's lock-holding body; the trace dispatch stays
+// outside it so hooks never run under tx.mu or the writer lock.
+func (tx *Tx) execStmtSpan(stmt Stmt, args []Value, src string, logArgs []Value, qt *QueryTrace) (int, error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.done {
@@ -409,8 +424,17 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (in
 	// write context install for the duration of execution, then come back
 	// out so readers and other writers can run between this transaction's
 	// statements.
+	lockStart := time.Now()
 	db.mu.Lock()
+	db.met.lockWait.ObserveSince(lockStart)
 	defer db.mu.Unlock()
+	if qt != nil {
+		qt.LockWait = time.Since(lockStart)
+	}
+	var execStart time.Time
+	if qt != nil {
+		execStart = time.Now()
+	}
 	mark := tx.log.mark()
 	db.undo = tx.log
 	db.writer = &tx.wctx
@@ -420,6 +444,9 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (in
 	n, err := db.execStmt(stmt, env)
 	db.undo = nil
 	db.writer = nil
+	if qt != nil {
+		qt.Execute = time.Since(execStart)
+	}
 	if err != nil {
 		tx.log.rollbackTo(mark)
 		return 0, err
@@ -442,7 +469,7 @@ func (tx *Tx) execStmt(stmt Stmt, args []Value, src string, logArgs []Value) (in
 // Query executes a SELECT inside the transaction, observing its uncommitted
 // writes.
 func (tx *Tx) Query(sql string) (*Rows, error) {
-	stmt, args, err := tx.db.prepared(sql)
+	stmt, args, _, err := tx.db.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -467,7 +494,7 @@ func (tx *Tx) Query(sql string) (*Rows, error) {
 // QueryEach streams a SELECT's rows inside the transaction. Like
 // DB.QueryEach, the row slice is reused between fn calls; copy to retain.
 func (tx *Tx) QueryEach(sql string, fn func(row []Value) error) ([]string, error) {
-	stmt, args, err := tx.db.prepared(sql)
+	stmt, args, _, err := tx.db.prepared(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -539,6 +566,18 @@ func (tx *Tx) QueryPrepared(p *Prepared, args ...Value) (*Rows, error) {
 // order); the fsync wait happens after release, so readers unblocked by the
 // commit never wait for the disk.
 func (tx *Tx) Commit() error {
+	start := time.Now()
+	qt := tx.db.traceBegin("tx-commit", "COMMIT")
+	err := tx.commitSpan(qt, start)
+	if err == errTxDone {
+		return err
+	}
+	tx.db.traceFinish(qt, 0, err)
+	return err
+}
+
+// commitSpan is Commit's body; trace dispatch stays outside the locks.
+func (tx *Tx) commitSpan(qt *QueryTrace, start time.Time) error {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.done {
@@ -546,7 +585,13 @@ func (tx *Tx) Commit() error {
 	}
 	tx.done = true
 	db := tx.db
+	lockStart := time.Now()
 	db.mu.Lock()
+	db.met.lockWait.ObserveSince(lockStart)
+	if qt != nil {
+		qt.LockWait = time.Since(lockStart)
+	}
+	commitStart := time.Now()
 	stamp := db.stampCommitLocked(tx.log, &tx.wctx)
 	db.releaseIntentsLocked(&tx.wctx)
 	delete(db.snaps, tx.id)
@@ -556,11 +601,18 @@ func (tx *Tx) Commit() error {
 	if tx.sqlLevel {
 		db.sqlTx.Store(nil)
 	}
+	if qt != nil {
+		qt.Commit = time.Since(commitStart)
+	}
 	db.mu.Unlock()
 	if werr != nil {
 		return fmt.Errorf("relational: logging commit: %w", werr)
 	}
-	return db.afterCommit(lsn)
+	err := db.afterCommit(lsn, qt)
+	if err == nil {
+		db.met.commit.ObserveSince(start)
+	}
+	return err
 }
 
 // Rollback reverses every effect of the transaction: marked versions come

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // SyncMode selects the fsync policy governing when a commit is considered
@@ -68,6 +70,13 @@ type Options struct {
 	// SegmentSize is the rotation threshold. A record that would push the
 	// active segment past it starts a new segment. Default 4 MiB.
 	SegmentSize int64
+	// Observation points, all optional (nil disables each): AppendHist
+	// records per-Append wall time in nanoseconds, FsyncHist the duration
+	// of each durability flush, and BatchHist the number of commit records
+	// each flush made durable (the group-commit batch size).
+	AppendHist *metrics.Histogram
+	FsyncHist  *metrics.Histogram
+	BatchHist  *metrics.Histogram
 }
 
 func (o Options) window() time.Duration {
@@ -322,6 +331,9 @@ func (l *Log) addSegment() error {
 // policy. Callers serialize Append with their own commit ordering (the
 // database's writer lock), so record order always matches commit order.
 func (l *Log) Append(stmts []Stmt, stamp uint64) (uint64, error) {
+	if h := l.opts.AppendHist; h != nil {
+		defer h.ObserveSince(time.Now())
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -431,6 +443,7 @@ func (l *Log) syncTo(lsn uint64) error {
 	f, cur, dirty := l.active, l.lsn, l.dirDirty
 	l.dirDirty = false
 	l.mu.Unlock()
+	flushStart := time.Now()
 	poison := func(err error, unsynced []*os.File) error {
 		for _, pf := range unsynced {
 			pf.Close() // off l.pending already; close here or leak
@@ -468,7 +481,11 @@ func (l *Log) syncTo(lsn uint64) error {
 			return poison(err, nil)
 		}
 	}
+	l.opts.FsyncHist.ObserveSince(flushStart)
 	if cur > l.durable {
+		// The records this flush newly acknowledged form one group-commit
+		// batch.
+		l.opts.BatchHist.Observe(int64(cur - l.durable))
 		l.durable = cur
 	}
 	l.syncCond.Broadcast()
