@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, parallel, durability, micro, text, obsv, or all")
+		exp      = flag.String("exp", "all", "experiment id: fig6…fig11, table2, asrpath, cascade, randdoc, readers, parallel, durability, micro, text, obsv, storage, or all")
 		quick    = flag.Bool("quick", false, "reduced parameter grid")
 		runs     = flag.Int("runs", 4, "measured runs per point (one warm-up run is added and discarded)")
 		readers  = flag.Int("readers", 4, "max reader goroutines for the concurrent snapshot-read scenario (-exp readers)")
@@ -151,6 +151,18 @@ func run(exp string, cfg bench.Config, readers int, writer string, workers int, 
 		}
 		results["parallel"] = res
 		bench.WriteParallel(os.Stdout, res)
+		fmt.Println()
+	}
+	if exp == "storage" {
+		// Disk-sensitive like durability but with real page files and
+		// eviction churn: opt-in rather than part of "all".
+		matched = true
+		res, err := bench.RunStorage(cfg)
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		results["storage"] = res
+		bench.WriteStorage(os.Stdout, res)
 		fmt.Println()
 	}
 	if exp == "all" || exp == "durability" {

@@ -349,3 +349,56 @@ UPDATE $c {
 		t.Fatalf("NextID after recovered rollback = %d, want %d", s2.NextID(), wantNext)
 	}
 }
+
+// pagedOpts runs the store on the paged storage backend with a pool far
+// smaller than the shredded document, so SOU reconstruction streams through
+// faults and evictions rather than resident rows.
+func pagedOpts() relational.Options {
+	o := noCkptOpts()
+	o.Storage = relational.StoragePaged
+	o.PoolPages = 4
+	o.PageSize = 512
+	return o
+}
+
+// TestOpenDirPagedStorage is the paged twin of the acceptance round-trip:
+// shred, update, checkpoint, restart, and SOU-reconstruct on a pool a
+// fraction of the dataset — output must be byte-identical to an in-memory
+// store, with evictions proving the pool actually bounded residency.
+func TestOpenDirPagedStorage(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDir(dir, custDoc(t), Options{Delete: PerTupleTrigger}, pagedOpts())
+	if err != nil {
+		t.Fatalf("OpenDir (init, paged): %v", err)
+	}
+	if _, err := s.ExecString(example8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DB.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	beforeRestart := souDump(t, s)
+	if s.DB.Stats().Evictions == 0 {
+		t.Fatal("paged store never evicted — pool larger than the document")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := OpenDir(dir, nil, Options{}, pagedOpts())
+	if err != nil {
+		t.Fatalf("OpenDir (reopen, paged): %v", err)
+	}
+	defer s2.Close()
+	if got := souDump(t, s2); got != beforeRestart {
+		t.Fatalf("paged SOU reconstruction differs across restart:\n got:\n%s\nwant:\n%s", got, beforeRestart)
+	}
+
+	mem := openCust(t, Options{Delete: PerTupleTrigger})
+	if _, err := mem.ExecString(example8); err != nil {
+		t.Fatal(err)
+	}
+	if want := souDump(t, mem); beforeRestart != want {
+		t.Fatalf("paged store diverges from in-memory store:\n got:\n%s\nwant:\n%s", beforeRestart, want)
+	}
+}

@@ -525,6 +525,12 @@ func writeStatsDelta(b *strings.Builder, d Stats) {
 		{"versionChainHops", d.VersionChainHops},
 		{"writeConflicts", d.WriteConflicts},
 		{"versionsVacuumed", d.VersionsVacuumed},
+		{"pageReads", d.PageReads},
+		{"pageWrites", d.PageWrites},
+		{"poolHits", d.PoolHits},
+		{"poolMisses", d.PoolMisses},
+		{"evictions", d.Evictions},
+		{"dirtyFlushes", d.DirtyFlushes},
 	}
 	var parts []string
 	for _, f := range fields {

@@ -178,7 +178,7 @@ func (tr *btree) collectLive(t *Table, out []bkey) []bkey {
 		if !ok {
 			return out
 		}
-		if t.rows[k.rid] != nil {
+		if t.liveAt(k.rid) {
 			out = append(out, k)
 		}
 	}

@@ -76,6 +76,18 @@ type Stats struct {
 	VersionChainHops int64
 	WriteConflicts   int64
 	VersionsVacuumed int64
+	// Paged-storage buffer pool counters (paged.go), all zero on the
+	// default memory backend. PageReads/PageWrites count physical page
+	// I/O (a checkpoint's doublewrite and in-place passes both count);
+	// PoolHits/PoolMisses count row-access residency checks; Evictions
+	// counts pages dropped by the CLOCK sweep; DirtyFlushes counts dirty
+	// pages written out by checkpoints.
+	PageReads    int64
+	PageWrites   int64
+	PoolHits     int64
+	PoolMisses   int64
+	Evictions    int64
+	DirtyFlushes int64
 }
 
 // statCounters is the live, concurrently updated form of Stats. Readers run
@@ -105,6 +117,13 @@ type statCounters struct {
 	VersionChainHops atomic.Int64
 	WriteConflicts   atomic.Int64
 	VersionsVacuumed atomic.Int64
+
+	PageReads    atomic.Int64
+	PageWrites   atomic.Int64
+	PoolHits     atomic.Int64
+	PoolMisses   atomic.Int64
+	Evictions    atomic.Int64
+	DirtyFlushes atomic.Int64
 }
 
 // DB is an embedded relational database.
@@ -223,6 +242,18 @@ type DB struct {
 	closing  bool
 	ckptWG   sync.WaitGroup
 	ckptErr  atomic.Pointer[error]
+
+	// Paged storage state (paged.go): pool is the shared buffer pool (nil
+	// on the default memory backend — every paged code path gates on it),
+	// pagedDir is where page files and the doublewrite buffer live, and
+	// pageErr is the sticky page-I/O failure that poisons the DB rather
+	// than let statements run over silently missing rows. ckptHook is a
+	// test seam: crash-injection tests fail a paged checkpoint at a named
+	// stage to exercise every recovery window.
+	pool     *pagePool
+	pagedDir string
+	pageErr  atomic.Pointer[error]
+	ckptHook func(stage string) error
 }
 
 type trigger struct {
@@ -304,6 +335,13 @@ func (db *DB) Stats() Stats {
 		VersionChainHops: db.stats.VersionChainHops.Load(),
 		WriteConflicts:   db.stats.WriteConflicts.Load(),
 		VersionsVacuumed: db.stats.VersionsVacuumed.Load(),
+
+		PageReads:    db.stats.PageReads.Load(),
+		PageWrites:   db.stats.PageWrites.Load(),
+		PoolHits:     db.stats.PoolHits.Load(),
+		PoolMisses:   db.stats.PoolMisses.Load(),
+		Evictions:    db.stats.Evictions.Load(),
+		DirtyFlushes: db.stats.DirtyFlushes.Load(),
 	}
 	if it := db.intern; it != nil {
 		s.InternHits = it.hits.Load()
@@ -335,6 +373,12 @@ func (db *DB) ResetStats() {
 	db.stats.VersionChainHops.Store(0)
 	db.stats.WriteConflicts.Store(0)
 	db.stats.VersionsVacuumed.Store(0)
+	db.stats.PageReads.Store(0)
+	db.stats.PageWrites.Store(0)
+	db.stats.PoolHits.Store(0)
+	db.stats.PoolMisses.Store(0)
+	db.stats.Evictions.Store(0)
+	db.stats.DirtyFlushes.Store(0)
 	if it := db.intern; it != nil {
 		it.hits.Store(0)
 		it.misses.Store(0)
@@ -790,6 +834,9 @@ func (e *execEnv) oldRow() ([]Value, *Table) {
 
 // execStmt dispatches a statement under the exclusive lock.
 func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
+	if err := db.pagedErr(); err != nil {
+		return 0, err
+	}
 	if env == nil {
 		env = newEnv(nil)
 	}
@@ -944,6 +991,16 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 	}
 	// Temp work areas also skip interning (see Table.noIntern).
 	t.noIntern = s.Temp
+	if db.pool != nil && !s.Temp {
+		// Paged backend: persistent tables page their rows; temp work
+		// areas stay heap-resident (written once and drained, they would
+		// only churn the pool). Paged tables also skip interning —
+		// eviction is what actually frees a cold page's string memory,
+		// and an intern table pinning every distinct string would defeat
+		// it. Lazy symKey lookups keep equality semantics identical.
+		t.pg = newPagedTable(db, t)
+		t.noIntern = true
+	}
 	db.tables[key] = t
 	if db.undo != nil {
 		// Rollback drops the table again — in particular the CREATE TEMP

@@ -60,6 +60,18 @@ type Options struct {
 	// recent-statements ring (see DB.SetSlowQuery / DB.TraceLog). Zero
 	// leaves tracing off.
 	SlowQuery time.Duration
+	// Storage selects the row-storage backend: StorageMemory (default)
+	// keeps every table on the heap and checkpoints whole snapshots;
+	// StoragePaged keeps tables on checksummed heap pages behind a buffer
+	// pool and checkpoints only dirty pages (paged.go). Either mode can
+	// open a directory last written by the other.
+	Storage StorageKind
+	// PoolPages bounds resident pages for StoragePaged (default 256);
+	// PageSize sets the page size (default pager.DefaultPageSize). Both
+	// are ignored by StorageMemory. PageSize must match across reopens of
+	// the same directory.
+	PoolPages int
+	PageSize  int
 }
 
 func (o Options) checkpointBytes() int64 {
@@ -287,7 +299,9 @@ func (db *DB) maybeCheckpoint() {
 			db.ckptMu.Unlock()
 			db.ckptWG.Done()
 		}()
-		if err := db.Checkpoint(); err != nil {
+		// An open explicit transaction defers a paged checkpoint rather
+		// than failing it; the trigger fires again after the next commit.
+		if err := db.Checkpoint(); err != nil && err != errCkptOpenTxn {
 			db.ckptErr.Store(&err)
 		}
 	}()
@@ -311,20 +325,36 @@ func Open(dir string, opts Options) (*DB, error) {
 	db.SetParallelism(opts.Parallelism)
 	db.wal = l
 	db.walOpts = opts
+	db.pagedDir = dir
+	if opts.Storage == StoragePaged {
+		// The pool exists before any DDL replays so createTable attaches
+		// paged state to every recovered table.
+		db.pool = newPagePool(opts.PoolPages, opts.PageSize)
+	}
 	db.replaying = true
 	ok := false
 	defer func() {
 		if !ok {
+			db.auditPaged()
 			l.Close()
 		}
 	}()
+
+	// Complete a checkpoint that crashed between its doublewrite buffer
+	// and its marker — after this, every intact page file byte is the
+	// checkpoint's, and any page still failing its checksum is real
+	// corruption. Runs in either storage mode: the pending images belong
+	// to the directory, not to the mode opening it.
+	if err := db.recoverDoublewrite(l); err != nil {
+		return nil, err
+	}
 
 	payload, _, has, err := l.ReadCheckpoint()
 	if err != nil {
 		return nil, err
 	}
 	if has {
-		ddl, snapBytes, err := decodeCheckpointPayload(payload)
+		ddl, snapBytes, pageSize, metas, v2, err := dispatchCheckpointPayload(payload)
 		if err != nil {
 			return nil, err
 		}
@@ -333,11 +363,20 @@ func Open(dir string, opts Options) (*DB, error) {
 				return nil, fmt.Errorf("relational: recovering schema: %q: %w", sql, err)
 			}
 		}
-		snap, err := DecodeSnapshot(snapBytes)
-		if err != nil {
-			return nil, err
+		if v2 {
+			if db.pool != nil && db.pool.pageSize != pageSize {
+				return nil, fmt.Errorf("relational: configured page size %d, checkpoint written with %d", db.pool.pageSize, pageSize)
+			}
+			if err := db.attachPagedTables(pageSize, metas); err != nil {
+				return nil, err
+			}
+		} else {
+			snap, err := DecodeSnapshot(snapBytes)
+			if err != nil {
+				return nil, err
+			}
+			db.Restore(snap)
 		}
-		db.Restore(snap)
 	}
 	if err := l.Replay(func(stamp uint64, stmts []wal.Stmt) error {
 		return db.replayCommit(stamp, stmts)
@@ -345,6 +384,19 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.replaying = false
+	if db.pool != nil {
+		// A long replay can leave the pool holding far more dirty pages
+		// than its budget; one checkpoint makes them clean and evictable,
+		// and the explicit sweep brings residency back under the limit.
+		if db.pool.overLimit() {
+			if err := db.Checkpoint(); err != nil {
+				return nil, err
+			}
+			db.pool.mu.Lock()
+			db.pool.evictPressureLocked()
+			db.pool.mu.Unlock()
+		}
+	}
 	// Armed after replay so recovery re-execution does not pollute the
 	// slow-query log.
 	if opts.SlowQuery > 0 {
@@ -454,6 +506,9 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return fmt.Errorf("relational: Checkpoint requires a DB opened with Open(dir, …)")
 	}
+	if db.pool != nil {
+		return db.checkpointPaged()
+	}
 	db.mu.RLock()
 	snap := db.snapshotLocked()
 	ddl := make([]string, len(db.ddlHist))
@@ -487,6 +542,18 @@ func (db *DB) Close() error {
 	if p := db.ckptErr.Load(); err == nil && p != nil {
 		err = *p
 	}
+	// Paged: audit that no page is still pinned (a leaked cursor) and
+	// release the page files. Dirty pages need no flush — the WAL tail
+	// replays them on the next Open.
+	db.mu.Lock()
+	auditErr := db.auditPaged()
+	db.mu.Unlock()
+	if err == nil {
+		err = auditErr
+	}
+	if err == nil {
+		err = db.pagedErr()
+	}
 	return err
 }
 
@@ -502,6 +569,19 @@ func encodeCheckpointPayload(ddl []string, snap []byte) []byte {
 		b = append(b, sql...)
 	}
 	return append(b, snap...)
+}
+
+// dispatchCheckpointPayload decodes either checkpoint generation by its
+// magic: v2 ("RCKP2", paged — DDL plus page-file metadata) or v1
+// ("RCKP1", snapshot). v2 fields are zero for a v1 payload and vice
+// versa; v2 reports which was found.
+func dispatchCheckpointPayload(payload []byte) (ddl []string, snap []byte, pageSize int, metas []pagedTableMeta, v2 bool, err error) {
+	if len(payload) >= len(ckptMagicV2) && string(payload[:len(ckptMagicV2)]) == ckptMagicV2 {
+		pageSize, ddl, metas, err = decodePagedPayload(payload)
+		return ddl, nil, pageSize, metas, true, err
+	}
+	ddl, snap, err = decodeCheckpointPayload(payload)
+	return ddl, snap, 0, nil, false, err
 }
 
 func decodeCheckpointPayload(data []byte) (ddl []string, snap []byte, err error) {

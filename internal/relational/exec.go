@@ -253,6 +253,25 @@ func (db *DB) matchRows(planSlot **levelPlan, t *Table, name string, where Expr,
 		// order, reproducing this loop's output exactly (parallel.go).
 		return db.matchScanParallel(&ctr, lp, t, name, env, k)
 	}
+	if t.pg != nil {
+		var c pageCursor
+		defer c.release()
+		for rid := range t.rows {
+			row := c.visibleAt(t, rid, env.snap)
+			if row == nil {
+				continue
+			}
+			ctr.rowsScanned++
+			keep, err := check(row)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				rids = append(rids, rid)
+			}
+		}
+		return rids, nil
+	}
 	for rid, row := range t.rows {
 		if t.vers > 0 {
 			row = t.visibleRow(rid, env.snap)
@@ -439,6 +458,9 @@ func (db *DB) materializeCTE(cte CTE, env *execEnv, want []OrderKey) (*Rows, err
 // want an enclosing statement propagated into this CTE). The want steers
 // access paths; it never adds a sort.
 func (db *DB) execSelectWant(s *SelectStmt, env *execEnv, extWant []OrderKey) (*Rows, error) {
+	if err := db.pagedErr(); err != nil {
+		return nil, err
+	}
 	env = newEnvFrom(env)
 	if err := db.materializeCTEs(s, env, extWant); err != nil {
 		return nil, err
@@ -478,6 +500,9 @@ func (db *DB) execSelectWant(s *SelectStmt, env *execEnv, extWant []OrderKey) (*
 // sees them, like execSelect's materialized results (the pipeline's reused
 // buffer is rewritten every row, so stripping in place is safe).
 func (db *DB) streamSelect(s *SelectStmt, env *execEnv, fn func([]Value) error) ([]string, error) {
+	if err := db.pagedErr(); err != nil {
+		return nil, err
+	}
 	env = newEnvFrom(env)
 	if err := db.materializeCTEs(s, env, nil); err != nil {
 		return nil, err

@@ -53,11 +53,19 @@ func (t *Table) CreateIndex(col string) error {
 	if t.db != nil && !t.noIntern {
 		idx.it = t.db.intern
 	}
-	for rid, row := range t.rows {
-		if row == nil || row[ci].IsNull() {
-			continue
+	if t.pg != nil {
+		t.pagedScanAll(func(rid int, row []Value) {
+			if !row[ci].IsNull() {
+				idx.add(row[ci], rid)
+			}
+		})
+	} else {
+		for rid, row := range t.rows {
+			if row == nil || row[ci].IsNull() {
+				continue
+			}
+			idx.add(row[ci], rid)
 		}
-		idx.add(row[ci], rid)
 	}
 	// Versioned tables: superseded chain versions are still visible to open
 	// snapshots, so their values must be probeable too (mvcc.go).
@@ -248,11 +256,17 @@ func (t *Table) CreateOrderedIndex(cols ...string) error {
 		}
 		idx.cols[i] = ci
 	}
-	for rid, row := range t.rows {
-		if row == nil {
-			continue
+	if t.pg != nil {
+		t.pagedScanAll(func(rid int, row []Value) {
+			idx.tree.insert(idx.keyFor(rid, row))
+		})
+	} else {
+		for rid, row := range t.rows {
+			if row == nil {
+				continue
+			}
+			idx.tree.insert(idx.keyFor(rid, row))
 		}
-		idx.tree.insert(idx.keyFor(rid, row))
 	}
 	// Versioned tables: index superseded chain versions' keys as well, so
 	// snapshot readers can reach them (remove-then-insert keeps each key
@@ -310,6 +324,12 @@ func (t *Table) orderedIndexList() []*orderedIndex { return t.orderedList }
 func (idx *orderedIndex) rebuild(t *Table) {
 	idx.tree = newBTree()
 	idx.stale = 0
+	if t.pg != nil {
+		t.pagedScanAll(func(rid int, row []Value) {
+			idx.tree.insert(idx.keyFor(rid, row))
+		})
+		return
+	}
 	for rid, row := range t.rows {
 		if row == nil {
 			continue

@@ -95,6 +95,13 @@ type levelIter struct {
 	bucket    []int
 	bucketPos int
 
+	// pgc pins the page under this level's current row when the source is
+	// a paged table: reads through it are lock-free until the level
+	// crosses a page boundary, and the pin releases at Close — the paged
+	// form of the rowIter buffer-reuse contract (a yielded row is valid
+	// until the next Next/Close).
+	pgc pageCursor
+
 	// ctr batches the level's per-row and per-probe work counters locally
 	// and flushes them to the shared atomics on Close: with N concurrent
 	// readers, an atomic add per scanned row turns the stats cache line
@@ -153,6 +160,7 @@ func (li *levelIter) Close() {
 		li.anm.probes.Add(li.ctr.indexProbes + li.ctr.rangeProbes)
 	}
 	li.ctr.flush(li.db)
+	li.pgc.release()
 	li.input.Close()
 }
 
@@ -363,6 +371,23 @@ func (li *levelIter) buildHash() error {
 		return fmt.Errorf("relational: source %s has no column %q", li.src.name, li.ap.probe.col)
 	}
 	if t := li.src.table; t != nil {
+		if t.pg != nil {
+			// Local cursor: the build drains the whole table here, while
+			// li.pgc stays on the probe side's position.
+			var c pageCursor
+			defer c.release()
+			for rid := range t.rows {
+				row := c.visibleAt(t, rid, li.sn)
+				if row == nil || row[ci].IsNull() {
+					continue
+				}
+				li.ctr.rowsScanned++
+				k := row[ci].symKey(it)
+				li.ht[k] = append(li.ht[k], rid)
+			}
+			li.ctr.hashJoinBuilds++
+			return nil
+		}
 		for rid, row := range t.rows {
 			if t.vers > 0 {
 				row = t.visibleRow(rid, li.sn)
@@ -401,7 +426,9 @@ func (li *levelIter) advanceInner() (bool, error) {
 			rid := li.bucket[li.bucketPos]
 			li.bucketPos++
 			if t := li.src.table; t != nil {
-				if t.vers == 0 {
+				if t.pg != nil {
+					row = li.pgc.visibleAt(t, rid, li.sn)
+				} else if t.vers == 0 {
 					row = t.Row(rid)
 				} else {
 					row = t.visibleRow(rid, li.sn)
@@ -418,7 +445,20 @@ func (li *levelIter) advanceInner() (bool, error) {
 				if li.part != nil {
 					end = li.part.hi
 				}
-				if t.vers == 0 {
+				if t.pg != nil {
+					row = nil
+					for li.scanPos < end {
+						r := li.pgc.visibleAt(t, li.scanPos, li.sn)
+						li.scanPos++
+						if r != nil {
+							row = r
+							break
+						}
+					}
+					if row == nil {
+						return false, nil
+					}
+				} else if t.vers == 0 {
 					for li.scanPos < end && t.rows[li.scanPos] == nil {
 						li.scanPos++
 					}

@@ -102,6 +102,9 @@ func (t *Table) visibleRow(rid int, sn snapshot) []Value {
 		return nil
 	}
 	if t.vers == 0 {
+		if t.pg != nil {
+			return t.pg.rowRef(rid)
+		}
 		return t.rows[rid]
 	}
 	var m rowMeta
@@ -109,6 +112,9 @@ func (t *Table) visibleRow(rid int, sn snapshot) []Value {
 		m = t.meta[rid]
 	}
 	if sn.sees(m.begin, m.end) {
+		if t.pg != nil {
+			return t.pg.rowRef(rid)
+		}
 		return t.rows[rid]
 	}
 	hops := int64(0)
@@ -351,7 +357,12 @@ func (t *Table) vacuumRow(rid int, horizon uint64, db *DB) bool {
 	if m.end != 0 && m.end <= horizon {
 		// Committed delete behind the horizon: physically remove the row
 		// and its whole chain, exactly as a physical-mode delete would have.
-		if row := t.rows[rid]; row != nil {
+		// Paged: fault the row in, dirty its page (so the nil slot written
+		// below cannot be undone by an eviction/refault cycle), then kill
+		// the directory entry — the page file drops the record at the next
+		// checkpoint.
+		if row := t.curRow(rid); row != nil {
+			t.pgMark(rid)
 			for _, idx := range t.index {
 				if v := row[idx.col]; !v.IsNull() {
 					idx.remove(v, rid)
@@ -361,6 +372,7 @@ func (t *Table) vacuumRow(rid int, horizon uint64, db *DB) bool {
 				oidx.tree.remove(oidx.keyFor(rid, row))
 			}
 			t.rows[rid] = nil
+			t.pgDrop(rid)
 		}
 		n := int64(1)
 		for v := m.older; v != nil; v = v.older {
@@ -385,7 +397,7 @@ func (t *Table) vacuumRow(rid int, horizon uint64, db *DB) bool {
 		}
 	}
 	if cut != nil {
-		survivors := [][]Value{t.rows[rid]}
+		survivors := [][]Value{t.curRow(rid)}
 		for v := m.older; v != nil; v = v.older {
 			survivors = append(survivors, v.row)
 		}

@@ -674,13 +674,17 @@ func (h *parHashTable) build(src *source, col string) error {
 		// Runs before the flush defer zeroes the batch (LIFO).
 		defer func() { h.anm.scanned.Add(ctr.rowsScanned) }()
 	}
+	paged := tbl != nil && tbl.pg != nil
 	k := h.db.buildWorkersFor(len(rows))
 	if k <= 1 {
 		// Small build side: one shard, built inline. Still shared — the
 		// point is one build for all probing workers, not k duplicates.
 		ht := make(map[Value][]int)
+		var pc pageCursor
 		for rid, row := range rows {
-			if vers {
+			if paged {
+				row = pc.visibleAt(tbl, rid, h.sn)
+			} else if vers {
 				row = tbl.visibleRow(rid, h.sn)
 			}
 			if row == nil || row[ci].IsNull() {
@@ -690,6 +694,7 @@ func (h *parHashTable) build(src *source, col string) error {
 			key := row[ci].symKey(it)
 			ht[key] = append(ht[key], rid)
 		}
+		pc.release()
 		ctr.hashJoinBuilds++
 		h.shards = []map[Value][]int{ht}
 		return nil
@@ -709,10 +714,18 @@ func (h *parHashTable) build(src *source, col string) error {
 				local[s] = make(map[Value][]int)
 			}
 			var scanned int64
+			// Per-worker page cursor: workers fault and pin independently
+			// under the pool mutex (paged tables only).
+			var pc pageCursor
 			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
-				row := rows[rid]
-				if vers {
-					row = tbl.visibleRow(rid, h.sn)
+				var row []Value
+				if paged {
+					row = pc.visibleAt(tbl, rid, h.sn)
+				} else {
+					row = rows[rid]
+					if vers {
+						row = tbl.visibleRow(rid, h.sn)
+					}
 				}
 				if row == nil || row[ci].IsNull() {
 					continue
@@ -722,6 +735,7 @@ func (h *parHashTable) build(src *source, col string) error {
 				s := int(shardOf(key) % uint64(k))
 				local[s][key] = append(local[s][key], rid)
 			}
+			pc.release()
 			sub[w] = local
 			counts[w] = scanned
 		}(w)
@@ -947,10 +961,17 @@ func (db *DB) matchScanParallel(ctr *levelCounters, lp levelPlan, t *Table, name
 			bind := singleBinding(name, t, nil)
 			var rids []int
 			var scanned int64
+			var pc pageCursor
+			defer pc.release()
 			for rid := spans[w][0]; rid < spans[w][1]; rid++ {
-				row := t.rows[rid]
-				if t.vers > 0 {
-					row = t.visibleRow(rid, env.snap)
+				var row []Value
+				if t.pg != nil {
+					row = pc.visibleAt(t, rid, env.snap)
+				} else {
+					row = t.rows[rid]
+					if t.vers > 0 {
+						row = t.visibleRow(rid, env.snap)
+					}
 				}
 				if row == nil {
 					continue

@@ -51,6 +51,9 @@ func (db *DB) snapshotLocked() *DBSnapshot {
 		for i, r := range t.rows {
 			if vers {
 				r = t.visibleRow(i, snapshot{ts: allTS})
+			} else if t.pg != nil {
+				// Paged: a nil slot can be an evicted row; fault by rid.
+				r = t.curRow(i)
 			}
 			if r == nil {
 				continue
@@ -115,6 +118,11 @@ func (db *DB) Restore(s *DBSnapshot) {
 		}
 		t.rows = rows
 		t.live = snap.live
+		if t.pg != nil {
+			// Paged: the row slice was replaced wholesale; rebuild the
+			// directory and re-place every row onto fresh (dirty) pages.
+			t.pg.rebuildFromRows()
+		}
 		// Restored rows are single-version by construction; drop any
 		// version metadata left over from the restored-over state.
 		t.meta = nil

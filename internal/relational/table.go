@@ -97,6 +97,13 @@ type Table struct {
 	vers       int
 	intentTxn  uint64
 	lastCommit uint64
+
+	// pg, when non-nil, is the table's paged-storage state (paged.go): rows
+	// live on buffer-pool-managed heap pages, a nil t.rows slot means
+	// "evicted, refault on demand" rather than "deleted", and pg.dir is the
+	// liveness authority. Every direct t.rows access on a hot path either
+	// gates on pg == nil or routes through curRow/liveAt/pageCursor.
+	pg *pagedTable
 }
 
 // writerCtx returns the active write context when this table's mutations
@@ -184,6 +191,7 @@ func (t *Table) Insert(vals []Value) (int, error) {
 	rid := len(t.rows)
 	t.rows = append(t.rows, row)
 	t.live++
+	t.pgPlace(rid, row)
 	if w != nil {
 		// Versioned insert: the row is physically present but marked, so
 		// only its own transaction sees it until commit.
@@ -212,10 +220,13 @@ func (t *Table) Insert(vals []Value) (int, error) {
 // entries stay physically in place — only the version metadata records the
 // deletion, and vacuum removes the row once no snapshot can see it.
 func (t *Table) Delete(rid int) ([]Value, error) {
-	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+	if rid < 0 || rid >= len(t.rows) {
 		return nil, fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
-	row := t.rows[rid]
+	row := t.curRow(rid)
+	if row == nil {
+		return nil, fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
+	}
 	if w := t.writerCtx(); w != nil {
 		if err := t.db.claimIntentLocked(t); err != nil {
 			return nil, err
@@ -233,6 +244,9 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 		}
 		return row, nil
 	}
+	// Dirty the page before touching the slot (paged mode): a dirty page
+	// cannot evict, so the nil written below stays the slot's value.
+	t.pgMark(rid)
 	if t.db != nil && t.db.undo != nil {
 		t.db.undo.recordDelete(t, rid, row)
 	}
@@ -242,6 +256,7 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 		}
 	}
 	t.rows[rid] = nil
+	t.pgDrop(rid)
 	t.live--
 	// Ordered indexes tombstone lazily: readers skip entries whose row is
 	// gone, and the next ordered read compacts the tree once stale entries
@@ -256,13 +271,17 @@ func (t *Table) Delete(rid int) ([]Value, error) {
 // Ordered-index keys are unlinked before the row mutates and re-inserted
 // after, so a multi-column assignment moves each B+tree entry exactly once.
 func (t *Table) Update(rid int, cols []int, vals []Value) error {
-	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+	if rid < 0 || rid >= len(t.rows) || t.curRow(rid) == nil {
 		return fmt.Errorf("relational: table %s has no row %d", t.Name, rid)
 	}
 	if w := t.writerCtx(); w != nil {
 		return t.updateVersioned(rid, cols, vals, w)
 	}
 	row := t.rows[rid]
+	// Dirty the page before mutating in place: unique probes below can
+	// fault other pages in, and the eviction pressure they apply must not
+	// take the page under this row (dirty pages never evict).
+	t.pgMark(rid)
 	if t.db != nil && t.db.undo != nil {
 		// The pre-image restores every assigned column on rollback — a
 		// coercion error partway through the SET list leaves earlier
@@ -322,7 +341,8 @@ func (t *Table) updateVersioned(rid int, cols []int, vals []Value, w *writeCtx) 
 	if err := t.db.claimIntentLocked(t); err != nil {
 		return err
 	}
-	row := t.rows[rid]
+	row := t.curRow(rid)
+	t.pgMark(rid)
 	t.ensureMeta()
 	m := &t.meta[rid]
 	wasVers := m.begin != 0 || m.end != 0 || m.older != nil
@@ -445,7 +465,18 @@ func (t *Table) uniqueViolatedPhys(ci int, v Value, exclude int) bool {
 		b := rangeBound{val: v, incl: true, set: true}
 		for _, rid := range oidx.scanRange(nil, b, b, false, nil) {
 			// The tree tombstones lazily; skip entries whose row is gone.
-			if rid != exclude && t.rows[rid] != nil {
+			if rid != exclude && t.liveAt(rid) {
+				return true
+			}
+		}
+		return false
+	}
+	if t.pg != nil {
+		for rid := range t.rows {
+			if rid == exclude {
+				continue
+			}
+			if row := t.curRow(rid); row != nil && compareValues(row[ci], v) == 0 {
 				return true
 			}
 		}
@@ -464,6 +495,9 @@ func (t *Table) Row(rid int) []Value {
 	if rid < 0 || rid >= len(t.rows) {
 		return nil
 	}
+	if t.pg != nil {
+		return t.pg.rowRef(rid)
+	}
 	return t.rows[rid]
 }
 
@@ -471,6 +505,30 @@ func (t *Table) Row(rid int) []Value {
 // the scan. It reports the number of rows visited.
 func (t *Table) Scan(fn func(rid int, row []Value) bool) int {
 	visited := 0
+	if t.pg != nil {
+		var c pageCursor
+		defer c.release()
+		for rid := range t.rows {
+			pid := t.pg.dir[rid]
+			if pid < 0 {
+				continue
+			}
+			if c.pi == nil || c.pi.id != pid {
+				if !c.repin(t, pid) {
+					break
+				}
+			}
+			row := t.rows[rid]
+			if row == nil {
+				continue
+			}
+			visited++
+			if !fn(rid, row) {
+				break
+			}
+		}
+		return visited
+	}
 	for rid, row := range t.rows {
 		if row == nil {
 			continue

@@ -277,6 +277,13 @@ func statsSub(a, b Stats) Stats {
 		VersionChainHops: a.VersionChainHops - b.VersionChainHops,
 		WriteConflicts:   a.WriteConflicts - b.WriteConflicts,
 		VersionsVacuumed: a.VersionsVacuumed - b.VersionsVacuumed,
+
+		PageReads:    a.PageReads - b.PageReads,
+		PageWrites:   a.PageWrites - b.PageWrites,
+		PoolHits:     a.PoolHits - b.PoolHits,
+		PoolMisses:   a.PoolMisses - b.PoolMisses,
+		Evictions:    a.Evictions - b.Evictions,
+		DirtyFlushes: a.DirtyFlushes - b.DirtyFlushes,
 	}
 }
 
@@ -302,6 +309,14 @@ type engineMetrics struct {
 	// intentRetries counts autocommit park-and-retry rounds.
 	conflicts     *metrics.Counter
 	intentRetries *metrics.Counter
+	// Buffer-pool counters, mirrored from statCounters for paged-storage
+	// DBs (paged.go); flat zero on the memory backend.
+	pageReads    *metrics.Counter
+	pageWrites   *metrics.Counter
+	poolHits     *metrics.Counter
+	poolMisses   *metrics.Counter
+	evictions    *metrics.Counter
+	dirtyFlushes *metrics.Counter
 }
 
 func newEngineMetrics() *engineMetrics {
@@ -315,6 +330,12 @@ func newEngineMetrics() *engineMetrics {
 		vacuumReclaim: reg.Histogram("vacuum_reclaimed_rows"),
 		conflicts:     reg.Counter("write_conflicts"),
 		intentRetries: reg.Counter("intent_retries"),
+		pageReads:     reg.Counter("page_reads"),
+		pageWrites:    reg.Counter("page_writes"),
+		poolHits:      reg.Counter("pool_hits"),
+		poolMisses:    reg.Counter("pool_misses"),
+		evictions:     reg.Counter("pool_evictions"),
+		dirtyFlushes:  reg.Counter("dirty_flushes"),
 	}
 }
 

@@ -176,6 +176,7 @@ func (l *undoLog) rollbackTo(mark int) {
 				oidx.tree.remove(oidx.keyFor(e.rid, row))
 			}
 			e.t.rows[e.rid] = nil
+			e.t.pgDrop(e.rid)
 			e.t.live--
 			// Inserts append, and reverse application reaches them in
 			// reverse rid order, so truncating restores the exact rowid
@@ -183,9 +184,13 @@ func (l *undoLog) rollbackTo(mark int) {
 			// statement never ran).
 			if e.rid == len(e.t.rows)-1 {
 				e.t.rows = e.t.rows[:e.rid]
+				e.t.pgTruncate(e.rid)
 			}
 		case undoDelete:
 			e.t.rows[e.rid] = e.row
+			// Re-register the resurrected rid with the paged directory (its
+			// delete marked it dead); it lands on the current fill page.
+			e.t.pgPlace(e.rid, e.row)
 			e.t.live++
 			for _, idx := range e.t.index {
 				if v := e.row[idx.col]; !v.IsNull() {
@@ -241,11 +246,13 @@ func (l *undoLog) rollbackTo(mark int) {
 				oidx.tree.remove(oidx.keyFor(e.rid, row))
 			}
 			e.t.rows[e.rid] = nil
+			e.t.pgDrop(e.rid)
 			e.t.live--
 			e.t.meta[e.rid] = rowMeta{}
 			e.t.vers--
 			if e.rid == len(e.t.rows)-1 {
 				e.t.rows = e.t.rows[:e.rid]
+				e.t.pgTruncate(e.rid)
 				if len(e.t.meta) > len(e.t.rows) {
 					e.t.meta = e.t.meta[:len(e.t.rows)]
 				}
