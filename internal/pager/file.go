@@ -2,7 +2,6 @@ package pager
 
 import (
 	"fmt"
-	"io"
 	"os"
 	"sync/atomic"
 )
@@ -117,21 +116,6 @@ func (pf *File) Remove() error {
 	pf.f.Close()
 	if err := os.Remove(pf.path); err != nil && !os.IsNotExist(err) {
 		return err
-	}
-	return nil
-}
-
-// ReadFull reads the whole file; recovery uses it to stream-attach pages
-// without assuming they all fit in one allocation at once.
-func (pf *File) ReadFull(fn func(pid uint32, page []byte) error) error {
-	buf := make([]byte, pf.pageSize)
-	for pid := int64(0); pid < pf.npages.Load(); pid++ {
-		if _, err := pf.f.ReadAt(buf, int64(pid)*int64(pf.pageSize)); err != nil && err != io.EOF {
-			return fmt.Errorf("pager: reading page %d: %w", pid, err)
-		}
-		if err := fn(uint32(pid), buf); err != nil {
-			return err
-		}
 	}
 	return nil
 }

@@ -254,6 +254,12 @@ type DB struct {
 	pagedDir string
 	pageErr  atomic.Pointer[error]
 	ckptHook func(stage string) error
+	// pagedCkptMu serializes whole paged checkpoints with each other and
+	// with Restore's wholesale rebuild of paged state: the checkpoint's
+	// durable phase runs outside db.mu by design, and a Restore truncating
+	// pg.pages under it would leave finishFlush indexing stale page ids.
+	// Ordering: pagedCkptMu is always taken before db.mu.
+	pagedCkptMu sync.Mutex
 }
 
 type trigger struct {
@@ -855,9 +861,15 @@ func (db *DB) execStmt(stmt Stmt, env *execEnv) (int, error) {
 		}
 		db.schemaVer++
 		delete(db.tables, key)
+		if t.pg != nil {
+			t.pg.gone.Store(true)
+		}
 		if db.undo != nil {
 			db.undo.recordDDL(func() {
 				db.tables[key] = t
+				if t.pg != nil {
+					t.pg.gone.Store(false)
+				}
 				db.schemaVer++
 			})
 		}
@@ -1008,6 +1020,9 @@ func (db *DB) createTable(s *CreateTableStmt) error {
 		// otherwise linger and block the retry.
 		db.undo.recordDDL(func() {
 			delete(db.tables, key)
+			if t.pg != nil {
+				t.pg.gone.Store(true)
+			}
 			db.schemaVer++
 		})
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pager"
 	"repro/internal/wal"
@@ -99,6 +100,11 @@ type pagedTable struct {
 	dir   []int32 // rid → page id, pgDead when the row is deleted
 	pages []*pageInfo
 	fill  *pageInfo // current insert target
+	// gone marks the table dropped from db.tables (set under the DB writer
+	// lock at drop time, cleared on rollback resurrection). Atomic because
+	// pool sweeps and the checkpoint durable phase consult it without
+	// holding the writer lock — reading db.tables there would race DDL.
+	gone atomic.Bool
 }
 
 // pagePool is the DB-wide buffer pool: it bounds how many pages are
@@ -154,9 +160,11 @@ func (pg *pagedTable) filePath() string {
 
 // detached reports whether the table was dropped out from under its pool
 // frames (DROP TABLE keeps the paged state intact so a transaction
-// rollback can resurrect the table; the pool reaps frames lazily).
+// rollback can resurrect the table; the pool reaps frames lazily). It
+// reads the atomic drop marker, not db.tables — callers run outside the
+// DB writer lock.
 func (pg *pagedTable) detached() bool {
-	return pg.db.tables[pg.key] != pg.t
+	return pg.gone.Load()
 }
 
 // ---- residency: fault, evict, pin ----
@@ -451,6 +459,24 @@ func (pg *pagedTable) newPageLocked() *pageInfo {
 	return pi
 }
 
+// pgRowFits rejects a row whose encoded record cannot fit an empty page.
+// pgPlace would happily admit one (fill accounting just opens a fresh
+// page), but no flush could ever pack it: the checkpoint's relocation
+// loop would allocate pages forever without making progress. Mutations
+// must check before committing the row to the table.
+func (t *Table) pgRowFits(rid int, row []Value) error {
+	pg := t.pg
+	if pg == nil {
+		return nil
+	}
+	limit := pg.db.pool.pageSize - pager.HeaderSize
+	if sz := pager.RecordSize(uint64(rid), encodedRowSize(row)); sz > limit {
+		return fmt.Errorf("relational: table %s row encodes to %d bytes, exceeding the %d-byte record capacity of a %d-byte page",
+			t.Name, sz, limit, pg.db.pool.pageSize)
+	}
+	return nil
+}
+
 // pgMark dirties the page under rid before its row mutates in place.
 // Call it immediately after the residency-establishing read: once dirty,
 // the page cannot evict, so the mutation and the slot stay coherent.
@@ -675,6 +701,15 @@ func (db *DB) capturePagedLocked() ([]pagedImage, []pagedTableMeta, error) {
 					return nil, nil, err
 				}
 				if !b.Fits(uint64(rid), len(scratch)) {
+					if pager.RecordSize(uint64(rid), len(scratch)) > p.pageSize-pager.HeaderSize {
+						// The record cannot fit any page: relocating it
+						// would allocate fresh pages forever. Mutations
+						// reject such rows (pgRowFits), so reaching this is
+						// a bug or an unchecked bulk-load path — fail the
+						// checkpoint rather than spin.
+						return nil, nil, fmt.Errorf("relational: table %s row %d record of %d bytes exceeds page capacity %d",
+							t.Name, rid, len(scratch), p.pageSize-pager.HeaderSize)
+					}
 					// The row grew past this page's free space: relocate
 					// it to a fresh page, captured later in this loop.
 					overflow = append(overflow, rid)
@@ -744,6 +779,11 @@ func (p *pagePool) overLimit() bool {
 // it, recovery re-applies the complete doublewrite (fixing torn page
 // writes) and re-stamps the marker.
 func (db *DB) checkpointPaged() error {
+	// One paged checkpoint at a time, and never concurrent with a Restore:
+	// the durable phase below runs outside db.mu, and finishFlush's page
+	// lookups assume pg.pages kept the captured layout.
+	db.pagedCkptMu.Lock()
+	defer db.pagedCkptMu.Unlock()
 	db.mu.Lock()
 	if len(db.snaps) > 0 || db.sqlTx.Load() != nil {
 		db.mu.Unlock()
@@ -1247,7 +1287,11 @@ func (db *DB) attachPagedTables(pageSize int, metas []pagedTableMeta) error {
 
 // rebuildPagedFromRows re-places every row of a freshly Restored table
 // into new dirty pages (the v1-checkpoint fallback and the benchmark
-// Restore path both rebuild t.rows wholesale).
+// Restore path both rebuild t.rows wholesale). Caller holds the DB writer
+// lock and — when checkpoints can be in flight — pagedCkptMu, so no pool
+// sweep (reader faults need the shared DB lock, checkpoint sweeps need
+// pagedCkptMu) observes pg.pages/dir mid-truncation; only the pool's
+// residency/dirty counters need pool.mu here.
 func (pg *pagedTable) rebuildFromRows() {
 	p := pg.db.pool
 	p.mu.Lock()

@@ -68,6 +68,50 @@ func TestPagedMemoryEquivalenceRandom(t *testing.T) {
 	}
 }
 
+// TestPagedOversizedRowRejected verifies that a row whose encoded record
+// cannot fit an empty page is rejected at Insert and Update time (in and
+// out of explicit transactions) instead of being accepted and wedging the
+// checkpoint's relocation loop, and that the rejecting statement rolls
+// back cleanly — the DB keeps working and still checkpoints.
+func TestPagedOversizedRowRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := mustOpenDB(t, dir, pagedOpts()) // 512-byte pages
+	defer db.Close()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE big (id INTEGER, body TEXT)")
+	huge := strings.Repeat("x", 600) // > pageSize - header
+	if _, err := db.Exec(fmt.Sprintf("INSERT INTO big VALUES (1, '%s')", huge)); err == nil {
+		t.Fatal("oversized INSERT accepted")
+	}
+	mustExec("INSERT INTO big VALUES (1, 'small')")
+	if _, err := db.Exec(fmt.Sprintf("UPDATE big SET body = '%s' WHERE id = 1", huge)); err == nil {
+		t.Fatal("oversized UPDATE accepted")
+	}
+	mustExec("BEGIN")
+	if _, err := db.Exec(fmt.Sprintf("UPDATE big SET body = '%s' WHERE id = 1", huge)); err == nil {
+		t.Fatal("oversized versioned UPDATE accepted")
+	}
+	mustExec("COMMIT")
+	rows, err := db.Query("SELECT body FROM big WHERE id = 1")
+	if err != nil {
+		t.Fatalf("query after rejections: %v", err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("got %d rows after rejected updates, want 1", len(rows.Data))
+	}
+	if s, _ := rows.Data[0][0].Text(); s != "small" {
+		t.Fatalf("row not restored after rejected updates: body = %q", s)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after rejections: %v", err)
+	}
+}
+
 // TestPagedLargerThanRAMScan loads a dataset several times the pool budget,
 // checkpoints it so pages are clean and evictable, and verifies that scans,
 // joins, and point reads stream through the bounded pool byte-identically

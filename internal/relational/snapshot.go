@@ -84,11 +84,21 @@ func (db *DB) snapshotLocked() *DBSnapshot {
 // Restore resets every snapshotted table to its captured contents and
 // rebuilds its indexes. Tables created after the snapshot are dropped.
 func (db *DB) Restore(s *DBSnapshot) {
+	if db.pool != nil {
+		// Exclude an in-flight paged checkpoint: its durable phase runs
+		// outside db.mu and indexes pg.pages by captured page id, which
+		// rebuildFromRows below invalidates wholesale.
+		db.pagedCkptMu.Lock()
+		defer db.pagedCkptMu.Unlock()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for key := range db.tables {
+	for key, t := range db.tables {
 		if _, ok := s.tables[key]; !ok {
 			delete(db.tables, key)
+			if t.pg != nil {
+				t.pg.gone.Store(true)
+			}
 		}
 	}
 	reintern := s.src != db

@@ -189,6 +189,9 @@ func (t *Table) Insert(vals []Value) (int, error) {
 		}
 	}
 	rid := len(t.rows)
+	if err := t.pgRowFits(rid, row); err != nil {
+		return 0, err
+	}
 	t.rows = append(t.rows, row)
 	t.live++
 	t.pgPlace(rid, row)
@@ -329,6 +332,12 @@ func (t *Table) Update(rid int, cols []int, vals []Value) error {
 		}
 		row[ci] = cv
 	}
+	// Paged: a row that grew past page capacity can never be flushed.
+	// The undo pre-image recorded above restores the row on the
+	// statement-level rollback this error triggers.
+	if err := t.pgRowFits(rid, row); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -387,6 +396,11 @@ func (t *Table) updateVersioned(rid int, cols []int, vals []Value, w *writeCtx) 
 			oidx.tree.remove(nk)
 			oidx.tree.insert(nk)
 		}
+	}
+	// Paged: a row that grew past page capacity can never be flushed; the
+	// undo record above reverses the version push on rollback.
+	if err := t.pgRowFits(rid, row); err != nil {
+		return err
 	}
 	return nil
 }
@@ -508,7 +522,9 @@ func (t *Table) Scan(fn func(rid int, row []Value) bool) int {
 	if t.pg != nil {
 		var c pageCursor
 		defer c.release()
-		for rid := range t.rows {
+		// rows and dir grow in lockstep (pgPlace), but bound on both as
+		// pagedScanAll does rather than trust the invariant.
+		for rid := 0; rid < len(t.rows) && rid < len(t.pg.dir); rid++ {
 			pid := t.pg.dir[rid]
 			if pid < 0 {
 				continue
